@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks of every scheduling algorithm — the
+//! "schedule computation" term of the paper's latency budget, measured as
+//! host software (the hardware cycle model lives in `exp_scalability`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use xds_core::demand::DemandMatrix;
+use xds_core::sched::*;
+use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
+
+fn hotspot_demand(n: usize) -> DemandMatrix {
+    let mut rng = SimRng::new(7);
+    let mut d = DemandMatrix::zero(n);
+    for i in 0..n {
+        d.set(i, (i + 1) % n, 1_000_000 + rng.below(1_000_000));
+        for _ in 0..4 {
+            let j = rng.below_usize(n);
+            if j != i {
+                d.add(i, j, rng.below(100_000));
+            }
+        }
+    }
+    d
+}
+
+fn ctx() -> ScheduleCtx {
+    ScheduleCtx {
+        now: SimTime::ZERO,
+        line_rate: BitRate::GBPS_10,
+        reconfig: SimDuration::from_micros(1),
+        epoch: SimDuration::from_micros(100),
+        max_entries: 4,
+    }
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_computation");
+    for &n in &[16usize, 64] {
+        let demand = hotspot_demand(n);
+        let context = ctx();
+        let mut cases: Vec<(&str, Box<dyn Scheduler>)> = vec![
+            ("tdma", Box::new(TdmaScheduler::new(n))),
+            ("islip_i3", Box::new(IslipScheduler::new(n, 3))),
+            ("pim_i3", Box::new(PimScheduler::new(n, 3, SimRng::new(3)))),
+            ("wavefront", Box::new(WavefrontScheduler::new(n))),
+            ("greedy_lqf", Box::new(GreedyLqfScheduler::new())),
+            ("hungarian", Box::new(HungarianScheduler::new())),
+            ("bvn_p4", Box::new(BvnScheduler::new(4))),
+            ("solstice_p4", Box::new(SolsticeScheduler::new(4))),
+            ("hotspot_mwm", Box::new(HotspotScheduler::new(100_000))),
+        ];
+        for (name, sched) in &mut cases {
+            group.bench_with_input(
+                BenchmarkId::new(*name, n),
+                &n,
+                |b, _| {
+                    b.iter(|| black_box(sched.schedule(black_box(&demand), &context)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! **E10 (ablations)**: the design choices DESIGN.md calls out, isolated.
+//!
+//! 1. **iSLIP iteration count** — how many request–grant–accept rounds
+//!    does the hardware need? (Each costs `2·⌈log₂n⌉+2` cycles.)
+//! 2. **Decomposition budget** — how many OCS configurations per epoch
+//!    are worth their dark windows (Solstice's `max_entries`)?
+//! 3. **Epoch length** — the duty-cycle vs responsiveness trade: long
+//!    epochs amortize reconfiguration but add queueing delay.
+//!
+//! ```sh
+//! cargo run --release -p xds-bench --bin exp_ablation
+//! ```
+
+use xds_bench::{banner, emit, parallel_map, standard_fast};
+use xds_core::demand::MirrorEstimator;
+use xds_core::node::Workload;
+use xds_core::report::RunReport;
+use xds_core::runtime::HybridSim;
+use xds_core::sched::{IslipScheduler, Scheduler, SolsticeScheduler};
+use xds_hw::{ClockDomain, HwAlgo};
+use xds_metrics::Table;
+use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
+use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+
+const N: usize = 16;
+
+fn run(
+    sched: Box<dyn Scheduler>,
+    matrix: TrafficMatrix,
+    load: f64,
+    epoch: Option<SimDuration>,
+    max_entries: usize,
+) -> RunReport {
+    let mut cfg = standard_fast(N, SimDuration::from_micros(1));
+    if let Some(e) = epoch {
+        cfg.epoch = e;
+    }
+    cfg.max_entries = max_entries;
+    let eff = load / matrix.imbalance();
+    let w = Workload::flows(FlowGenerator::with_load(
+        matrix,
+        FlowSizeDist::Fixed(150_000),
+        eff,
+        BitRate::GBPS_10,
+        SimRng::new(81),
+    ));
+    HybridSim::new(cfg, w, sched, Box::new(MirrorEstimator::new(N))).run(SimTime::from_millis(15))
+}
+
+fn main() {
+    banner(
+        "E10",
+        "ablations: iSLIP iterations, decomposition budget, epoch length",
+        "16x16 @ 10G, bulk flows; each table isolates one design parameter.",
+    );
+
+    // --- (1) iSLIP iterations. ---
+    let iters: Vec<u32> = vec![1, 2, 3, 4, 6];
+    let results = parallel_map(iters.clone(), |i| {
+        run(
+            Box::new(IslipScheduler::new(N, i)),
+            TrafficMatrix::uniform(N),
+            0.8,
+            None,
+            4,
+        )
+    });
+    let mut t1 = Table::new(
+        "E10a: iSLIP iteration count (uniform @ 0.8)",
+        &["iterations", "hw cycles", "hw latency", "thru(Gbps)", "p99 bulk(us)"],
+    );
+    for (i, r) in iters.iter().zip(results.iter()) {
+        let cycles = HwAlgo::Islip { iterations: *i }.schedule_cycles(N);
+        t1.row(vec![
+            i.to_string(),
+            cycles.to_string(),
+            ClockDomain::NETFPGA_SUME.cycles_to_time(cycles).to_string(),
+            format!("{:.2}", r.throughput_gbps()),
+            format!("{:.1}", r.latency_bulk.p99() as f64 / 1e3),
+        ]);
+    }
+    emit("exp_ablation_islip_iters", &t1);
+
+    // --- (2) Solstice configuration budget. ---
+    // Demand spanning 3 disjoint permutations: fewer entries than 3
+    // cannot cover it within one epoch.
+    let mut w = vec![0.0; N * N];
+    for i in 0..N {
+        for k in [1usize, 5, 9] {
+            w[i * N + (i + k) % N] = 1.0;
+        }
+    }
+    let matrix = TrafficMatrix::from_weights(N, w).unwrap();
+    let budgets: Vec<usize> = vec![1, 2, 3, 4, 6, 8];
+    // Long epochs (400 µs) make within-epoch coverage matter: with short
+    // epochs a single-configuration scheduler simply serves a different
+    // permutation each epoch and the budget is moot.
+    let results = parallel_map(budgets.clone(), |b| {
+        run(
+            Box::new(SolsticeScheduler::new(b as u32)),
+            matrix.clone(),
+            0.6,
+            Some(SimDuration::from_micros(400)),
+            b,
+        )
+    });
+    let mut t2 = Table::new(
+        "E10b: configurations per epoch (3-permutation demand @ 0.6, 400us epochs)",
+        &["max entries", "thru(Gbps)", "reconfigs", "duty%", "p99 bulk(us)"],
+    );
+    for (b, r) in budgets.iter().zip(results.iter()) {
+        t2.row(vec![
+            b.to_string(),
+            format!("{:.2}", r.throughput_gbps()),
+            r.ocs.reconfigurations.to_string(),
+            format!("{:.1}", r.ocs_duty_cycle() * 100.0),
+            format!("{:.1}", r.latency_bulk.p99() as f64 / 1e3),
+        ]);
+    }
+    emit("exp_ablation_entries", &t2);
+
+    // --- (3) Epoch length (duty cycle vs queueing delay). ---
+    let epochs: Vec<SimDuration> = vec![
+        SimDuration::from_micros(20),
+        SimDuration::from_micros(50),
+        SimDuration::from_micros(100),
+        SimDuration::from_micros(400),
+        SimDuration::from_millis(2),
+    ];
+    let results = parallel_map(epochs.clone(), |e| {
+        run(
+            Box::new(IslipScheduler::new(N, 3)),
+            TrafficMatrix::uniform(N),
+            0.6,
+            Some(e),
+            4,
+        )
+    });
+    let mut t3 = Table::new(
+        "E10c: epoch length (uniform @ 0.6, reconfig 1us)",
+        &["epoch", "duty%", "thru(Gbps)", "p99 bulk(us)", "peak switch buf"],
+    );
+    for (e, r) in epochs.iter().zip(results.iter()) {
+        t3.row(vec![
+            e.to_string(),
+            format!("{:.1}", r.ocs_duty_cycle() * 100.0),
+            format!("{:.2}", r.throughput_gbps()),
+            format!("{:.1}", r.latency_bulk.p99() as f64 / 1e3),
+            xds_metrics::fmt_bytes(r.peak_switch_buffer),
+        ]);
+    }
+    emit("exp_ablation_epoch", &t3);
+
+    println!(
+        "findings: (a) throughput saturates by ~log2(n) iterations — extra\n\
+         rounds cost cycles for nothing; (b) with stretchable slots the\n\
+         configuration budget barely moves *throughput* (under-budgeted\n\
+         schedulers serve fewer permutations per epoch but hold them longer,\n\
+         self-balancing across epochs) — the budget is a tail-latency knob;\n\
+         (c) short epochs burn capacity on reconfiguration (low duty), long\n\
+         epochs trade it for queueing delay and buffer — the sweet spot sits\n\
+         at 10-50x the switching time, which is why fast switching needs a\n\
+         fast scheduler."
+    );
+}

@@ -1,0 +1,148 @@
+//! **E8**: host↔switch synchronization sensitivity.
+//!
+//! §2: software scheduling "requires tight synchronization between the
+//! host and switch, which is difficult to achieve at faster switching
+//! times and higher transmission rates."
+//!
+//! Two tables:
+//! * measured — goodput and dark-window hits vs clock skew, slow
+//!   scheduling (hosts transmit into their skewed view of the grant
+//!   window);
+//! * analytic — the guard-band overhead each sync technology imposes as
+//!   slots shrink (the reason fast switching *demands* on-switch
+//!   scheduling).
+//!
+//! ```sh
+//! cargo run --release -p xds-bench --bin exp_sync
+//! ```
+
+use xds_bench::{banner, emit, parallel_map, standard_slow};
+use xds_core::config::Placement;
+use xds_core::demand::MirrorEstimator;
+use xds_core::node::Workload;
+use xds_core::runtime::HybridSim;
+use xds_core::sched::HotspotScheduler;
+use xds_hw::SyncModel;
+use xds_metrics::Table;
+use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
+use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+
+const N: usize = 16;
+
+fn run_skew_guard(skew: SimDuration, guard: SimDuration) -> (u64, u64, f64) {
+    let mut cfg = standard_slow(N, SimDuration::from_micros(50));
+    cfg.epoch = SimDuration::from_millis(1);
+    cfg.seed = 61;
+    cfg.guard = guard;
+    if let Placement::Software { sync, .. } = &mut cfg.placement {
+        *sync = SyncModel {
+            skew_bound: skew,
+            drift_ppb: 0,
+            resync_interval: SimDuration::from_secs(1),
+        };
+    }
+    let w = Workload::flows(FlowGenerator::with_load(
+        TrafficMatrix::uniform(N),
+        FlowSizeDist::Fixed(150_000),
+        0.4,
+        BitRate::GBPS_10,
+        SimRng::new(59),
+    ));
+    let r = HybridSim::new(
+        cfg,
+        w,
+        Box::new(HotspotScheduler::new(50_000)),
+        Box::new(MirrorEstimator::new(N)),
+    )
+    .run(SimTime::from_millis(40));
+    (
+        r.drops.sync_violation,
+        r.delivered_ocs_bytes,
+        r.goodput_fraction(),
+    )
+}
+
+fn main() {
+    banner(
+        "E8",
+        "synchronization sensitivity of slow (host-gated) scheduling",
+        "16x16, software scheduler, 50us optical switching, 1ms epochs; hosts\n\
+         obey their own skewed clocks when transmitting into grant windows.",
+    );
+
+    let skews = vec![
+        SimDuration::ZERO,
+        SimDuration::from_micros(1),
+        SimDuration::from_micros(5),
+        SimDuration::from_micros(20),
+        SimDuration::from_micros(50),
+        SimDuration::from_micros(200),
+    ];
+    let results = parallel_map(skews.clone(), |s| run_skew_guard(s, SimDuration::ZERO));
+    let mut table = Table::new(
+        "E8a: measured effect of clock skew (slow scheduling, no guard)",
+        &["skew bound", "dark-window hits", "ocs bytes", "goodput"],
+    );
+    for (skew, (viol, ocs, gp)) in skews.iter().zip(results.iter()) {
+        table.row(vec![
+            skew.to_string(),
+            viol.to_string(),
+            xds_metrics::fmt_bytes(*ocs),
+            format!("{gp:.3}"),
+        ]);
+    }
+    emit("exp_sync_measured", &table);
+
+    // The mitigation: guard bands sized to the skew, at fixed skew 20 µs.
+    let guards = vec![
+        SimDuration::ZERO,
+        SimDuration::from_micros(5),
+        SimDuration::from_micros(10),
+        SimDuration::from_micros(25),
+        SimDuration::from_micros(50),
+        SimDuration::from_micros(100),
+    ];
+    let skew = SimDuration::from_micros(20);
+    let results = parallel_map(guards.clone(), |g| run_skew_guard(skew, g));
+    let mut mit = Table::new(
+        "E8c: guard-band mitigation at 20us skew — violations vs capacity",
+        &["guard", "dark-window hits", "ocs bytes", "goodput"],
+    );
+    for (g, (viol, ocs, gp)) in guards.iter().zip(results.iter()) {
+        mit.row(vec![
+            g.to_string(),
+            viol.to_string(),
+            xds_metrics::fmt_bytes(*ocs),
+            format!("{gp:.3}"),
+        ]);
+    }
+    emit("exp_sync_guard_mitigation", &mit);
+
+    // Analytic guard-band overhead.
+    let mut guard = Table::new(
+        "E8b: guard-band overhead (fraction of slot lost) per sync technology",
+        &["slot length", "perfect", "ptp(~1us)", "ntp(~1ms)"],
+    );
+    for slot in [
+        SimDuration::from_micros(10),
+        SimDuration::from_micros(100),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+        SimDuration::from_millis(100),
+    ] {
+        guard.row(vec![
+            slot.to_string(),
+            format!("{:.4}", SyncModel::perfect().guard_overhead(slot)),
+            format!("{:.4}", SyncModel::ptp().guard_overhead(slot)),
+            format!("{:.4}", SyncModel::ntp().guard_overhead(slot)),
+        ]);
+    }
+    emit("exp_sync_guard", &guard);
+
+    println!(
+        "expected shape: violations appear once skew is comparable to the\n\
+         switching time and grow with it; PTP guard bands are affordable for\n\
+         millisecond slots but consume microsecond slots entirely — hardware\n\
+         scheduling sidesteps the problem because grants never leave the chip."
+    );
+}

@@ -1,0 +1,174 @@
+//! **F1 — Figure 1**: buffering requirement vs optical switching time;
+//! host buffering (slow scheduling) vs switch buffering (fast scheduling).
+//!
+//! Paper anchor (§2): "a 64x64 input-queued switch (operating at a rate of
+//! 10 Gbps per port) with a millisecond switching time results in
+//! approximately gigabytes of buffering memory … a nanosecond switching
+//! time requires only kilobytes."
+//!
+//! Two views:
+//! 1. the paper's first-order model — bytes arriving at full load during
+//!    one scheduling period (10× the switching time, the 90 %-duty-cycle
+//!    epoch) across all 64 ports;
+//! 2. measured peak buffer occupancy from full simulations (64 ports,
+//!    jumbo frames to keep event counts tractable), fast placement
+//!    (switch VOQs) and slow placement (host VOQs).
+//!
+//! ```sh
+//! cargo run --release -p xds-bench --bin fig1_buffering
+//! ```
+
+use xds_bench::{banner, emit, parallel_map, standard_fast, standard_slow};
+use xds_core::config::NodeConfig;
+use xds_core::demand::MirrorEstimator;
+use xds_core::node::Workload;
+use xds_core::runtime::HybridSim;
+use xds_core::sched::{HotspotScheduler, IslipScheduler};
+use xds_metrics::fmt_bytes;
+use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
+use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+
+const N: usize = 64;
+const LOAD: f64 = 0.6;
+
+fn workload(n: usize, seed: u64, mtu_fixed: u64, matrix: TrafficMatrix) -> Workload {
+    Workload::flows(FlowGenerator::with_load(
+        matrix,
+        FlowSizeDist::Fixed(mtu_fixed * 40), // bulk flows, 40 jumbo frames
+        LOAD,
+        BitRate::GBPS_10,
+        SimRng::new(seed),
+    ))
+}
+
+fn tune(cfg: &mut NodeConfig) {
+    cfg.mtu = 9000; // jumbo frames: 6× fewer events at identical byte loads
+    cfg.voq_capacity = u64::MAX / 4; // measure demand, never drop
+    cfg.eps_buffer = 64_000_000;
+}
+
+struct Row {
+    reconfig: SimDuration,
+    epoch: SimDuration,
+    paper_model: u64,
+    fast_peak: u64,
+    fast_perm_peak: u64,
+    slow_peak: u64,
+    fast_duty: f64,
+}
+
+fn run_row(reconfig: SimDuration) -> Row {
+    // Fast placement: hardware scheduler, switch VOQs, uniform all-to-all
+    // (the per-pair VOQ worst case: n² queues each hold ~1 epoch of their
+    // pair's rate).
+    let mut fast_cfg = standard_fast(N, reconfig);
+    tune(&mut fast_cfg);
+    let epoch = fast_cfg.epoch;
+    let horizon = SimTime::ZERO + (epoch * 8).max(SimDuration::from_millis(20));
+    let fast = HybridSim::new(
+        fast_cfg.clone(),
+        workload(N, 42, 9_000, TrafficMatrix::uniform(N)),
+        Box::new(IslipScheduler::new(N, 3)),
+        Box::new(MirrorEstimator::new(N)),
+    )
+    .run(horizon);
+
+    // Same placement under permutation traffic (one live VOQ per port —
+    // the per-port regime the paper's first-order model describes).
+    let fast_perm = HybridSim::new(
+        fast_cfg,
+        workload(N, 42, 9_000, TrafficMatrix::permutation(N, 7)),
+        Box::new(IslipScheduler::new(N, 3)),
+        Box::new(MirrorEstimator::new(N)),
+    )
+    .run(horizon);
+
+    // Slow placement: software scheduler, host VOQs, same cadence.
+    let mut slow_cfg = standard_slow(N, reconfig);
+    tune(&mut slow_cfg);
+    slow_cfg.epoch = epoch.max(slow_cfg.epoch);
+    let slow_horizon = SimTime::ZERO + (slow_cfg.epoch * 8).max(SimDuration::from_millis(20));
+    let slow = HybridSim::new(
+        slow_cfg,
+        workload(N, 42, 9_000, TrafficMatrix::uniform(N)),
+        Box::new(HotspotScheduler::new(50_000)),
+        Box::new(MirrorEstimator::new(N)),
+    )
+    .run(slow_horizon);
+
+    // Paper first-order model: all ports at `LOAD` accumulate for one
+    // scheduling period (10× switching time, i.e. a 90 % duty cycle).
+    let period = reconfig * 10;
+    let paper_model =
+        (N as f64 * LOAD * BitRate::GBPS_10.bytes_per_sec() as f64 * period.as_secs_f64()) as u64;
+
+    Row {
+        reconfig,
+        epoch,
+        paper_model,
+        fast_peak: fast.peak_switch_buffer,
+        fast_perm_peak: fast_perm.peak_switch_buffer,
+        slow_peak: slow.peak_host_buffer,
+        fast_duty: fast.ocs_duty_cycle(),
+    }
+}
+
+fn main() {
+    banner(
+        "F1",
+        "Figure 1 — host vs switch buffering across switching times",
+        "64 ports x 10 Gbps, uniform bulk traffic at 0.6 load; the paper's\n\
+         ms->GB / ns->KB buffering argument, model and measurement.",
+    );
+    let sweep: Vec<SimDuration> = vec![
+        SimDuration::from_nanos(10),
+        SimDuration::from_nanos(100),
+        SimDuration::from_micros(1),
+        SimDuration::from_micros(10),
+        SimDuration::from_micros(100),
+        SimDuration::from_millis(1),
+        SimDuration::from_millis(10),
+    ];
+    let rows = parallel_map(sweep, run_row);
+
+    let mut table = xds_metrics::Table::new(
+        "F1: buffering vs switching time (64x64 @ 10G, load 0.6)",
+        &[
+            "switching time",
+            "epoch",
+            "paper model (64p)",
+            "fast/uniform: switch buf",
+            "fast/perm: switch buf",
+            "slow: host buf",
+            "fast duty%",
+        ],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.reconfig.to_string(),
+            r.epoch.to_string(),
+            fmt_bytes(r.paper_model),
+            fmt_bytes(r.fast_peak),
+            fmt_bytes(r.fast_perm_peak),
+            fmt_bytes(r.slow_peak),
+            format!("{:.2}", r.fast_duty * 100.0),
+        ]);
+    }
+    emit("fig1_buffering", &table);
+
+    let ns = &rows[0];
+    let ms = &rows[5];
+    println!(
+        "paper anchor: ms switching -> {} (paper: ~gigabytes with slack); \
+         ns switching -> {} (paper: ~kilobytes).",
+        fmt_bytes(ms.paper_model),
+        fmt_bytes(ns.paper_model),
+    );
+    println!(
+        "measured: slow/ms parks {} in hosts vs fast/ns {} in the switch — \
+         a {}x reduction.",
+        fmt_bytes(ms.slow_peak),
+        fmt_bytes(ns.fast_peak),
+        if ns.fast_peak > 0 { ms.slow_peak / ns.fast_peak } else { 0 },
+    );
+}

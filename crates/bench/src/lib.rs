@@ -1,0 +1,139 @@
+//! # xds-bench — the experiment harness
+//!
+//! One binary per figure/claim of the paper (see DESIGN.md §4 for the
+//! index). Each binary regenerates its table on stdout and saves a CSV
+//! under `results/`. Shared machinery lives here:
+//!
+//! * [`parallel_map`] — order-preserving parallel sweep runner (the
+//!   simulations are single-threaded and deterministic; sweeps fan out
+//!   across cores);
+//! * [`standard_fast`] / [`standard_slow`] — the placement presets every
+//!   experiment starts from, so results are comparable across binaries;
+//! * [`emit`] — uniform stdout + CSV emission.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::Path;
+
+use xds_core::config::NodeConfig;
+use xds_hw::{HwAlgo, HwSchedulerModel, SwSchedulerModel};
+use xds_metrics::Table;
+use xds_sim::SimDuration;
+
+/// Applies `f` to every item on a pool of worker threads, preserving
+/// input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let (tx_in, rx_in) = crossbeam::channel::unbounded();
+    for pair in items.into_iter().enumerate() {
+        tx_in.send(pair).expect("open channel");
+    }
+    drop(tx_in);
+    let (tx_out, rx_out) = crossbeam::channel::unbounded();
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            let rx = rx_in.clone();
+            let tx = tx_out.clone();
+            let f = &f;
+            s.spawn(move |_| {
+                for (i, item) in rx.iter() {
+                    tx.send((i, f(item))).expect("open channel");
+                }
+            });
+        }
+        drop(tx_out);
+    })
+    .expect("worker panicked");
+    let mut out: Vec<(usize, R)> = rx_out.iter().collect();
+    out.sort_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The standard hardware placement: NetFPGA-SUME clock, 3-iteration iSLIP
+/// cost model.
+pub fn standard_fast(n: usize, reconfig: SimDuration) -> NodeConfig {
+    NodeConfig::fast(
+        n,
+        reconfig,
+        HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 }),
+    )
+}
+
+/// The standard software placement: kernel-driver control path.
+pub fn standard_slow(n: usize, reconfig: SimDuration) -> NodeConfig {
+    NodeConfig::slow(n, reconfig, SwSchedulerModel::kernel_driver())
+}
+
+/// Prints the table and saves it as `results/<name>.csv` (best-effort:
+/// failures to write are reported, not fatal — the stdout copy is the
+/// canonical artefact).
+pub fn emit(name: &str, table: &Table) {
+    print!("{}", table.render_text());
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if let Err(e) = std::fs::write(&path, table.render_csv()) {
+            eprintln!("(could not save {}: {e})", path.display());
+        } else {
+            println!("[saved {}]", path.display());
+        }
+    }
+    println!();
+}
+
+/// Prints an experiment banner with its DESIGN.md id.
+pub fn banner(id: &str, title: &str, what: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("{what}");
+    println!("================================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let got = parallel_map((0..100).collect(), |x: u64| x * 2);
+        assert_eq!(got, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_is_empty() {
+        let got: Vec<u32> = parallel_map(Vec::<u32>::new(), |x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_runs_heavy_closures() {
+        // Results depend only on input, not scheduling.
+        let got = parallel_map(vec![30u64, 1, 25, 7], |x| {
+            (0..x * 10_000).fold(0u64, |a, b| a.wrapping_add(b)) & 0xff
+        });
+        let want: Vec<u64> = vec![30u64, 1, 25, 7]
+            .into_iter()
+            .map(|x| (0..x * 10_000).fold(0u64, |a, b| a.wrapping_add(b)) & 0xff)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn standard_configs_validate() {
+        standard_fast(16, SimDuration::from_nanos(100)).validate().unwrap();
+        standard_slow(16, SimDuration::from_millis(1)).validate().unwrap();
+    }
+}

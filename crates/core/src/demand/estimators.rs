@@ -1,0 +1,425 @@
+//! Demand estimators: from scheduling requests to a demand matrix.
+//!
+//! "Allowing quick demand estimation" is one of the three advantages §2
+//! claims for hardware scheduling; experiment E6 compares these estimators
+//! under a shifting hotspot. Each estimator answers the same question —
+//! *how many bytes will pair (s, d) want in the next epoch?* — from the
+//! stream of [`SchedRequest`]s:
+//!
+//! * [`MirrorEstimator`] — trust the latest queued-bytes report
+//!   (instantaneous occupancy; what iSLIP-class schedulers use);
+//! * [`EwmaEstimator`] — exponentially weighted arrival rate × epoch;
+//! * [`WindowEstimator`] — arrivals in a sliding window, rescaled to the
+//!   epoch;
+//! * [`CountMinEstimator`] — a count-min sketch over arrivals, the
+//!   hardware-friendly sublinear-memory option (hash collisions
+//!   overestimate — the E6 trade-off).
+
+use xds_sim::{SimDuration, SimTime};
+
+use super::{DemandMatrix, SchedRequest};
+
+/// A pluggable demand estimator.
+pub trait DemandEstimator: Send {
+    /// Short name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Ingests one VOQ status report.
+    fn on_request(&mut self, req: &SchedRequest);
+
+    /// Produces the demand estimate for the epoch starting at `now`.
+    fn estimate(&mut self, now: SimTime, epoch: SimDuration) -> DemandMatrix;
+}
+
+// ---------------------------------------------------------------------
+// Mirror (instantaneous occupancy)
+// ---------------------------------------------------------------------
+
+/// Mirrors the latest reported VOQ occupancy.
+#[derive(Debug, Clone)]
+pub struct MirrorEstimator {
+    occupancy: DemandMatrix,
+}
+
+impl MirrorEstimator {
+    /// Creates a mirror over `n` ports.
+    pub fn new(n: usize) -> Self {
+        MirrorEstimator {
+            occupancy: DemandMatrix::zero(n),
+        }
+    }
+}
+
+impl DemandEstimator for MirrorEstimator {
+    fn name(&self) -> &'static str {
+        "mirror"
+    }
+
+    fn on_request(&mut self, req: &SchedRequest) {
+        self.occupancy.set(req.src, req.dst, req.queued_bytes);
+    }
+
+    fn estimate(&mut self, _now: SimTime, _epoch: SimDuration) -> DemandMatrix {
+        self.occupancy.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// EWMA rate
+// ---------------------------------------------------------------------
+
+/// Exponentially weighted moving average of per-pair arrival rates.
+#[derive(Debug, Clone)]
+pub struct EwmaEstimator {
+    n: usize,
+    alpha: f64,
+    /// Smoothed rate in bytes/sec per pair.
+    rate: Vec<f64>,
+    /// Last seen cumulative arrivals per pair.
+    last_total: Vec<u64>,
+    /// Last update time per pair.
+    last_at: Vec<SimTime>,
+}
+
+impl EwmaEstimator {
+    /// Creates an estimator with smoothing factor `alpha ∈ (0, 1]`
+    /// (higher = more reactive).
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        EwmaEstimator {
+            n,
+            alpha,
+            rate: vec![0.0; n * n],
+            last_total: vec![0; n * n],
+            last_at: vec![SimTime::ZERO; n * n],
+        }
+    }
+}
+
+impl DemandEstimator for EwmaEstimator {
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+
+    fn on_request(&mut self, req: &SchedRequest) {
+        let idx = req.src * self.n + req.dst;
+        let dt = req.at.saturating_since(self.last_at[idx]).as_secs_f64();
+        if dt <= 0.0 {
+            // Multiple reports at the same instant: fold the arrival delta
+            // in when time advances.
+            return;
+        }
+        let delta = req.arrived_bytes_total.saturating_sub(self.last_total[idx]);
+        let inst_rate = delta as f64 / dt;
+        self.rate[idx] = self.alpha * inst_rate + (1.0 - self.alpha) * self.rate[idx];
+        self.last_total[idx] = req.arrived_bytes_total;
+        self.last_at[idx] = req.at;
+    }
+
+    fn estimate(&mut self, _now: SimTime, epoch: SimDuration) -> DemandMatrix {
+        let mut m = DemandMatrix::zero(self.n);
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let bytes = self.rate[s * self.n + d] * epoch.as_secs_f64();
+                if bytes >= 1.0 {
+                    m.set(s, d, bytes as u64);
+                }
+            }
+        }
+        m
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sliding window
+// ---------------------------------------------------------------------
+
+/// Arrivals within a sliding window, rescaled to the epoch length.
+#[derive(Debug, Clone)]
+pub struct WindowEstimator {
+    n: usize,
+    window: SimDuration,
+    /// `(time, src, dst, bytes)` arrival deltas inside the window.
+    events: std::collections::VecDeque<(SimTime, usize, usize, u64)>,
+    last_total: Vec<u64>,
+}
+
+impl WindowEstimator {
+    /// Creates an estimator summing arrivals over `window`.
+    pub fn new(n: usize, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        WindowEstimator {
+            n,
+            window,
+            events: std::collections::VecDeque::new(),
+            last_total: vec![0; n * n],
+        }
+    }
+
+    fn evict(&mut self, now: SimTime) {
+        let cutoff = now.as_nanos().saturating_sub(self.window.as_nanos());
+        while let Some(&(t, ..)) = self.events.front() {
+            if t.as_nanos() < cutoff {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl DemandEstimator for WindowEstimator {
+    fn name(&self) -> &'static str {
+        "window"
+    }
+
+    fn on_request(&mut self, req: &SchedRequest) {
+        let idx = req.src * self.n + req.dst;
+        let delta = req.arrived_bytes_total.saturating_sub(self.last_total[idx]);
+        self.last_total[idx] = req.arrived_bytes_total;
+        if delta > 0 {
+            self.events.push_back((req.at, req.src, req.dst, delta));
+        }
+    }
+
+    fn estimate(&mut self, now: SimTime, epoch: SimDuration) -> DemandMatrix {
+        self.evict(now);
+        let mut m = DemandMatrix::zero(self.n);
+        for &(_, s, d, b) in &self.events {
+            m.add(s, d, b);
+        }
+        // Rescale window bytes to the epoch horizon.
+        let scale = epoch.as_secs_f64() / self.window.as_secs_f64();
+        if (scale - 1.0).abs() > 1e-9 {
+            let mut scaled = DemandMatrix::zero(self.n);
+            for (s, d, b) in m.iter_nonzero() {
+                scaled.set(s, d, (b as f64 * scale) as u64);
+            }
+            return scaled;
+        }
+        m
+    }
+}
+
+// ---------------------------------------------------------------------
+// Count-min sketch
+// ---------------------------------------------------------------------
+
+/// A count-min sketch over arrival bytes with periodic halving (decay).
+///
+/// Hardware rationale: `d × w` counters instead of `n²` — at 256 ports a
+/// full matrix needs 65 536 counters while a 4×1024 sketch needs 4 096.
+/// The price is overestimation on hash collisions.
+#[derive(Debug, Clone)]
+pub struct CountMinEstimator {
+    n: usize,
+    width: usize,
+    depth: usize,
+    counters: Vec<u64>,
+    last_total: Vec<u64>,
+    /// Halve all counters when `now - last_decay` exceeds this.
+    decay_every: SimDuration,
+    last_decay: SimTime,
+}
+
+impl CountMinEstimator {
+    /// Creates a `depth × width` sketch decayed every `decay_every`.
+    pub fn new(n: usize, depth: usize, width: usize, decay_every: SimDuration) -> Self {
+        assert!(depth >= 1 && width >= 1, "sketch dimensions must be positive");
+        CountMinEstimator {
+            n,
+            width,
+            depth,
+            counters: vec![0; depth * width],
+            last_total: vec![0; n * n],
+            decay_every,
+            last_decay: SimTime::ZERO,
+        }
+    }
+
+    fn hash(&self, row: usize, s: usize, d: usize) -> usize {
+        // Split-mix style per-row hashing of the pair index.
+        let mut x =
+            (s * self.n + d) as u64 ^ (row as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (x ^ (x >> 31)) as usize % self.width
+    }
+
+    fn maybe_decay(&mut self, now: SimTime) {
+        while now.saturating_since(self.last_decay) >= self.decay_every {
+            for c in &mut self.counters {
+                *c /= 2;
+            }
+            self.last_decay = self.last_decay + self.decay_every;
+        }
+    }
+
+    fn point_query(&self, s: usize, d: usize) -> u64 {
+        (0..self.depth)
+            .map(|r| self.counters[r * self.width + self.hash(r, s, d)])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+impl DemandEstimator for CountMinEstimator {
+    fn name(&self) -> &'static str {
+        "countmin"
+    }
+
+    fn on_request(&mut self, req: &SchedRequest) {
+        self.maybe_decay(req.at);
+        let idx = req.src * self.n + req.dst;
+        let delta = req.arrived_bytes_total.saturating_sub(self.last_total[idx]);
+        self.last_total[idx] = req.arrived_bytes_total;
+        if delta == 0 {
+            return;
+        }
+        for r in 0..self.depth {
+            let h = self.hash(r, req.src, req.dst);
+            let c = &mut self.counters[r * self.width + h];
+            *c = c.saturating_add(delta);
+        }
+    }
+
+    fn estimate(&mut self, now: SimTime, _epoch: SimDuration) -> DemandMatrix {
+        self.maybe_decay(now);
+        let mut m = DemandMatrix::zero(self.n);
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s != d {
+                    m.set(s, d, self.point_query(s, d));
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(src: usize, dst: usize, queued: u64, total: u64, at_us: u64) -> SchedRequest {
+        SchedRequest {
+            src,
+            dst,
+            queued_bytes: queued,
+            arrived_bytes_total: total,
+            at: SimTime::from_micros(at_us),
+        }
+    }
+
+    #[test]
+    fn mirror_tracks_latest_report() {
+        let mut e = MirrorEstimator::new(4);
+        e.on_request(&req(0, 1, 5_000, 5_000, 1));
+        e.on_request(&req(0, 1, 2_000, 7_000, 2));
+        let m = e.estimate(SimTime::from_micros(3), SimDuration::from_micros(10));
+        assert_eq!(m.get(0, 1), 2_000);
+        assert_eq!(m.get(1, 0), 0);
+    }
+
+    #[test]
+    fn ewma_converges_to_steady_rate() {
+        let mut e = EwmaEstimator::new(2, 0.3);
+        // 1000 bytes every 10 µs = 100 MB/s.
+        let mut total = 0;
+        for k in 1..200u64 {
+            total += 1000;
+            e.on_request(&req(0, 1, 0, total, 10 * k));
+        }
+        // Over a 10 µs epoch, expect ≈1000 bytes.
+        let m = e.estimate(SimTime::from_micros(2000), SimDuration::from_micros(10));
+        let est = m.get(0, 1);
+        assert!((800..=1200).contains(&est), "ewma estimate {est}");
+    }
+
+    #[test]
+    fn ewma_adapts_when_traffic_stops() {
+        let mut e = EwmaEstimator::new(2, 0.5);
+        let mut total = 0;
+        for k in 1..50u64 {
+            total += 1000;
+            e.on_request(&req(0, 1, 0, total, 10 * k));
+        }
+        let before = e
+            .estimate(SimTime::from_micros(500), SimDuration::from_micros(10))
+            .get(0, 1);
+        // Silence: totals stop growing.
+        for k in 50..100u64 {
+            e.on_request(&req(0, 1, 0, total, 10 * k));
+        }
+        let after = e
+            .estimate(SimTime::from_micros(1000), SimDuration::from_micros(10))
+            .get(0, 1);
+        assert!(after < before / 10, "rate should decay: {before} -> {after}");
+    }
+
+    #[test]
+    fn window_sums_and_evicts() {
+        let mut e = WindowEstimator::new(2, SimDuration::from_micros(100));
+        e.on_request(&req(0, 1, 0, 1_000, 10));
+        e.on_request(&req(0, 1, 0, 3_000, 50));
+        // Window == epoch → no rescale.
+        let m = e.estimate(SimTime::from_micros(60), SimDuration::from_micros(100));
+        assert_eq!(m.get(0, 1), 3_000);
+        // At t=130 µs the first event (t=10 µs) has left the 100 µs window
+        // but the second (t=50 µs) remains.
+        let m2 = e.estimate(SimTime::from_micros(130), SimDuration::from_micros(100));
+        assert_eq!(m2.get(0, 1), 2_000);
+        // Far later, everything ages out.
+        let m3 = e.estimate(SimTime::from_micros(400), SimDuration::from_micros(100));
+        assert_eq!(m3.get(0, 1), 0);
+    }
+
+    #[test]
+    fn window_rescales_to_epoch() {
+        let mut e = WindowEstimator::new(2, SimDuration::from_micros(100));
+        e.on_request(&req(0, 1, 0, 1_000, 10));
+        let m = e.estimate(SimTime::from_micros(20), SimDuration::from_micros(50));
+        assert_eq!(m.get(0, 1), 500, "half-epoch rescale");
+    }
+
+    #[test]
+    fn countmin_point_queries_are_overestimates() {
+        let mut e = CountMinEstimator::new(8, 4, 64, SimDuration::from_secs(1));
+        e.on_request(&req(0, 1, 0, 10_000, 1));
+        e.on_request(&req(2, 3, 0, 5_000, 2));
+        let m = e.estimate(SimTime::from_micros(3), SimDuration::from_micros(10));
+        assert!(m.get(0, 1) >= 10_000, "never underestimates");
+        assert!(m.get(2, 3) >= 5_000);
+        // A pair with no traffic may collide, but with a 4×64 sketch and 2
+        // flows it should read 0.
+        assert_eq!(m.get(5, 6), 0);
+    }
+
+    #[test]
+    fn countmin_decays() {
+        let mut e = CountMinEstimator::new(4, 2, 32, SimDuration::from_micros(100));
+        e.on_request(&req(0, 1, 0, 8_000, 1));
+        let before = e
+            .estimate(SimTime::from_micros(2), SimDuration::from_micros(10))
+            .get(0, 1);
+        let after = e
+            .estimate(SimTime::from_micros(450), SimDuration::from_micros(10))
+            .get(0, 1);
+        assert_eq!(before, 8_000);
+        assert!(after <= 8_000 / 16, "4 halvings expected, got {after}");
+    }
+
+    #[test]
+    fn estimators_expose_names() {
+        assert_eq!(MirrorEstimator::new(2).name(), "mirror");
+        assert_eq!(EwmaEstimator::new(2, 0.5).name(), "ewma");
+        assert_eq!(
+            WindowEstimator::new(2, SimDuration::from_micros(1)).name(),
+            "window"
+        );
+        assert_eq!(
+            CountMinEstimator::new(2, 2, 16, SimDuration::from_secs(1)).name(),
+            "countmin"
+        );
+    }
+}

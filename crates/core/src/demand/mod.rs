@@ -1,0 +1,197 @@
+//! Demand matrices, scheduling requests, and demand estimators.
+//!
+//! Figure 2: "As the status of a VOQ changes, the subsystem generates
+//! scheduling requests … The scheduling logic processes the incoming
+//! requests, estimates the demand matrix, and runs the scheduling
+//! algorithm."
+
+mod estimators;
+
+pub use estimators::{
+    CountMinEstimator, DemandEstimator, EwmaEstimator, MirrorEstimator, WindowEstimator,
+};
+
+use xds_sim::SimTime;
+
+/// An `n × n` matrix of demanded bytes from each input to each output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemandMatrix {
+    n: usize,
+    bytes: Vec<u64>,
+}
+
+impl DemandMatrix {
+    /// The zero matrix over `n` ports.
+    pub fn zero(n: usize) -> Self {
+        assert!(n > 0, "demand matrix needs at least one port");
+        DemandMatrix {
+            n,
+            bytes: vec![0; n * n],
+        }
+    }
+
+    /// Builds from a row-major byte vector.
+    pub fn from_vec(n: usize, bytes: Vec<u64>) -> Self {
+        assert_eq!(bytes.len(), n * n, "need n² entries");
+        DemandMatrix { n, bytes }
+    }
+
+    /// Port count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The demand from `src` to `dst` in bytes.
+    pub fn get(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst]
+    }
+
+    /// Sets the demand for a pair.
+    pub fn set(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.bytes[src * self.n + dst] = bytes;
+    }
+
+    /// Adds demand to a pair (saturating).
+    pub fn add(&mut self, src: usize, dst: usize, bytes: u64) {
+        let e = &mut self.bytes[src * self.n + dst];
+        *e = e.saturating_add(bytes);
+    }
+
+    /// Subtracts served bytes from a pair (saturating).
+    pub fn sub(&mut self, src: usize, dst: usize, bytes: u64) {
+        let e = &mut self.bytes[src * self.n + dst];
+        *e = e.saturating_sub(bytes);
+    }
+
+    /// Total demanded bytes.
+    pub fn total(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// True when all entries are zero.
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
+    /// The largest entry and its pair, or `None` when zero.
+    pub fn max_entry(&self) -> Option<(usize, usize, u64)> {
+        let (idx, &v) = self
+            .bytes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .expect("non-empty");
+        if v == 0 {
+            None
+        } else {
+            Some((idx / self.n, idx % self.n, v))
+        }
+    }
+
+    /// Row sums (per-source demanded bytes).
+    pub fn row_sums(&self) -> Vec<u64> {
+        (0..self.n)
+            .map(|s| (0..self.n).map(|d| self.get(s, d)).sum())
+            .collect()
+    }
+
+    /// Column sums (per-destination demanded bytes).
+    pub fn col_sums(&self) -> Vec<u64> {
+        (0..self.n)
+            .map(|d| (0..self.n).map(|s| self.get(s, d)).sum())
+            .collect()
+    }
+
+    /// Iterates non-zero entries as `(src, dst, bytes)`.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        self.bytes.iter().enumerate().filter_map(move |(i, &b)| {
+            (b > 0).then_some((i / self.n, i % self.n, b))
+        })
+    }
+
+    /// Sum of absolute differences against another matrix (estimation
+    /// error metric for E6).
+    pub fn l1_distance(&self, other: &DemandMatrix) -> u64 {
+        assert_eq!(self.n, other.n, "matrix sizes differ");
+        self.bytes
+            .iter()
+            .zip(other.bytes.iter())
+            .map(|(&a, &b)| a.abs_diff(b))
+            .sum()
+    }
+}
+
+/// A scheduling request: the VOQ-status report the processing logic sends
+/// when a VOQ changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedRequest {
+    /// Input port.
+    pub src: usize,
+    /// Output port.
+    pub dst: usize,
+    /// Bytes currently queued in the VOQ.
+    pub queued_bytes: u64,
+    /// Cumulative bytes ever enqueued to the VOQ (lets rate estimators see
+    /// arrivals even when the queue drains).
+    pub arrived_bytes_total: u64,
+    /// When the report was generated.
+    pub at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_matrix_is_zero() {
+        let m = DemandMatrix::zero(4);
+        assert!(m.is_zero());
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.max_entry(), None);
+    }
+
+    #[test]
+    fn get_set_add_sub() {
+        let mut m = DemandMatrix::zero(3);
+        m.set(0, 1, 100);
+        m.add(0, 1, 50);
+        m.sub(0, 1, 30);
+        assert_eq!(m.get(0, 1), 120);
+        m.sub(0, 1, 1000);
+        assert_eq!(m.get(0, 1), 0, "sub saturates");
+        m.add(2, 0, u64::MAX);
+        m.add(2, 0, 1);
+        assert_eq!(m.get(2, 0), u64::MAX, "add saturates");
+    }
+
+    #[test]
+    fn sums_and_max() {
+        let m = DemandMatrix::from_vec(2, vec![0, 10, 20, 0]);
+        assert_eq!(m.row_sums(), vec![10, 20]);
+        assert_eq!(m.col_sums(), vec![20, 10]);
+        assert_eq!(m.max_entry(), Some((1, 0, 20)));
+        assert_eq!(m.total(), 30);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let m = DemandMatrix::from_vec(2, vec![0, 5, 0, 0]);
+        let nz: Vec<_> = m.iter_nonzero().collect();
+        assert_eq!(nz, vec![(0, 1, 5)]);
+    }
+
+    #[test]
+    fn l1_distance_is_symmetric() {
+        let a = DemandMatrix::from_vec(2, vec![0, 10, 5, 0]);
+        let b = DemandMatrix::from_vec(2, vec![0, 4, 9, 0]);
+        assert_eq!(a.l1_distance(&b), 10);
+        assert_eq!(b.l1_distance(&a), 10);
+        assert_eq!(a.l1_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need n² entries")]
+    fn wrong_size_rejected() {
+        DemandMatrix::from_vec(3, vec![0; 8]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Workload description for a testbed run.
+
+use xds_sim::{SimDuration, SimTime};
+use xds_traffic::{CbrApp, FlowGenerator, TrafficMatrix};
+
+/// A rotating traffic-matrix schedule: every `period` the generator
+/// switches to the next matrix in the cycle. Experiment E6 uses this to
+/// move a hotspot and watch which demand estimators keep up.
+#[derive(Debug, Clone)]
+pub struct MatrixCycle {
+    /// Rotation period.
+    pub period: SimDuration,
+    /// Matrices cycled through (wraps around).
+    pub matrices: Vec<TrafficMatrix>,
+}
+
+/// What the hosts offer to the network during a run.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Background/bulk flow generator (optional: an apps-only run is
+    /// legal).
+    pub flows: Option<FlowGenerator>,
+    /// Interactive constant-bit-rate applications.
+    pub apps: Vec<CbrApp>,
+    /// Stop generating new flows after this instant (existing queues keep
+    /// draining). `SimTime::MAX` means "for the whole run".
+    pub flow_stop: SimTime,
+    /// Optional mid-run traffic-matrix rotation.
+    pub matrix_cycle: Option<MatrixCycle>,
+}
+
+impl Workload {
+    /// A flows-only workload.
+    pub fn flows(gen: FlowGenerator) -> Self {
+        Workload {
+            flows: Some(gen),
+            apps: Vec::new(),
+            flow_stop: SimTime::MAX,
+            matrix_cycle: None,
+        }
+    }
+
+    /// An apps-only workload (e.g. pure VOIP latency probes).
+    pub fn apps_only(apps: Vec<CbrApp>) -> Self {
+        Workload {
+            flows: None,
+            apps,
+            flow_stop: SimTime::MAX,
+            matrix_cycle: None,
+        }
+    }
+
+    /// Rotates the generator's traffic matrix mid-run (builder style).
+    pub fn with_matrix_cycle(mut self, period: SimDuration, matrices: Vec<TrafficMatrix>) -> Self {
+        assert!(!matrices.is_empty(), "cycle needs at least one matrix");
+        self.matrix_cycle = Some(MatrixCycle { period, matrices });
+        self
+    }
+
+    /// Adds interactive apps (builder style).
+    pub fn with_apps(mut self, apps: Vec<CbrApp>) -> Self {
+        self.apps = apps;
+        self
+    }
+
+    /// Caps flow generation (builder style).
+    pub fn with_flow_stop(mut self, at: SimTime) -> Self {
+        self.flow_stop = at;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xds_net::PortNo;
+    use xds_sim::{BitRate, SimRng};
+    use xds_traffic::{FlowSizeDist, TrafficMatrix};
+
+    #[test]
+    fn builders_compose() {
+        let gen = FlowGenerator::with_load(
+            TrafficMatrix::uniform(4),
+            FlowSizeDist::Fixed(1000),
+            0.5,
+            BitRate::GBPS_10,
+            SimRng::new(1),
+        );
+        let w = Workload::flows(gen)
+            .with_apps(vec![CbrApp::voip(1, PortNo(0), PortNo(1), SimTime::ZERO)])
+            .with_flow_stop(SimTime::from_millis(5));
+        assert!(w.flows.is_some());
+        assert_eq!(w.apps.len(), 1);
+        assert_eq!(w.flow_stop, SimTime::from_millis(5));
+        let a = Workload::apps_only(vec![]);
+        assert!(a.flows.is_none());
+    }
+}

@@ -1,0 +1,244 @@
+//! Processing logic: the VOQ subsystem of Figure 2.
+//!
+//! "Incoming packets … are classified into flows based on configurable
+//! look-up rules and placed into their respective Virtual Output Queue
+//! (VOQ). As the status of a VOQ changes, the subsystem generates
+//! scheduling requests and transmits packets upon receiving transmission
+//! grants."
+//!
+//! Classification itself lives in `xds-net` ([`xds_net::RuleTable`]); by
+//! the time a packet reaches the VOQ bank it carries its class and egress.
+//! This module owns the N×N queues, the request generation (dirty-pair
+//! tracking), and grant execution (budgeted dequeue).
+
+use xds_net::Packet;
+use xds_sim::SimTime;
+use xds_switch::DropTailQueue;
+
+use crate::demand::{DemandMatrix, SchedRequest};
+
+/// The VOQ bank plus request bookkeeping.
+#[derive(Debug)]
+pub struct ProcessingLogic {
+    n: usize,
+    queues: Vec<DropTailQueue>,
+    /// Cumulative bytes ever enqueued per pair (for rate estimators).
+    arrived_total: Vec<u64>,
+    /// Pairs whose status changed since the last request poll.
+    dirty: Vec<bool>,
+    drops: u64,
+    dropped_bytes: u64,
+}
+
+impl ProcessingLogic {
+    /// Creates an `n × n` VOQ bank with `voq_capacity` bytes per queue.
+    pub fn new(n: usize, voq_capacity: u64) -> Self {
+        assert!(n >= 2, "need at least 2 ports");
+        ProcessingLogic {
+            n,
+            queues: (0..n * n)
+                .map(|_| DropTailQueue::new(voq_capacity, usize::MAX))
+                .collect(),
+            arrived_total: vec![0; n * n],
+            dirty: vec![false; n * n],
+            drops: 0,
+            dropped_bytes: 0,
+        }
+    }
+
+    /// Port count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn idx(&self, src: usize, dst: usize) -> usize {
+        debug_assert!(src < self.n && dst < self.n);
+        src * self.n + dst
+    }
+
+    /// Enqueues a packet into VOQ `(packet.src, packet.dst)`.
+    ///
+    /// On overflow the packet is returned and counted as a drop.
+    pub fn enqueue(&mut self, p: Packet) -> Result<(), Packet> {
+        let idx = self.idx(p.src.index(), p.dst.index());
+        let bytes = p.bytes as u64;
+        match self.queues[idx].push(p) {
+            Ok(()) => {
+                self.arrived_total[idx] += bytes;
+                self.dirty[idx] = true;
+                Ok(())
+            }
+            Err(p) => {
+                self.drops += 1;
+                self.dropped_bytes += bytes;
+                Err(p)
+            }
+        }
+    }
+
+    /// Bytes queued for `(src, dst)`.
+    pub fn queued_bytes(&self, src: usize, dst: usize) -> u64 {
+        self.queues[self.idx(src, dst)].bytes()
+    }
+
+    /// Total bytes across all VOQs.
+    pub fn total_bytes(&self) -> u64 {
+        self.queues.iter().map(|q| q.bytes()).sum()
+    }
+
+    /// Snapshot of the true occupancy (ground truth for E6).
+    pub fn occupancy(&self) -> DemandMatrix {
+        let mut m = DemandMatrix::zero(self.n);
+        for s in 0..self.n {
+            for d in 0..self.n {
+                m.set(s, d, self.queued_bytes(s, d));
+            }
+        }
+        m
+    }
+
+    /// Drains the dirty set into scheduling requests — what the paper's
+    /// "subsystem generates scheduling requests" step produces.
+    pub fn take_requests(&mut self, now: SimTime) -> Vec<SchedRequest> {
+        let mut out = Vec::new();
+        for s in 0..self.n {
+            for d in 0..self.n {
+                let idx = self.idx(s, d);
+                if self.dirty[idx] {
+                    self.dirty[idx] = false;
+                    out.push(SchedRequest {
+                        src: s,
+                        dst: d,
+                        queued_bytes: self.queues[idx].bytes(),
+                        arrived_bytes_total: self.arrived_total[idx],
+                        at: now,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Executes a grant: dequeues packets from `(src, dst)` whose total
+    /// size fits within `budget_bytes` (a slot's capacity). The VOQ is
+    /// marked dirty so the occupancy drop is reported in the next request
+    /// wave.
+    pub fn dequeue_upto(&mut self, src: usize, dst: usize, budget_bytes: u64) -> Vec<Packet> {
+        let idx = self.idx(src, dst);
+        let q = &mut self.queues[idx];
+        let mut out = Vec::new();
+        let mut used = 0u64;
+        while let Some(head) = q.peek() {
+            let b = head.bytes as u64;
+            if used + b > budget_bytes {
+                break;
+            }
+            used += b;
+            out.push(q.pop().expect("peeked"));
+        }
+        if !out.is_empty() {
+            self.dirty[idx] = true;
+        }
+        out
+    }
+
+    /// `(dropped packets, dropped bytes)` from VOQ overflow.
+    pub fn drops(&self) -> (u64, u64) {
+        (self.drops, self.dropped_bytes)
+    }
+
+    /// Largest single-VOQ high-water mark in bytes.
+    pub fn peak_voq_bytes(&self) -> u64 {
+        self.queues.iter().map(|q| q.peak_bytes()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xds_net::{PortNo, TrafficClass};
+
+    fn pkt(id: u64, src: usize, dst: usize, bytes: u32) -> Packet {
+        Packet::new(
+            id,
+            id,
+            PortNo::from(src),
+            PortNo::from(dst),
+            bytes,
+            TrafficClass::Bulk,
+            SimTime::ZERO,
+            0,
+        )
+    }
+
+    #[test]
+    fn enqueue_routes_to_the_right_voq() {
+        let mut p = ProcessingLogic::new(4, 10_000);
+        p.enqueue(pkt(1, 0, 2, 1500)).unwrap();
+        p.enqueue(pkt(2, 3, 1, 500)).unwrap();
+        assert_eq!(p.queued_bytes(0, 2), 1500);
+        assert_eq!(p.queued_bytes(3, 1), 500);
+        assert_eq!(p.queued_bytes(0, 1), 0);
+        assert_eq!(p.total_bytes(), 2000);
+    }
+
+    #[test]
+    fn requests_only_for_changed_pairs() {
+        let mut p = ProcessingLogic::new(4, 10_000);
+        p.enqueue(pkt(1, 0, 2, 1500)).unwrap();
+        let reqs = p.take_requests(SimTime::from_nanos(5));
+        assert_eq!(reqs.len(), 1);
+        assert_eq!((reqs[0].src, reqs[0].dst), (0, 2));
+        assert_eq!(reqs[0].queued_bytes, 1500);
+        assert_eq!(reqs[0].arrived_bytes_total, 1500);
+        // Nothing changed: no requests.
+        assert!(p.take_requests(SimTime::from_nanos(6)).is_empty());
+        // A dequeue is a status change too.
+        let got = p.dequeue_upto(0, 2, 10_000);
+        assert_eq!(got.len(), 1);
+        let reqs = p.take_requests(SimTime::from_nanos(7));
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].queued_bytes, 0);
+        assert_eq!(reqs[0].arrived_bytes_total, 1500, "cumulative survives drain");
+    }
+
+    #[test]
+    fn dequeue_respects_budget_and_order() {
+        let mut p = ProcessingLogic::new(2, 100_000);
+        for i in 0..5 {
+            p.enqueue(pkt(i, 0, 1, 1500)).unwrap();
+        }
+        let got = p.dequeue_upto(0, 1, 4000); // fits 2 × 1500
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id.0, 0);
+        assert_eq!(got[1].id.0, 1);
+        assert_eq!(p.queued_bytes(0, 1), 4500);
+        // Budget smaller than one packet: nothing moves.
+        assert!(p.dequeue_upto(0, 1, 100).is_empty());
+    }
+
+    #[test]
+    fn overflow_counts_drops() {
+        let mut p = ProcessingLogic::new(2, 2000);
+        p.enqueue(pkt(1, 0, 1, 1500)).unwrap();
+        let rejected = p.enqueue(pkt(2, 0, 1, 1500)).unwrap_err();
+        assert_eq!(rejected.id.0, 2);
+        assert_eq!(p.drops(), (1, 1500));
+        // The drop still dirties nothing extra — occupancy didn't change.
+        let reqs = p.take_requests(SimTime::ZERO);
+        assert_eq!(reqs.len(), 1, "only the successful enqueue is reported");
+    }
+
+    #[test]
+    fn occupancy_matches_queued_bytes() {
+        let mut p = ProcessingLogic::new(3, 10_000);
+        p.enqueue(pkt(1, 0, 1, 100)).unwrap();
+        p.enqueue(pkt(2, 0, 1, 200)).unwrap();
+        p.enqueue(pkt(3, 2, 0, 300)).unwrap();
+        let m = p.occupancy();
+        assert_eq!(m.get(0, 1), 300);
+        assert_eq!(m.get(2, 0), 300);
+        assert_eq!(m.total(), 600);
+        assert_eq!(p.peak_voq_bytes(), 300);
+    }
+}

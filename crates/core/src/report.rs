@@ -1,0 +1,257 @@
+//! Run reports: every experiment consumes the same measurement bundle.
+
+use xds_metrics::{FctStats, LatencyHistogram, SizeClass, Table};
+use xds_sim::SimDuration;
+use xds_switch::{EpsStats, OcsStats};
+
+/// Packet drops by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropStats {
+    /// Switch VOQ overflow (fast mode).
+    pub voq_full: u64,
+    /// EPS output-queue overflow.
+    pub eps_full: u64,
+    /// Packets that hit a dark or re-assigned circuit (slow mode
+    /// synchronization failures).
+    pub sync_violation: u64,
+}
+
+impl DropStats {
+    /// Total drops.
+    pub fn total(&self) -> u64 {
+        self.voq_full + self.eps_full + self.sync_violation
+    }
+}
+
+/// The measurement bundle of one run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Scheduler used.
+    pub scheduler: String,
+    /// Placement label ("hardware" / "software").
+    pub placement: String,
+    /// Measured horizon.
+    pub horizon: SimDuration,
+    /// Events processed.
+    pub events: u64,
+
+    /// Bytes offered by the workload (flow sizes + app packets).
+    pub offered_bytes: u64,
+    /// Flows injected.
+    pub offered_flows: u64,
+    /// Flows fully delivered.
+    pub completed_flows: u64,
+    /// Bytes delivered over the OCS.
+    pub delivered_ocs_bytes: u64,
+    /// Bytes delivered over the EPS.
+    pub delivered_eps_bytes: u64,
+
+    /// One-way latency of interactive packets (ns).
+    pub latency_interactive: LatencyHistogram,
+    /// One-way latency of short-class packets (ns).
+    pub latency_short: LatencyHistogram,
+    /// One-way latency of bulk packets (ns).
+    pub latency_bulk: LatencyHistogram,
+    /// Mean RFC 3550 jitter across apps (ns), if any apps ran.
+    pub voip_jitter_mean_ns: Option<f64>,
+    /// Worst per-app RFC 3550 jitter (ns).
+    pub voip_jitter_max_ns: Option<f64>,
+
+    /// FCT stats per size class.
+    pub fct_mice: Option<FctStats>,
+    /// FCT stats for medium flows.
+    pub fct_medium: Option<FctStats>,
+    /// FCT stats for elephants.
+    pub fct_elephant: Option<FctStats>,
+    /// FCT stats over all flows.
+    pub fct_overall: Option<FctStats>,
+
+    /// Peak bytes buffered in host memory.
+    pub peak_host_buffer: u64,
+    /// Peak bytes buffered in the switch.
+    pub peak_switch_buffer: u64,
+
+    /// Drops by cause.
+    pub drops: DropStats,
+    /// OCS lifetime stats.
+    pub ocs: OcsStats,
+    /// EPS lifetime stats.
+    pub eps: EpsStats,
+
+    /// Scheduler decisions taken.
+    pub decisions: u64,
+    /// Mean decision latency (ns).
+    pub decision_latency_mean_ns: f64,
+    /// Mean relative L1 demand-estimation error (E6), if sampled.
+    pub demand_error_mean: Option<f64>,
+}
+
+impl RunReport {
+    /// Total delivered bytes.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_ocs_bytes + self.delivered_eps_bytes
+    }
+
+    /// Achieved aggregate throughput in Gb/s over the horizon.
+    pub fn throughput_gbps(&self) -> f64 {
+        if self.horizon.is_zero() {
+            return 0.0;
+        }
+        self.delivered_bytes() as f64 * 8.0 / self.horizon.as_secs_f64() / 1e9
+    }
+
+    /// Delivered / offered bytes (may legitimately be < 1 when queues
+    /// still hold traffic at the horizon).
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.offered_bytes == 0 {
+            return 0.0;
+        }
+        self.delivered_bytes() as f64 / self.offered_bytes as f64
+    }
+
+    /// Fraction of delivered bytes that rode the OCS.
+    pub fn ocs_byte_share(&self) -> f64 {
+        let total = self.delivered_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.delivered_ocs_bytes as f64 / total as f64
+    }
+
+    /// OCS duty cycle: fraction of the horizon *not* spent dark.
+    pub fn ocs_duty_cycle(&self) -> f64 {
+        if self.horizon.is_zero() {
+            return 0.0;
+        }
+        1.0 - (self.ocs.dark_time.as_secs_f64() / self.horizon.as_secs_f64()).min(1.0)
+    }
+
+    /// FCT stats for one class.
+    pub fn fct(&self, class: SizeClass) -> Option<&FctStats> {
+        match class {
+            SizeClass::Mice => self.fct_mice.as_ref(),
+            SizeClass::Medium => self.fct_medium.as_ref(),
+            SizeClass::Elephant => self.fct_elephant.as_ref(),
+        }
+    }
+
+    /// Renders the headline numbers as a table (used by the quickstart
+    /// example and F2).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("run summary: {} / {}", self.scheduler, self.placement),
+            &["metric", "value"],
+        );
+        let mut row = |k: &str, v: String| {
+            t.row(vec![k.to_string(), v]);
+        };
+        row("horizon", self.horizon.to_string());
+        row("offered", xds_metrics::fmt_bytes(self.offered_bytes));
+        row(
+            "delivered (ocs/eps)",
+            format!(
+                "{} / {}",
+                xds_metrics::fmt_bytes(self.delivered_ocs_bytes),
+                xds_metrics::fmt_bytes(self.delivered_eps_bytes)
+            ),
+        );
+        row("throughput", format!("{:.3} Gbps", self.throughput_gbps()));
+        row(
+            "p99 latency bulk",
+            format!("{}ns", self.latency_bulk.p99()),
+        );
+        row(
+            "p99 latency interactive",
+            format!("{}ns", self.latency_interactive.p99()),
+        );
+        row(
+            "peak buffer host/switch",
+            format!(
+                "{} / {}",
+                xds_metrics::fmt_bytes(self.peak_host_buffer),
+                xds_metrics::fmt_bytes(self.peak_switch_buffer)
+            ),
+        );
+        row("drops", format!("{:?}", self.drops));
+        row("decisions", self.decisions.to_string());
+        row(
+            "mean decision latency",
+            format!("{:.0}ns", self.decision_latency_mean_ns),
+        );
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> RunReport {
+        RunReport {
+            scheduler: "test".into(),
+            placement: "hardware".into(),
+            horizon: SimDuration::from_millis(1),
+            events: 0,
+            offered_bytes: 0,
+            offered_flows: 0,
+            completed_flows: 0,
+            delivered_ocs_bytes: 0,
+            delivered_eps_bytes: 0,
+            latency_interactive: LatencyHistogram::new(),
+            latency_short: LatencyHistogram::new(),
+            latency_bulk: LatencyHistogram::new(),
+            voip_jitter_mean_ns: None,
+            voip_jitter_max_ns: None,
+            fct_mice: None,
+            fct_medium: None,
+            fct_elephant: None,
+            fct_overall: None,
+            peak_host_buffer: 0,
+            peak_switch_buffer: 0,
+            drops: DropStats::default(),
+            ocs: OcsStats::default(),
+            eps: EpsStats::default(),
+            decisions: 0,
+            decision_latency_mean_ns: 0.0,
+            demand_error_mean: None,
+        }
+    }
+
+    #[test]
+    fn throughput_and_shares() {
+        let mut r = blank();
+        r.delivered_ocs_bytes = 9_000_000;
+        r.delivered_eps_bytes = 1_000_000;
+        r.offered_bytes = 20_000_000;
+        // 10 MB over 1 ms = 80 Gb/s.
+        assert!((r.throughput_gbps() - 80.0).abs() < 1e-9);
+        assert!((r.goodput_fraction() - 0.5).abs() < 1e-12);
+        assert!((r.ocs_byte_share() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_all_zeros() {
+        let r = blank();
+        assert_eq!(r.throughput_gbps(), 0.0);
+        assert_eq!(r.goodput_fraction(), 0.0);
+        assert_eq!(r.ocs_byte_share(), 0.0);
+        assert_eq!(r.drops.total(), 0);
+    }
+
+    #[test]
+    fn duty_cycle_subtracts_dark_time() {
+        let mut r = blank();
+        r.ocs.dark_time = SimDuration::from_micros(100);
+        // 100 µs dark of 1 ms = 90 % duty.
+        assert!((r.ocs_duty_cycle() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_table_renders() {
+        let r = blank();
+        let t = r.summary_table();
+        assert!(!t.is_empty());
+        let text = t.render_text();
+        assert!(text.contains("throughput"));
+    }
+}

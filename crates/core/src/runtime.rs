@@ -1,0 +1,1078 @@
+//! The assembled testbed: an event-driven simulation of hosts, the hybrid
+//! ToR switch and the scheduler.
+//!
+//! Data path (fast scheduling / hardware placement):
+//! host NIC → switch ingress → {EPS (interactive/short) | VOQ (bulk)} →
+//! grants drain VOQs onto configured circuits → destination host.
+//!
+//! Data path (slow scheduling / software placement):
+//! bulk waits in *host* VOQs; grants travel the control channel; hosts
+//! transmit into their (clock-skew-shifted) view of the slot; packets that
+//! hit a dark or re-assigned circuit are synchronization violations.
+//!
+//! The event loop owns all state (no interior mutability): every handler
+//! is a match arm over the private event enum.
+
+use std::collections::VecDeque;
+
+use xds_metrics::{FctTracker, LatencyHistogram, Rfc3550Jitter, SizeClass};
+use xds_net::{Packet, TrafficClass};
+use xds_sim::{EventQueue, SimDuration, SimRng, SimTime, Simulation};
+use xds_switch::{BufferTracker, Site};
+use xds_traffic::{packet_sizes, FlowSpec};
+
+use crate::config::{NodeConfig, Placement};
+use crate::demand::{DemandEstimator, DemandMatrix, SchedRequest};
+use crate::node::Workload;
+use crate::processing::ProcessingLogic;
+use crate::report::{DropStats, RunReport};
+use crate::sched::{Schedule, ScheduleCtx, Scheduler};
+use crate::switching::SwitchingLogic;
+
+/// Flow ids at or above this are interactive app streams, not tracked by
+/// the FCT machinery.
+const APP_FLOW_BASE: u64 = u64::MAX / 2;
+
+/// Simulation events.
+#[derive(Debug, Clone)]
+enum Ev {
+    /// Inject the pending flow and pull the next one from the generator.
+    NextFlow,
+    /// Host NIC pump: serialize the next staged packet toward the switch.
+    Pump { host: usize },
+    /// An interactive app emits its next packet.
+    AppSend { app: usize },
+    /// A packet's last bit arrives at the switch ingress.
+    SwitchIn { pkt: Packet },
+    /// Scheduler epoch boundary: estimate demand, compute a schedule.
+    EpochStart,
+    /// The computed schedule arrives (decision latency elapsed).
+    ApplySchedule { sched: Schedule },
+    /// Configure entry `idx` of the schedule (OCS goes dark).
+    SlotConfigure { sched: Schedule, idx: usize },
+    /// Entry `idx` circuits are live: move granted traffic.
+    SlotActive { sched: Schedule, idx: usize },
+    /// (Slow mode) A grant reaches a host: transmit into the window as the
+    /// host's skewed clock sees it.
+    HostGrant {
+        host: usize,
+        dst: usize,
+        slot_start: SimTime,
+        slot_end: SimTime,
+    },
+    /// (Slow mode) A host-released bulk packet arrives at the switch
+    /// expecting a live circuit.
+    OcsIn { pkt: Packet },
+    /// Rotate the workload's traffic matrix (E6's moving hotspot).
+    RotateMatrix { idx: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Via {
+    Ocs,
+    Eps,
+}
+
+/// Per-host state.
+#[derive(Debug)]
+struct Host {
+    /// Staging queues toward the NIC, strict priority order.
+    q_inter: VecDeque<Packet>,
+    q_short: VecDeque<Packet>,
+    q_bulk: VecDeque<Packet>,
+    /// Slow mode: per-destination bulk VOQs held in host memory.
+    voq: Vec<VecDeque<Packet>>,
+    voq_bytes: Vec<u64>,
+    voq_arrived: Vec<u64>,
+    voq_dirty: Vec<bool>,
+    pump_active: bool,
+    nic_busy_until: SimTime,
+    /// Clock offset vs the switch in signed nanoseconds (slow mode).
+    clock_offset_ns: i64,
+}
+
+impl Host {
+    fn new(n: usize) -> Self {
+        Host {
+            q_inter: VecDeque::new(),
+            q_short: VecDeque::new(),
+            q_bulk: VecDeque::new(),
+            voq: (0..n).map(|_| VecDeque::new()).collect(),
+            voq_bytes: vec![0; n],
+            voq_arrived: vec![0; n],
+            voq_dirty: vec![false; n],
+            pump_active: false,
+            nic_busy_until: SimTime::ZERO,
+            clock_offset_ns: 0,
+        }
+    }
+
+    fn pop_staged(&mut self) -> Option<Packet> {
+        self.q_inter
+            .pop_front()
+            .or_else(|| self.q_short.pop_front())
+            .or_else(|| self.q_bulk.pop_front())
+    }
+
+    /// The actual (switch-clock) instant at which this host's clock reads
+    /// the given switch-time `t`: a host whose clock runs ahead acts
+    /// early.
+    fn actual_time(&self, t: SimTime) -> SimTime {
+        let off = self.clock_offset_ns;
+        if off >= 0 {
+            SimTime::from_nanos(t.as_nanos().saturating_sub(off as u64))
+        } else {
+            t + SimDuration::from_nanos(off.unsigned_abs())
+        }
+    }
+}
+
+struct SimState {
+    cfg: NodeConfig,
+    horizon: SimTime,
+    is_hw: bool,
+    ctrl_oneway: SimDuration,
+
+    scheduler: Box<dyn Scheduler>,
+    estimator: Box<dyn DemandEstimator>,
+
+    flowgen: Option<xds_traffic::FlowGenerator>,
+    pending_flow: Option<FlowSpec>,
+    flow_stop: SimTime,
+    apps: Vec<xds_traffic::CbrApp>,
+    matrix_cycle: Option<crate::node::MatrixCycle>,
+
+    hosts: Vec<Host>,
+    proc: ProcessingLogic,
+    switching: SwitchingLogic,
+    buffers: BufferTracker,
+    rng: SimRng,
+
+    // metrics
+    next_pkt_id: u64,
+    offered_bytes: u64,
+    offered_flows: u64,
+    delivered_ocs: u64,
+    delivered_eps: u64,
+    latency_interactive: LatencyHistogram,
+    latency_short: LatencyHistogram,
+    latency_bulk: LatencyHistogram,
+    fct: FctTracker,
+    jitters: Vec<Rfc3550Jitter>,
+    drops: DropStats,
+    decisions: u64,
+    decision_ns_sum: u128,
+    demand_err_sum: f64,
+    demand_err_n: u64,
+}
+
+impl SimState {
+    fn gated(&self, class: TrafficClass) -> bool {
+        class == TrafficClass::Bulk
+            || (self.cfg.voip_on_ocs && class == TrafficClass::Interactive)
+    }
+
+    fn ensure_pump(&mut self, q: &mut EventQueue<Ev>, host: usize) {
+        let h = &mut self.hosts[host];
+        if !h.pump_active {
+            h.pump_active = true;
+            let at = q.now().max(h.nic_busy_until);
+            q.schedule_at(at, Ev::Pump { host });
+        }
+    }
+
+    fn record_delivery(&mut self, pkt: &Packet, at: SimTime, via: Via) {
+        let lat = at.saturating_since(pkt.created).as_nanos();
+        match pkt.class {
+            TrafficClass::Interactive => {
+                self.latency_interactive.record(lat);
+                if pkt.flow >= APP_FLOW_BASE {
+                    let app = (pkt.flow - APP_FLOW_BASE) as usize;
+                    if let Some(j) = self.jitters.get_mut(app) {
+                        j.on_packet(pkt.created, at);
+                    }
+                }
+            }
+            TrafficClass::Short => self.latency_short.record(lat),
+            TrafficClass::Bulk => self.latency_bulk.record(lat),
+        }
+        match via {
+            Via::Ocs => self.delivered_ocs += pkt.bytes as u64,
+            Via::Eps => self.delivered_eps += pkt.bytes as u64,
+        }
+        if pkt.flow < APP_FLOW_BASE {
+            self.fct.bytes_delivered(pkt.flow, pkt.bytes as u64, at);
+        }
+    }
+
+    fn inject_flow(&mut self, q: &mut EventQueue<Ev>, now: SimTime, f: FlowSpec) {
+        self.offered_bytes += f.bytes;
+        self.offered_flows += 1;
+        self.fct.flow_started(f.id, f.bytes, now);
+        let host = f.src.index();
+        let mut seq = 0u32;
+        let gated = self.gated(f.class);
+        for size in packet_sizes(f.bytes, self.cfg.mtu) {
+            let pkt = Packet::new(
+                self.next_pkt_id,
+                f.id,
+                f.src,
+                f.dst,
+                size,
+                f.class,
+                now,
+                seq,
+            );
+            self.next_pkt_id += 1;
+            seq += 1;
+            if gated && !self.is_hw {
+                // Slow scheduling: bulk waits in host memory for a grant.
+                let h = &mut self.hosts[host];
+                let d = f.dst.index();
+                h.voq[d].push_back(pkt);
+                h.voq_bytes[d] += size as u64;
+                h.voq_arrived[d] += size as u64;
+                h.voq_dirty[d] = true;
+                self.buffers.on_enqueue(Site::Host, size as u64, now);
+            } else {
+                let h = &mut self.hosts[host];
+                match pkt.class {
+                    TrafficClass::Interactive => h.q_inter.push_back(pkt),
+                    TrafficClass::Short => h.q_short.push_back(pkt),
+                    TrafficClass::Bulk => h.q_bulk.push_back(pkt),
+                }
+            }
+        }
+        self.ensure_pump(q, host);
+    }
+
+    fn host_requests(&mut self, now: SimTime) -> Vec<SchedRequest> {
+        let mut out = Vec::new();
+        for (hi, h) in self.hosts.iter_mut().enumerate() {
+            for d in 0..h.voq_dirty.len() {
+                if h.voq_dirty[d] {
+                    h.voq_dirty[d] = false;
+                    out.push(SchedRequest {
+                        src: hi,
+                        dst: d,
+                        queued_bytes: h.voq_bytes[d],
+                        arrived_bytes_total: h.voq_arrived[d],
+                        at: now,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    fn host_occupancy(&self) -> DemandMatrix {
+        let n = self.cfg.n_ports;
+        let mut m = DemandMatrix::zero(n);
+        for (hi, h) in self.hosts.iter().enumerate() {
+            for d in 0..n {
+                m.set(hi, d, h.voq_bytes[d]);
+            }
+        }
+        m
+    }
+}
+
+/// The assembled simulation: configuration + workload + scheduling logic.
+pub struct HybridSim {
+    state: SimState,
+    sim: Simulation<Ev>,
+}
+
+impl HybridSim {
+    /// Builds a testbed run.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`NodeConfig::validate`] or the
+    /// workload's port space exceeds the switch's.
+    pub fn new(
+        cfg: NodeConfig,
+        workload: Workload,
+        scheduler: Box<dyn Scheduler>,
+        estimator: Box<dyn DemandEstimator>,
+    ) -> Self {
+        cfg.validate().expect("invalid configuration");
+        let n = cfg.n_ports;
+        if let Some(g) = &workload.flows {
+            assert_eq!(g.matrix().n(), n, "workload port count mismatch");
+        }
+        for a in &workload.apps {
+            assert!(
+                a.src.index() < n && a.dst.index() < n,
+                "app endpoints out of range"
+            );
+        }
+        let mut rng = SimRng::new(cfg.seed);
+        let (is_hw, ctrl_oneway) = match &cfg.placement {
+            Placement::Hardware(_) => (true, SimDuration::ZERO),
+            Placement::Software { ctrl_oneway, .. } => (false, *ctrl_oneway),
+        };
+        let mut hosts: Vec<Host> = (0..n).map(|_| Host::new(n)).collect();
+        if let Placement::Software { sync, .. } = &cfg.placement {
+            let mut sync_rng = rng.fork();
+            for h in &mut hosts {
+                h.clock_offset_ns = sync.sample_offset_ns(&mut sync_rng);
+            }
+        }
+        let jitters = workload.apps.iter().map(|_| Rfc3550Jitter::new()).collect();
+        let state = SimState {
+            proc: ProcessingLogic::new(n, cfg.voq_capacity),
+            switching: SwitchingLogic::new(n, cfg.reconfig, cfg.eps_rate, cfg.eps_buffer),
+            buffers: BufferTracker::new(),
+            horizon: SimTime::MAX,
+            is_hw,
+            ctrl_oneway,
+            scheduler,
+            estimator,
+            flowgen: workload.flows,
+            pending_flow: None,
+            flow_stop: workload.flow_stop,
+            apps: workload.apps,
+            matrix_cycle: workload.matrix_cycle,
+            hosts,
+            rng,
+            next_pkt_id: 0,
+            offered_bytes: 0,
+            offered_flows: 0,
+            delivered_ocs: 0,
+            delivered_eps: 0,
+            latency_interactive: LatencyHistogram::new(),
+            latency_short: LatencyHistogram::new(),
+            latency_bulk: LatencyHistogram::new(),
+            fct: FctTracker::new(),
+            jitters,
+            drops: DropStats::default(),
+            decisions: 0,
+            decision_ns_sum: 0,
+            demand_err_sum: 0.0,
+            demand_err_n: 0,
+            cfg,
+        };
+        HybridSim {
+            state,
+            sim: Simulation::new(),
+        }
+    }
+
+    /// Runs the testbed until `horizon` and returns the report.
+    pub fn run(mut self, horizon: SimTime) -> RunReport {
+        self.state.horizon = horizon;
+        let q = &mut self.sim.queue;
+        // Seed: first flow…
+        if let Some(g) = &mut self.state.flowgen {
+            let f = g.next_flow();
+            if f.start <= self.state.flow_stop {
+                q.schedule_at(f.start, Ev::NextFlow);
+                self.state.pending_flow = Some(f);
+            }
+        }
+        // …apps…
+        for (i, a) in self.state.apps.iter().enumerate() {
+            q.schedule_at(a.start, Ev::AppSend { app: i });
+        }
+        // …the matrix rotation, if any…
+        if let Some(cycle) = &self.state.matrix_cycle {
+            q.schedule_at(SimTime::ZERO + cycle.period, Ev::RotateMatrix { idx: 1 });
+        }
+        // …and the scheduler cadence.
+        q.schedule_at(SimTime::ZERO, Ev::EpochStart);
+
+        let stats = self
+            .sim
+            .run_until(&mut self.state, horizon, Self::handle);
+
+        let st = self.state;
+        let fct_stats = |c: SizeClass| st.fct.stats(c);
+        RunReport {
+            scheduler: st.scheduler.name().to_string(),
+            placement: st.cfg.placement.label().to_string(),
+            horizon: stats.end_time.saturating_since(SimTime::ZERO).max(
+                horizon.saturating_since(SimTime::ZERO),
+            ),
+            events: stats.events_processed,
+            offered_bytes: st.offered_bytes,
+            offered_flows: st.offered_flows,
+            completed_flows: st.fct.completed(),
+            delivered_ocs_bytes: st.delivered_ocs,
+            delivered_eps_bytes: st.delivered_eps,
+            latency_interactive: st.latency_interactive,
+            latency_short: st.latency_short,
+            latency_bulk: st.latency_bulk,
+            voip_jitter_mean_ns: (!st.jitters.is_empty()).then(|| {
+                st.jitters.iter().map(|j| j.jitter_ns()).sum::<f64>() / st.jitters.len() as f64
+            }),
+            voip_jitter_max_ns: st
+                .jitters
+                .iter()
+                .map(|j| j.jitter_ns())
+                .fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.max(x)))
+                }),
+            fct_mice: fct_stats(SizeClass::Mice),
+            fct_medium: fct_stats(SizeClass::Medium),
+            fct_elephant: fct_stats(SizeClass::Elephant),
+            fct_overall: st.fct.overall(),
+            peak_host_buffer: st.buffers.peak(Site::Host),
+            peak_switch_buffer: st.buffers.peak(Site::Switch),
+            drops: st.drops,
+            ocs: st.switching.ocs.stats(),
+            eps: st.switching.eps.stats(),
+            decisions: st.decisions,
+            decision_latency_mean_ns: if st.decisions == 0 {
+                0.0
+            } else {
+                st.decision_ns_sum as f64 / st.decisions as f64
+            },
+            demand_error_mean: (st.demand_err_n > 0)
+                .then(|| st.demand_err_sum / st.demand_err_n as f64),
+        }
+    }
+
+    fn handle(st: &mut SimState, q: &mut EventQueue<Ev>, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::NextFlow => {
+                if let Some(f) = st.pending_flow.take() {
+                    st.inject_flow(q, now, f);
+                }
+                if let Some(g) = &mut st.flowgen {
+                    let f = g.next_flow();
+                    if f.start <= st.flow_stop && f.start <= st.horizon {
+                        q.schedule_at(f.start, Ev::NextFlow);
+                        st.pending_flow = Some(f);
+                    }
+                }
+            }
+
+            Ev::Pump { host } => {
+                let nic_busy = st.hosts[host].nic_busy_until;
+                if now < nic_busy {
+                    // A grant burst claimed the NIC; come back when free.
+                    q.schedule_at(nic_busy, Ev::Pump { host });
+                    return;
+                }
+                let Some(pkt) = st.hosts[host].pop_staged() else {
+                    st.hosts[host].pump_active = false;
+                    return;
+                };
+                let tx = st.cfg.host_link.tx_time(pkt.bytes as u64);
+                st.hosts[host].nic_busy_until = now + tx;
+                q.schedule_at(now + tx + st.cfg.host_link.propagation, Ev::SwitchIn { pkt });
+                q.schedule_at(now + tx, Ev::Pump { host });
+            }
+
+            Ev::AppSend { app } => {
+                let a = st.apps[app].clone();
+                let pkt = Packet::new(
+                    st.next_pkt_id,
+                    APP_FLOW_BASE + app as u64,
+                    a.src,
+                    a.dst,
+                    a.pkt_bytes,
+                    TrafficClass::Interactive,
+                    now,
+                    0,
+                );
+                st.next_pkt_id += 1;
+                st.offered_bytes += a.pkt_bytes as u64;
+                let host = a.src.index();
+                if st.gated(TrafficClass::Interactive) && !st.is_hw {
+                    // voip_on_ocs ablation under slow scheduling: the call
+                    // waits in host memory like any elephant.
+                    let d = a.dst.index();
+                    let h = &mut st.hosts[host];
+                    h.voq[d].push_back(pkt);
+                    h.voq_bytes[d] += a.pkt_bytes as u64;
+                    h.voq_arrived[d] += a.pkt_bytes as u64;
+                    h.voq_dirty[d] = true;
+                    st.buffers.on_enqueue(Site::Host, a.pkt_bytes as u64, now);
+                } else {
+                    st.hosts[host].q_inter.push_back(pkt);
+                    st.ensure_pump(q, host);
+                }
+                let next = a.next_send(now, &mut st.rng);
+                if next <= st.horizon {
+                    q.schedule_at(next, Ev::AppSend { app });
+                }
+            }
+
+            Ev::SwitchIn { pkt } => {
+                if st.gated(pkt.class) {
+                    debug_assert!(st.is_hw, "slow mode gates bulk at hosts");
+                    let bytes = pkt.bytes as u64;
+                    match st.proc.enqueue(pkt) {
+                        Ok(()) => st.buffers.on_enqueue(Site::Switch, bytes, now),
+                        Err(_) => st.drops.voq_full += 1,
+                    }
+                } else {
+                    let out = pkt.dst.index();
+                    match st.switching.eps.enqueue(out, pkt.bytes as u64, now) {
+                        Ok(dep) => {
+                            let deliver = dep + st.cfg.host_link.propagation;
+                            st.record_delivery(&pkt, deliver, Via::Eps);
+                        }
+                        Err(()) => st.drops.eps_full += 1,
+                    }
+                }
+            }
+
+            Ev::EpochStart => {
+                // Figure 2: requests → demand estimation → algorithm.
+                let reqs = if st.is_hw {
+                    st.proc.take_requests(now)
+                } else {
+                    st.host_requests(now)
+                };
+                for r in &reqs {
+                    st.estimator.on_request(r);
+                }
+                let demand = st.estimator.estimate(now, st.cfg.epoch);
+                let truth = if st.is_hw {
+                    st.proc.occupancy()
+                } else {
+                    st.host_occupancy()
+                };
+                if truth.total() > 0 {
+                    st.demand_err_sum +=
+                        demand.l1_distance(&truth) as f64 / truth.total() as f64;
+                    st.demand_err_n += 1;
+                }
+                let ctx = ScheduleCtx {
+                    now,
+                    line_rate: st.cfg.line_rate,
+                    reconfig: st.cfg.reconfig,
+                    epoch: st.cfg.epoch,
+                    max_entries: st.cfg.max_entries,
+                };
+                let sched = st.scheduler.schedule(&demand, &ctx);
+                debug_assert!(
+                    sched.validate(&ctx, st.cfg.n_ports).is_ok(),
+                    "{} produced an invalid schedule",
+                    st.scheduler.name()
+                );
+                let d = st
+                    .cfg
+                    .placement
+                    .decision_latency(st.cfg.n_ports, &mut st.rng);
+                st.decisions += 1;
+                st.decision_ns_sum += d.as_nanos() as u128;
+                if !sched.entries.is_empty() {
+                    q.schedule_at(now + d, Ev::ApplySchedule { sched });
+                }
+                let next = now + st.cfg.epoch.max(d);
+                if next <= st.horizon {
+                    q.schedule_at(next, Ev::EpochStart);
+                }
+            }
+
+            Ev::ApplySchedule { sched } => {
+                q.schedule_at(now, Ev::SlotConfigure { sched, idx: 0 });
+            }
+
+            Ev::SlotConfigure { sched, idx } => {
+                let entry = &sched.entries[idx];
+                let active_at = st.switching.configure(entry.perm.clone(), now);
+                let slot_end = active_at + entry.slot;
+                if !st.is_hw {
+                    // Grants travel the control channel to the hosts. The
+                    // advertised window is shrunk by the guard band on
+                    // both edges so a host whose clock is wrong by up to
+                    // `guard` still lands inside the live circuit.
+                    let g = st.cfg.guard;
+                    let gs = active_at + g;
+                    let ge = SimTime::from_nanos(slot_end.as_nanos().saturating_sub(g.as_nanos()));
+                    if ge > gs {
+                        for (i, j) in entry.perm.pairs() {
+                            q.schedule_at(
+                                now + st.ctrl_oneway,
+                                Ev::HostGrant {
+                                    host: i,
+                                    dst: j,
+                                    slot_start: gs,
+                                    slot_end: ge,
+                                },
+                            );
+                        }
+                    }
+                }
+                q.schedule_at(active_at, Ev::SlotActive { sched, idx });
+            }
+
+            Ev::SlotActive { sched, idx } => {
+                let entry = &sched.entries[idx];
+                let slot_end = now + entry.slot;
+                if st.is_hw {
+                    // Processing logic executes grants: budgeted dequeue,
+                    // packets serialized at line rate onto the circuit.
+                    let budget = st.cfg.line_rate.bytes_in(entry.slot);
+                    let pairs: Vec<(usize, usize)> = entry.perm.pairs().collect();
+                    for (i, j) in pairs {
+                        let pkts = st.proc.dequeue_upto(i, j, budget);
+                        let mut cursor = now;
+                        for pkt in pkts {
+                            let bytes = pkt.bytes as u64;
+                            let dep = cursor + st.cfg.line_rate.tx_time(bytes);
+                            cursor = dep;
+                            st.switching
+                                .ocs
+                                .transmit(i, j, bytes, now)
+                                .expect("granted circuit must be live");
+                            st.buffers.on_dequeue_at(Site::Switch, bytes, dep);
+                            let deliver = dep + st.cfg.host_link.propagation;
+                            st.record_delivery(&pkt, deliver, Via::Ocs);
+                        }
+                    }
+                }
+                if idx + 1 < sched.entries.len() {
+                    q.schedule_at(
+                        slot_end,
+                        Ev::SlotConfigure {
+                            sched,
+                            idx: idx + 1,
+                        },
+                    );
+                }
+            }
+
+            Ev::HostGrant {
+                host,
+                dst,
+                slot_start,
+                slot_end,
+            } => {
+                // The host obeys its own clock: a skewed host mistimes the
+                // window (§2's synchronization argument).
+                let (start_seen, end_seen) = {
+                    let h = &st.hosts[host];
+                    (h.actual_time(slot_start), h.actual_time(slot_end))
+                };
+                let h = &mut st.hosts[host];
+                let mut cursor = now.max(start_seen).max(h.nic_busy_until);
+                let link = st.cfg.host_link;
+                while let Some(front) = h.voq[dst].front() {
+                    let bytes = front.bytes as u64;
+                    let tx = link.tx_time(bytes);
+                    if cursor + tx > end_seen {
+                        break;
+                    }
+                    let pkt = h.voq[dst].pop_front().expect("peeked");
+                    let dep = cursor + tx;
+                    cursor = dep;
+                    h.voq_bytes[dst] -= bytes;
+                    h.voq_dirty[dst] = true;
+                    st.buffers.on_dequeue_at(Site::Host, bytes, dep);
+                    q.schedule_at(dep + link.propagation, Ev::OcsIn { pkt });
+                }
+                h.nic_busy_until = h.nic_busy_until.max(cursor);
+            }
+
+            Ev::RotateMatrix { idx } => {
+                if let (Some(cycle), Some(g)) = (&st.matrix_cycle, &mut st.flowgen) {
+                    g.set_matrix(cycle.matrices[idx % cycle.matrices.len()].clone());
+                    let next = now + cycle.period;
+                    if next <= st.horizon {
+                        q.schedule_at(next, Ev::RotateMatrix { idx: idx + 1 });
+                    }
+                }
+            }
+
+            Ev::OcsIn { pkt } => {
+                let (i, j, bytes) = (pkt.src.index(), pkt.dst.index(), pkt.bytes as u64);
+                match st.switching.ocs.transmit(i, j, bytes, now) {
+                    Ok(()) => {
+                        let deliver = now + st.cfg.host_link.propagation;
+                        st.record_delivery(&pkt, deliver, Via::Ocs);
+                    }
+                    Err(_) => {
+                        // Dark window or re-assigned circuit: the light
+                        // went nowhere useful.
+                        st.drops.sync_violation += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::MirrorEstimator;
+    use crate::sched::{EpsOnlyScheduler, HotspotScheduler, IslipScheduler};
+    use xds_hw::{HwAlgo, HwSchedulerModel, SwSchedulerModel};
+    use xds_net::PortNo;
+    use xds_sim::BitRate;
+    use xds_traffic::{CbrApp, FlowGenerator, FlowSizeDist, TrafficMatrix};
+
+    fn hw_cfg(n: usize) -> NodeConfig {
+        NodeConfig::fast(
+            n,
+            SimDuration::from_nanos(100),
+            HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 }),
+        )
+    }
+
+    fn flows(n: usize, load: f64, seed: u64) -> Workload {
+        Workload::flows(FlowGenerator::with_load(
+            TrafficMatrix::uniform(n),
+            FlowSizeDist::Fixed(150_000), // bulk-class flows
+            load,
+            BitRate::GBPS_10,
+            SimRng::new(seed),
+        ))
+    }
+
+    fn run_fast(n: usize, load: f64, ms: u64) -> RunReport {
+        let cfg = hw_cfg(n);
+        HybridSim::new(
+            cfg,
+            flows(n, load, 7),
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(ms))
+    }
+
+    #[test]
+    fn fast_mode_delivers_most_offered_bytes() {
+        let r = run_fast(4, 0.4, 5);
+        assert!(r.offered_bytes > 0);
+        let gp = r.goodput_fraction();
+        assert!(gp > 0.8, "goodput {gp} ({:?} of {})", r.delivered_bytes(), r.offered_bytes);
+        assert_eq!(r.drops.sync_violation, 0, "hardware mode cannot misfire");
+        assert!(r.decisions > 0);
+        assert!(r.ocs.rejected == 0, "granted transmissions must be legal");
+    }
+
+    #[test]
+    fn bulk_rides_ocs_not_eps_in_fast_mode() {
+        let r = run_fast(4, 0.4, 5);
+        assert!(
+            r.delivered_ocs_bytes > 10 * r.delivered_eps_bytes,
+            "bulk flows should ride circuits: ocs={} eps={}",
+            r.delivered_ocs_bytes,
+            r.delivered_eps_bytes
+        );
+        assert!(r.peak_switch_buffer > 0, "fast mode buffers in the switch");
+        assert_eq!(r.peak_host_buffer, 0, "fast mode keeps host buffers empty");
+    }
+
+    #[test]
+    fn eps_only_baseline_uses_no_circuits() {
+        let n = 4;
+        let cfg = hw_cfg(n);
+        let r = HybridSim::new(
+            cfg,
+            flows(n, 0.2, 9),
+            Box::new(EpsOnlyScheduler::new()),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(2));
+        assert_eq!(r.delivered_ocs_bytes, 0);
+        assert_eq!(r.ocs.reconfigurations, 0);
+        // The undersized EPS (1 Gb/s/port) chokes on bulk: VOQs fill and
+        // overflow since nothing drains them.
+        assert!(r.drops.voq_full > 0 || r.peak_switch_buffer > 0);
+    }
+
+    #[test]
+    fn voip_over_eps_has_low_latency_in_fast_mode() {
+        let n = 4;
+        let cfg = hw_cfg(n);
+        // Accelerated CBR streams (500 µs interval) so a short run still
+        // sees many packets.
+        let mk = |id, s, d| {
+            let mut a = CbrApp::voip(id, PortNo(s), PortNo(d), SimTime::ZERO);
+            a.interval = SimDuration::from_micros(500);
+            a
+        };
+        let apps = vec![mk(0, 0, 1), mk(1, 2, 3)];
+        let r = HybridSim::new(
+            cfg,
+            flows(n, 0.3, 11).with_apps(apps),
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(20));
+        assert!(r.latency_interactive.count() >= 60, "both calls flowed: {}", r.latency_interactive.count());
+        // EPS at 1 Gb/s: a 200 B packet takes ~1.6 µs + queue; p99 should
+        // be well under a millisecond when the EPS isn't overloaded.
+        assert!(
+            r.latency_interactive.p99() < 1_000_000,
+            "p99 {}ns",
+            r.latency_interactive.p99()
+        );
+        assert!(r.voip_jitter_mean_ns.is_some());
+    }
+
+    #[test]
+    fn slow_mode_buffers_at_hosts_and_works_with_good_sync() {
+        let n = 4;
+        let mut cfg = NodeConfig::slow(
+            n,
+            SimDuration::from_micros(100),
+            SwSchedulerModel::tuned_userspace(),
+        );
+        cfg.epoch = SimDuration::from_millis(1);
+        cfg.seed = 3;
+        // Perfect sync first: no violations expected.
+        if let Placement::Software { sync, .. } = &mut cfg.placement {
+            *sync = xds_hw::SyncModel::perfect();
+        }
+        let r = HybridSim::new(
+            cfg,
+            flows(n, 0.3, 13),
+            Box::new(HotspotScheduler::new(10_000)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(20));
+        assert!(r.peak_host_buffer > 0, "slow mode buffers at hosts");
+        assert_eq!(r.peak_switch_buffer, 0, "no switch VOQs in slow mode");
+        assert!(r.delivered_ocs_bytes > 0, "grants must move bulk");
+        assert_eq!(
+            r.drops.sync_violation, 0,
+            "perfect sync ⇒ no dark-window hits"
+        );
+    }
+
+    #[test]
+    fn clock_skew_causes_sync_violations_in_slow_mode() {
+        let n = 4;
+        let mut cfg = NodeConfig::slow(
+            n,
+            SimDuration::from_micros(50),
+            SwSchedulerModel::tuned_userspace(),
+        );
+        cfg.epoch = SimDuration::from_millis(1);
+        cfg.seed = 5;
+        if let Placement::Software { sync, .. } = &mut cfg.placement {
+            // Skew comparable to the dark window: edges will be clipped.
+            *sync = xds_hw::SyncModel {
+                skew_bound: SimDuration::from_micros(40),
+                drift_ppb: 0,
+                resync_interval: SimDuration::from_secs(1),
+            };
+        }
+        let r = HybridSim::new(
+            cfg,
+            flows(n, 0.5, 17),
+            Box::new(HotspotScheduler::new(10_000)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(20));
+        assert!(
+            r.drops.sync_violation > 0,
+            "µs-scale skew must clip slot edges"
+        );
+    }
+
+    #[test]
+    fn guard_band_absorbs_clock_skew() {
+        // The E8 mitigation: with a guard band at least as large as the
+        // worst-case offset (plus propagation), the same skew that causes
+        // violations produces none — at the cost of shortened slots.
+        let n = 4;
+        let mk = |guard_us: u64| {
+            let mut cfg = NodeConfig::slow(
+                n,
+                SimDuration::from_micros(50),
+                SwSchedulerModel::tuned_userspace(),
+            );
+            cfg.epoch = SimDuration::from_millis(1);
+            cfg.seed = 5;
+            cfg.guard = SimDuration::from_micros(guard_us);
+            if let Placement::Software { sync, .. } = &mut cfg.placement {
+                *sync = xds_hw::SyncModel {
+                    skew_bound: SimDuration::from_micros(40),
+                    drift_ppb: 0,
+                    resync_interval: SimDuration::from_secs(1),
+                };
+            }
+            HybridSim::new(
+                cfg,
+                flows(n, 0.5, 17),
+                Box::new(HotspotScheduler::new(10_000)),
+                Box::new(MirrorEstimator::new(n)),
+            )
+            .run(SimTime::from_millis(20))
+        };
+        let unguarded = mk(0);
+        let guarded = mk(45);
+        assert!(unguarded.drops.sync_violation > 0, "skew must bite without guard");
+        assert_eq!(guarded.drops.sync_violation, 0, "guard ≥ skew absorbs it");
+        // The protection costs circuit capacity.
+        assert!(guarded.delivered_ocs_bytes <= unguarded.delivered_ocs_bytes + unguarded.drops.sync_violation * 9000);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = run_fast(4, 0.5, 3);
+        let b = run_fast(4, 0.5, 3);
+        assert_eq!(a.delivered_ocs_bytes, b.delivered_ocs_bytes);
+        assert_eq!(a.delivered_eps_bytes, b.delivered_eps_bytes);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.offered_flows, b.offered_flows);
+        assert_eq!(a.latency_bulk.p99(), b.latency_bulk.p99());
+    }
+
+    #[test]
+    fn flow_stop_caps_injection() {
+        let n = 4;
+        let cfg = hw_cfg(n);
+        let w = flows(n, 0.5, 19).with_flow_stop(SimTime::from_micros(100));
+        let r = HybridSim::new(
+            cfg,
+            w,
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(5));
+        assert!(r.offered_flows > 0);
+        // All offered flows get plenty of drain time: everything delivers.
+        assert!(r.goodput_fraction() > 0.99, "{}", r.goodput_fraction());
+        assert_eq!(r.completed_flows, r.offered_flows);
+    }
+
+    #[test]
+    fn matrix_rotation_changes_traffic_mid_run() {
+        let n = 4;
+        let cfg = hw_cfg(n);
+        // Start with all traffic on pair (0→1); rotate to (2→3) after 1 ms.
+        let m1 = TrafficMatrix::from_weights(n, {
+            let mut w = vec![0.0; 16];
+            w[1] = 1.0; // 0 -> 1
+            w
+        })
+        .unwrap();
+        let m2 = TrafficMatrix::from_weights(n, {
+            let mut w = vec![0.0; 16];
+            w[2 * 4 + 3] = 1.0; // 2 -> 3
+            w
+        })
+        .unwrap();
+        let gen = FlowGenerator::with_load(
+            m1.clone(),
+            FlowSizeDist::Fixed(150_000),
+            0.2,
+            BitRate::GBPS_10,
+            SimRng::new(23),
+        );
+        let w = Workload::flows(gen)
+            .with_matrix_cycle(SimDuration::from_millis(1), vec![m2, m1]);
+        let r = HybridSim::new(
+            cfg,
+            w,
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(4));
+        // Both permutations' circuits must have been configured at some
+        // point: reconfigurations > 2 and bytes flowed.
+        assert!(r.delivered_ocs_bytes > 0);
+        assert!(r.ocs.reconfigurations > 2);
+    }
+
+    #[test]
+    fn voip_on_ocs_ablation_gates_interactive_in_fast_mode() {
+        let n = 4;
+        let mk = |gated: bool| {
+            let mut cfg = hw_cfg(n);
+            cfg.voip_on_ocs = gated;
+            let mut app = CbrApp::voip(0, PortNo(0), PortNo(2), SimTime::ZERO);
+            app.interval = SimDuration::from_micros(200);
+            HybridSim::new(
+                cfg,
+                Workload::apps_only(vec![app]),
+                Box::new(IslipScheduler::new(n, 3)),
+                Box::new(MirrorEstimator::new(n)),
+            )
+            .run(SimTime::from_millis(10))
+        };
+        let normal = mk(false);
+        let gated = mk(true);
+        assert!(normal.latency_interactive.count() > 0);
+        assert!(gated.latency_interactive.count() > 0);
+        // Gated packets wait for epoch grants: p50 latency must be much
+        // larger than the EPS path's.
+        assert!(
+            gated.latency_interactive.p50() > 2 * normal.latency_interactive.p50(),
+            "gated {} vs normal {}",
+            gated.latency_interactive.p50(),
+            normal.latency_interactive.p50()
+        );
+        assert!(gated.delivered_ocs_bytes > 0, "gated voip rides circuits");
+        assert_eq!(normal.delivered_ocs_bytes, 0, "ungated voip rides the EPS");
+    }
+
+    #[test]
+    fn slow_mode_conserves_bytes_with_perfect_sync() {
+        let n = 4;
+        let mut cfg = NodeConfig::slow(
+            n,
+            SimDuration::from_micros(100),
+            SwSchedulerModel::tuned_userspace(),
+        );
+        cfg.epoch = SimDuration::from_millis(1);
+        if let Placement::Software { sync, .. } = &mut cfg.placement {
+            *sync = xds_hw::SyncModel::perfect();
+        }
+        let w = flows(n, 0.2, 37).with_flow_stop(SimTime::from_millis(3));
+        let r = HybridSim::new(
+            cfg,
+            w,
+            Box::new(HotspotScheduler::new(10_000)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(60));
+        assert_eq!(r.drops.total(), 0, "{:?}", r.drops);
+        assert_eq!(
+            r.delivered_bytes(),
+            r.offered_bytes,
+            "host VOQs must fully drain once flows stop"
+        );
+    }
+
+    #[test]
+    fn decisions_slower_than_epoch_stretch_the_cadence() {
+        // When the decision latency exceeds the epoch, the scheduler
+        // cannot start a new decision until the previous one lands: the
+        // effective cadence is the decision latency.
+        let n = 4;
+        let mut cfg = hw_cfg(n);
+        cfg.epoch = SimDuration::from_micros(20);
+        cfg.placement = Placement::Hardware(HwSchedulerModel {
+            clock: xds_hw::ClockDomain::from_mhz(1000),
+            demand_cycles: 100_000, // 100 µs decision at 1 GHz
+            algo: HwAlgo::Tdma,
+            grant_cycles: 0,
+        });
+        let r = HybridSim::new(
+            cfg,
+            flows(n, 0.3, 41),
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(2));
+        // 2 ms / 100 µs ≈ 20 decisions (not 2 ms / 20 µs = 100).
+        assert!(
+            (15..=25).contains(&r.decisions),
+            "expected ~20 stretched epochs, got {}",
+            r.decisions
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "workload port count mismatch")]
+    fn mismatched_workload_rejected() {
+        let cfg = hw_cfg(4);
+        let _ = HybridSim::new(
+            cfg,
+            flows(8, 0.5, 1),
+            Box::new(IslipScheduler::new(4, 3)),
+            Box::new(MirrorEstimator::new(4)),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! EPS-only baseline: never configures a circuit. What a data center
+//! without the OCS (or with a scheduler too slow to use it) gets —
+//! the lower bound every hybrid configuration is compared against.
+
+use xds_hw::HwAlgo;
+
+use crate::demand::DemandMatrix;
+
+use super::{Schedule, ScheduleCtx, Scheduler};
+
+/// The no-op scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct EpsOnlyScheduler;
+
+impl EpsOnlyScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        EpsOnlyScheduler
+    }
+}
+
+impl Scheduler for EpsOnlyScheduler {
+    fn name(&self) -> &'static str {
+        "eps_only"
+    }
+
+    fn hw_algo(&self) -> HwAlgo {
+        HwAlgo::Tdma // decision cost: trivially one cycle (it does nothing)
+    }
+
+    fn schedule(&mut self, _demand: &DemandMatrix, _ctx: &ScheduleCtx) -> Schedule {
+        Schedule::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::ctx;
+
+    #[test]
+    fn never_schedules_circuits() {
+        let mut s = EpsOnlyScheduler::new();
+        let mut d = DemandMatrix::zero(4);
+        d.set(0, 1, u64::MAX);
+        assert!(s.schedule(&d, &ctx()).entries.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! c-Through/Helios-style hotspot scheduler: one optimal circuit
+//! configuration per epoch, restricted to pairs whose demand clears an
+//! offload threshold; everything else is residual (EPS).
+//!
+//! This is the paper's "[2, 5]"-class software scheduler brought into the
+//! framework: estimate demand, pick the hot pairs, solve one assignment
+//! (Edmonds/Hungarian in Helios), hold it for the whole epoch ("day"),
+//! reconfigure at the epoch boundary ("night").
+
+use xds_hw::HwAlgo;
+use xds_switch::Permutation;
+
+use crate::demand::DemandMatrix;
+
+use super::matching::max_weight_assignment;
+use super::{single_entry_schedule, Schedule, ScheduleCtx, Scheduler};
+
+/// Threshold-gated maximum-weight single-assignment scheduler.
+#[derive(Debug, Clone)]
+pub struct HotspotScheduler {
+    /// Pairs below this demand never get a circuit (they wouldn't amortize
+    /// the reconfiguration).
+    pub threshold_bytes: u64,
+}
+
+impl HotspotScheduler {
+    /// Creates the scheduler with an offload threshold.
+    pub fn new(threshold_bytes: u64) -> Self {
+        HotspotScheduler { threshold_bytes }
+    }
+
+    /// Threshold chosen so a circuit is only worth it if the pair's demand
+    /// exceeds what the EPS could serve during one epoch anyway.
+    pub fn auto_threshold(ctx: &ScheduleCtx, eps_rate: xds_sim::BitRate) -> u64 {
+        eps_rate.bytes_in(ctx.epoch)
+    }
+
+    fn matching(&self, demand: &DemandMatrix) -> Permutation {
+        let n = demand.n();
+        let thr = self.threshold_bytes;
+        let gated = |i: usize, j: usize| {
+            let d = demand.get(i, j);
+            if d >= thr {
+                d
+            } else {
+                0
+            }
+        };
+        if (0..n).all(|i| (0..n).all(|j| gated(i, j) == 0)) {
+            return Permutation::empty(n);
+        }
+        let full = max_weight_assignment(n, &gated);
+        let mut p = Permutation::empty(n);
+        for (i, j) in full.pairs() {
+            if gated(i, j) > 0 {
+                p.set(i, j).expect("subset of a matching");
+            }
+        }
+        p
+    }
+}
+
+impl Scheduler for HotspotScheduler {
+    fn name(&self) -> &'static str {
+        "hotspot"
+    }
+
+    fn hw_algo(&self) -> HwAlgo {
+        HwAlgo::Hungarian
+    }
+
+    fn schedule(&mut self, demand: &DemandMatrix, ctx: &ScheduleCtx) -> Schedule {
+        single_entry_schedule(self.matching(demand), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::{ctx, run_and_validate};
+
+    #[test]
+    fn only_hot_pairs_get_circuits() {
+        let mut s = HotspotScheduler::new(10_000);
+        let mut d = DemandMatrix::zero(4);
+        d.set(0, 1, 50_000); // hot
+        d.set(2, 3, 500); // cold
+        let sched = run_and_validate(&mut s, &d, &ctx());
+        let p = &sched.entries[0].perm;
+        assert_eq!(p.output_of(0), Some(1));
+        assert_eq!(p.output_of(2), None, "cold pair left to the EPS");
+    }
+
+    #[test]
+    fn all_cold_demand_means_no_circuits() {
+        let mut s = HotspotScheduler::new(1_000_000);
+        let mut d = DemandMatrix::zero(4);
+        d.set(0, 1, 999);
+        d.set(1, 2, 999);
+        assert!(run_and_validate(&mut s, &d, &ctx()).entries.is_empty());
+    }
+
+    #[test]
+    fn optimal_among_hot_pairs() {
+        let mut s = HotspotScheduler::new(100);
+        let mut d = DemandMatrix::zero(2);
+        // The greedy trap again, all above threshold.
+        d.set(0, 0, 1_000);
+        d.set(0, 1, 900);
+        d.set(1, 0, 900);
+        let sched = run_and_validate(&mut s, &d, &ctx());
+        let total: u64 = sched.entries[0]
+            .perm
+            .pairs()
+            .map(|(i, j)| d.get(i, j))
+            .sum();
+        assert_eq!(total, 1_800, "assignment must be optimal");
+    }
+
+    #[test]
+    fn auto_threshold_is_eps_epoch_capacity() {
+        let c = ctx();
+        // EPS at 1 Gb/s over a 100 µs epoch carries 12 500 bytes.
+        assert_eq!(
+            HotspotScheduler::auto_threshold(&c, xds_sim::BitRate::GBPS_1),
+            12_500
+        );
+    }
+}

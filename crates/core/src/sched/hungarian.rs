@@ -1,0 +1,98 @@
+//! Hungarian (maximum-weight assignment) scheduler: the Helios-style
+//! "compute the optimal circuit configuration for the estimated demand"
+//! approach. Optimal per-epoch, but O(n³) — the archetypal *software*
+//! scheduler algorithm (see `xds_hw::HwAlgo::Hungarian` for why it does
+//! not belong in gateware).
+
+use xds_hw::HwAlgo;
+use xds_switch::Permutation;
+
+use crate::demand::DemandMatrix;
+
+use super::matching::max_weight_assignment;
+use super::{single_entry_schedule, Schedule, ScheduleCtx, Scheduler};
+
+/// Maximum-weight assignment scheduler (stateless).
+#[derive(Debug, Clone, Default)]
+pub struct HungarianScheduler;
+
+impl HungarianScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        HungarianScheduler
+    }
+
+    /// The optimal single configuration for `demand`, with useless
+    /// (zero-demand) circuits stripped.
+    pub fn matching(demand: &DemandMatrix) -> Permutation {
+        let n = demand.n();
+        let full = max_weight_assignment(n, &|i, j| demand.get(i, j));
+        let mut p = Permutation::empty(n);
+        for (i, j) in full.pairs() {
+            if demand.get(i, j) > 0 {
+                p.set(i, j).expect("subset of a matching");
+            }
+        }
+        p
+    }
+}
+
+impl Scheduler for HungarianScheduler {
+    fn name(&self) -> &'static str {
+        "hungarian"
+    }
+
+    fn hw_algo(&self) -> HwAlgo {
+        HwAlgo::Hungarian
+    }
+
+    fn schedule(&mut self, demand: &DemandMatrix, ctx: &ScheduleCtx) -> Schedule {
+        single_entry_schedule(Self::matching(demand), ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::testutil::{ctx, run_and_validate};
+
+    #[test]
+    fn beats_greedy_on_the_trap_instance() {
+        let mut d = DemandMatrix::zero(2);
+        d.set(0, 0, 10);
+        d.set(0, 1, 9);
+        d.set(1, 0, 9);
+        let m = HungarianScheduler::matching(&d);
+        let total: u64 = m.pairs().map(|(i, j)| d.get(i, j)).sum();
+        assert_eq!(total, 18, "optimal assignment");
+    }
+
+    #[test]
+    fn strips_zero_demand_circuits() {
+        let mut d = DemandMatrix::zero(4);
+        d.set(0, 1, 100);
+        let m = HungarianScheduler::matching(&d);
+        assert_eq!(m.assigned(), 1, "only the demanded pair is configured");
+        assert_eq!(m.output_of(0), Some(1));
+    }
+
+    #[test]
+    fn schedule_validates_and_covers_demand() {
+        let mut s = HungarianScheduler::new();
+        let mut d = DemandMatrix::zero(4);
+        d.set(0, 1, 1000);
+        d.set(1, 0, 1000);
+        d.set(2, 3, 500);
+        d.set(3, 2, 500);
+        let sched = run_and_validate(&mut s, &d, &ctx());
+        assert_eq!(sched.entries[0].perm.assigned(), 4);
+    }
+
+    #[test]
+    fn empty_demand_empty_schedule() {
+        let mut s = HungarianScheduler::new();
+        assert!(run_and_validate(&mut s, &DemandMatrix::zero(4), &ctx())
+            .entries
+            .is_empty());
+    }
+}

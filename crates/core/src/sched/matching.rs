@@ -1,0 +1,374 @@
+//! Bipartite matching primitives shared by the decomposition schedulers.
+//!
+//! * [`max_cardinality`] — Kuhn's augmenting-path algorithm, O(V·E);
+//!   used by BvN (find a permutation on the support) and Solstice
+//!   (find a matching among entries ≥ threshold).
+//! * [`hopcroft_karp`] — the O(E·√V) maximum-cardinality algorithm;
+//!   produces matchings of identical size to Kuhn's (both are maximum)
+//!   but scales to the 256-port instances of E7.
+//! * [`max_weight_assignment`] — the Hungarian algorithm (Jonker-
+//!   Volgenant-style potentials), O(n³); exact maximum-weight perfect
+//!   matching for the Helios-class single-assignment schedulers.
+
+use std::collections::VecDeque;
+
+use xds_switch::Permutation;
+
+/// Maximum-cardinality bipartite matching over an adjacency predicate.
+///
+/// `adj(i, j)` answers whether input `i` may be matched to output `j`.
+/// Returns the matching as a [`Permutation`] (possibly partial).
+pub fn max_cardinality<F: Fn(usize, usize) -> bool>(n: usize, adj: F) -> Permutation {
+    let mut match_out: Vec<Option<usize>> = vec![None; n]; // output -> input
+    let mut match_in: Vec<Option<usize>> = vec![None; n]; // input -> output
+
+    fn try_augment<F: Fn(usize, usize) -> bool>(
+        i: usize,
+        n: usize,
+        adj: &F,
+        visited: &mut [bool],
+        match_out: &mut [Option<usize>],
+        match_in: &mut [Option<usize>],
+    ) -> bool {
+        for j in 0..n {
+            if adj(i, j) && !visited[j] {
+                visited[j] = true;
+                let free = match match_out[j] {
+                    None => true,
+                    Some(other) => try_augment(other, n, adj, visited, match_out, match_in),
+                };
+                if free {
+                    match_out[j] = Some(i);
+                    match_in[i] = Some(j);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    for i in 0..n {
+        let mut visited = vec![false; n];
+        try_augment(i, n, &adj, &mut visited, &mut match_out, &mut match_in);
+    }
+
+    let mut p = Permutation::empty(n);
+    for (i, jo) in match_in.iter().enumerate() {
+        if let Some(j) = jo {
+            p.set(i, *j).expect("matching is conflict-free");
+        }
+    }
+    p
+}
+
+/// Maximum-cardinality bipartite matching via Hopcroft–Karp, O(E·√V).
+///
+/// Functionally interchangeable with [`max_cardinality`] (both return a
+/// maximum matching; the *set* of edges may differ) but asymptotically
+/// faster, which matters for the large-port decompositions of E7.
+pub fn hopcroft_karp<F: Fn(usize, usize) -> bool>(n: usize, adj: F) -> Permutation {
+    const NIL: usize = usize::MAX;
+    let mut match_in = vec![NIL; n]; // input -> output
+    let mut match_out = vec![NIL; n]; // output -> input
+    let mut dist = vec![u32::MAX; n];
+
+    // Materialize adjacency once: the predicate may be expensive.
+    let adj_lists: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| adj(i, j)).collect())
+        .collect();
+
+    loop {
+        // BFS phase: layer free inputs.
+        let mut queue = VecDeque::new();
+        for i in 0..n {
+            if match_in[i] == NIL {
+                dist[i] = 0;
+                queue.push_back(i);
+            } else {
+                dist[i] = u32::MAX;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(i) = queue.pop_front() {
+            for &j in &adj_lists[i] {
+                let owner = match_out[j];
+                if owner == NIL {
+                    found_augmenting = true;
+                } else if dist[owner] == u32::MAX {
+                    dist[owner] = dist[i] + 1;
+                    queue.push_back(owner);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: augment along layered paths.
+        fn dfs(
+            i: usize,
+            adj_lists: &[Vec<usize>],
+            dist: &mut [u32],
+            match_in: &mut [usize],
+            match_out: &mut [usize],
+        ) -> bool {
+            const NIL: usize = usize::MAX;
+            for k in 0..adj_lists[i].len() {
+                let j = adj_lists[i][k];
+                let owner = match_out[j];
+                let reachable = owner == NIL
+                    || (dist[owner] == dist[i].saturating_add(1)
+                        && dfs(owner, adj_lists, dist, match_in, match_out));
+                if reachable {
+                    match_in[i] = j;
+                    match_out[j] = i;
+                    return true;
+                }
+            }
+            dist[i] = u32::MAX;
+            false
+        }
+        for i in 0..n {
+            if match_in[i] == NIL && dist[i] == 0 {
+                dfs(i, &adj_lists, &mut dist, &mut match_in, &mut match_out);
+            }
+        }
+    }
+
+    let mut p = Permutation::empty(n);
+    for (i, &j) in match_in.iter().enumerate() {
+        if j != NIL {
+            p.set(i, j).expect("matching is conflict-free");
+        }
+    }
+    p
+}
+
+/// Exact maximum-weight assignment (Hungarian algorithm with potentials).
+///
+/// Weights are `u64`; missing edges are weight 0. Returns a *full*
+/// permutation achieving the maximum total weight; callers typically strip
+/// zero-weight pairs afterwards.
+///
+/// Implementation: the classic O(n³) shortest-augmenting-path formulation
+/// on the cost matrix `C[i][j] = max_w - w[i][j]` (minimization form),
+/// using `i128` potentials so u64 weights cannot overflow.
+pub fn max_weight_assignment(n: usize, weight: &dyn Fn(usize, usize) -> u64) -> Permutation {
+    assert!(n > 0);
+    // Find max weight for the min-cost transformation.
+    let mut max_w = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            max_w = max_w.max(weight(i, j));
+        }
+    }
+    let cost = |i: usize, j: usize| -> i128 { (max_w - weight(i, j)) as i128 };
+
+    const INF: i128 = i128::MAX / 4;
+    // 1-based arrays per the standard formulation.
+    let mut u = vec![0i128; n + 1];
+    let mut v = vec![0i128; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut perm = Permutation::empty(n);
+    for j in 1..=n {
+        if p[j] != 0 {
+            perm.set(p[j] - 1, j - 1).expect("assignment is a matching");
+        }
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_cardinality_full_on_complete_graph() {
+        let m = max_cardinality(5, |_, _| true);
+        assert!(m.is_full());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn max_cardinality_empty_on_empty_graph() {
+        let m = max_cardinality(5, |_, _| false);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn max_cardinality_finds_augmenting_paths() {
+        // Classic case needing augmentation: greedy would match 0-0 and
+        // strand input 1 (which can only reach 0).
+        // adj: 0 -> {0, 1}, 1 -> {0}.
+        let adj = |i: usize, j: usize| matches!((i, j), (0, 0) | (0, 1) | (1, 0));
+        let m = max_cardinality(2, adj);
+        assert_eq!(m.assigned(), 2);
+        assert_eq!(m.output_of(1), Some(0));
+        assert_eq!(m.output_of(0), Some(1));
+    }
+
+    #[test]
+    fn max_cardinality_respects_adjacency() {
+        let m = max_cardinality(4, |i, j| (i + j) % 2 == 0);
+        for (i, j) in m.pairs() {
+            assert_eq!((i + j) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_matches_kuhn_cardinality() {
+        use xds_sim::SimRng;
+        let mut rng = SimRng::new(123);
+        for trial in 0..30 {
+            let n = 2 + (trial % 12);
+            // Random sparse adjacency.
+            let edges: Vec<Vec<bool>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.bool(0.3)).collect())
+                .collect();
+            let kuhn = max_cardinality(n, |i, j| edges[i][j]);
+            let hk = hopcroft_karp(n, |i, j| edges[i][j]);
+            hk.check_invariants().unwrap();
+            assert_eq!(
+                kuhn.assigned(),
+                hk.assigned(),
+                "maximum matchings must agree in size (n={n}, trial={trial})"
+            );
+            for (i, j) in hk.pairs() {
+                assert!(edges[i][j], "HK used a non-edge ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn hopcroft_karp_full_and_empty_graphs() {
+        let full = hopcroft_karp(8, |_, _| true);
+        assert!(full.is_full());
+        let empty = hopcroft_karp(8, |_, _| false);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn hopcroft_karp_needs_augmentation() {
+        // Same trap as the Kuhn test: greedy would strand input 1.
+        let adj = |i: usize, j: usize| matches!((i, j), (0, 0) | (0, 1) | (1, 0));
+        let m = hopcroft_karp(2, adj);
+        assert_eq!(m.assigned(), 2);
+    }
+
+    #[test]
+    fn hungarian_picks_the_obvious_diagonal() {
+        // Strongly diagonal weights.
+        let w = |i: usize, j: usize| if i == j { 100 } else { 1 };
+        let m = max_weight_assignment(4, &w);
+        for i in 0..4 {
+            assert_eq!(m.output_of(i), Some(i));
+        }
+    }
+
+    #[test]
+    fn hungarian_beats_greedy_on_the_standard_trap() {
+        // Greedy takes (0,0)=10 then is forced into (1,1)=0: total 10.
+        // Optimal is (0,1)=9 + (1,0)=9 = 18.
+        let weights = [[10u64, 9], [9, 0]];
+        let m = max_weight_assignment(2, &|i, j| weights[i][j]);
+        let total: u64 = m.pairs().map(|(i, j)| weights[i][j]).sum();
+        assert_eq!(total, 18);
+    }
+
+    #[test]
+    fn hungarian_handles_zero_matrix() {
+        let m = max_weight_assignment(3, &|_, _| 0);
+        // Any perfect matching is optimal; it must still be a matching.
+        assert!(m.is_full());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force_on_random_instances() {
+        use xds_sim::SimRng;
+        let mut rng = SimRng::new(99);
+        for _ in 0..50 {
+            let n = 4;
+            let w: Vec<Vec<u64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.below(1000)).collect())
+                .collect();
+            let m = max_weight_assignment(n, &|i, j| w[i][j]);
+            let got: u64 = m.pairs().map(|(i, j)| w[i][j]).sum();
+            // Brute force over all 4! permutations.
+            let mut best = 0;
+            let mut perm = [0usize, 1, 2, 3];
+            permute(&mut perm, 0, &mut |p| {
+                let total: u64 = p.iter().enumerate().map(|(i, &j)| w[i][j]).sum();
+                best = best.max(total);
+            });
+            assert_eq!(got, best, "weights {w:?}");
+        }
+
+        fn permute(arr: &mut [usize; 4], k: usize, f: &mut impl FnMut(&[usize; 4])) {
+            if k == arr.len() {
+                f(arr);
+                return;
+            }
+            for i in k..arr.len() {
+                arr.swap(k, i);
+                permute(arr, k + 1, f);
+                arr.swap(k, i);
+            }
+        }
+    }
+
+    #[test]
+    fn hungarian_large_weights_do_not_overflow() {
+        let big = u64::MAX / 2;
+        let m = max_weight_assignment(3, &|i, j| if i == j { big } else { big - 1 });
+        let total: u128 = m.pairs().map(|(i, j)| if i == j { big as u128 } else { 0 }).sum();
+        assert_eq!(total, 3 * big as u128);
+    }
+}

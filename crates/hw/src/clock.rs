@@ -1,0 +1,82 @@
+//! Clock domains: cycles ↔ simulated time.
+
+use xds_sim::SimDuration;
+
+/// A synchronous clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockDomain {
+    freq_hz: u64,
+}
+
+impl ClockDomain {
+    /// The NetFPGA-SUME datapath clock used by our models: 200 MHz
+    /// (the SUME reference designs run their 256-bit AXI4-Stream datapath
+    /// at 200 MHz to sustain 4×10GbE).
+    pub const NETFPGA_SUME: ClockDomain = ClockDomain::from_mhz(200);
+
+    /// Creates a domain from a frequency in Hz.
+    pub const fn from_hz(freq_hz: u64) -> Self {
+        assert!(freq_hz > 0, "clock frequency must be positive");
+        ClockDomain { freq_hz }
+    }
+
+    /// Creates a domain from a frequency in MHz.
+    pub const fn from_mhz(mhz: u64) -> Self {
+        ClockDomain::from_hz(mhz * 1_000_000)
+    }
+
+    /// Frequency in Hz.
+    pub const fn freq_hz(self) -> u64 {
+        self.freq_hz
+    }
+
+    /// The period of one cycle, rounded up to the nanosecond grid the
+    /// simulator uses (a 200 MHz cycle is 5 ns exactly).
+    pub fn cycle_time(self) -> SimDuration {
+        self.cycles_to_time(1)
+    }
+
+    /// Duration of `cycles` cycles, rounded up to whole nanoseconds.
+    pub fn cycles_to_time(self, cycles: u64) -> SimDuration {
+        let ns = (cycles as u128 * 1_000_000_000).div_ceil(self.freq_hz as u128);
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Whole cycles elapsing within `d` (rounded down).
+    pub fn time_to_cycles(self, d: SimDuration) -> u64 {
+        (d.as_nanos() as u128 * self.freq_hz as u128 / 1_000_000_000) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sume_clock_is_5ns() {
+        assert_eq!(
+            ClockDomain::NETFPGA_SUME.cycle_time(),
+            SimDuration::from_nanos(5)
+        );
+        assert_eq!(
+            ClockDomain::NETFPGA_SUME.cycles_to_time(200),
+            SimDuration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn non_divisible_frequencies_round_up() {
+        // 156.25 MHz → 6.4 ns/cycle → rounds to 7 ns.
+        let c = ClockDomain::from_hz(156_250_000);
+        assert_eq!(c.cycles_to_time(1), SimDuration::from_nanos(7));
+        // But multi-cycle spans keep the error sub-cycle: 10 cycles = 64 ns.
+        assert_eq!(c.cycles_to_time(10), SimDuration::from_nanos(64));
+    }
+
+    #[test]
+    fn time_to_cycles_inverts() {
+        let c = ClockDomain::NETFPGA_SUME;
+        assert_eq!(c.time_to_cycles(SimDuration::from_micros(1)), 200);
+        assert_eq!(c.time_to_cycles(SimDuration::from_nanos(4)), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end decision latency of the *hardware* scheduler placement.
+//!
+//! Figure 2's scheduling logic as a pipeline: demand snapshot (the VOQ
+//! status registers are on-chip — reading them is a pipeline stage, not an
+//! I/O), the scheduling algorithm, and grant fan-out to processing and
+//! switching logic over on-chip wires.
+
+use xds_sim::{SimDuration, SimRng};
+
+use crate::clock::ClockDomain;
+use crate::cost::HwAlgo;
+use crate::pipeline::{Pipeline, Stage};
+
+/// Timing model of an on-switch (FPGA) scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwSchedulerModel {
+    /// The datapath clock.
+    pub clock: ClockDomain,
+    /// Cycles to snapshot VOQ occupancy into the demand matrix registers.
+    pub demand_cycles: u64,
+    /// The scheduling algorithm.
+    pub algo: HwAlgo,
+    /// Cycles to fan the grant matrix out to the VOQ managers and the OCS
+    /// driver.
+    pub grant_cycles: u64,
+}
+
+impl HwSchedulerModel {
+    /// The NetFPGA-SUME preset: 200 MHz clock, 4-cycle demand snapshot
+    /// (register mux + pipeline), 2-cycle grant fan-out.
+    pub fn netfpga_sume(algo: HwAlgo) -> Self {
+        HwSchedulerModel {
+            clock: ClockDomain::NETFPGA_SUME,
+            demand_cycles: 4,
+            algo,
+            grant_cycles: 2,
+        }
+    }
+
+    /// The three-stage pipeline (for reports and the F2 latency budget).
+    pub fn pipeline(&self, n_ports: usize) -> Pipeline {
+        Pipeline::new(vec![
+            Stage {
+                name: "demand-estimation",
+                cycles: self.demand_cycles,
+            },
+            Stage {
+                name: "schedule-computation",
+                cycles: self.algo.schedule_cycles(n_ports),
+            },
+            Stage {
+                name: "grant-distribution",
+                cycles: self.grant_cycles,
+            },
+        ])
+    }
+
+    /// Total decision latency for an `n_ports` switch. Hardware is
+    /// deterministic: no jitter term (the `_rng` parameter exists so both
+    /// placements share a call signature).
+    pub fn decision_latency(&self, n_ports: usize, _rng: &mut SimRng) -> SimDuration {
+        self.pipeline(n_ports).latency(self.clock)
+    }
+
+    /// Deterministic latency (for analytic tables).
+    pub fn mean_decision_latency(&self, n_ports: usize) -> SimDuration {
+        self.pipeline(n_ports).latency(self.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sume_islip_latency_is_deterministic_and_sub_microsecond() {
+        let m = HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 });
+        let mut rng = SimRng::new(0);
+        let l1 = m.decision_latency(64, &mut rng);
+        let l2 = m.decision_latency(64, &mut rng);
+        assert_eq!(l1, l2, "hardware latency must not jitter");
+        assert!(l1 < SimDuration::from_micros(1), "latency {l1}");
+        assert_eq!(l1, m.mean_decision_latency(64));
+    }
+
+    #[test]
+    fn pipeline_has_three_named_stages() {
+        let m = HwSchedulerModel::netfpga_sume(HwAlgo::Wavefront);
+        let p = m.pipeline(16);
+        let names: Vec<&str> = p.stages().iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "demand-estimation",
+                "schedule-computation",
+                "grant-distribution"
+            ]
+        );
+        // 4 + (2·16−1) + 2 cycles = 37 cycles = 185 ns at 200 MHz.
+        assert_eq!(p.latency_cycles(), 37);
+        assert_eq!(
+            m.mean_decision_latency(16),
+            SimDuration::from_nanos(185)
+        );
+    }
+
+    #[test]
+    fn hungarian_in_hardware_is_visibly_slow() {
+        let fast = HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 });
+        let slow = HwSchedulerModel::netfpga_sume(HwAlgo::Hungarian);
+        assert!(
+            slow.mean_decision_latency(64) > fast.mean_decision_latency(64) * 100,
+            "cubic algorithm should dwarf log-depth one"
+        );
+    }
+}

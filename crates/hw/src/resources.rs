@@ -1,0 +1,209 @@
+//! FPGA resource estimation against the NetFPGA-SUME part.
+//!
+//! The SUME carries a Xilinx Virtex-7 XC7VX690T. Experiment E7 uses these
+//! models to answer the feasibility question behind §3: *does the proposed
+//! scheduler framework actually fit the board as ports scale?* The models
+//! are first-order synthesis estimates (documented per term), not
+//! place-and-route results; they reproduce the scaling shape, which is what
+//! the experiment needs.
+
+use crate::cost::HwAlgo;
+
+/// Resource capacity of a target device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capacity {
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+}
+
+/// The NetFPGA-SUME's Virtex-7 XC7VX690T.
+pub const SUME_CAPACITY: Capacity = Capacity {
+    luts: 433_200,
+    ffs: 866_400,
+    bram36: 1_470,
+};
+
+/// Estimated resource usage of a scheduler + VOQ subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceEstimate {
+    /// 6-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+}
+
+impl ResourceEstimate {
+    /// Componentwise sum.
+    pub fn plus(self, other: ResourceEstimate) -> ResourceEstimate {
+        ResourceEstimate {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            bram36: self.bram36 + other.bram36,
+        }
+    }
+
+    /// Does the design fit the device?
+    pub fn fits(&self, cap: Capacity) -> bool {
+        self.luts <= cap.luts && self.ffs <= cap.ffs && self.bram36 <= cap.bram36
+    }
+
+    /// Utilization of the scarcest resource, as a fraction.
+    pub fn worst_utilization(&self, cap: Capacity) -> f64 {
+        let l = self.luts as f64 / cap.luts as f64;
+        let f = self.ffs as f64 / cap.ffs as f64;
+        let b = self.bram36 as f64 / cap.bram36 as f64;
+        l.max(f).max(b)
+    }
+}
+
+/// Estimates the scheduler core for `n` ports.
+///
+/// Terms:
+/// * arbiters: iSLIP-class engines instantiate 2n programmable priority
+///   encoders of width n (~`n/2` LUTs each) plus pointer registers;
+/// * demand matrix: n² occupancy counters (16-bit) in FFs with LUT
+///   compare/update logic;
+/// * wavefront: n² crosspoint cells (~2 LUTs each);
+/// * Hungarian: dominated by an n×n weight matrix datapath and sequential
+///   control (~8 LUTs per cell) — big, and still slow (see
+///   [`HwAlgo::schedule_cycles`]).
+pub fn scheduler_core(algo: HwAlgo, n: usize) -> ResourceEstimate {
+    let n = n as u64;
+    let n2 = n * n;
+    let demand = ResourceEstimate {
+        luts: n2 * 3,
+        ffs: n2 * 16,
+        bram36: 0,
+    };
+    let engine = match algo {
+        HwAlgo::Tdma => ResourceEstimate {
+            luts: 64,
+            ffs: 64,
+            bram36: 0,
+        },
+        HwAlgo::Islip { .. } | HwAlgo::Pim { .. } | HwAlgo::Rrm { .. } => ResourceEstimate {
+            luts: 2 * n * (n / 2 + 8),
+            ffs: 2 * n * (n + 8),
+            bram36: 0,
+        },
+        HwAlgo::Wavefront => ResourceEstimate {
+            luts: n2 * 2,
+            ffs: n2,
+            bram36: 0,
+        },
+        HwAlgo::GreedyLqf => ResourceEstimate {
+            luts: n2 * 2 + n * 32,
+            ffs: n2 + n * 48,
+            bram36: 0,
+        },
+        HwAlgo::Hungarian => ResourceEstimate {
+            luts: n2 * 8,
+            ffs: n2 * 24,
+            bram36: n2 / 64,
+        },
+        HwAlgo::Bvn { .. } | HwAlgo::Solstice { .. } => ResourceEstimate {
+            luts: n2 * 4 + n * 64,
+            ffs: n2 * 8 + n * 64,
+            bram36: n2 / 128,
+        },
+    };
+    demand.plus(engine)
+}
+
+/// Estimates the VOQ buffering subsystem: `n²` queues of `bytes_per_voq`
+/// pooled into BRAM (36 Kb blocks hold 4 KB; small VOQs share blocks via
+/// a segmented buffer manager, as real designs do), plus per-queue
+/// pointer/state logic.
+pub fn voq_subsystem(n: usize, bytes_per_voq: u64) -> ResourceEstimate {
+    let n = n as u64;
+    let n2 = n * n;
+    ResourceEstimate {
+        luts: n2 * 12,
+        ffs: n2 * 24,
+        bram36: (n2 * bytes_per_voq).div_ceil(4096),
+    }
+}
+
+/// Full design: scheduler + VOQs + fixed infrastructure (MACs, DMA, AXI
+/// interconnect ≈ the NetFPGA reference pipeline's footprint).
+pub fn full_design(algo: HwAlgo, n: usize, bytes_per_voq: u64) -> ResourceEstimate {
+    let infra = ResourceEstimate {
+        luts: 60_000,
+        ffs: 90_000,
+        bram36: 200,
+    };
+    scheduler_core(algo, n)
+        .plus(voq_subsystem(n, bytes_per_voq))
+        .plus(infra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_islip_design_fits_sume() {
+        // 16 ports with 8 KB per VOQ — the nanosecond-switching regime of
+        // Figure 1, where per-VOQ buffering is kilobytes.
+        let est = full_design(HwAlgo::Islip { iterations: 3 }, 16, 8_192);
+        assert!(est.fits(SUME_CAPACITY), "16-port design must fit: {est:?}");
+        assert!(est.worst_utilization(SUME_CAPACITY) < 0.8);
+    }
+
+    #[test]
+    fn buffering_for_millisecond_switching_does_not_fit() {
+        // Figure 1's point in resource terms: a 64-port switch that must
+        // buffer ~1 ms of line rate per VOQ cannot hold it in BRAM.
+        // 1 ms at 10 Gb/s = 1.25 MB per port; even 1/64 of that per VOQ
+        // explodes the BRAM budget.
+        let est = full_design(HwAlgo::Islip { iterations: 3 }, 64, 1_250_000 / 64);
+        assert!(
+            !est.fits(SUME_CAPACITY),
+            "ms-scale buffering should exceed BRAM: {est:?}"
+        );
+        // Whereas nanosecond switching needs only ~KB per VOQ, which the
+        // pooled BRAM holds comfortably.
+        let fast = full_design(HwAlgo::Islip { iterations: 3 }, 64, 1_024);
+        assert!(fast.fits(SUME_CAPACITY), "KB-scale VOQs must fit: {fast:?}");
+    }
+
+    #[test]
+    fn utilization_grows_with_ports() {
+        let a = scheduler_core(HwAlgo::Wavefront, 16);
+        let b = scheduler_core(HwAlgo::Wavefront, 64);
+        assert!(b.luts > 10 * a.luts, "n² scaling expected");
+    }
+
+    #[test]
+    fn hungarian_is_the_heaviest_core() {
+        let h = scheduler_core(HwAlgo::Hungarian, 64);
+        let i = scheduler_core(HwAlgo::Islip { iterations: 3 }, 64);
+        let w = scheduler_core(HwAlgo::Wavefront, 64);
+        assert!(h.luts > i.luts && h.luts > w.luts);
+    }
+
+    #[test]
+    fn plus_and_fits_arithmetic() {
+        let a = ResourceEstimate {
+            luts: 10,
+            ffs: 20,
+            bram36: 1,
+        };
+        let b = a.plus(a);
+        assert_eq!(b.luts, 20);
+        let tiny = Capacity {
+            luts: 19,
+            ffs: 100,
+            bram36: 10,
+        };
+        assert!(!b.fits(tiny));
+        assert!(a.fits(tiny));
+        assert!((a.worst_utilization(tiny) - 10.0 / 19.0).abs() < 1e-12);
+    }
+}

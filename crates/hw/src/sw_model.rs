@@ -1,0 +1,161 @@
+//! End-to-end decision latency of the *software* scheduler placement.
+//!
+//! §2 itemizes why software schedulers sit at milliseconds: "delays during
+//! demand estimation, schedule calculation, Input/Output (IO) processing,
+//! propagation delay between host and switch". The model has one term per
+//! cause:
+//!
+//! * **I/O round trip** — reading VOQ/demand counters and writing the
+//!   schedule over PCIe/driver/socket paths (one RTT each way, sampled);
+//! * **compute** — base cost plus a per-matrix-entry term (demand matrices
+//!   are n², and a software scheduler walks them sequentially);
+//! * **OS jitter** — log-normal scheduling noise (deferred interrupts,
+//!   scheduler preemption), occasionally catastrophic — exactly the tail
+//!   that breaks tight synchronization.
+
+use xds_sim::{Dist, Sample, SimDuration, SimRng};
+
+/// Timing model of an off-switch (host software) scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwSchedulerModel {
+    /// One-way I/O latency distribution (applied twice: read demand, write
+    /// schedule), nanoseconds.
+    pub io_oneway_ns: Dist,
+    /// Fixed compute cost, nanoseconds.
+    pub base_compute_ns: f64,
+    /// Per demand-matrix-entry compute cost, nanoseconds (× n²).
+    pub per_entry_ns: f64,
+    /// OS jitter distribution, nanoseconds (added once per decision).
+    pub os_jitter_ns: Dist,
+}
+
+impl SwSchedulerModel {
+    /// A kernel-driver control plane (ioctl + DMA descriptors): ~30 µs I/O
+    /// one-way, ~100 µs-scale jitter tail. Lands at ~0.1–1 ms per decision
+    /// — the paper's "order of milliseconds" regime for larger ports.
+    pub fn kernel_driver() -> Self {
+        SwSchedulerModel {
+            io_oneway_ns: Dist::LogNormal {
+                mu: (30_000.0f64).ln(),
+                sigma: 0.4,
+            },
+            base_compute_ns: 20_000.0,
+            per_entry_ns: 60.0,
+            os_jitter_ns: Dist::LogNormal {
+                mu: (80_000.0f64).ln(),
+                sigma: 1.0,
+            },
+        }
+    }
+
+    /// A tuned userspace control plane (kernel-bypass I/O, pinned cores):
+    /// ~5 µs I/O, small jitter. The best software can do; still 100× the
+    /// hardware path.
+    pub fn tuned_userspace() -> Self {
+        SwSchedulerModel {
+            io_oneway_ns: Dist::LogNormal {
+                mu: (5_000.0f64).ln(),
+                sigma: 0.2,
+            },
+            base_compute_ns: 5_000.0,
+            per_entry_ns: 25.0,
+            os_jitter_ns: Dist::LogNormal {
+                mu: (3_000.0f64).ln(),
+                sigma: 0.5,
+            },
+        }
+    }
+
+    /// A naive socket-based controller (the c-Through/Helios era control
+    /// path): millisecond I/O and heavy jitter.
+    pub fn naive_socket() -> Self {
+        SwSchedulerModel {
+            io_oneway_ns: Dist::LogNormal {
+                mu: (500_000.0f64).ln(),
+                sigma: 0.5,
+            },
+            base_compute_ns: 200_000.0,
+            per_entry_ns: 150.0,
+            os_jitter_ns: Dist::LogNormal {
+                mu: (1_000_000.0f64).ln(),
+                sigma: 1.2,
+            },
+        }
+    }
+
+    /// Samples one decision latency for an `n_ports` switch.
+    pub fn decision_latency(&self, n_ports: usize, rng: &mut SimRng) -> SimDuration {
+        let io = self.io_oneway_ns.sample(rng) + self.io_oneway_ns.sample(rng);
+        let compute = self.base_compute_ns + self.per_entry_ns * (n_ports * n_ports) as f64;
+        let jitter = self.os_jitter_ns.sample(rng);
+        SimDuration::from_nanos((io + compute + jitter).max(0.0) as u64)
+    }
+
+    /// Analytic mean decision latency (for tables; uses distribution
+    /// means).
+    pub fn mean_decision_latency(&self, n_ports: usize) -> SimDuration {
+        let io = 2.0 * self.io_oneway_ns.mean().expect("io dist has a mean");
+        let compute = self.base_compute_ns + self.per_entry_ns * (n_ports * n_ports) as f64;
+        let jitter = self.os_jitter_ns.mean().expect("jitter dist has a mean");
+        SimDuration::from_nanos((io + compute + jitter) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_sampled(m: &SwSchedulerModel, n_ports: usize) -> f64 {
+        let mut rng = SimRng::new(33);
+        let k = 20_000;
+        (0..k)
+            .map(|_| m.decision_latency(n_ports, &mut rng).as_nanos() as f64)
+            .sum::<f64>()
+            / k as f64
+    }
+
+    #[test]
+    fn presets_land_in_their_documented_regimes() {
+        // 64-port demand matrix.
+        let kernel = mean_sampled(&SwSchedulerModel::kernel_driver(), 64);
+        let tuned = mean_sampled(&SwSchedulerModel::tuned_userspace(), 64);
+        let naive = mean_sampled(&SwSchedulerModel::naive_socket(), 64);
+        assert!(
+            (100_000.0..2_000_000.0).contains(&kernel),
+            "kernel driver ~0.1-2ms, got {kernel}ns"
+        );
+        assert!(
+            (50_000.0..500_000.0).contains(&tuned),
+            "tuned userspace ~0.05-0.5ms, got {tuned}ns"
+        );
+        assert!(naive > 2_000_000.0, "naive socket >2ms, got {naive}ns");
+        // Ordering is the point.
+        assert!(tuned < kernel && kernel < naive);
+    }
+
+    #[test]
+    fn sampled_mean_tracks_analytic_mean() {
+        let m = SwSchedulerModel::kernel_driver();
+        let analytic = m.mean_decision_latency(32).as_nanos() as f64;
+        let sampled = mean_sampled(&m, 32);
+        assert!(
+            (sampled - analytic).abs() / analytic < 0.15,
+            "sampled {sampled} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_port_count() {
+        let m = SwSchedulerModel::kernel_driver();
+        assert!(m.mean_decision_latency(256) > m.mean_decision_latency(16));
+    }
+
+    #[test]
+    fn software_has_jitter_hardware_does_not() {
+        let m = SwSchedulerModel::tuned_userspace();
+        let mut rng = SimRng::new(7);
+        let a = m.decision_latency(16, &mut rng);
+        let b = m.decision_latency(16, &mut rng);
+        assert_ne!(a, b, "software decision latency must vary");
+    }
+}

@@ -1,0 +1,156 @@
+//! Host↔switch synchronization model.
+//!
+//! §2: software scheduling "requires tight synchronization between the
+//! host and switch, which is difficult to achieve at faster switching
+//! times and higher transmission rates". When hosts hold the packets
+//! (slow scheduling), a host's notion of "my grant window starts now" is
+//! wrong by its clock offset; packets that arrive at the switch outside
+//! the configured window hit a dark or re-purposed circuit.
+//!
+//! The model: each host has a bounded offset (uniform in ±`skew_bound`)
+//! that drifts between resynchronizations. The guard band a deployment
+//! needs is `skew + drift·resync_interval` on *each side* of a slot —
+//! capacity that is pure overhead, and proportionally worse the shorter
+//! the slots (i.e. the faster the switching — the paper's argument).
+
+use xds_sim::{SimDuration, SimRng};
+
+/// Clock-synchronization quality between hosts and the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncModel {
+    /// Bound on the residual offset right after a resync.
+    pub skew_bound: SimDuration,
+    /// Oscillator drift in parts-per-billion.
+    pub drift_ppb: u64,
+    /// Interval between resynchronizations.
+    pub resync_interval: SimDuration,
+}
+
+impl SyncModel {
+    /// Perfect synchronization (hardware scheduler: grants never leave the
+    /// chip, there is nothing to synchronize).
+    pub fn perfect() -> Self {
+        SyncModel {
+            skew_bound: SimDuration::ZERO,
+            drift_ppb: 0,
+            resync_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    /// PTP-grade synchronization: ~1 µs skew, 10 ppb drift, 1 s resync.
+    pub fn ptp() -> Self {
+        SyncModel {
+            skew_bound: SimDuration::from_micros(1),
+            drift_ppb: 10,
+            resync_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    /// NTP-grade synchronization: ~1 ms skew (LAN), 100 ppb drift.
+    pub fn ntp() -> Self {
+        SyncModel {
+            skew_bound: SimDuration::from_millis(1),
+            drift_ppb: 100,
+            resync_interval: SimDuration::from_secs(16),
+        }
+    }
+
+    /// Maximum drift accumulated between resyncs.
+    pub fn max_drift(&self) -> SimDuration {
+        let ns =
+            self.resync_interval.as_nanos() as u128 * self.drift_ppb as u128 / 1_000_000_000;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// The worst-case offset any host can have at any time.
+    pub fn worst_offset(&self) -> SimDuration {
+        self.skew_bound + self.max_drift()
+    }
+
+    /// The guard band needed per slot edge to guarantee no dark-window
+    /// violations.
+    pub fn guard_needed(&self) -> SimDuration {
+        self.worst_offset()
+    }
+
+    /// Samples a host's current offset in nanoseconds (signed: positive =
+    /// host clock ahead of the switch).
+    pub fn sample_offset_ns(&self, rng: &mut SimRng) -> i64 {
+        let bound = self.worst_offset().as_nanos();
+        if bound == 0 {
+            return 0;
+        }
+        let mag = rng.below(2 * bound + 1) as i64;
+        mag - bound as i64
+    }
+
+    /// Fraction of a slot wasted on guard bands (both edges) — the
+    /// efficiency cost of synchronization at a given slot length.
+    pub fn guard_overhead(&self, slot: SimDuration) -> f64 {
+        if slot.is_zero() {
+            return 1.0;
+        }
+        let g = 2 * self.guard_needed().as_nanos();
+        (g as f64 / slot.as_nanos() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_sync_is_zero_everything() {
+        let s = SyncModel::perfect();
+        assert_eq!(s.guard_needed(), SimDuration::ZERO);
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(s.sample_offset_ns(&mut rng), 0);
+        }
+        assert_eq!(s.guard_overhead(SimDuration::from_micros(10)), 0.0);
+    }
+
+    #[test]
+    fn drift_accumulates_between_resyncs() {
+        let s = SyncModel {
+            skew_bound: SimDuration::from_nanos(100),
+            drift_ppb: 1000, // 1 µs per second
+            resync_interval: SimDuration::from_secs(2),
+        };
+        assert_eq!(s.max_drift(), SimDuration::from_micros(2));
+        assert_eq!(s.worst_offset(), SimDuration::from_nanos(2_100));
+    }
+
+    #[test]
+    fn offsets_are_bounded_and_two_sided() {
+        let s = SyncModel::ptp();
+        let bound = s.worst_offset().as_nanos() as i64;
+        let mut rng = SimRng::new(5);
+        let mut saw_positive = false;
+        let mut saw_negative = false;
+        for _ in 0..10_000 {
+            let o = s.sample_offset_ns(&mut rng);
+            assert!(o.abs() <= bound, "offset {o} beyond ±{bound}");
+            saw_positive |= o > 0;
+            saw_negative |= o < 0;
+        }
+        assert!(saw_positive && saw_negative);
+    }
+
+    #[test]
+    fn guard_overhead_explodes_for_short_slots() {
+        // The quantitative form of §2's synchronization argument: PTP
+        // guard bands are negligible for millisecond slots but eat
+        // microsecond slots whole.
+        let s = SyncModel::ptp();
+        let slow_slots = s.guard_overhead(SimDuration::from_millis(10));
+        let fast_slots = s.guard_overhead(SimDuration::from_micros(2));
+        assert!(slow_slots < 0.01, "ms slots lose {slow_slots}");
+        assert!(fast_slots >= 1.0, "µs slots lose {fast_slots}");
+    }
+
+    #[test]
+    fn ntp_is_far_worse_than_ptp() {
+        assert!(SyncModel::ntp().worst_offset() > SyncModel::ptp().worst_offset() * 100);
+    }
+}

@@ -1,0 +1,253 @@
+//! Flow-completion-time tracking.
+//!
+//! Hybrid-switch evaluations (Helios, c-Through, and the scheduler face-off
+//! in E5/E9) report FCT broken down by flow size, because the whole point of
+//! the hybrid design is that *elephants* ride the OCS while *mice* stay on
+//! the EPS. The tracker tallies completion times per size class using the
+//! customary data-center boundaries.
+
+use std::collections::HashMap;
+
+use xds_sim::SimTime;
+
+use crate::hist::LatencyHistogram;
+
+/// Conventional data-center flow size classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// Flows below 100 KB — latency-sensitive "mice".
+    Mice,
+    /// Flows of 100 KB – 10 MB.
+    Medium,
+    /// Flows of 10 MB and above — throughput-driven "elephants".
+    Elephant,
+}
+
+impl SizeClass {
+    /// Classifies a flow by its size in bytes.
+    pub fn of(bytes: u64) -> SizeClass {
+        if bytes < 100_000 {
+            SizeClass::Mice
+        } else if bytes < 10_000_000 {
+            SizeClass::Medium
+        } else {
+            SizeClass::Elephant
+        }
+    }
+
+    /// All classes, in ascending size order.
+    pub const ALL: [SizeClass; 3] = [SizeClass::Mice, SizeClass::Medium, SizeClass::Elephant];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeClass::Mice => "mice(<100KB)",
+            SizeClass::Medium => "medium(<10MB)",
+            SizeClass::Elephant => "elephant(>=10MB)",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenFlow {
+    size_bytes: u64,
+    delivered: u64,
+    started: SimTime,
+}
+
+/// Summary statistics for one size class.
+#[derive(Debug, Clone)]
+pub struct FctStats {
+    /// Completed flows in this class.
+    pub count: u64,
+    /// Mean FCT in nanoseconds.
+    pub mean_ns: f64,
+    /// Median FCT in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile FCT in nanoseconds.
+    pub p99_ns: u64,
+    /// Worst FCT in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Tracks open flows and records completion times per size class.
+#[derive(Debug, Default)]
+pub struct FctTracker {
+    open: HashMap<u64, OpenFlow>,
+    done: HashMap<SizeClass, LatencyHistogram>,
+    completed: u64,
+    delivered_bytes: u64,
+}
+
+impl FctTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a flow when its first byte enters the network.
+    ///
+    /// Re-registering an id that is still open is a caller bug and panics.
+    pub fn flow_started(&mut self, flow_id: u64, size_bytes: u64, at: SimTime) {
+        let prev = self.open.insert(
+            flow_id,
+            OpenFlow {
+                size_bytes,
+                delivered: 0,
+                started: at,
+            },
+        );
+        assert!(prev.is_none(), "flow {flow_id} registered twice");
+    }
+
+    /// Credits delivered bytes to a flow; when the flow's full size has
+    /// arrived, its FCT is recorded and the flow closed. Unknown ids are
+    /// ignored (e.g. background flows the caller chose not to track).
+    pub fn bytes_delivered(&mut self, flow_id: u64, bytes: u64, at: SimTime) {
+        self.delivered_bytes += bytes;
+        let Some(flow) = self.open.get_mut(&flow_id) else {
+            return;
+        };
+        flow.delivered += bytes;
+        if flow.delivered >= flow.size_bytes {
+            let flow = self.open.remove(&flow_id).expect("present");
+            let fct = at.saturating_since(flow.started);
+            self.done
+                .entry(SizeClass::of(flow.size_bytes))
+                .or_default()
+                .record(fct.as_nanos());
+            self.completed += 1;
+        }
+    }
+
+    /// Completed-flow count.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Flows still in flight.
+    pub fn open_flows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total bytes credited via [`FctTracker::bytes_delivered`].
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Stats for one size class, if any flow of that class completed.
+    pub fn stats(&self, class: SizeClass) -> Option<FctStats> {
+        let h = self.done.get(&class)?;
+        if h.is_empty() {
+            return None;
+        }
+        Some(FctStats {
+            count: h.count(),
+            mean_ns: h.mean(),
+            p50_ns: h.p50(),
+            p99_ns: h.p99(),
+            max_ns: h.max(),
+        })
+    }
+
+    /// Stats over all completed flows regardless of class.
+    pub fn overall(&self) -> Option<FctStats> {
+        let mut merged = LatencyHistogram::new();
+        for h in self.done.values() {
+            merged.merge(h);
+        }
+        if merged.is_empty() {
+            return None;
+        }
+        Some(FctStats {
+            count: merged.count(),
+            mean_ns: merged.mean(),
+            p50_ns: merged.p50(),
+            p99_ns: merged.p99(),
+            max_ns: merged.max(),
+        })
+    }
+
+    /// Mean slowdown proxy: mean FCT of mice relative to elephants'
+    /// per-byte service (diagnostic only; `None` unless both classes have
+    /// completions).
+    pub fn mice_to_elephant_ratio(&self) -> Option<f64> {
+        let mice = self.stats(SizeClass::Mice)?;
+        let ele = self.stats(SizeClass::Elephant)?;
+        Some(mice.mean_ns / ele.mean_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn size_classes_have_standard_boundaries() {
+        assert_eq!(SizeClass::of(0), SizeClass::Mice);
+        assert_eq!(SizeClass::of(99_999), SizeClass::Mice);
+        assert_eq!(SizeClass::of(100_000), SizeClass::Medium);
+        assert_eq!(SizeClass::of(9_999_999), SizeClass::Medium);
+        assert_eq!(SizeClass::of(10_000_000), SizeClass::Elephant);
+    }
+
+    #[test]
+    fn fct_measured_from_start_to_last_byte() {
+        let mut fct = FctTracker::new();
+        fct.flow_started(1, 3000, t(100));
+        fct.bytes_delivered(1, 1500, t(500));
+        assert_eq!(fct.completed(), 0);
+        assert_eq!(fct.open_flows(), 1);
+        fct.bytes_delivered(1, 1500, t(1100));
+        assert_eq!(fct.completed(), 1);
+        assert_eq!(fct.open_flows(), 0);
+        let s = fct.stats(SizeClass::Mice).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max_ns, 1000);
+    }
+
+    #[test]
+    fn unknown_flow_bytes_still_count_towards_totals() {
+        let mut fct = FctTracker::new();
+        fct.bytes_delivered(42, 999, t(1));
+        assert_eq!(fct.delivered_bytes(), 999);
+        assert_eq!(fct.completed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut fct = FctTracker::new();
+        fct.flow_started(1, 10, t(0));
+        fct.flow_started(1, 10, t(1));
+    }
+
+    #[test]
+    fn per_class_stats_are_separated() {
+        let mut fct = FctTracker::new();
+        fct.flow_started(1, 1_000, t(0)); // mouse
+        fct.flow_started(2, 50_000_000, t(0)); // elephant
+        fct.bytes_delivered(1, 1_000, t(10_000));
+        fct.bytes_delivered(2, 50_000_000, t(40_000_000));
+        assert_eq!(fct.stats(SizeClass::Mice).unwrap().count, 1);
+        assert_eq!(fct.stats(SizeClass::Elephant).unwrap().count, 1);
+        assert!(fct.stats(SizeClass::Medium).is_none());
+        assert_eq!(fct.overall().unwrap().count, 2);
+        let ratio = fct.mice_to_elephant_ratio().unwrap();
+        assert!((ratio - 10_000.0 / 40_000_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_id_can_be_reused_after_completion() {
+        let mut fct = FctTracker::new();
+        fct.flow_started(1, 100, t(0));
+        fct.bytes_delivered(1, 100, t(50));
+        fct.flow_started(1, 100, t(60));
+        fct.bytes_delivered(1, 100, t(90));
+        assert_eq!(fct.completed(), 2);
+    }
+}

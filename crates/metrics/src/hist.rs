@@ -1,0 +1,321 @@
+//! Log-linear histogram with bounded relative error.
+//!
+//! Values (nanoseconds, bytes, …) are bucketed by order of magnitude
+//! (leading bit) and then linearly within each order into `SUB_BUCKETS`
+//! sub-buckets, the same scheme HdrHistogram uses. Recording is O(1), memory
+//! is fixed, and any reported quantile is within `2/SUB_BUCKETS` (≈ 3.1 %)
+//! of the true value — ample for latency distributions spanning nanoseconds
+//! to seconds.
+
+/// Sub-buckets per tier. Tiers above the first only populate their upper
+/// half (the lower half aliases the previous tier), so the relative
+/// quantile error bound is `2 / SUB_BUCKETS`.
+const SUB_BUCKETS: usize = 64;
+/// Relative error bound of any reported quantile.
+pub const QUANTILE_REL_ERROR: f64 = 2.0 / SUB_BUCKETS as f64;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+/// Tiers cover leading-bit positions `SUB_BITS..64`.
+const TIERS: usize = (64 - SUB_BITS as usize) + 1;
+
+/// Fixed-size log-linear histogram over `u64` values.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; TIERS * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            // Tier 0 is exact: values 0..SUB_BUCKETS.
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let tier = (msb - SUB_BITS + 1) as usize;
+        let shift = msb - SUB_BITS + 1;
+        let sub = ((value >> shift) - (SUB_BUCKETS as u64 / 2)) as usize + SUB_BUCKETS / 2;
+        debug_assert!(sub < SUB_BUCKETS);
+        tier * SUB_BUCKETS + sub
+    }
+
+    /// The largest value mapped to the same bucket as `value` (the value the
+    /// histogram will report back for it).
+    fn bucket_upper(index: usize) -> u64 {
+        let tier = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        if tier == 0 {
+            return sub as u64;
+        }
+        // Values in tier t span [2^(SUB_BITS-1+t), 2^(SUB_BITS+t)) and the
+        // sub-bucket of width 2^t holding value v ends at ((sub+1)<<t)-1.
+        // 128-bit math: the top tier's last bucket ends at u64::MAX.
+        let shift = tier as u32;
+        let upper = (((sub as u128) + 1) << shift) - 1;
+        upper.min(u64::MAX as u128) as u64
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records `n` identical observations.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::bucket_index(value);
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact minimum recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`, within the histogram's relative error
+    /// bound. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: the median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Convenience: the 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+        // Every small value occupies its own bucket: quantiles are exact.
+        assert_eq!(h.quantile(0.5), SUB_BUCKETS as u64 / 2 - 1);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = LatencyHistogram::new();
+        // Geometric sweep over 9 decades.
+        let mut v = 1u64;
+        let mut values = Vec::new();
+        while v < 1_000_000_000 {
+            h.record(v);
+            values.push(v);
+            v = (v as f64 * 1.37) as u64 + 1;
+        }
+        values.sort_unstable();
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1] as f64;
+            let approx = h.quantile(q) as f64;
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel <= QUANTILE_REL_ERROR + 1e-9, "q={q}: {approx} vs {exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn mean_and_extremes_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - 250_015.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_n(12345, 1000);
+        for _ in 0..1000 {
+            b.record(12345);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.mean(), b.mean());
+        a.record_n(1, 0);
+        assert_eq!(a.count(), 1000);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(100);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 1_000_000);
+    }
+
+    #[test]
+    fn quantile_extreme_args_clamp() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        assert_eq!(h.quantile(-1.0), 42);
+        assert_eq!(h.quantile(2.0), 42);
+    }
+
+    #[test]
+    fn handles_u64_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_upper_is_monotonic_over_reachable_buckets() {
+        // Walk values upward; the reported bucket upper bound must never
+        // decrease (unreachable lower-half slots of higher tiers are never
+        // produced by bucket_index, so they don't matter).
+        let mut last = 0u64;
+        let mut v = 0u64;
+        while v < u64::MAX / 3 {
+            let u = LatencyHistogram::bucket_upper(LatencyHistogram::bucket_index(v));
+            assert!(u >= last, "bucket_upper not monotonic at value {v}: {u} < {last}");
+            last = u;
+            v = v * 3 / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn value_maps_to_bucket_containing_it() {
+        for v in [0u64, 1, 63, 64, 65, 100, 1000, 4095, 4096, 1 << 20, (1 << 40) + 12345] {
+            let idx = LatencyHistogram::bucket_index(v);
+            let upper = LatencyHistogram::bucket_upper(idx);
+            assert!(upper >= v, "value {v} above its bucket upper {upper}");
+            let rel = (upper - v) as f64 / (v.max(1)) as f64;
+            assert!(rel <= QUANTILE_REL_ERROR + 1e-9, "value {v} error {rel}");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Plain-text, Markdown and CSV table rendering.
+//!
+//! Every bench binary regenerates its figure/table as text; using one
+//! renderer keeps the output format uniform across experiments and makes
+//! EXPERIMENTS.md diffs trivial.
+
+/// A simple column-oriented table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count — a
+    /// malformed experiment table is a bug, not a runtime condition.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Title accessor.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        w
+    }
+
+    /// Monospace-aligned rendering for terminals.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let w = self.widths();
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(line, "{:<width$}  ", h, width = w[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let total: usize = w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", c, width = w[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// GitHub-flavoured Markdown rendering.
+    pub fn render_markdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// CSV rendering (no quoting: cells are numeric/identifier-like by
+    /// construction; commas in cells are replaced with `;`).
+    pub fn render_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let clean = |s: &str| s.replace(',', ";");
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Formats a byte count with binary-ish units matching the paper's "KB/GB"
+/// narrative (decimal multiples, as in the storage the paper discusses).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const K: u64 = 1_000;
+    const M: u64 = 1_000_000;
+    const G: u64 = 1_000_000_000;
+    if bytes >= G {
+        format!("{:.2}GB", bytes as f64 / G as f64)
+    } else if bytes >= M {
+        format!("{:.2}MB", bytes as f64 / M as f64)
+    } else if bytes >= K {
+        format!("{:.2}KB", bytes as f64 / K as f64)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["a", "bb", "ccc"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["10".into(), "20".into(), "30".into()]);
+        t
+    }
+
+    #[test]
+    fn text_render_aligns_columns() {
+        let s = sample().render_text();
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header, separator, two rows, plus title
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("a   bb  ccc"));
+    }
+
+    #[test]
+    fn markdown_render_has_separator() {
+        let s = sample().render_markdown();
+        assert!(s.contains("| a | bb | ccc |"));
+        assert!(s.contains("|---|---|---|"));
+        assert!(s.contains("| 10 | 20 | 30 |"));
+    }
+
+    #[test]
+    fn csv_render_and_comma_escaping() {
+        let mut t = Table::new("x", &["k", "v"]);
+        t.row(vec!["a,b".into(), "1".into()]);
+        let s = t.render_csv();
+        assert_eq!(s.lines().next().unwrap(), "k,v");
+        assert!(s.contains("a;b,1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row has 1 cells")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn float_formatting_scales() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(1234.5678), "1234.6");
+        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(0.001234), "0.00123");
+    }
+
+    #[test]
+    fn byte_formatting_matches_paper_units() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(96_000), "96.00KB");
+        assert_eq!(fmt_bytes(80_000_000), "80.00MB");
+        assert_eq!(fmt_bytes(1_600_000_000), "1.60GB");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = Table::new("empty", &["h"]);
+        assert!(t.is_empty());
+        assert!(t.render_text().contains("empty"));
+        assert!(t.render_markdown().contains("| h |"));
+    }
+}

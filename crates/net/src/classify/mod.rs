@@ -1,0 +1,328 @@
+//! Configurable look-up rules: a TCAM-like priority rule table.
+//!
+//! The paper's processing logic "classifies packets into flows based on
+//! configurable look-up rules". On the NetFPGA this is a TCAM/BCAM lookup;
+//! here it is a priority-ordered list of [`Rule`]s whose matchers support
+//! the three field kinds hardware match engines provide:
+//!
+//! * **prefix** match on source/destination address (LPM semantics come
+//!   from [`LpmTable`] when only the destination matters);
+//! * **range** match on transport ports;
+//! * **exact** match on protocol.
+//!
+//! First (highest-priority) hit wins, like a TCAM. A default action covers
+//! misses.
+
+mod trie;
+
+pub use trie::LpmTable;
+
+use crate::fivetuple::FiveTuple;
+use crate::types::{IpProtocol, PortNo, TrafficClass};
+use crate::wire::Ipv4Addr;
+
+/// What to do with a matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Action {
+    /// Class to assign (drives EPS/OCS mapping and priority).
+    pub class: TrafficClass,
+    /// Optional egress override; `None` keeps the destination-derived port.
+    pub out_port: Option<PortNo>,
+}
+
+impl Action {
+    /// An action that only sets the class.
+    pub fn classify(class: TrafficClass) -> Action {
+        Action {
+            class,
+            out_port: None,
+        }
+    }
+}
+
+/// A single match entry. `None` fields are wildcards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuleMatch {
+    /// Source prefix `(addr, prefix_len)`.
+    pub src_prefix: Option<(Ipv4Addr, u8)>,
+    /// Destination prefix `(addr, prefix_len)`.
+    pub dst_prefix: Option<(Ipv4Addr, u8)>,
+    /// Inclusive source-port range.
+    pub src_port: Option<(u16, u16)>,
+    /// Inclusive destination-port range.
+    pub dst_port: Option<(u16, u16)>,
+    /// Exact protocol.
+    pub proto: Option<IpProtocol>,
+}
+
+fn prefix_matches(addr: Ipv4Addr, prefix: Ipv4Addr, len: u8) -> bool {
+    debug_assert!(len <= 32);
+    if len == 0 {
+        return true;
+    }
+    let mask = if len == 32 { u32::MAX } else { !(u32::MAX >> len) };
+    (addr.to_u32() & mask) == (prefix.to_u32() & mask)
+}
+
+impl RuleMatch {
+    /// True if every non-wildcard field matches.
+    pub fn matches(&self, t: &FiveTuple) -> bool {
+        if let Some((p, l)) = self.src_prefix {
+            if !prefix_matches(t.src, p, l) {
+                return false;
+            }
+        }
+        if let Some((p, l)) = self.dst_prefix {
+            if !prefix_matches(t.dst, p, l) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.src_port {
+            if !(lo..=hi).contains(&t.src_port) {
+                return false;
+            }
+        }
+        if let Some((lo, hi)) = self.dst_port {
+            if !(lo..=hi).contains(&t.dst_port) {
+                return false;
+            }
+        }
+        if let Some(p) = self.proto {
+            if p != t.proto {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Validates field sanity (prefix lengths, range ordering).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, pfx) in [("src", self.src_prefix), ("dst", self.dst_prefix)] {
+            if let Some((_, l)) = pfx {
+                if l > 32 {
+                    return Err(format!("{name} prefix length {l} > 32"));
+                }
+            }
+        }
+        for (name, range) in [("src", self.src_port), ("dst", self.dst_port)] {
+            if let Some((lo, hi)) = range {
+                if lo > hi {
+                    return Err(format!("{name} port range [{lo}, {hi}] inverted"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A prioritized rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Larger numbers are consulted first (TCAM entry order).
+    pub priority: i32,
+    /// Match condition.
+    pub matcher: RuleMatch,
+    /// Action on match.
+    pub action: Action,
+}
+
+/// A priority-ordered rule table with a default action.
+#[derive(Debug, Clone)]
+pub struct RuleTable {
+    rules: Vec<Rule>,
+    default_action: Action,
+    lookups: u64,
+    hits: u64,
+}
+
+impl RuleTable {
+    /// Creates a table with only a default action.
+    pub fn new(default_action: Action) -> Self {
+        RuleTable {
+            rules: Vec::new(),
+            default_action,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Inserts a rule, keeping the table sorted by descending priority.
+    /// Insertion order is preserved among equal priorities (earlier wins).
+    ///
+    /// # Panics
+    /// Panics if the matcher is malformed — rule tables are static
+    /// configuration, so this is a programming error.
+    pub fn insert(&mut self, rule: Rule) {
+        rule.matcher.validate().expect("malformed rule");
+        let pos = self
+            .rules
+            .partition_point(|r| r.priority >= rule.priority);
+        self.rules.insert(pos, rule);
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed (default action still applies).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Looks up the action for a tuple: first hit in priority order, else
+    /// the default.
+    pub fn lookup(&mut self, t: &FiveTuple) -> Action {
+        self.lookups += 1;
+        for r in &self.rules {
+            if r.matcher.matches(t) {
+                self.hits += 1;
+                return r.action;
+            }
+        }
+        self.default_action
+    }
+
+    /// `(lookups, rule hits)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fivetuple::build_udp_frame;
+
+    fn tuple(src: u16, dst: u16, sport: u16, dport: u16) -> FiveTuple {
+        FiveTuple::from_frame(&build_udp_frame(src, dst, sport, dport, b"")).unwrap()
+    }
+
+    #[test]
+    fn default_action_on_empty_table() {
+        let mut t = RuleTable::new(Action::classify(TrafficClass::Short));
+        assert!(t.is_empty());
+        let a = t.lookup(&tuple(1, 2, 10, 20));
+        assert_eq!(a.class, TrafficClass::Short);
+        assert_eq!(t.stats(), (1, 0));
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = RuleTable::new(Action::classify(TrafficClass::Short));
+        t.insert(Rule {
+            priority: 1,
+            matcher: RuleMatch::default(), // match-all
+            action: Action::classify(TrafficClass::Bulk),
+        });
+        t.insert(Rule {
+            priority: 10,
+            matcher: RuleMatch {
+                dst_port: Some((5000, 5100)),
+                ..RuleMatch::default()
+            },
+            action: Action::classify(TrafficClass::Interactive),
+        });
+        assert_eq!(t.lookup(&tuple(1, 2, 1, 5004)).class, TrafficClass::Interactive);
+        assert_eq!(t.lookup(&tuple(1, 2, 1, 80)).class, TrafficClass::Bulk);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn prefix_matching_semantics() {
+        assert!(prefix_matches(
+            Ipv4Addr::new(10, 0, 3, 7),
+            Ipv4Addr::new(10, 0, 0, 0),
+            16
+        ));
+        assert!(!prefix_matches(
+            Ipv4Addr::new(10, 1, 3, 7),
+            Ipv4Addr::new(10, 0, 0, 0),
+            16
+        ));
+        // /0 matches everything, /32 only exact.
+        assert!(prefix_matches(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(9, 9, 9, 9),
+            0
+        ));
+        assert!(prefix_matches(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(1, 2, 3, 4),
+            32
+        ));
+        assert!(!prefix_matches(
+            Ipv4Addr::new(1, 2, 3, 5),
+            Ipv4Addr::new(1, 2, 3, 4),
+            32
+        ));
+    }
+
+    #[test]
+    fn multi_field_rule_requires_all_fields() {
+        let matcher = RuleMatch {
+            src_prefix: Some((Ipv4Addr::new(10, 0, 0, 0), 24)),
+            dst_port: Some((80, 80)),
+            proto: Some(IpProtocol::Udp),
+            ..RuleMatch::default()
+        };
+        assert!(matcher.matches(&tuple(1, 2, 99, 80)));
+        assert!(!matcher.matches(&tuple(300, 2, 99, 80))); // src 10.0.1.44 not in /24
+        assert!(!matcher.matches(&tuple(1, 2, 99, 81))); // port mismatch
+    }
+
+    #[test]
+    fn equal_priority_prefers_earlier_insertion() {
+        let mut t = RuleTable::new(Action::classify(TrafficClass::Short));
+        t.insert(Rule {
+            priority: 5,
+            matcher: RuleMatch::default(),
+            action: Action::classify(TrafficClass::Bulk),
+        });
+        t.insert(Rule {
+            priority: 5,
+            matcher: RuleMatch::default(),
+            action: Action::classify(TrafficClass::Interactive),
+        });
+        assert_eq!(t.lookup(&tuple(1, 2, 3, 4)).class, TrafficClass::Bulk);
+    }
+
+    #[test]
+    fn out_port_override() {
+        let mut t = RuleTable::new(Action::classify(TrafficClass::Short));
+        t.insert(Rule {
+            priority: 1,
+            matcher: RuleMatch::default(),
+            action: Action {
+                class: TrafficClass::Bulk,
+                out_port: Some(PortNo(9)),
+            },
+        });
+        assert_eq!(t.lookup(&tuple(1, 2, 3, 4)).out_port, Some(PortNo(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed rule")]
+    fn malformed_rule_rejected() {
+        let mut t = RuleTable::new(Action::classify(TrafficClass::Short));
+        t.insert(Rule {
+            priority: 1,
+            matcher: RuleMatch {
+                dst_port: Some((100, 50)),
+                ..RuleMatch::default()
+            },
+            action: Action::classify(TrafficClass::Bulk),
+        });
+    }
+
+    #[test]
+    fn validate_messages() {
+        assert!(RuleMatch {
+            src_prefix: Some((Ipv4Addr::new(0, 0, 0, 0), 33)),
+            ..RuleMatch::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RuleMatch::default().validate().is_ok());
+    }
+}

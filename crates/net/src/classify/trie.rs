@@ -1,0 +1,185 @@
+//! Longest-prefix-match table: a binary trie over IPv4 prefixes.
+//!
+//! Used for the destination-based egress mapping ("which switch port does
+//! this prefix live behind"), the second half of the paper's configurable
+//! look-up step. A binary trie matches how LPM engines are synthesized in
+//! FPGA lookups and is simple to verify.
+
+use crate::wire::Ipv4Addr;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    value: Option<V>,
+    children: [Option<Box<Node<V>>>; 2],
+}
+
+impl<V> Default for Node<V> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A longest-prefix-match table mapping IPv4 prefixes to values.
+#[derive(Debug, Clone)]
+pub struct LpmTable<V> {
+    root: Node<V>,
+    entries: usize,
+}
+
+impl<V> Default for LpmTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> LpmTable<V> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LpmTable {
+            root: Node::default(),
+            entries: 0,
+        }
+    }
+
+    /// Number of installed prefixes.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// True if no prefixes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Inserts (or replaces) a prefix of length `len`, returning the
+    /// previous value if the exact prefix existed.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn insert(&mut self, prefix: Ipv4Addr, len: u8, value: V) -> Option<V> {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let bits = prefix.to_u32();
+        let mut node = &mut self.root;
+        for i in 0..len {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        let prev = node.value.replace(value);
+        if prev.is_none() {
+            self.entries += 1;
+        }
+        prev
+    }
+
+    /// Longest-prefix lookup.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&V> {
+        let bits = addr.to_u32();
+        let mut node = &self.root;
+        let mut best = node.value.as_ref();
+        for i in 0..32 {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        best = node.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-prefix lookup (no LPM fallback).
+    pub fn get_exact(&self, prefix: Ipv4Addr, len: u8) -> Option<&V> {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let bits = prefix.to_u32();
+        let mut node = &self.root;
+        for i in 0..len {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].as_ref()?;
+        }
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = LpmTable::new();
+        t.insert(ip(10, 0, 0, 0), 8, "coarse");
+        t.insert(ip(10, 1, 0, 0), 16, "finer");
+        t.insert(ip(10, 1, 2, 0), 24, "finest");
+        assert_eq!(t.lookup(ip(10, 9, 9, 9)), Some(&"coarse"));
+        assert_eq!(t.lookup(ip(10, 1, 9, 9)), Some(&"finer"));
+        assert_eq!(t.lookup(ip(10, 1, 2, 9)), Some(&"finest"));
+        assert_eq!(t.lookup(ip(11, 0, 0, 1)), None);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn default_route_via_zero_length_prefix() {
+        let mut t = LpmTable::new();
+        t.insert(ip(0, 0, 0, 0), 0, "default");
+        t.insert(ip(10, 0, 0, 0), 8, "ten");
+        assert_eq!(t.lookup(ip(8, 8, 8, 8)), Some(&"default"));
+        assert_eq!(t.lookup(ip(10, 0, 0, 1)), Some(&"ten"));
+    }
+
+    #[test]
+    fn replace_returns_previous() {
+        let mut t = LpmTable::new();
+        assert_eq!(t.insert(ip(10, 0, 0, 0), 8, 1), None);
+        assert_eq!(t.insert(ip(10, 0, 0, 0), 8, 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip(10, 0, 0, 1)), Some(&2));
+    }
+
+    #[test]
+    fn host_routes_are_exact() {
+        let mut t = LpmTable::new();
+        t.insert(ip(10, 0, 0, 5), 32, 5usize);
+        assert_eq!(t.lookup(ip(10, 0, 0, 5)), Some(&5));
+        assert_eq!(t.lookup(ip(10, 0, 0, 6)), None);
+    }
+
+    #[test]
+    fn exact_get_does_not_fall_back() {
+        let mut t = LpmTable::new();
+        t.insert(ip(10, 0, 0, 0), 8, "coarse");
+        assert_eq!(t.get_exact(ip(10, 0, 0, 0), 8), Some(&"coarse"));
+        assert_eq!(t.get_exact(ip(10, 0, 0, 0), 16), None);
+    }
+
+    #[test]
+    fn dense_host_table_like_the_testbed() {
+        // The testbed installs one /32 per host port: check a realistic
+        // table of 256 hosts resolves every address correctly.
+        let mut t = LpmTable::new();
+        for i in 0..256u16 {
+            t.insert(Ipv4Addr::for_host(i), 32, i);
+        }
+        assert_eq!(t.len(), 256);
+        for i in 0..256u16 {
+            assert_eq!(t.lookup(Ipv4Addr::for_host(i)), Some(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "> 32")]
+    fn oversized_prefix_len_panics() {
+        let mut t: LpmTable<()> = LpmTable::new();
+        t.insert(ip(0, 0, 0, 0), 33, ());
+    }
+}

@@ -1,0 +1,161 @@
+//! Ethernet II framing.
+//!
+//! 802.1Q tags and 802.3 length framing are not modelled (the testbed's
+//! hosts speak plain Ethernet II, as in the smoltcp feature set).
+
+use super::WireError;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address ff:ff:ff:ff:ff:ff.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Locally administered unicast address derived from a host index —
+    /// the convention used by the testbed's emulated hosts.
+    pub fn for_host(i: u16) -> MacAddr {
+        MacAddr([0x02, 0x00, 0x00, 0x00, (i >> 8) as u8, i as u8])
+    }
+
+    /// True for group (multicast/broadcast) addresses.
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let a = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            a[0], a[1], a[2], a[3], a[4], a[5]
+        )
+    }
+}
+
+/// EtherType of the carried payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// Any other value.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Parses the 16-bit type field.
+    pub fn from_u16(v: u16) -> EtherType {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+
+    /// The wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// Typed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parses a frame, returning the header and payload slice.
+    pub fn parse(frame: &[u8]) -> Result<(Repr, &[u8]), WireError> {
+        if frame.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&frame[0..6]);
+        src.copy_from_slice(&frame[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([frame[12], frame[13]]));
+        Ok((
+            Repr {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            &frame[HEADER_LEN..],
+        ))
+    }
+
+    /// Emits the header into `buf`, returning the bytes written.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize, WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        Ok(HEADER_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let repr = Repr {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::for_host(3),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; 64];
+        let n = repr.emit(&mut buf).unwrap();
+        assert_eq!(n, HEADER_LEN);
+        let (parsed, payload) = Repr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(payload.len(), 64 - HEADER_LEN);
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        assert_eq!(Repr::parse(&[0u8; 13]), Err(WireError::Truncated));
+        let repr = Repr {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::for_host(0),
+            ethertype: EtherType::Arp,
+        };
+        assert_eq!(repr.emit(&mut [0u8; 10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from_u16(0x86dd).to_u16(), 0x86dd);
+    }
+
+    #[test]
+    fn host_macs_are_unicast_and_unique() {
+        assert!(!MacAddr::for_host(1).is_multicast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert_ne!(MacAddr::for_host(1), MacAddr::for_host(256));
+        assert_eq!(MacAddr::for_host(258).to_string(), "02:00:00:00:01:02");
+    }
+}

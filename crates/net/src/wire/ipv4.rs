@@ -1,0 +1,188 @@
+//! IPv4 header (no options; options are rejected rather than skipped so the
+//! classifier never mis-reads a frame).
+
+use super::{checksum, WireError};
+use crate::types::IpProtocol;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// Builds from four dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// Address of emulated host `i` in the testbed: `10.0.(i/256).(i%256)`.
+    pub fn for_host(i: u16) -> Self {
+        Ipv4Addr([10, 0, (i >> 8) as u8, i as u8])
+    }
+
+    /// The address as a 32-bit big-endian integer (for prefix matching).
+    pub fn to_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Builds from a 32-bit big-endian integer.
+    pub fn from_u32(v: u32) -> Self {
+        Ipv4Addr(v.to_be_bytes())
+    }
+}
+
+impl core::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// Length of an option-less IPv4 header.
+pub const HEADER_LEN: usize = 20;
+
+/// Typed IPv4 header (IHL fixed at 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Carried protocol.
+    pub protocol: IpProtocol,
+    /// Payload length in bytes (excluding this header).
+    pub payload_len: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// DSCP codepoint (ECN bits not modelled).
+    pub dscp: u8,
+}
+
+impl Repr {
+    /// Parses a header, validating version, IHL, length and checksum.
+    pub fn parse(data: &[u8]) -> Result<(Repr, &[u8]), WireError> {
+        if data.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(WireError::BadVersion(version));
+        }
+        let ihl = data[0] & 0x0f;
+        if ihl != 5 {
+            // Options unsupported: refuse rather than guess.
+            return Err(WireError::BadHeaderLen(ihl));
+        }
+        let total_len = u16::from_be_bytes([data[2], data[3]]) as usize;
+        if total_len < HEADER_LEN || total_len > data.len() {
+            return Err(WireError::Truncated);
+        }
+        if checksum::sum(&data[..HEADER_LEN]) != 0xffff {
+            return Err(WireError::BadChecksum);
+        }
+        let repr = Repr {
+            src: Ipv4Addr([data[12], data[13], data[14], data[15]]),
+            dst: Ipv4Addr([data[16], data[17], data[18], data[19]]),
+            protocol: IpProtocol::from_byte(data[9]),
+            payload_len: (total_len - HEADER_LEN) as u16,
+            ttl: data[8],
+            dscp: data[1] >> 2,
+        };
+        Ok((repr, &data[HEADER_LEN..total_len]))
+    }
+
+    /// Emits the header (with checksum) into `buf`.
+    pub fn emit(&self, buf: &mut [u8]) -> Result<usize, WireError> {
+        if buf.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let total_len = HEADER_LEN as u16 + self.payload_len;
+        buf[0] = 0x45;
+        buf[1] = self.dscp << 2;
+        buf[2..4].copy_from_slice(&total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&[0, 0]); // identification
+        buf[6..8].copy_from_slice(&[0x40, 0]); // DF, no fragmentation
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.to_byte();
+        buf[10..12].copy_from_slice(&[0, 0]);
+        buf[12..16].copy_from_slice(&self.src.0);
+        buf[16..20].copy_from_slice(&self.dst.0);
+        let c = checksum::checksum(&buf[..HEADER_LEN]);
+        buf[10..12].copy_from_slice(&c.to_be_bytes());
+        Ok(HEADER_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repr {
+        Repr {
+            src: Ipv4Addr::for_host(1),
+            dst: Ipv4Addr::for_host(2),
+            protocol: IpProtocol::Udp,
+            payload_len: 8,
+            ttl: 64,
+            dscp: 46, // EF — the VOIP codepoint
+        }
+    }
+
+    #[test]
+    fn round_trip_with_checksum() {
+        let repr = sample();
+        let mut buf = vec![0u8; HEADER_LEN + 8];
+        repr.emit(&mut buf).unwrap();
+        let (parsed, payload) = Repr::parse(&buf).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(payload.len(), 8);
+    }
+
+    #[test]
+    fn corrupted_byte_fails_checksum() {
+        let mut buf = vec![0u8; HEADER_LEN + 8];
+        sample().emit(&mut buf).unwrap();
+        buf[15] ^= 0x01;
+        assert_eq!(Repr::parse(&buf), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn version_and_ihl_validation() {
+        let mut buf = vec![0u8; HEADER_LEN + 8];
+        sample().emit(&mut buf).unwrap();
+        let mut v6 = buf.clone();
+        v6[0] = 0x65;
+        assert_eq!(Repr::parse(&v6), Err(WireError::BadVersion(6)));
+        let mut opts = buf.clone();
+        opts[0] = 0x46;
+        assert_eq!(Repr::parse(&opts), Err(WireError::BadHeaderLen(6)));
+    }
+
+    #[test]
+    fn total_length_bounds() {
+        let mut buf = vec![0u8; HEADER_LEN + 8];
+        sample().emit(&mut buf).unwrap();
+        // Declared total length beyond buffer.
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(Repr::parse(&buf), Err(WireError::Truncated));
+        assert_eq!(Repr::parse(&[0u8; 10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn payload_slice_honours_total_length() {
+        // Buffer longer than total_len (Ethernet padding): payload must be
+        // trimmed to the declared length.
+        let repr = sample();
+        let mut buf = vec![0u8; HEADER_LEN + 60];
+        repr.emit(&mut buf).unwrap();
+        let (_, payload) = Repr::parse(&buf).unwrap();
+        assert_eq!(payload.len(), 8);
+    }
+
+    #[test]
+    fn host_addresses_are_unique_and_stable() {
+        assert_eq!(Ipv4Addr::for_host(1).to_string(), "10.0.0.1");
+        assert_eq!(Ipv4Addr::for_host(300).to_string(), "10.0.1.44");
+        assert_ne!(Ipv4Addr::for_host(1), Ipv4Addr::for_host(257));
+        let a = Ipv4Addr::new(192, 168, 1, 1);
+        assert_eq!(Ipv4Addr::from_u32(a.to_u32()), a);
+    }
+}

@@ -1,0 +1,49 @@
+//! Typed wire formats in the smoltcp `Repr` idiom.
+//!
+//! Each header type has a `Repr` struct with:
+//! * `parse(&[u8]) -> Result<(Repr, &[u8]), WireError>` returning the typed
+//!   header and the remaining payload, validating lengths and checksums;
+//! * `emit(&self, &mut [u8]) -> Result<usize, WireError>` writing the header
+//!   (computing checksums) and returning the bytes written.
+//!
+//! Only the fields the hybrid-switch classifier needs are modelled; the
+//! omissions (IP options, TCP options beyond the data offset, VLAN tags) are
+//! deliberate and documented per type.
+
+pub mod checksum;
+pub mod ethernet;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use ethernet::{EtherType, MacAddr};
+pub use ipv4::Ipv4Addr;
+
+/// Errors produced by header parsing/emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the header (or its declared length).
+    Truncated,
+    /// IPv4 version field was not 4.
+    BadVersion(u8),
+    /// Header length field below the legal minimum.
+    BadHeaderLen(u8),
+    /// Checksum verification failed.
+    BadChecksum,
+    /// Frame carries a payload type we do not parse.
+    Unsupported(u16),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadVersion(v) => write!(f, "bad IP version {v}"),
+            WireError::BadHeaderLen(l) => write!(f, "bad header length {l}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::Unsupported(t) => write!(f, "unsupported type 0x{t:04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,210 @@
+//! Minimal TCP header: the fields a switch classifier reads. Options are
+//! skipped via the data offset; sequence-space logic lives in endpoints,
+//! not in a switch, and is out of scope.
+
+use super::{checksum, Ipv4Addr, WireError};
+
+/// Minimal TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// SYN: connection open.
+    pub syn: bool,
+    /// ACK: acknowledgement valid.
+    pub ack: bool,
+    /// FIN: sender finished.
+    pub fin: bool,
+    /// RST: reset.
+    pub rst: bool,
+    /// PSH: push.
+    pub psh: bool,
+}
+
+impl Flags {
+    fn to_byte(self) -> u8 {
+        (self.fin as u8)
+            | (self.syn as u8) << 1
+            | (self.rst as u8) << 2
+            | (self.psh as u8) << 3
+            | (self.ack as u8) << 4
+    }
+
+    fn from_byte(b: u8) -> Flags {
+        Flags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// Typed TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number (meaningful when `flags.ack`).
+    pub ack_no: u32,
+    /// Flag bits.
+    pub flags: Flags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl Repr {
+    /// Parses a TCP segment over IPv4, verifying the checksum.
+    pub fn parse<'a>(
+        data: &'a [u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<(Repr, &'a [u8]), WireError> {
+        if data.len() < MIN_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let data_off = ((data[12] >> 4) as usize) * 4;
+        if data_off < MIN_HEADER_LEN {
+            return Err(WireError::BadHeaderLen((data[12] >> 4) as u8));
+        }
+        if data_off > data.len() {
+            return Err(WireError::Truncated);
+        }
+        let mut acc = checksum::pseudo_header(src, dst, 6, data.len() as u16);
+        acc += checksum::sum(data);
+        if checksum::fold(acc) != 0xffff {
+            return Err(WireError::BadChecksum);
+        }
+        Ok((
+            Repr {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+                ack_no: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+                flags: Flags::from_byte(data[13]),
+                window: u16::from_be_bytes([data[14], data[15]]),
+            },
+            &data[data_off..],
+        ))
+    }
+
+    /// Emits an option-less header + checksum; payload must already be at
+    /// `buf[MIN_HEADER_LEN..MIN_HEADER_LEN+payload_len]`.
+    pub fn emit(
+        &self,
+        buf: &mut [u8],
+        payload_len: usize,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<usize, WireError> {
+        let len = MIN_HEADER_LEN + payload_len;
+        if buf.len() < len {
+            return Err(WireError::Truncated);
+        }
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack_no.to_be_bytes());
+        buf[12] = 5 << 4;
+        buf[13] = self.flags.to_byte();
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..18].copy_from_slice(&[0, 0]); // checksum
+        buf[18..20].copy_from_slice(&[0, 0]); // urgent pointer (ignored)
+        let mut acc = checksum::pseudo_header(src, dst, 6, len as u16);
+        acc += checksum::sum(&buf[..len]);
+        let c = checksum::finish(acc);
+        buf[16..18].copy_from_slice(&c.to_be_bytes());
+        Ok(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    fn sample() -> Repr {
+        Repr {
+            src_port: 43210,
+            dst_port: 80,
+            seq: 0xdead_beef,
+            ack_no: 0x0102_0304,
+            flags: Flags {
+                syn: true,
+                ack: true,
+                ..Flags::default()
+            },
+            window: 65535,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let (src, dst) = addrs();
+        let repr = sample();
+        let mut buf = vec![0u8; MIN_HEADER_LEN + 3];
+        buf[MIN_HEADER_LEN..].copy_from_slice(b"abc");
+        repr.emit(&mut buf, 3, src, dst).unwrap();
+        let (parsed, payload) = Repr::parse(&buf, src, dst).unwrap();
+        assert_eq!(parsed, repr);
+        assert_eq!(payload, b"abc");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let (src, dst) = addrs();
+        let mut buf = vec![0u8; MIN_HEADER_LEN];
+        sample().emit(&mut buf, 0, src, dst).unwrap();
+        buf[5] ^= 0x40;
+        assert_eq!(Repr::parse(&buf, src, dst), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn data_offset_with_options_is_skipped() {
+        let (src, dst) = addrs();
+        // Hand-build a header with data offset 6 (one 4-byte option).
+        let mut buf = vec![0u8; 24 + 2];
+        sample().emit(&mut buf, 0, src, dst).ok();
+        buf[12] = 6 << 4;
+        buf[20..24].copy_from_slice(&[1, 1, 1, 1]); // NOP options
+        buf[24..26].copy_from_slice(b"hi");
+        // Recompute checksum manually.
+        buf[16..18].copy_from_slice(&[0, 0]);
+        let mut acc = checksum::pseudo_header(src, dst, 6, buf.len() as u16);
+        acc += checksum::sum(&buf);
+        let c = checksum::finish(acc);
+        buf[16..18].copy_from_slice(&c.to_be_bytes());
+        let (_, payload) = Repr::parse(&buf, src, dst).unwrap();
+        assert_eq!(payload, b"hi");
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let (src, dst) = addrs();
+        let mut buf = vec![0u8; MIN_HEADER_LEN];
+        sample().emit(&mut buf, 0, src, dst).unwrap();
+        buf[12] = 4 << 4; // below minimum
+        assert_eq!(
+            Repr::parse(&buf, src, dst),
+            Err(WireError::BadHeaderLen(4))
+        );
+        buf[12] = 15 << 4; // beyond buffer
+        assert_eq!(Repr::parse(&buf, src, dst), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn flag_bits_round_trip() {
+        for bits in 0..32u8 {
+            assert_eq!(Flags::from_byte(bits).to_byte(), bits & 0x1f);
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Sampling distributions for workload generation.
+//!
+//! The traffic generators need heavy-tailed flow sizes (bounded Pareto,
+//! log-normal, empirical CDFs lifted from published data-center measurement
+//! studies) and skewed destination choices (Zipf). All samplers draw from
+//! [`SimRng`] so runs stay deterministic.
+
+use crate::rng::SimRng;
+
+/// Anything that can produce an `f64` sample.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The distribution's mean, if known in closed form. Used by load
+    /// calculations in the traffic generators.
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A closed set of distributions, enum-dispatched so workload configs stay
+/// plain data (no trait objects to clone or compare).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always returns the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean of the distribution (1/λ).
+        mean: f64,
+    },
+    /// Pareto with optional upper truncation (resampling at the cap keeps
+    /// the tail shape below it).
+    Pareto {
+        /// Scale (minimum value), > 0.
+        scale: f64,
+        /// Tail index α, > 0. α ≤ 1 has an infinite mean.
+        shape: f64,
+        /// Optional upper bound; samples above it are clamped.
+        cap: Option<f64>,
+    },
+    /// Log-normal with the given parameters of the underlying normal.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal, ≥ 0.
+        sigma: f64,
+    },
+    /// Piecewise-linear empirical CDF.
+    Empirical(EmpiricalCdf),
+}
+
+impl Dist {
+    /// Validates parameters, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Dist::Constant(v) => {
+                if !v.is_finite() {
+                    return Err(format!("constant must be finite, got {v}"));
+                }
+            }
+            Dist::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+                    return Err(format!("uniform needs lo < hi, got [{lo}, {hi})"));
+                }
+            }
+            Dist::Exp { mean } => {
+                if !(mean.is_finite() && *mean > 0.0) {
+                    return Err(format!("exponential mean must be > 0, got {mean}"));
+                }
+            }
+            Dist::Pareto { scale, shape, cap } => {
+                if !(scale.is_finite() && *scale > 0.0) {
+                    return Err(format!("pareto scale must be > 0, got {scale}"));
+                }
+                if !(shape.is_finite() && *shape > 0.0) {
+                    return Err(format!("pareto shape must be > 0, got {shape}"));
+                }
+                if let Some(c) = cap {
+                    if c < scale {
+                        return Err(format!("pareto cap {c} below scale {scale}"));
+                    }
+                }
+            }
+            Dist::LogNormal { mu, sigma } => {
+                if !(mu.is_finite() && sigma.is_finite() && *sigma >= 0.0) {
+                    return Err(format!("lognormal needs finite mu and sigma ≥ 0, got ({mu}, {sigma})"));
+                }
+            }
+            Dist::Empirical(cdf) => cdf.validate()?,
+        }
+        Ok(())
+    }
+}
+
+impl Sample for Dist {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            Dist::Constant(v) => *v,
+            Dist::Uniform { lo, hi } => lo + (hi - lo) * rng.f64(),
+            Dist::Exp { mean } => rng.exp(*mean),
+            Dist::Pareto { scale, shape, cap } => {
+                let u = loop {
+                    let u = rng.f64();
+                    if u > 0.0 {
+                        break u;
+                    }
+                };
+                let x = scale / u.powf(1.0 / shape);
+                match cap {
+                    Some(c) => x.min(*c),
+                    None => x,
+                }
+            }
+            Dist::LogNormal { mu, sigma } => (mu + sigma * rng.gaussian()).exp(),
+            Dist::Empirical(cdf) => cdf.sample(rng),
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        match self {
+            Dist::Constant(v) => Some(*v),
+            Dist::Uniform { lo, hi } => Some(0.5 * (lo + hi)),
+            Dist::Exp { mean } => Some(*mean),
+            Dist::Pareto { scale, shape, cap: None } => {
+                if *shape > 1.0 {
+                    Some(shape * scale / (shape - 1.0))
+                } else {
+                    None
+                }
+            }
+            // The truncated-Pareto mean exists but the closed form is messy;
+            // callers use the empirical mean instead.
+            Dist::Pareto { cap: Some(_), .. } => None,
+            Dist::LogNormal { mu, sigma } => Some((mu + 0.5 * sigma * sigma).exp()),
+            Dist::Empirical(cdf) => Some(cdf.mean()),
+        }
+    }
+}
+
+/// A piecewise-linear inverse-CDF sampler built from `(value, cumulative
+/// probability)` knots, the standard way to encode published flow-size
+/// distributions (web-search, data-mining, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl EmpiricalCdf {
+    /// Builds a CDF from knots. Knots must be non-empty, have strictly
+    /// increasing values, non-decreasing probabilities, and end at
+    /// probability 1.0. A starting knot at probability 0.0 is implied at the
+    /// first value if not present.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Result<Self, String> {
+        if points.is_empty() {
+            return Err("empirical CDF needs at least one knot".into());
+        }
+        if points[0].1 > 0.0 {
+            points.insert(0, (points[0].0, 0.0));
+        }
+        let cdf = EmpiricalCdf { points };
+        cdf.validate()?;
+        Ok(cdf)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let pts = &self.points;
+        for w in pts.windows(2) {
+            if w[1].0 < w[0].0 {
+                return Err(format!("CDF values must be non-decreasing: {} after {}", w[1].0, w[0].0));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!(
+                    "CDF probabilities must be non-decreasing: {} after {}",
+                    w[1].1, w[0].1
+                ));
+            }
+        }
+        let last = pts.last().expect("non-empty");
+        if (last.1 - 1.0).abs() > 1e-9 {
+            return Err(format!("CDF must end at probability 1.0, ends at {}", last.1));
+        }
+        Ok(())
+    }
+
+    /// Inverse-CDF draw with linear interpolation between knots.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let u = rng.f64();
+        self.quantile(u)
+    }
+
+    /// The value at cumulative probability `u` (clamped to `[0, 1]`).
+    pub fn quantile(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let pts = &self.points;
+        if u <= pts[0].1 {
+            return pts[0].0;
+        }
+        for w in pts.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if u <= p1 {
+                if p1 == p0 {
+                    return v1;
+                }
+                let t = (u - p0) / (p1 - p0);
+                return v0 + t * (v1 - v0);
+            }
+        }
+        pts.last().expect("non-empty").0
+    }
+
+    /// Mean of the piecewise-linear distribution (trapezoid rule over the
+    /// inverse CDF).
+    pub fn mean(&self) -> f64 {
+        let pts = &self.points;
+        let mut acc = 0.0;
+        for w in pts.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            acc += (p1 - p0) * 0.5 * (v0 + v1);
+        }
+        acc
+    }
+}
+
+/// Zipf-distributed index sampler over `0..n` with exponent `s`
+/// (precomputed CDF; O(log n) per draw).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0` (s = 0 is
+    /// uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when there is exactly one rank (sampling is then constant).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample_index(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(d: &Dist, seed: u64, n: usize) -> f64 {
+        let mut rng = SimRng::new(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = Dist::Constant(7.5);
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 7.5);
+        }
+        assert_eq!(d.mean(), Some(7.5));
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let d = Dist::Uniform { lo: 2.0, hi: 4.0 };
+        let mut rng = SimRng::new(2);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..4.0).contains(&x));
+        }
+        assert!((mean_of(&d, 3, 100_000) - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Dist::Exp { mean: 123.0 };
+        let m = mean_of(&d, 4, 200_000);
+        assert!((m - 123.0).abs() / 123.0 < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn pareto_min_and_tail() {
+        let d = Dist::Pareto {
+            scale: 10.0,
+            shape: 1.5,
+            cap: None,
+        };
+        let mut rng = SimRng::new(5);
+        let mut above_100 = 0usize;
+        for _ in 0..100_000 {
+            let x = d.sample(&mut rng);
+            assert!(x >= 10.0);
+            if x > 100.0 {
+                above_100 += 1;
+            }
+        }
+        // P(X > 100) = (10/100)^1.5 ≈ 0.0316
+        let frac = above_100 as f64 / 100_000.0;
+        assert!((frac - 0.0316).abs() < 0.005, "tail fraction {frac}");
+        // analytic mean α·m/(α−1) = 30
+        assert_eq!(d.mean(), Some(30.0));
+    }
+
+    #[test]
+    fn pareto_cap_clamps() {
+        let d = Dist::Pareto {
+            scale: 10.0,
+            shape: 0.5,
+            cap: Some(1000.0),
+        };
+        let mut rng = SimRng::new(6);
+        for _ in 0..50_000 {
+            let x = d.sample(&mut rng);
+            assert!((10.0..=1000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn lognormal_mean() {
+        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let expect = (1.0f64 + 0.125).exp();
+        let m = mean_of(&d, 7, 300_000);
+        assert!((m - expect).abs() / expect < 0.02, "mean {m} vs {expect}");
+        assert_eq!(d.mean(), Some(expect));
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(Dist::Uniform { lo: 1.0, hi: 1.0 }.validate().is_err());
+        assert!(Dist::Exp { mean: 0.0 }.validate().is_err());
+        assert!(Dist::Pareto { scale: -1.0, shape: 1.0, cap: None }.validate().is_err());
+        assert!(Dist::Pareto { scale: 10.0, shape: 1.0, cap: Some(5.0) }.validate().is_err());
+        assert!(Dist::LogNormal { mu: 0.0, sigma: -1.0 }.validate().is_err());
+        assert!(Dist::Constant(f64::NAN).validate().is_err());
+        assert!(Dist::Uniform { lo: 0.0, hi: 1.0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn empirical_cdf_interpolates() {
+        let cdf = EmpiricalCdf::new(vec![(0.0, 0.0), (10.0, 0.5), (100.0, 1.0)]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 0.0);
+        assert_eq!(cdf.quantile(0.25), 5.0);
+        assert_eq!(cdf.quantile(0.5), 10.0);
+        assert_eq!(cdf.quantile(0.75), 55.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn empirical_cdf_mean_by_trapezoid() {
+        let cdf = EmpiricalCdf::new(vec![(0.0, 0.0), (10.0, 1.0)]).unwrap();
+        assert!((cdf.mean() - 5.0).abs() < 1e-12);
+        let d = Dist::Empirical(cdf);
+        let m = mean_of(&d, 8, 100_000);
+        assert!((m - 5.0).abs() < 0.05, "mean {m}");
+    }
+
+    #[test]
+    fn empirical_cdf_rejects_bad_knots() {
+        assert!(EmpiricalCdf::new(vec![]).is_err());
+        assert!(EmpiricalCdf::new(vec![(0.0, 0.0), (1.0, 0.5)]).is_err()); // doesn't end at 1
+        assert!(EmpiricalCdf::new(vec![(5.0, 0.0), (1.0, 1.0)]).is_err()); // values decrease
+        assert!(EmpiricalCdf::new(vec![(0.0, 0.5), (1.0, 0.2), (2.0, 1.0)]).is_err()); // probs decrease
+    }
+
+    #[test]
+    fn empirical_cdf_implied_zero_knot() {
+        // A CDF whose first knot has positive probability gets an implied
+        // starting knot, making the minimum value attainable.
+        let cdf = EmpiricalCdf::new(vec![(4.0, 0.3), (8.0, 1.0)]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 4.0);
+        assert_eq!(cdf.quantile(0.3), 4.0);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_bounds() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = SimRng::new(9);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10], "rank 0 should dominate rank 10");
+        assert!(counts[0] > counts[99] * 5, "head should dwarf tail");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SimRng::new(10);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_500..11_500).contains(&c), "bucket {c} not uniform");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Dist::LogNormal { mu: 2.0, sigma: 1.0 };
+        let a: Vec<f64> = {
+            let mut rng = SimRng::new(77);
+            (0..32).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = SimRng::new(77);
+            (0..32).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,322 @@
+//! Stable-order event queue and simulation driver.
+//!
+//! The queue is generic over the event payload: domain crates define an
+//! event `enum` and a handler that matches on it, keeping all mutable state
+//! in one place (the handler's `&mut S`). Events scheduled for the same
+//! instant are delivered in insertion order, which makes every run
+//! deterministic given a fixed seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event payload scheduled for a specific instant.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    /// Reversed so that `BinaryHeap` (a max-heap) pops the *earliest*
+    /// `(time, seq)` pair first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list with a monotonically advancing clock.
+///
+/// Invariants:
+/// * [`EventQueue::pop`] never returns events out of `(time, seq)` order;
+/// * the clock (`now`) never moves backwards;
+/// * scheduling an event strictly in the past is a logic error and panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` for the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock: an event in the
+    /// past indicates a bug in the caller's timing logic, and silently
+    /// reordering it would corrupt the run.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` for `delay` after the current clock.
+    pub fn schedule_after(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "event queue clock went backwards");
+        self.now = ev.time;
+        Some((ev.time, ev.payload))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drops all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Statistics returned by a completed [`Simulation`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events delivered to the handler.
+    pub events_processed: u64,
+    /// Clock value when the run stopped.
+    pub end_time: SimTime,
+    /// True if the run stopped because the event horizon was reached (rather
+    /// than the queue draining or the event budget being exhausted).
+    pub hit_horizon: bool,
+}
+
+/// A thin driver that repeatedly pops events and hands them to a handler
+/// together with mutable access to the queue (so handlers can schedule
+/// follow-up events) and to the caller's state.
+pub struct Simulation<E> {
+    /// The underlying event queue. Exposed so that setup code can seed
+    /// initial events before calling [`Simulation::run_until`].
+    pub queue: EventQueue<E>,
+    /// Safety valve: the run aborts after this many events. Defaults to
+    /// `u64::MAX` (disabled).
+    pub max_events: u64,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Creates a driver with an empty queue and no event budget.
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Runs until the queue drains, the clock passes `horizon`, or the event
+    /// budget is exhausted. Events timestamped exactly at `horizon` are
+    /// still delivered; later ones are left in the queue.
+    pub fn run_until<S, F>(&mut self, state: &mut S, horizon: SimTime, mut handler: F) -> RunStats
+    where
+        F: FnMut(&mut S, &mut EventQueue<E>, SimTime, E),
+    {
+        let mut processed = 0u64;
+        let mut hit_horizon = false;
+        while processed < self.max_events {
+            match self.queue.peek_time() {
+                None => break,
+                Some(t) if t > horizon => {
+                    hit_horizon = true;
+                    break;
+                }
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked event vanished");
+            handler(state, &mut self.queue, t, ev);
+            processed += 1;
+        }
+        RunStats {
+            events_processed: processed,
+            end_time: self.queue.now(),
+            hit_horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), "c");
+        q.schedule_at(SimTime::from_nanos(10), "a");
+        q.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), ());
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(9), ());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.pop();
+        q.schedule_after(SimDuration::from_nanos(5), 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(15));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulation::new();
+        for i in 1..=10u64 {
+            sim.queue.schedule_at(SimTime::from_nanos(i * 10), i);
+        }
+        let mut seen = Vec::new();
+        let stats = sim.run_until(&mut seen, SimTime::from_nanos(50), |s, _, _, e| s.push(e));
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(stats.events_processed, 5);
+        assert!(stats.hit_horizon);
+        assert_eq!(sim.queue.len(), 5);
+    }
+
+    #[test]
+    fn run_until_drains_queue_without_horizon_flag() {
+        let mut sim = Simulation::new();
+        sim.queue.schedule_at(SimTime::from_nanos(1), ());
+        let stats = sim.run_until(&mut (), SimTime::MAX, |_, _, _, _| {});
+        assert_eq!(stats.events_processed, 1);
+        assert!(!stats.hit_horizon);
+    }
+
+    #[test]
+    fn handler_can_schedule_follow_ups() {
+        let mut sim = Simulation::new();
+        sim.queue.schedule_at(SimTime::from_nanos(1), 0u32);
+        let mut count = 0u32;
+        sim.run_until(&mut count, SimTime::from_micros(1), |c, q, _, hop| {
+            *c += 1;
+            if hop < 9 {
+                q.schedule_after(SimDuration::from_nanos(3), hop + 1);
+            }
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn max_events_budget_stops_runaway_loops() {
+        let mut sim = Simulation::new();
+        sim.queue.schedule_at(SimTime::from_nanos(1), ());
+        sim.max_events = 100;
+        let stats = sim.run_until(&mut (), SimTime::MAX, |_, q, _, _| {
+            q.schedule_after(SimDuration::from_nanos(1), ());
+        });
+        assert_eq!(stats.events_processed, 100);
+    }
+
+    #[test]
+    fn scheduled_total_counts_everything() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(1), ());
+        q.schedule_at(SimTime::from_nanos(2), ());
+        q.pop();
+        q.clear();
+        assert_eq!(q.scheduled_total(), 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Bit-rate arithmetic: serialization delays, byte budgets, token buckets.
+//!
+//! All conversions use 128-bit intermediate integer math so that a 100 Gb/s
+//! link and a multi-second window never overflow and every result is exact
+//! (rounded up for transmission times — a partial nanosecond still occupies
+//! the wire).
+
+use crate::time::{SimDuration, SimTime};
+
+/// A link or port speed in bits per second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitRate(u64);
+
+impl BitRate {
+    /// 1 Gb/s.
+    pub const GBPS_1: BitRate = BitRate::from_gbps(1);
+    /// 10 Gb/s — the per-port rate in the paper's 64×64 example.
+    pub const GBPS_10: BitRate = BitRate::from_gbps(10);
+    /// 40 Gb/s.
+    pub const GBPS_40: BitRate = BitRate::from_gbps(40);
+    /// 100 Gb/s — the NetFPGA-SUME aggregate the paper targets.
+    pub const GBPS_100: BitRate = BitRate::from_gbps(100);
+
+    /// Constructs from bits per second.
+    ///
+    /// Zero rates are rejected: a zero-speed link cannot transmit and every
+    /// use of it would need a special case.
+    pub const fn from_bps(bps: u64) -> BitRate {
+        assert!(bps > 0, "bit rate must be positive");
+        BitRate(bps)
+    }
+
+    /// Constructs from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> BitRate {
+        BitRate::from_bps(mbps * 1_000_000)
+    }
+
+    /// Constructs from gigabits per second.
+    pub const fn from_gbps(gbps: u64) -> BitRate {
+        BitRate::from_bps(gbps * 1_000_000_000)
+    }
+
+    /// Raw bits per second.
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+
+    /// Bytes per second (rounded down).
+    pub const fn bytes_per_sec(self) -> u64 {
+        self.0 / 8
+    }
+
+    /// Time to serialize `bytes` onto the wire, rounded up to the next
+    /// nanosecond.
+    pub fn tx_time(self, bytes: u64) -> SimDuration {
+        let bits = bytes as u128 * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(self.0 as u128);
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Bytes that can be fully transmitted within `window` (rounded down).
+    pub fn bytes_in(self, window: SimDuration) -> u64 {
+        let bits = self.0 as u128 * window.as_nanos() as u128 / 1_000_000_000;
+        (bits / 8) as u64
+    }
+
+    /// Scales the rate by a factor (e.g. EPS at 1/10 of line rate). Rounds
+    /// down but never below 1 bps.
+    pub fn scale(self, k: f64) -> BitRate {
+        assert!(k.is_finite() && k > 0.0, "rate scale factor must be > 0");
+        BitRate(((self.0 as f64 * k) as u64).max(1))
+    }
+}
+
+impl core::fmt::Display for BitRate {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let bps = self.0;
+        if bps >= 1_000_000_000 && bps % 1_000_000_000 == 0 {
+            write!(f, "{}Gbps", bps / 1_000_000_000)
+        } else if bps >= 1_000_000 {
+            write!(f, "{:.1}Mbps", bps as f64 / 1e6)
+        } else {
+            write!(f, "{bps}bps")
+        }
+    }
+}
+
+/// A token bucket for rate limiting / pacing.
+///
+/// Tokens are denominated in bytes and refill continuously at `rate`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: BitRate,
+    burst_bytes: u64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    pub fn new(rate: BitRate, burst_bytes: u64) -> Self {
+        TokenBucket {
+            rate,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_refill);
+        if !dt.is_zero() {
+            let add = self.rate.bytes_per_sec() as f64 * dt.as_secs_f64();
+            self.tokens = (self.tokens + add).min(self.burst_bytes as f64);
+            self.last_refill = now;
+        }
+    }
+
+    /// Attempts to consume `bytes` worth of tokens at `now`.
+    pub fn try_consume(&mut self, now: SimTime, bytes: u64) -> bool {
+        self.refill(now);
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest instant at which `bytes` tokens will be available,
+    /// assuming no other consumption in between.
+    pub fn earliest(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.refill(now);
+        if self.tokens >= bytes as f64 {
+            return now;
+        }
+        let deficit = bytes as f64 - self.tokens;
+        let secs = deficit / self.rate.bytes_per_sec() as f64;
+        now + SimDuration::from_secs_f64(secs)
+    }
+
+    /// Current token level in bytes (after refilling to `now`).
+    pub fn level(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        self.tokens as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_known_values() {
+        // 1500 B at 10 Gb/s = 1200 ns exactly.
+        assert_eq!(
+            BitRate::GBPS_10.tx_time(1500),
+            SimDuration::from_nanos(1200)
+        );
+        // 64 B at 10 Gb/s = 51.2 ns, rounded up to 52.
+        assert_eq!(BitRate::GBPS_10.tx_time(64), SimDuration::from_nanos(52));
+        // 1 B at 1 Gb/s = 8 ns.
+        assert_eq!(BitRate::GBPS_1.tx_time(1), SimDuration::from_nanos(8));
+    }
+
+    #[test]
+    fn bytes_in_inverts_tx_time() {
+        let r = BitRate::GBPS_10;
+        let window = SimDuration::from_micros(1);
+        // 10 Gb/s for 1 µs = 10_000 bits = 1250 bytes.
+        assert_eq!(r.bytes_in(window), 1250);
+        // Round-trip: transmitting those bytes takes exactly the window.
+        assert_eq!(r.tx_time(1250), window);
+    }
+
+    #[test]
+    fn rate_display() {
+        assert_eq!(BitRate::GBPS_10.to_string(), "10Gbps");
+        assert_eq!(BitRate::from_mbps(250).to_string(), "250.0Mbps");
+        assert_eq!(BitRate::from_bps(999).to_string(), "999bps");
+    }
+
+    #[test]
+    fn scale_rounds_and_stays_positive() {
+        assert_eq!(BitRate::GBPS_10.scale(0.1), BitRate::GBPS_1);
+        assert!(BitRate::from_bps(1).scale(0.001).bps() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit rate must be positive")]
+    fn zero_rate_rejected() {
+        BitRate::from_bps(0);
+    }
+
+    #[test]
+    fn token_bucket_starts_full_and_drains() {
+        let mut tb = TokenBucket::new(BitRate::GBPS_1, 3000);
+        let t0 = SimTime::ZERO;
+        assert!(tb.try_consume(t0, 1500));
+        assert!(tb.try_consume(t0, 1500));
+        assert!(!tb.try_consume(t0, 1));
+    }
+
+    #[test]
+    fn token_bucket_refills_at_rate() {
+        let mut tb = TokenBucket::new(BitRate::GBPS_1, 1500);
+        let t0 = SimTime::ZERO;
+        assert!(tb.try_consume(t0, 1500));
+        // 1 Gb/s = 125 MB/s → 1500 B refill in 12 µs.
+        let t1 = t0 + SimDuration::from_micros(12);
+        assert!(tb.try_consume(t1, 1500));
+        assert!(!tb.try_consume(t1, 1500));
+    }
+
+    #[test]
+    fn token_bucket_earliest_prediction() {
+        let mut tb = TokenBucket::new(BitRate::GBPS_1, 1500);
+        let t0 = SimTime::ZERO;
+        assert_eq!(tb.earliest(t0, 1000), t0);
+        assert!(tb.try_consume(t0, 1500));
+        let eta = tb.earliest(t0, 1500);
+        // ≈ 12 µs (float rounding tolerated: ±1 ns).
+        let expect = SimDuration::from_micros(12).as_nanos();
+        let got = eta.saturating_since(t0).as_nanos();
+        assert!(got.abs_diff(expect) <= 1, "eta {got} vs {expect}");
+        assert!(tb.try_consume(eta + SimDuration::from_nanos(1), 1500));
+    }
+
+    #[test]
+    fn token_bucket_caps_at_burst() {
+        let mut tb = TokenBucket::new(BitRate::GBPS_10, 1000);
+        let later = SimTime::from_secs(10);
+        assert_eq!(tb.level(later), 1000);
+        assert!(!tb.try_consume(later, 1001));
+    }
+}

@@ -1,0 +1,127 @@
+//! A bounded, timestamped trace ring for debugging event-driven logic.
+//!
+//! Simulations emit far too many events to log unconditionally; the ring
+//! keeps the most recent `capacity` entries so a failing test or an
+//! assertion handler can dump the recent history (the same idea as a
+//! hardware trace buffer on the NetFPGA).
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// Fixed-capacity ring of `(time, entry)` pairs; pushing beyond capacity
+/// evicts the oldest entry.
+#[derive(Debug, Clone)]
+pub struct TraceRing<T> {
+    buf: VecDeque<(SimTime, T)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> TraceRing<T> {
+    /// Creates a ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceRing {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an entry, evicting the oldest if full.
+    pub fn push(&mut self, at: SimTime, entry: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back((at, entry));
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &(SimTime, T)> {
+        self.buf.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been recorded (or everything was evicted —
+    /// impossible, eviction only happens on push).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Entries evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+impl<T: std::fmt::Debug> TraceRing<T> {
+    /// Renders the retained history, one entry per line, for test-failure
+    /// dumps.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "... {} earlier entries dropped ...", self.dropped);
+        }
+        for (t, e) in &self.buf {
+            let _ = writeln!(out, "[{t}] {e:?}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..5 {
+            ring.push(SimTime::from_nanos(i), i);
+        }
+        let kept: Vec<u64> = ring.iter().map(|&(_, e)| e).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.len(), 3);
+    }
+
+    #[test]
+    fn dump_mentions_drops() {
+        let mut ring = TraceRing::new(1);
+        ring.push(SimTime::from_nanos(1), "a");
+        ring.push(SimTime::from_nanos(2), "b");
+        let dump = ring.dump();
+        assert!(dump.contains("1 earlier entries dropped"));
+        assert!(dump.contains("\"b\""));
+        assert!(!dump.contains("\"a\""));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ring = TraceRing::new(2);
+        ring.push(SimTime::ZERO, ());
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        TraceRing::<()>::new(0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Electrical packet switch: output-queued, store-and-forward.
+//!
+//! Serves the paper's "remaining traffic and short bursts". Modelled as one
+//! bounded FIFO per output port draining at the EPS port rate; the enqueue
+//! call computes the departure time directly (no per-byte events), which is
+//! exact for FIFO service and keeps the simulator fast.
+//!
+//! In hybrid architectures the EPS is typically provisioned well below the
+//! optical line rate (the whole point of offloading elephants to circuits),
+//! so the per-port rate is independent of the OCS rate.
+
+use std::collections::VecDeque;
+
+use xds_sim::{BitRate, SimDuration, SimTime};
+
+/// Per-run statistics of the EPS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpsStats {
+    /// Bytes accepted and (eventually) delivered.
+    pub delivered_bytes: u64,
+    /// Packets accepted.
+    pub delivered_packets: u64,
+    /// Packets rejected because the output queue was full.
+    pub drops: u64,
+    /// Bytes rejected.
+    pub dropped_bytes: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct OutPort {
+    /// Departure times and sizes of packets still occupying the queue.
+    in_flight: VecDeque<(SimTime, u64)>,
+    queued_bytes: u64,
+    peak_bytes: u64,
+    busy_until: SimTime,
+}
+
+/// An output-queued electrical packet switch.
+#[derive(Debug, Clone)]
+pub struct Eps {
+    rate: BitRate,
+    cap_bytes: u64,
+    ports: Vec<OutPort>,
+    stats: EpsStats,
+}
+
+impl Eps {
+    /// Creates a switch with `n` output ports, each draining at `rate` with
+    /// `cap_bytes` of buffering.
+    pub fn new(n: usize, rate: BitRate, cap_bytes: u64) -> Self {
+        assert!(n > 0, "EPS needs at least one port");
+        assert!(cap_bytes > 0, "EPS buffer must be positive");
+        Eps {
+            rate,
+            cap_bytes,
+            ports: vec![OutPort::default(); n],
+            stats: EpsStats::default(),
+        }
+    }
+
+    /// Port count.
+    pub fn n(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Per-port drain rate.
+    pub fn rate(&self) -> BitRate {
+        self.rate
+    }
+
+    fn gc(port: &mut OutPort, now: SimTime) {
+        while let Some(&(dep, bytes)) = port.in_flight.front() {
+            if dep <= now {
+                port.in_flight.pop_front();
+                port.queued_bytes -= bytes;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Offers a packet of `bytes` to output `out` at `now`.
+    ///
+    /// Returns the departure time (when the last bit leaves the egress
+    /// port) or `Err(())` on a full queue.
+    pub fn enqueue(&mut self, out: usize, bytes: u64, now: SimTime) -> Result<SimTime, ()> {
+        let port = &mut self.ports[out];
+        Self::gc(port, now);
+        if port.queued_bytes + bytes > self.cap_bytes {
+            self.stats.drops += 1;
+            self.stats.dropped_bytes += bytes;
+            return Err(());
+        }
+        let start = port.busy_until.max(now);
+        let departure = start + self.rate.tx_time(bytes);
+        port.busy_until = departure;
+        port.in_flight.push_back((departure, bytes));
+        port.queued_bytes += bytes;
+        port.peak_bytes = port.peak_bytes.max(port.queued_bytes);
+        self.stats.delivered_bytes += bytes;
+        self.stats.delivered_packets += 1;
+        Ok(departure)
+    }
+
+    /// Current queued bytes at `out` (after lazy GC).
+    pub fn queued_bytes(&mut self, out: usize, now: SimTime) -> u64 {
+        let port = &mut self.ports[out];
+        Self::gc(port, now);
+        port.queued_bytes
+    }
+
+    /// High-water mark of queued bytes at `out`.
+    pub fn peak_bytes(&self, out: usize) -> u64 {
+        self.ports[out].peak_bytes
+    }
+
+    /// Sum of high-water marks across ports (upper bound on total buffer
+    /// the EPS needed).
+    pub fn total_peak_bytes(&self) -> u64 {
+        self.ports.iter().map(|p| p.peak_bytes).sum()
+    }
+
+    /// Queueing delay a new packet would currently experience at `out`.
+    pub fn current_delay(&mut self, out: usize, now: SimTime) -> SimDuration {
+        let port = &mut self.ports[out];
+        Self::gc(port, now);
+        port.busy_until.saturating_since(now)
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> EpsStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn idle_port_forwards_at_line_rate() {
+        let mut eps = Eps::new(2, BitRate::GBPS_1, 100_000);
+        // 1500B at 1G = 12 µs.
+        let dep = eps.enqueue(0, 1500, t(0)).unwrap();
+        assert_eq!(dep, SimTime::from_micros(12));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_behind_each_other() {
+        let mut eps = Eps::new(1, BitRate::GBPS_1, 100_000);
+        let d1 = eps.enqueue(0, 1500, t(0)).unwrap();
+        let d2 = eps.enqueue(0, 1500, t(0)).unwrap();
+        assert_eq!(d2, d1 + SimDuration::from_micros(12));
+        assert_eq!(eps.queued_bytes(0, t(0)), 3000);
+        // After the first departs, occupancy shrinks.
+        assert_eq!(eps.queued_bytes(0, d1), 1500);
+        assert_eq!(eps.queued_bytes(0, d2), 0);
+    }
+
+    #[test]
+    fn ports_are_independent() {
+        let mut eps = Eps::new(2, BitRate::GBPS_1, 100_000);
+        eps.enqueue(0, 1500, t(0)).unwrap();
+        let dep = eps.enqueue(1, 1500, t(0)).unwrap();
+        assert_eq!(dep, SimTime::from_micros(12), "port 1 unaffected by port 0");
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut eps = Eps::new(1, BitRate::GBPS_1, 3000);
+        eps.enqueue(0, 1500, t(0)).unwrap();
+        eps.enqueue(0, 1500, t(0)).unwrap();
+        assert!(eps.enqueue(0, 1500, t(0)).is_err());
+        let s = eps.stats();
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.dropped_bytes, 1500);
+        assert_eq!(s.delivered_packets, 2);
+        // Capacity frees once the head departs.
+        assert!(eps.enqueue(0, 1500, SimTime::from_micros(12)).is_ok());
+    }
+
+    #[test]
+    fn idle_gap_resets_busy_time() {
+        let mut eps = Eps::new(1, BitRate::GBPS_1, 100_000);
+        let d1 = eps.enqueue(0, 1500, t(0)).unwrap();
+        let later = d1 + SimDuration::from_micros(100);
+        let d2 = eps.enqueue(0, 1500, later).unwrap();
+        assert_eq!(d2, later + SimDuration::from_micros(12));
+    }
+
+    #[test]
+    fn peak_bytes_and_delay() {
+        let mut eps = Eps::new(1, BitRate::GBPS_1, 100_000);
+        eps.enqueue(0, 1500, t(0)).unwrap();
+        eps.enqueue(0, 1500, t(0)).unwrap();
+        assert_eq!(eps.peak_bytes(0), 3000);
+        assert_eq!(eps.total_peak_bytes(), 3000);
+        // Delay for a third packet: 24 µs of backlog.
+        assert_eq!(eps.current_delay(0, t(0)), SimDuration::from_micros(24));
+        assert_eq!(
+            eps.current_delay(0, SimTime::from_micros(30)),
+            SimDuration::ZERO
+        );
+    }
+}

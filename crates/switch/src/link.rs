@@ -1,0 +1,60 @@
+//! Point-to-point link model: serialization plus propagation.
+
+use xds_sim::{BitRate, SimDuration, SimTime};
+
+/// A full-duplex point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// Line rate.
+    pub rate: BitRate,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+}
+
+impl Link {
+    /// A typical intra-rack host↔ToR link: given rate, 5 m of fibre
+    /// (~25 ns).
+    pub fn intra_rack(rate: BitRate) -> Link {
+        Link {
+            rate,
+            propagation: SimDuration::from_nanos(25),
+        }
+    }
+
+    /// Serialization time for `bytes`.
+    pub fn tx_time(&self, bytes: u64) -> SimDuration {
+        self.rate.tx_time(bytes)
+    }
+
+    /// When the last bit of a packet sent at `start` arrives at the far
+    /// end.
+    pub fn arrival_time(&self, start: SimTime, bytes: u64) -> SimTime {
+        start + self.tx_time(bytes) + self.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_is_tx_plus_propagation() {
+        let l = Link {
+            rate: BitRate::GBPS_10,
+            propagation: SimDuration::from_nanos(25),
+        };
+        let t0 = SimTime::from_micros(1);
+        // 1500B at 10G = 1200ns, +25ns propagation.
+        assert_eq!(
+            l.arrival_time(t0, 1500),
+            t0 + SimDuration::from_nanos(1225)
+        );
+    }
+
+    #[test]
+    fn intra_rack_preset() {
+        let l = Link::intra_rack(BitRate::GBPS_10);
+        assert_eq!(l.propagation, SimDuration::from_nanos(25));
+        assert_eq!(l.rate, BitRate::GBPS_10);
+    }
+}

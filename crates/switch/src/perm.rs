@@ -1,0 +1,239 @@
+//! Partial permutations: the circuit configurations ("grant matrices" /
+//! matchings) exchanged between scheduling and switching logic.
+//!
+//! A circuit switch physically connects each input to at most one output
+//! and vice versa; a schedule is therefore a (possibly partial) permutation
+//! of the port set. The type enforces the matching property on
+//! construction, so a malformed grant matrix cannot reach the OCS.
+
+use xds_sim::SimRng;
+
+/// A partial permutation over `n` ports: each input maps to at most one
+/// output and each output has at most one input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<Option<usize>>,
+    inverse: Vec<Option<usize>>,
+    assigned: usize,
+}
+
+impl Permutation {
+    /// The empty matching over `n` ports.
+    pub fn empty(n: usize) -> Self {
+        Permutation {
+            forward: vec![None; n],
+            inverse: vec![None; n],
+            assigned: 0,
+        }
+    }
+
+    /// The identity permutation (port *i* → port *i*).
+    pub fn identity(n: usize) -> Self {
+        let mut p = Permutation::empty(n);
+        for i in 0..n {
+            p.set(i, i).expect("identity is a matching");
+        }
+        p
+    }
+
+    /// The rotation permutation (port *i* → port *(i+k) mod n*), the slot
+    /// sequence of a static TDMA / round-robin scheduler.
+    pub fn rotation(n: usize, k: usize) -> Self {
+        let mut p = Permutation::empty(n);
+        for i in 0..n {
+            p.set(i, (i + k) % n).expect("rotation is a matching");
+        }
+        p
+    }
+
+    /// A uniformly random full permutation.
+    pub fn random(n: usize, rng: &mut SimRng) -> Self {
+        let targets = rng.permutation_indices(n);
+        let mut p = Permutation::empty(n);
+        for (i, &o) in targets.iter().enumerate() {
+            p.set(i, o).expect("shuffled targets form a matching");
+        }
+        p
+    }
+
+    /// Builds from explicit pairs; fails on conflicts or out-of-range ports.
+    pub fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> Result<Self, String> {
+        let mut p = Permutation::empty(n);
+        for &(i, o) in pairs {
+            p.set(i, o)?;
+        }
+        Ok(p)
+    }
+
+    /// Number of ports.
+    pub fn n(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Number of assigned input→output pairs.
+    pub fn assigned(&self) -> usize {
+        self.assigned
+    }
+
+    /// True when every input is matched.
+    pub fn is_full(&self) -> bool {
+        self.assigned == self.forward.len()
+    }
+
+    /// True when no input is matched.
+    pub fn is_empty(&self) -> bool {
+        self.assigned == 0
+    }
+
+    /// Adds the pair `input → output`.
+    ///
+    /// Fails if either endpoint is out of range or already matched.
+    pub fn set(&mut self, input: usize, output: usize) -> Result<(), String> {
+        let n = self.forward.len();
+        if input >= n || output >= n {
+            return Err(format!("pair ({input}, {output}) out of range for n={n}"));
+        }
+        if let Some(o) = self.forward[input] {
+            return Err(format!("input {input} already matched to {o}"));
+        }
+        if let Some(i) = self.inverse[output] {
+            return Err(format!("output {output} already matched to {i}"));
+        }
+        self.forward[input] = Some(output);
+        self.inverse[output] = Some(input);
+        self.assigned += 1;
+        Ok(())
+    }
+
+    /// The output matched to `input`, if any.
+    pub fn output_of(&self, input: usize) -> Option<usize> {
+        self.forward.get(input).copied().flatten()
+    }
+
+    /// The input matched to `output`, if any.
+    pub fn input_of(&self, output: usize) -> Option<usize> {
+        self.inverse.get(output).copied().flatten()
+    }
+
+    /// Iterates over assigned `(input, output)` pairs in input order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.forward
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|o| (i, o)))
+    }
+
+    /// Verifies internal consistency (debug aid for property tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.forward.len();
+        if self.inverse.len() != n {
+            return Err("forward/inverse length mismatch".into());
+        }
+        let mut count = 0;
+        for (i, &fo) in self.forward.iter().enumerate() {
+            if let Some(o) = fo {
+                count += 1;
+                if self.inverse[o] != Some(i) {
+                    return Err(format!("inverse of {o} is {:?}, expected {i}", self.inverse[o]));
+                }
+            }
+        }
+        if count != self.assigned {
+            return Err(format!("assigned count {} != actual {count}", self.assigned));
+        }
+        Ok(())
+    }
+}
+
+impl core::fmt::Display for Permutation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (i, o) in self.pairs() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}->{o}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_rotation() {
+        let id = Permutation::identity(4);
+        assert!(id.is_full());
+        for i in 0..4 {
+            assert_eq!(id.output_of(i), Some(i));
+        }
+        let rot = Permutation::rotation(4, 1);
+        assert_eq!(rot.output_of(3), Some(0));
+        assert_eq!(rot.input_of(0), Some(3));
+        // rotation by 0 is identity
+        assert_eq!(Permutation::rotation(4, 0), Permutation::identity(4));
+        // rotation wraps modulo n
+        assert_eq!(Permutation::rotation(4, 5), Permutation::rotation(4, 1));
+    }
+
+    #[test]
+    fn conflicts_rejected() {
+        let mut p = Permutation::empty(4);
+        p.set(0, 1).unwrap();
+        assert!(p.set(0, 2).is_err(), "input reuse");
+        assert!(p.set(3, 1).is_err(), "output reuse");
+        assert!(p.set(4, 0).is_err(), "input out of range");
+        assert!(p.set(0, 7).is_err(), "output out of range");
+        assert_eq!(p.assigned(), 1);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_pairs_validates() {
+        assert!(Permutation::from_pairs(3, &[(0, 1), (1, 0), (2, 2)]).is_ok());
+        assert!(Permutation::from_pairs(3, &[(0, 1), (1, 1)]).is_err());
+    }
+
+    #[test]
+    fn random_is_a_full_matching() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..20 {
+            let p = Permutation::random(16, &mut rng);
+            assert!(p.is_full());
+            p.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn pairs_iterates_assigned_only() {
+        let p = Permutation::from_pairs(5, &[(1, 4), (3, 0)]).unwrap();
+        let pairs: Vec<_> = p.pairs().collect();
+        assert_eq!(pairs, vec![(1, 4), (3, 0)]);
+        assert_eq!(p.assigned(), 2);
+        assert!(!p.is_full());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = Permutation::from_pairs(4, &[(0, 2), (1, 3)]).unwrap();
+        assert_eq!(p.to_string(), "{0->2, 1->3}");
+        assert_eq!(Permutation::empty(2).to_string(), "{}");
+    }
+
+    #[test]
+    fn empty_permutation_maps_nothing() {
+        let p = Permutation::empty(4);
+        assert!(p.is_empty());
+        for i in 0..4 {
+            assert_eq!(p.output_of(i), None);
+            assert_eq!(p.input_of(i), None);
+        }
+        // Out-of-range queries answer None rather than panicking.
+        assert_eq!(p.output_of(99), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the data-plane models.
+
+use proptest::prelude::*;
+use xds_sim::{BitRate, SimDuration, SimTime};
+use xds_switch::{Eps, Ocs, Permutation};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// EPS conservation: every offered byte is either delivered (has a
+    /// departure time) or counted as dropped; per-port departures are
+    /// monotone; occupancy never exceeds the configured buffer.
+    #[test]
+    fn eps_conserves_and_orders(pkts in proptest::collection::vec((0u64..4, 64u64..9_000, 0u64..2_000), 1..200)) {
+        let cap = 20_000u64;
+        let mut eps = Eps::new(4, BitRate::GBPS_1, cap);
+        let mut now = SimTime::ZERO;
+        let mut offered = 0u64;
+        let mut delivered = 0u64;
+        let mut last_dep = [SimTime::ZERO; 4];
+        for &(port, bytes, gap) in &pkts {
+            now = now + SimDuration::from_nanos(gap);
+            offered += bytes;
+            let p = port as usize;
+            if let Ok(dep) = eps.enqueue(p, bytes, now) {
+                delivered += bytes;
+                prop_assert!(dep >= last_dep[p], "departures must be FIFO-monotone");
+                prop_assert!(dep > now, "departure cannot precede arrival");
+                last_dep[p] = dep;
+            }
+            prop_assert!(eps.queued_bytes(p, now) <= cap);
+        }
+        let s = eps.stats();
+        prop_assert_eq!(s.delivered_bytes, delivered);
+        prop_assert_eq!(s.delivered_bytes + s.dropped_bytes, offered);
+    }
+
+    /// OCS: during the dark window nothing passes; after it, exactly the
+    /// configured pairs pass; dark time accounting matches reconfig count.
+    #[test]
+    fn ocs_dark_window_is_absolute(shift in 1usize..8, reconfig_ns in 1u64..100_000, tries in proptest::collection::vec((0usize..8, 0usize..8), 1..50)) {
+        let n = 8;
+        let reconfig = SimDuration::from_nanos(reconfig_ns);
+        let mut ocs = Ocs::new(n, reconfig);
+        let t0 = SimTime::from_micros(1);
+        let live = ocs.configure(Permutation::rotation(n, shift), t0);
+        prop_assert_eq!(live, t0 + reconfig);
+        // Mid-dark: everything rejected.
+        let mid = SimTime::from_nanos(t0.as_nanos() + reconfig_ns / 2);
+        if mid < live {
+            for &(i, j) in &tries {
+                prop_assert!(ocs.transmit(i, j, 100, mid).is_err());
+            }
+        }
+        // Live: exactly the rotation passes.
+        for &(i, j) in &tries {
+            let ok = ocs.transmit(i, j, 100, live).is_ok();
+            prop_assert_eq!(ok, (i + shift) % n == j, "pair ({},{})", i, j);
+        }
+        prop_assert_eq!(ocs.stats().reconfigurations, 1);
+        prop_assert_eq!(ocs.stats().dark_time, reconfig);
+    }
+
+    /// Permutations built from random conflict-free pair lists always
+    /// satisfy their invariants; conflicting pairs are always rejected.
+    #[test]
+    fn permutation_construction_is_sound(pairs in proptest::collection::vec((0usize..16, 0usize..16), 0..32)) {
+        let mut p = Permutation::empty(16);
+        let mut used_in = [false; 16];
+        let mut used_out = [false; 16];
+        for &(i, o) in &pairs {
+            let expect_ok = !used_in[i] && !used_out[o];
+            let got = p.set(i, o).is_ok();
+            prop_assert_eq!(got, expect_ok, "pair ({},{})", i, o);
+            if expect_ok {
+                used_in[i] = true;
+                used_out[o] = true;
+            }
+        }
+        p.check_invariants().unwrap();
+        prop_assert_eq!(p.assigned(), used_in.iter().filter(|&&b| b).count());
+    }
+}

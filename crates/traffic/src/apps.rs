@@ -1,0 +1,115 @@
+//! Interactive constant-bit-rate applications: the "VOIP, multiuser
+//! gaming" traffic of the paper's §2 latency/jitter claim.
+
+use xds_net::PortNo;
+use xds_sim::{SimDuration, SimRng, SimTime};
+
+/// A constant-bit-rate application flow (e.g. one VOIP call leg).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CbrApp {
+    /// Application instance id (also used as its flow id).
+    pub id: u64,
+    /// Sender.
+    pub src: PortNo,
+    /// Receiver.
+    pub dst: PortNo,
+    /// Packet size in bytes.
+    pub pkt_bytes: u32,
+    /// Nominal packet interval.
+    pub interval: SimDuration,
+    /// When the stream starts.
+    pub start: SimTime,
+    /// Uniform sender-side jitter applied to each interval, ± this bound
+    /// (models OS timer slop; zero for a hardware-paced source).
+    pub send_jitter: SimDuration,
+}
+
+impl CbrApp {
+    /// A G.711-style VOIP leg: 200-byte packets (160 B payload + RTP/UDP/
+    /// IP/Ethernet headers) every 20 ms.
+    pub fn voip(id: u64, src: PortNo, dst: PortNo, start: SimTime) -> CbrApp {
+        CbrApp {
+            id,
+            src,
+            dst,
+            pkt_bytes: 200,
+            interval: SimDuration::from_millis(20),
+            start,
+            send_jitter: SimDuration::from_micros(50),
+        }
+    }
+
+    /// A fast-paced game update stream: 120-byte packets every 33 ms
+    /// (~30 Hz tick rate).
+    pub fn gaming(id: u64, src: PortNo, dst: PortNo, start: SimTime) -> CbrApp {
+        CbrApp {
+            id,
+            src,
+            dst,
+            pkt_bytes: 120,
+            interval: SimDuration::from_millis(33),
+            start,
+            send_jitter: SimDuration::from_micros(200),
+        }
+    }
+
+    /// The next send instant after `prev` (applying sender jitter).
+    pub fn next_send(&self, prev: SimTime, rng: &mut SimRng) -> SimTime {
+        let base = prev + self.interval;
+        if self.send_jitter.is_zero() {
+            return base;
+        }
+        let j = self.send_jitter.as_nanos();
+        let delta = rng.range_u64(0, 2 * j + 1); // [0, 2j]
+        // base - j + delta ∈ [base - j, base + j]
+        (base + SimDuration::from_nanos(delta)) - SimDuration::from_nanos(j)
+    }
+
+    /// The stream's bit rate.
+    pub fn bitrate_bps(&self) -> f64 {
+        self.pkt_bytes as f64 * 8.0 / self.interval.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voip_preset_is_g711_like() {
+        let app = CbrApp::voip(1, PortNo(0), PortNo(1), SimTime::ZERO);
+        // 200 B / 20 ms = 80 kb/s.
+        assert!((app.bitrate_bps() - 80_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn next_send_advances_by_interval_with_bounded_jitter() {
+        let app = CbrApp::voip(1, PortNo(0), PortNo(1), SimTime::ZERO);
+        let mut rng = SimRng::new(9);
+        let mut prev = app.start;
+        for _ in 0..1000 {
+            let next = app.next_send(prev, &mut rng);
+            let gap = next.saturating_since(prev);
+            let lo = app.interval - app.send_jitter;
+            let hi = app.interval + app.send_jitter;
+            assert!(gap >= lo && gap <= hi, "gap {gap} outside [{lo}, {hi}]");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_perfectly_periodic() {
+        let mut app = CbrApp::voip(1, PortNo(0), PortNo(1), SimTime::ZERO);
+        app.send_jitter = SimDuration::ZERO;
+        let mut rng = SimRng::new(10);
+        let t1 = app.next_send(SimTime::ZERO, &mut rng);
+        assert_eq!(t1, SimTime::ZERO + app.interval);
+    }
+
+    #[test]
+    fn gaming_preset_is_lighter_than_voip() {
+        let g = CbrApp::gaming(2, PortNo(0), PortNo(1), SimTime::ZERO);
+        let v = CbrApp::voip(1, PortNo(0), PortNo(1), SimTime::ZERO);
+        assert!(g.bitrate_bps() < v.bitrate_bps());
+    }
+}

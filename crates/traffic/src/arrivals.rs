@@ -1,0 +1,282 @@
+//! Arrival processes: when do new flows begin?
+//!
+//! Poisson arrivals model aggregate data-center flow arrivals well at the
+//! timescales of interest; the ON/OFF process generates the "long bursts"
+//! the paper routes to the OCS (trains of flows during ON periods, silence
+//! during OFF).
+
+use xds_sim::{SimDuration, SimRng};
+
+/// A stateful inter-arrival generator.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Poisson process: exponential inter-arrivals with the given mean.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean_gap: SimDuration,
+    },
+    /// Two-state ON/OFF (Markov-modulated) process: during ON, arrivals are
+    /// Poisson with `mean_gap_on`; OFF periods produce no arrivals.
+    OnOff {
+        /// Mean gap between arrivals while ON.
+        mean_gap_on: SimDuration,
+        /// Mean ON period duration.
+        mean_on: SimDuration,
+        /// Mean OFF period duration.
+        mean_off: SimDuration,
+        /// Time left in the current ON period (internal state).
+        on_remaining: SimDuration,
+    },
+    /// Two-state MMPP with *both* states active: Poisson at `mean_gap_a`
+    /// while in state A, `mean_gap_b` in state B, with exponentially
+    /// distributed sojourns. Generalizes [`ArrivalProcess::OnOff`]
+    /// (state B with an infinite gap).
+    Mmpp2 {
+        /// Mean inter-arrival gap in state A.
+        mean_gap_a: SimDuration,
+        /// Mean inter-arrival gap in state B.
+        mean_gap_b: SimDuration,
+        /// Mean sojourn in state A.
+        mean_sojourn_a: SimDuration,
+        /// Mean sojourn in state B.
+        mean_sojourn_b: SimDuration,
+        /// Internal state: currently in state A?
+        in_a: bool,
+        /// Internal state: time remaining in the current sojourn.
+        sojourn_remaining: SimDuration,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson with a given arrival *rate* (flows per second).
+    pub fn poisson_rate(flows_per_sec: f64) -> Self {
+        assert!(
+            flows_per_sec.is_finite() && flows_per_sec > 0.0,
+            "arrival rate must be positive"
+        );
+        ArrivalProcess::Poisson {
+            mean_gap: SimDuration::from_secs_f64(1.0 / flows_per_sec),
+        }
+    }
+
+    /// ON/OFF process with the given mean gap during ON and duty-cycle
+    /// periods. The *effective* rate is
+    /// `(mean_on / (mean_on + mean_off)) / mean_gap_on`.
+    pub fn on_off(mean_gap_on: SimDuration, mean_on: SimDuration, mean_off: SimDuration) -> Self {
+        assert!(!mean_gap_on.is_zero() && !mean_on.is_zero() && !mean_off.is_zero());
+        ArrivalProcess::OnOff {
+            mean_gap_on,
+            mean_on,
+            mean_off,
+            on_remaining: SimDuration::ZERO,
+        }
+    }
+
+    /// MMPP-2 with both states active.
+    pub fn mmpp2(
+        mean_gap_a: SimDuration,
+        mean_gap_b: SimDuration,
+        mean_sojourn_a: SimDuration,
+        mean_sojourn_b: SimDuration,
+    ) -> Self {
+        assert!(
+            !mean_gap_a.is_zero()
+                && !mean_gap_b.is_zero()
+                && !mean_sojourn_a.is_zero()
+                && !mean_sojourn_b.is_zero()
+        );
+        ArrivalProcess::Mmpp2 {
+            mean_gap_a,
+            mean_gap_b,
+            mean_sojourn_a,
+            mean_sojourn_b,
+            in_a: true,
+            sojourn_remaining: SimDuration::ZERO,
+        }
+    }
+
+    /// Draws the gap until the next arrival.
+    pub fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            ArrivalProcess::Poisson { mean_gap } => {
+                SimDuration::from_secs_f64(rng.exp(mean_gap.as_secs_f64()))
+            }
+            ArrivalProcess::OnOff {
+                mean_gap_on,
+                mean_on,
+                mean_off,
+                on_remaining,
+            } => {
+                let mut gap = SimDuration::ZERO;
+                loop {
+                    if on_remaining.is_zero() {
+                        // Enter an OFF period, then a fresh ON period.
+                        gap += SimDuration::from_secs_f64(rng.exp(mean_off.as_secs_f64()));
+                        *on_remaining = SimDuration::from_secs_f64(rng.exp(mean_on.as_secs_f64()));
+                    }
+                    let next = SimDuration::from_secs_f64(rng.exp(mean_gap_on.as_secs_f64()));
+                    if next <= *on_remaining {
+                        *on_remaining = on_remaining.saturating_sub(next);
+                        return gap + next;
+                    }
+                    // The ON period ends before the next arrival: burn it.
+                    gap += *on_remaining;
+                    *on_remaining = SimDuration::ZERO;
+                }
+            }
+            ArrivalProcess::Mmpp2 {
+                mean_gap_a,
+                mean_gap_b,
+                mean_sojourn_a,
+                mean_sojourn_b,
+                in_a,
+                sojourn_remaining,
+            } => {
+                let mut gap = SimDuration::ZERO;
+                loop {
+                    if sojourn_remaining.is_zero() {
+                        let mean = if *in_a { *mean_sojourn_a } else { *mean_sojourn_b };
+                        *sojourn_remaining =
+                            SimDuration::from_secs_f64(rng.exp(mean.as_secs_f64()));
+                    }
+                    let gap_mean = if *in_a { *mean_gap_a } else { *mean_gap_b };
+                    let next = SimDuration::from_secs_f64(rng.exp(gap_mean.as_secs_f64()));
+                    if next <= *sojourn_remaining {
+                        *sojourn_remaining = sojourn_remaining.saturating_sub(next);
+                        return gap + next;
+                    }
+                    // Sojourn ends first: advance time and switch state.
+                    gap += *sojourn_remaining;
+                    *sojourn_remaining = SimDuration::ZERO;
+                    *in_a = !*in_a;
+                }
+            }
+        }
+    }
+
+    /// Long-run average arrival rate in flows/second.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { mean_gap } => 1.0 / mean_gap.as_secs_f64(),
+            ArrivalProcess::OnOff {
+                mean_gap_on,
+                mean_on,
+                mean_off,
+                ..
+            } => {
+                let duty =
+                    mean_on.as_secs_f64() / (mean_on.as_secs_f64() + mean_off.as_secs_f64());
+                duty / mean_gap_on.as_secs_f64()
+            }
+            ArrivalProcess::Mmpp2 {
+                mean_gap_a,
+                mean_gap_b,
+                mean_sojourn_a,
+                mean_sojourn_b,
+                ..
+            } => {
+                let ta = mean_sojourn_a.as_secs_f64();
+                let tb = mean_sojourn_b.as_secs_f64();
+                let frac_a = ta / (ta + tb);
+                frac_a / mean_gap_a.as_secs_f64() + (1.0 - frac_a) / mean_gap_b.as_secs_f64()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_matches_over_many_samples() {
+        let mut p = ArrivalProcess::poisson_rate(10_000.0);
+        let mut rng = SimRng::new(5);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng).as_secs_f64()).sum();
+        let rate = n as f64 / total;
+        assert!((rate - 10_000.0).abs() / 10_000.0 < 0.02, "rate {rate}");
+        assert!((p.mean_rate() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn on_off_produces_bursts_and_gaps() {
+        let mut p = ArrivalProcess::on_off(
+            SimDuration::from_micros(10),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(4),
+        );
+        let mut rng = SimRng::new(6);
+        let gaps: Vec<SimDuration> = (0..20_000).map(|_| p.next_gap(&mut rng)).collect();
+        // Bursty: many tiny gaps (intra-burst) and some large (inter-burst).
+        let tiny = gaps.iter().filter(|g| g.as_nanos() < 50_000).count();
+        let huge = gaps
+            .iter()
+            .filter(|g| g.as_nanos() > 1_000_000)
+            .count();
+        assert!(tiny > 10_000, "expected many intra-burst gaps, got {tiny}");
+        assert!(huge > 100, "expected inter-burst gaps, got {huge}");
+    }
+
+    #[test]
+    fn on_off_long_run_rate() {
+        // duty = 1ms/(1ms+4ms) = 0.2; rate = 0.2 / 10µs = 20k/s.
+        let mut p = ArrivalProcess::on_off(
+            SimDuration::from_micros(10),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(4),
+        );
+        assert!((p.mean_rate() - 20_000.0).abs() < 1.0);
+        let mut rng = SimRng::new(7);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng).as_secs_f64()).sum();
+        let rate = n as f64 / total;
+        assert!(
+            (rate - 20_000.0).abs() / 20_000.0 < 0.05,
+            "long-run rate {rate}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::poisson_rate(0.0);
+    }
+
+    #[test]
+    fn mmpp2_long_run_rate_matches_mixture() {
+        // State A: gap 10 µs (100k/s) for 1 ms; state B: gap 100 µs
+        // (10k/s) for 3 ms. Long-run rate = 0.25·100k + 0.75·10k = 32.5k/s.
+        let mut p = ArrivalProcess::mmpp2(
+            SimDuration::from_micros(10),
+            SimDuration::from_micros(100),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(3),
+        );
+        assert!((p.mean_rate() - 32_500.0).abs() < 1.0);
+        let mut rng = SimRng::new(31);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng).as_secs_f64()).sum();
+        let rate = n as f64 / total;
+        assert!(
+            (rate - 32_500.0).abs() / 32_500.0 < 0.05,
+            "long-run rate {rate}"
+        );
+    }
+
+    #[test]
+    fn mmpp2_produces_two_regimes() {
+        let mut p = ArrivalProcess::mmpp2(
+            SimDuration::from_micros(1),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(5),
+        );
+        let mut rng = SimRng::new(33);
+        let gaps: Vec<u64> = (0..50_000).map(|_| p.next_gap(&mut rng).as_nanos()).collect();
+        let fast = gaps.iter().filter(|&&g| g < 10_000).count();
+        let slow = gaps.iter().filter(|&&g| g > 200_000).count();
+        assert!(fast > 10_000, "fast-state gaps expected: {fast}");
+        assert!(slow > 50, "slow-state gaps expected: {slow}");
+    }
+}

@@ -1,0 +1,57 @@
+//! MTU segmentation: a flow of `bytes` becomes `ceil(bytes / mtu)` packets,
+//! all MTU-sized except a possibly-short tail.
+
+/// Returns the packet sizes for a flow (non-allocating iterator).
+pub fn packet_sizes(flow_bytes: u64, mtu: u32) -> impl Iterator<Item = u32> {
+    assert!(mtu > 0, "MTU must be positive");
+    let full = flow_bytes / mtu as u64;
+    let tail = (flow_bytes % mtu as u64) as u32;
+    (0..full)
+        .map(move |_| mtu)
+        .chain((tail > 0).then_some(tail))
+}
+
+/// Number of packets a flow becomes.
+pub fn packet_count(flow_bytes: u64, mtu: u32) -> u64 {
+    assert!(mtu > 0, "MTU must be positive");
+    flow_bytes.div_ceil(mtu as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple_has_no_tail() {
+        let sizes: Vec<u32> = packet_sizes(4500, 1500).collect();
+        assert_eq!(sizes, vec![1500, 1500, 1500]);
+        assert_eq!(packet_count(4500, 1500), 3);
+    }
+
+    #[test]
+    fn remainder_becomes_short_tail() {
+        let sizes: Vec<u32> = packet_sizes(3100, 1500).collect();
+        assert_eq!(sizes, vec![1500, 1500, 100]);
+        assert_eq!(packet_count(3100, 1500), 3);
+    }
+
+    #[test]
+    fn tiny_flow_is_one_packet() {
+        let sizes: Vec<u32> = packet_sizes(1, 1500).collect();
+        assert_eq!(sizes, vec![1]);
+    }
+
+    #[test]
+    fn zero_bytes_is_zero_packets() {
+        assert_eq!(packet_sizes(0, 1500).count(), 0);
+        assert_eq!(packet_count(0, 1500), 0);
+    }
+
+    #[test]
+    fn sizes_sum_to_flow_bytes() {
+        for bytes in [1u64, 1499, 1500, 1501, 9_000, 1_000_000, 12_345_678] {
+            let total: u64 = packet_sizes(bytes, 1500).map(u64::from).sum();
+            assert_eq!(total, bytes);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The processing-logic front end of Figure 2 on real bytes:
+//! "classifies packets into flows based on configurable look-up rules".
+//!
+//! Builds genuine Ethernet/IPv4/UDP frames, extracts 5-tuples (checksums
+//! verified), and runs them through a TCAM-style rule table plus an LPM
+//! egress table — exactly what the FPGA lookup stage would do.
+//!
+//! ```sh
+//! cargo run --release --example classify_frames
+//! ```
+
+use xdsched::net::classify::{Action, LpmTable, Rule, RuleMatch, RuleTable};
+use xdsched::net::fivetuple::build_udp_frame;
+use xdsched::net::wire::Ipv4Addr;
+use xdsched::prelude::*;
+
+fn main() {
+    // Rule table: RTP port range → interactive; a storage subnet pair →
+    // bulk; everything else defaults to short.
+    let mut rules = RuleTable::new(Action::classify(TrafficClass::Short));
+    rules.insert(Rule {
+        priority: 100,
+        matcher: RuleMatch {
+            dst_port: Some((5000, 5099)),
+            proto: Some(IpProtocol::Udp),
+            ..RuleMatch::default()
+        },
+        action: Action::classify(TrafficClass::Interactive),
+    });
+    rules.insert(Rule {
+        priority: 50,
+        matcher: RuleMatch {
+            src_prefix: Some((Ipv4Addr::new(10, 0, 0, 0), 28)), // hosts 0..15
+            dst_prefix: Some((Ipv4Addr::new(10, 0, 0, 16), 28)), // hosts 16..31
+            ..RuleMatch::default()
+        },
+        action: Action::classify(TrafficClass::Bulk),
+    });
+
+    // LPM egress: one /32 per host.
+    let mut egress: LpmTable<u16> = LpmTable::new();
+    for host in 0..32u16 {
+        egress.insert(Ipv4Addr::for_host(host), 32, host);
+    }
+
+    let frames = [
+        ("voip rtp", build_udp_frame(1, 2, 16_384, 5_004, b"rtp audio frame")),
+        ("storage replication", build_udp_frame(3, 20, 9_000, 9_000, &[0u8; 256])),
+        ("ordinary rpc", build_udp_frame(7, 9, 40_000, 8_080, b"rpc call")),
+    ];
+
+    let mut table = Table::new(
+        "Figure 2 processing logic: look-up rules on real frames",
+        &["frame", "five-tuple", "class", "egress port"],
+    );
+    for (label, frame) in &frames {
+        let tuple = FiveTuple::from_frame(frame).expect("well-formed frame");
+        let action = rules.lookup(&tuple);
+        let port = egress.lookup(tuple.dst).copied().expect("known host");
+        table.row(vec![
+            label.to_string(),
+            tuple.to_string(),
+            action.class.label().to_string(),
+            format!("p{port}"),
+        ]);
+    }
+    print!("{}", table.render_text());
+
+    let (lookups, hits) = rules.stats();
+    println!("\nrule table: {lookups} lookups, {hits} rule hits (misses hit the default)");
+    println!("A corrupted frame never reaches classification:");
+    let mut bad = build_udp_frame(1, 2, 1, 5_004, b"x");
+    bad[20] ^= 0xff; // flip a bit inside the IP header
+    match FiveTuple::from_frame(&bad) {
+        Err(e) => println!("  parse error as expected: {e}"),
+        Ok(_) => unreachable!("checksum must catch the corruption"),
+    }
+}

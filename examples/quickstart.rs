@@ -1,0 +1,64 @@
+//! Quickstart: assemble the Figure 2 framework, run a workload, read the
+//! report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use xdsched::prelude::*;
+
+fn main() {
+    let n = 8;
+
+    // 1. The infrastructure: an 8-port hybrid ToR with a 100 ns optical
+    //    switch (PLZT-class) and a NetFPGA-hosted hardware scheduler.
+    let cfg = NodeConfig::fast(
+        n,
+        SimDuration::from_nanos(100),
+        HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 }),
+    );
+    println!(
+        "testbed: {n}x{n} @ {} | OCS reconfig {} | epoch {} | EPS {}",
+        cfg.line_rate, cfg.reconfig, cfg.epoch, cfg.eps_rate
+    );
+
+    // 2. The workload: web-search flows at 50 % load plus two VOIP calls.
+    let flows = FlowGenerator::with_load(
+        TrafficMatrix::hotspot(n, 2, 0.4, 0),
+        FlowSizeDist::WebSearch,
+        0.4,
+        cfg.line_rate,
+        SimRng::new(42),
+    );
+    let apps = vec![
+        CbrApp::voip(0, PortNo(0), PortNo(5), SimTime::ZERO),
+        CbrApp::voip(1, PortNo(3), PortNo(6), SimTime::ZERO),
+    ];
+    let workload = Workload::flows(flows).with_apps(apps);
+
+    // 3. The scheduling logic: users plug their algorithm in here.
+    let scheduler = Box::new(IslipScheduler::new(n, 3));
+    let estimator = Box::new(MirrorEstimator::new(n));
+
+    // 4. Run and report.
+    let report = HybridSim::new(cfg, workload, scheduler, estimator).run(SimTime::from_millis(50));
+    println!();
+    print!("{}", report.summary_table().render_text());
+    println!(
+        "ocs byte share {:.1}% | duty cycle {:.2}% | goodput {:.1}%",
+        report.ocs_byte_share() * 100.0,
+        report.ocs_duty_cycle() * 100.0,
+        report.goodput_fraction() * 100.0
+    );
+    if let Some(j) = report.voip_jitter_mean_ns {
+        println!("voip jitter (rfc3550): mean {:.0} ns", j);
+    }
+    if let Some(f) = &report.fct_overall {
+        println!(
+            "fct: {} flows, p50 {:.1} us, p99 {:.1} us",
+            f.count,
+            f.p50_ns as f64 / 1e3,
+            f.p99_ns as f64 / 1e3
+        );
+    }
+}

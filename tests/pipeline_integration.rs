@@ -1,0 +1,197 @@
+//! F2 integration: the full Figure 2 pipeline, end to end, with the
+//! invariants that make the framework trustworthy as a testbed:
+//! conservation of bytes, zero misrouting, determinism, and the
+//! configure-before-grant ordering.
+
+use xdsched::prelude::*;
+
+fn fast_cfg(n: usize, reconfig_ns: u64) -> NodeConfig {
+    NodeConfig::fast(
+        n,
+        SimDuration::from_nanos(reconfig_ns),
+        HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 }),
+    )
+}
+
+fn uniform_flows(n: usize, load: f64, seed: u64, size: u64) -> Workload {
+    Workload::flows(FlowGenerator::with_load(
+        TrafficMatrix::uniform(n),
+        FlowSizeDist::Fixed(size),
+        load,
+        BitRate::GBPS_10,
+        SimRng::new(seed),
+    ))
+}
+
+#[test]
+fn no_misrouting_ever_in_hardware_mode() {
+    // The OCS rejects dark-window or wrong-circuit transmissions; the
+    // framework's grant discipline must make rejections impossible.
+    for reconfig in [100u64, 10_000, 1_000_000] {
+        let n = 8;
+        let cfg = fast_cfg(n, reconfig);
+        // Enough horizon for several epochs even at millisecond switching.
+        let horizon = SimTime::ZERO + cfg.epoch * 6 + SimDuration::from_millis(10);
+        let r = HybridSim::new(
+            cfg,
+            uniform_flows(n, 0.5, 11, 150_000),
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(horizon);
+        assert_eq!(r.ocs.rejected, 0, "reconfig={reconfig}ns");
+        assert_eq!(r.drops.sync_violation, 0);
+        assert!(r.delivered_ocs_bytes > 0);
+    }
+}
+
+#[test]
+fn byte_conservation_with_drainage() {
+    // Stop flow injection early, run long: everything offered must be
+    // delivered (zero drops configured ⇒ zero loss).
+    let n = 4;
+    let w = uniform_flows(n, 0.4, 13, 150_000).with_flow_stop(SimTime::from_millis(1));
+    let r = HybridSim::new(
+        fast_cfg(n, 1_000),
+        w,
+        Box::new(IslipScheduler::new(n, 3)),
+        Box::new(MirrorEstimator::new(n)),
+    )
+    .run(SimTime::from_millis(30));
+    assert_eq!(r.drops.total(), 0);
+    assert_eq!(
+        r.delivered_bytes(),
+        r.offered_bytes,
+        "all offered bytes must eventually arrive"
+    );
+    assert_eq!(r.completed_flows, r.offered_flows);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let n = 8;
+        let apps = vec![CbrApp::voip(0, PortNo(0), PortNo(4), SimTime::ZERO)];
+        HybridSim::new(
+            fast_cfg(n, 5_000),
+            uniform_flows(n, 0.6, 17, 80_000).with_apps(apps),
+            Box::new(SolsticeScheduler::new(4)),
+            Box::new(EwmaEstimator::new(n, 0.3)),
+        )
+        .run(SimTime::from_millis(8))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.delivered_ocs_bytes, b.delivered_ocs_bytes);
+    assert_eq!(a.delivered_eps_bytes, b.delivered_eps_bytes);
+    assert_eq!(a.latency_bulk.p99(), b.latency_bulk.p99());
+    assert_eq!(a.ocs.reconfigurations, b.ocs.reconfigurations);
+    assert_eq!(a.peak_switch_buffer, b.peak_switch_buffer);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let run = |seed| {
+        let n = 4;
+        HybridSim::new(
+            fast_cfg(n, 1_000),
+            uniform_flows(n, 0.5, seed, 150_000),
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(5))
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(a.offered_bytes, b.offered_bytes);
+}
+
+#[test]
+fn short_flows_ride_the_eps_bulk_rides_the_ocs() {
+    let n = 4;
+    // 50 KB flows are below the default 100 KB bulk threshold → EPS.
+    let short = HybridSim::new(
+        fast_cfg(n, 1_000),
+        uniform_flows(n, 0.05, 19, 50_000),
+        Box::new(IslipScheduler::new(n, 3)),
+        Box::new(MirrorEstimator::new(n)),
+    )
+    .run(SimTime::from_millis(5));
+    assert_eq!(short.delivered_ocs_bytes, 0);
+    assert!(short.delivered_eps_bytes > 0);
+
+    // 200 KB flows are bulk → OCS.
+    let bulk = HybridSim::new(
+        fast_cfg(n, 1_000),
+        uniform_flows(n, 0.3, 19, 200_000),
+        Box::new(IslipScheduler::new(n, 3)),
+        Box::new(MirrorEstimator::new(n)),
+    )
+    .run(SimTime::from_millis(5));
+    assert!(bulk.delivered_ocs_bytes > 0);
+    assert_eq!(bulk.delivered_eps_bytes, 0);
+}
+
+#[test]
+fn faster_switching_means_less_dark_time_same_workload() {
+    let n = 8;
+    let mut dark = Vec::new();
+    for reconfig in [100u64, 100_000] {
+        let r = HybridSim::new(
+            fast_cfg(n, reconfig),
+            uniform_flows(n, 0.5, 23, 150_000),
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(10));
+        dark.push((r.ocs_duty_cycle(), r.throughput_gbps()));
+    }
+    assert!(
+        dark[0].0 > dark[1].0,
+        "ns switching must waste less time dark: {dark:?}"
+    );
+}
+
+#[test]
+fn epoch_cadence_matches_decisions() {
+    let n = 4;
+    let cfg = fast_cfg(n, 1_000);
+    let epoch = cfg.epoch;
+    let horizon = SimTime::from_millis(5);
+    let r = HybridSim::new(
+        cfg,
+        uniform_flows(n, 0.3, 29, 150_000),
+        Box::new(IslipScheduler::new(n, 3)),
+        Box::new(MirrorEstimator::new(n)),
+    )
+    .run(horizon);
+    let expected = horizon.saturating_since(SimTime::ZERO) / epoch;
+    let got = r.decisions;
+    assert!(
+        got.abs_diff(expected) <= 2,
+        "expected ≈{expected} epochs, got {got}"
+    );
+}
+
+#[test]
+fn all_estimators_run_the_full_stack() {
+    let n = 4;
+    let mk: Vec<Box<dyn xdsched::core::demand::DemandEstimator>> = vec![
+        Box::new(MirrorEstimator::new(n)),
+        Box::new(EwmaEstimator::new(n, 0.25)),
+        Box::new(WindowEstimator::new(n, SimDuration::from_micros(200))),
+        Box::new(CountMinEstimator::new(n, 4, 64, SimDuration::from_millis(1))),
+    ];
+    for est in mk {
+        let r = HybridSim::new(
+            fast_cfg(n, 1_000),
+            uniform_flows(n, 0.4, 31, 150_000),
+            Box::new(GreedyLqfScheduler::new()),
+            est,
+        )
+        .run(SimTime::from_millis(5));
+        assert!(r.delivered_bytes() > 0);
+        assert!(r.demand_error_mean.is_some());
+    }
+}

@@ -1,0 +1,187 @@
+//! E5-flavoured integration: every shipped scheduler runs the full stack
+//! on the canonical traffic patterns, and the qualitative orderings the
+//! literature predicts actually hold.
+
+use xdsched::prelude::*;
+
+fn cfg(n: usize) -> NodeConfig {
+    NodeConfig::fast(
+        n,
+        SimDuration::from_micros(1),
+        HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 }),
+    )
+}
+
+fn workload(n: usize, matrix: TrafficMatrix, load: f64, seed: u64) -> Workload {
+    // Mixed sizes: short flows exercise the EPS path, elephants the OCS
+    // path — so even the EPS-only baseline has something to deliver.
+    Workload::flows(FlowGenerator::with_load(
+        matrix,
+        FlowSizeDist::WebSearch,
+        load,
+        BitRate::GBPS_10,
+        SimRng::new(seed),
+    ))
+}
+
+fn bulk_workload(n: usize, matrix: TrafficMatrix, load: f64, seed: u64) -> Workload {
+    // All-bulk fixed-size flows: every byte needs a circuit grant.
+    Workload::flows(FlowGenerator::with_load(
+        matrix,
+        FlowSizeDist::Fixed(150_000),
+        load,
+        BitRate::GBPS_10,
+        SimRng::new(seed),
+    ))
+}
+
+fn all_schedulers(n: usize) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(TdmaScheduler::new(n)),
+        Box::new(IslipScheduler::new(n, 3)),
+        Box::new(PimScheduler::new(n, 3, SimRng::new(77))),
+        Box::new(RrmScheduler::new(n, 3)),
+        Box::new(WavefrontScheduler::new(n)),
+        Box::new(GreedyLqfScheduler::new()),
+        Box::new(HungarianScheduler::new()),
+        Box::new(BvnScheduler::new(4)),
+        Box::new(SolsticeScheduler::new(4)),
+        Box::new(HotspotScheduler::new(50_000)),
+        Box::new(EpsOnlyScheduler::new()),
+    ]
+}
+
+#[test]
+fn every_scheduler_survives_every_pattern() {
+    let n = 8;
+    let mut rng = SimRng::new(3);
+    let patterns = vec![
+        TrafficMatrix::uniform(n),
+        TrafficMatrix::permutation(n, 3),
+        TrafficMatrix::hotspot(n, 2, 0.5, 0),
+        TrafficMatrix::zipf(n, 1.2, &mut rng),
+        TrafficMatrix::incast(n, 4, 0),
+    ];
+    for m in patterns {
+        for s in all_schedulers(n) {
+            let name = s.name();
+            let r = HybridSim::new(
+                cfg(n),
+                workload(n, m.clone(), 0.2, 5),
+                s,
+                Box::new(MirrorEstimator::new(n)),
+            )
+            .run(SimTime::from_millis(3));
+            assert!(
+                r.delivered_bytes() > 0,
+                "{name} delivered nothing on {m:?}"
+            );
+            assert_eq!(r.ocs.rejected, 0, "{name} misrouted");
+        }
+    }
+}
+
+#[test]
+fn demand_aware_beats_tdma_on_skewed_traffic() {
+    let n = 8;
+    let matrix = TrafficMatrix::hotspot(n, 2, 0.7, 0);
+    let run = |s: Box<dyn Scheduler>| {
+        HybridSim::new(
+            cfg(n),
+            workload(n, matrix.clone(), 0.35, 7),
+            s,
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(10))
+    };
+    let tdma = run(Box::new(TdmaScheduler::new(n)));
+    let islip = run(Box::new(IslipScheduler::new(n, 3)));
+    let solstice = run(Box::new(SolsticeScheduler::new(4)));
+    assert!(
+        islip.delivered_bytes() > tdma.delivered_bytes(),
+        "islip {} vs tdma {}",
+        islip.delivered_bytes(),
+        tdma.delivered_bytes()
+    );
+    assert!(
+        solstice.delivered_bytes() > tdma.delivered_bytes(),
+        "solstice {} vs tdma {}",
+        solstice.delivered_bytes(),
+        tdma.delivered_bytes()
+    );
+}
+
+#[test]
+fn hybrid_beats_eps_only_for_bulk_traffic() {
+    let n = 8;
+    let run = |s: Box<dyn Scheduler>| {
+        HybridSim::new(
+            cfg(n),
+            workload(n, TrafficMatrix::uniform(n), 0.4, 9),
+            s,
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(10))
+    };
+    let hybrid = run(Box::new(IslipScheduler::new(n, 3)));
+    let eps_only = run(Box::new(EpsOnlyScheduler::new()));
+    // The EPS is 1/10 line rate: bulk-heavy traffic needs the circuits.
+    assert!(
+        hybrid.delivered_bytes() > 2 * eps_only.delivered_bytes(),
+        "hybrid {} vs eps-only {}",
+        hybrid.delivered_bytes(),
+        eps_only.delivered_bytes()
+    );
+}
+
+#[test]
+fn multi_entry_schedulers_reconfigure_more_but_cover_more_pairs() {
+    let n = 8;
+    // Demand spread over 2 disjoint permutations.
+    let mut w = vec![0.0; n * n];
+    for i in 0..n {
+        w[i * n + (i + 1) % n] = 1.0;
+        w[i * n + (i + 3) % n] = 1.0;
+    }
+    let matrix = TrafficMatrix::from_weights(n, w).unwrap();
+    let run = |s: Box<dyn Scheduler>| {
+        HybridSim::new(
+            cfg(n),
+            bulk_workload(n, matrix.clone(), 0.4, 11),
+            s,
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(10))
+    };
+    let single = run(Box::new(HungarianScheduler::new()));
+    let multi = run(Box::new(BvnScheduler::new(4)));
+    assert!(
+        multi.ocs.reconfigurations > single.ocs.reconfigurations,
+        "decomposition pays more reconfigurations"
+    );
+    // And turns them into at least comparable delivery.
+    assert!(multi.delivered_bytes() * 10 > single.delivered_bytes() * 8);
+}
+
+#[test]
+fn permutation_traffic_is_the_ocs_best_case() {
+    let n = 8;
+    let run = |m: TrafficMatrix| {
+        HybridSim::new(
+            cfg(n),
+            bulk_workload(n, m, 0.5, 13),
+            Box::new(HungarianScheduler::new()),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(10))
+    };
+    let perm = run(TrafficMatrix::permutation(n, 1));
+    let incast = run(TrafficMatrix::incast(n, 7, 0));
+    // A permutation saturates all circuits; incast can use only one.
+    assert!(
+        perm.delivered_ocs_bytes > 3 * incast.delivered_ocs_bytes,
+        "perm {} vs incast {}",
+        perm.delivered_ocs_bytes,
+        incast.delivered_ocs_bytes
+    );
+}

@@ -51,13 +51,9 @@ fn bench_schedulers(c: &mut Criterion) {
             ("hotspot_mwm", Box::new(HotspotScheduler::new(100_000))),
         ];
         for (name, sched) in &mut cases {
-            group.bench_with_input(
-                BenchmarkId::new(*name, n),
-                &n,
-                |b, _| {
-                    b.iter(|| black_box(sched.schedule(black_box(&demand), &context)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, n), &n, |b, _| {
+                b.iter(|| black_box(sched.schedule(black_box(&demand), &context)));
+            });
         }
     }
     group.finish();

@@ -7,44 +7,27 @@
 //! 3. **Epoch length** — the duty-cycle vs responsiveness trade: long
 //!    epochs amortize reconfiguration but add queueing delay.
 //!
+//! Each ablation is a thin `xds-scenario` sweep (a schedulers axis, a
+//! coupled scheduler+budget spec list, and an epochs axis respectively).
+//!
 //! ```sh
 //! cargo run --release -p xds-bench --bin exp_ablation
 //! ```
 
-use xds_bench::{banner, emit, parallel_map, standard_fast};
-use xds_core::demand::MirrorEstimator;
-use xds_core::node::Workload;
-use xds_core::report::RunReport;
-use xds_core::runtime::HybridSim;
-use xds_core::sched::{IslipScheduler, Scheduler, SolsticeScheduler};
+use xds_bench::{banner, emit, emit_sweep};
 use xds_hw::{ClockDomain, HwAlgo};
 use xds_metrics::Table;
-use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
-use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+use xds_scenario::{ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid, TrafficPattern};
+use xds_sim::SimDuration;
 
 const N: usize = 16;
 
-fn run(
-    sched: Box<dyn Scheduler>,
-    matrix: TrafficMatrix,
-    load: f64,
-    epoch: Option<SimDuration>,
-    max_entries: usize,
-) -> RunReport {
-    let mut cfg = standard_fast(N, SimDuration::from_micros(1));
-    if let Some(e) = epoch {
-        cfg.epoch = e;
-    }
-    cfg.max_entries = max_entries;
-    let eff = load / matrix.imbalance();
-    let w = Workload::flows(FlowGenerator::with_load(
-        matrix,
-        FlowSizeDist::Fixed(150_000),
-        eff,
-        BitRate::GBPS_10,
-        SimRng::new(81),
-    ));
-    HybridSim::new(cfg, w, sched, Box::new(MirrorEstimator::new(N))).run(SimTime::from_millis(15))
+fn base(name: &str, load: f64) -> ScenarioSpec {
+    ScenarioSpec::new(name)
+        .with_ports(N)
+        .with_load(load)
+        .with_duration(SimDuration::from_millis(15))
+        .with_seed(81)
 }
 
 fn main() {
@@ -56,21 +39,26 @@ fn main() {
 
     // --- (1) iSLIP iterations. ---
     let iters: Vec<u32> = vec![1, 2, 3, 4, 6];
-    let results = parallel_map(iters.clone(), |i| {
-        run(
-            Box::new(IslipScheduler::new(N, i)),
-            TrafficMatrix::uniform(N),
-            0.8,
-            None,
-            4,
-        )
-    });
+    let grid = SweepGrid::new(base("e10a", 0.8)).schedulers(
+        iters
+            .iter()
+            .map(|&i| SchedulerKind::Islip { iterations: i })
+            .collect(),
+    );
+    let results = SweepExecutor::new().run(grid.specs());
     let mut t1 = Table::new(
         "E10a: iSLIP iteration count (uniform @ 0.8)",
-        &["iterations", "hw cycles", "hw latency", "thru(Gbps)", "p99 bulk(us)"],
+        &[
+            "iterations",
+            "hw cycles",
+            "hw latency",
+            "thru(Gbps)",
+            "p99 bulk(us)",
+        ],
     );
-    for (i, r) in iters.iter().zip(results.iter()) {
-        let cycles = HwAlgo::Islip { iterations: *i }.schedule_cycles(N);
+    for (j, &i) in iters.iter().enumerate() {
+        let Some(r) = results.report(j) else { continue };
+        let cycles = HwAlgo::Islip { iterations: i }.schedule_cycles(N);
         t1.row(vec![
             i.to_string(),
             cycles.to_string(),
@@ -80,35 +68,41 @@ fn main() {
         ]);
     }
     emit("exp_ablation_islip_iters", &t1);
+    emit_sweep("exp_ablation_islip_points", "E10a point dump", &results);
 
     // --- (2) Solstice configuration budget. ---
     // Demand spanning 3 disjoint permutations: fewer entries than 3
-    // cannot cover it within one epoch.
-    let mut w = vec![0.0; N * N];
-    for i in 0..N {
-        for k in [1usize, 5, 9] {
-            w[i * N + (i + k) % N] = 1.0;
-        }
-    }
-    let matrix = TrafficMatrix::from_weights(N, w).unwrap();
+    // cannot cover it within one epoch. The scheduler's permutation
+    // budget and the runtime's entry budget move together — a coupled
+    // axis, so the points are derived from the base. Long epochs (400 µs)
+    // make within-epoch coverage matter.
     let budgets: Vec<usize> = vec![1, 2, 3, 4, 6, 8];
-    // Long epochs (400 µs) make within-epoch coverage matter: with short
-    // epochs a single-configuration scheduler simply serves a different
-    // permutation each epoch and the budget is moot.
-    let results = parallel_map(budgets.clone(), |b| {
-        run(
-            Box::new(SolsticeScheduler::new(b as u32)),
-            matrix.clone(),
-            0.6,
-            Some(SimDuration::from_micros(400)),
-            b,
-        )
-    });
+    let specs: Vec<ScenarioSpec> = budgets
+        .iter()
+        .map(|&b| {
+            base("e10b", 0.6)
+                .with_name(format!("e10b/me{b}"))
+                .with_pattern(TrafficPattern::MultiRing {
+                    shifts: vec![1, 5, 9],
+                })
+                .with_scheduler(SchedulerKind::Solstice { perms: b as u32 })
+                .with_epoch(SimDuration::from_micros(400))
+                .with_max_entries(b)
+        })
+        .collect();
+    let results = SweepExecutor::new().run(specs);
     let mut t2 = Table::new(
         "E10b: configurations per epoch (3-permutation demand @ 0.6, 400us epochs)",
-        &["max entries", "thru(Gbps)", "reconfigs", "duty%", "p99 bulk(us)"],
+        &[
+            "max entries",
+            "thru(Gbps)",
+            "reconfigs",
+            "duty%",
+            "p99 bulk(us)",
+        ],
     );
-    for (b, r) in budgets.iter().zip(results.iter()) {
+    for (j, &b) in budgets.iter().enumerate() {
+        let Some(r) = results.report(j) else { continue };
         t2.row(vec![
             b.to_string(),
             format!("{:.2}", r.throughput_gbps()),
@@ -118,6 +112,7 @@ fn main() {
         ]);
     }
     emit("exp_ablation_entries", &t2);
+    emit_sweep("exp_ablation_entries_points", "E10b point dump", &results);
 
     // --- (3) Epoch length (duty cycle vs queueing delay). ---
     let epochs: Vec<SimDuration> = vec![
@@ -127,20 +122,20 @@ fn main() {
         SimDuration::from_micros(400),
         SimDuration::from_millis(2),
     ];
-    let results = parallel_map(epochs.clone(), |e| {
-        run(
-            Box::new(IslipScheduler::new(N, 3)),
-            TrafficMatrix::uniform(N),
-            0.6,
-            Some(e),
-            4,
-        )
-    });
+    let grid = SweepGrid::new(base("e10c", 0.6)).epochs(epochs.clone());
+    let results = SweepExecutor::new().run(grid.specs());
     let mut t3 = Table::new(
         "E10c: epoch length (uniform @ 0.6, reconfig 1us)",
-        &["epoch", "duty%", "thru(Gbps)", "p99 bulk(us)", "peak switch buf"],
+        &[
+            "epoch",
+            "duty%",
+            "thru(Gbps)",
+            "p99 bulk(us)",
+            "peak switch buf",
+        ],
     );
-    for (e, r) in epochs.iter().zip(results.iter()) {
+    for (j, e) in epochs.iter().enumerate() {
+        let Some(r) = results.report(j) else { continue };
         t3.row(vec![
             e.to_string(),
             format!("{:.1}", r.ocs_duty_cycle() * 100.0),
@@ -150,6 +145,7 @@ fn main() {
         ]);
     }
     emit("exp_ablation_epoch", &t3);
+    emit_sweep("exp_ablation_epoch_points", "E10c point dump", &results);
 
     println!(
         "findings: (a) throughput saturates by ~log2(n) iterations — extra\n\

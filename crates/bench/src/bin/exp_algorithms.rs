@@ -1,88 +1,37 @@
 //! **E5**: the scheduler face-off the framework exists for.
 //!
 //! §3: the framework enables "exploration and evaluation of novel hybrid
-//! schedulers". Nine algorithms × four traffic patterns × a load sweep;
-//! throughput-vs-load plus tail latency under the hotspot pattern.
+//! schedulers". Ten algorithms × four traffic patterns × a load sweep;
+//! throughput-vs-load plus tail latency under the hotspot pattern. A thin
+//! wrapper over `xds-scenario`: one grid per pattern, tables pivoted from
+//! the sweep results.
 //!
 //! ```sh
 //! cargo run --release -p xds-bench --bin exp_algorithms
 //! ```
 
-use xds_bench::{banner, emit, parallel_map, standard_fast};
-use xds_core::demand::MirrorEstimator;
-use xds_core::node::Workload;
-use xds_core::report::RunReport;
-use xds_core::runtime::HybridSim;
-use xds_core::sched::*;
+use xds_bench::{banner, emit, emit_sweep};
 use xds_metrics::Table;
-use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
-use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+use xds_scenario::{ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid, TrafficPattern};
+use xds_sim::SimDuration;
 
 const N: usize = 16;
 const LOADS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
 
-fn scheduler_by_name(name: &str) -> Box<dyn Scheduler> {
-    match name {
-        "tdma" => Box::new(TdmaScheduler::new(N)),
-        "islip" => Box::new(IslipScheduler::new(N, 3)),
-        "pim" => Box::new(PimScheduler::new(N, 3, SimRng::new(1234))),
-        "rrm" => Box::new(RrmScheduler::new(N, 3)),
-        "wavefront" => Box::new(WavefrontScheduler::new(N)),
-        "greedy_lqf" => Box::new(GreedyLqfScheduler::new()),
-        "hungarian" => Box::new(HungarianScheduler::new()),
-        "bvn" => Box::new(BvnScheduler::new(4)),
-        "solstice" => Box::new(SolsticeScheduler::new(4)),
-        "eps_only" => Box::new(EpsOnlyScheduler::new()),
-        other => panic!("unknown scheduler {other}"),
-    }
-}
-
-const SCHEDULERS: [&str; 10] = [
-    "eps_only",
-    "tdma",
-    "rrm",
-    "pim",
-    "islip",
-    "wavefront",
-    "greedy_lqf",
-    "hungarian",
-    "bvn",
-    "solstice",
-];
-
-fn pattern(name: &str) -> TrafficMatrix {
-    match name {
-        "uniform" => TrafficMatrix::uniform(N),
-        "permutation" => TrafficMatrix::permutation(N, 5),
-        "hotspot" => TrafficMatrix::hotspot(N, 4, 0.6, 0),
-        "skewed" => {
-            let mut rng = SimRng::new(9);
-            TrafficMatrix::zipf(N, 1.1, &mut rng)
-        }
-        other => panic!("unknown pattern {other}"),
-    }
-}
-
-fn run_cell(sched: &str, pat: &str, load: f64) -> RunReport {
-    let cfg = standard_fast(N, SimDuration::from_micros(1));
-    // Keep the busiest port admissible: scale offered load by the
-    // pattern's imbalance so "load" means per-port utilization.
-    let m = pattern(pat);
-    let eff_load = load / m.imbalance();
-    let w = Workload::flows(FlowGenerator::with_load(
-        m,
-        FlowSizeDist::Fixed(150_000),
-        eff_load,
-        BitRate::GBPS_10,
-        SimRng::new(31),
-    ));
-    HybridSim::new(
-        cfg,
-        w,
-        scheduler_by_name(sched),
-        Box::new(MirrorEstimator::new(N)),
-    )
-    .run(SimTime::from_millis(15))
+fn patterns() -> Vec<(&'static str, TrafficPattern)> {
+    vec![
+        ("uniform", TrafficPattern::Uniform),
+        ("permutation", TrafficPattern::Permutation { shift: 5 }),
+        (
+            "hotspot",
+            TrafficPattern::Hotspot {
+                pairs: 4,
+                fraction: 0.6,
+                offset: 0,
+            },
+        ),
+        ("skewed", TrafficPattern::Zipf { exponent: 1.1 }),
+    ]
 }
 
 fn main() {
@@ -93,41 +42,58 @@ fn main() {
          traffic pattern (load normalized to the busiest port).",
     );
 
-    for pat in ["uniform", "permutation", "hotspot", "skewed"] {
-        let cells: Vec<(&str, f64)> = SCHEDULERS
-            .iter()
-            .flat_map(|&s| LOADS.iter().map(move |&l| (s, l)))
-            .collect();
-        let reports = parallel_map(cells, |(s, l)| run_cell(s, pat, l));
+    let roster = SchedulerKind::roster();
+    for (pat_name, pattern) in patterns() {
+        let base = ScenarioSpec::new(format!("e5-{pat_name}"))
+            .with_ports(N)
+            .with_pattern(pattern)
+            .with_duration(SimDuration::from_millis(15))
+            .with_seed(31);
+        let grid = SweepGrid::new(base)
+            .loads(LOADS.to_vec())
+            .schedulers(roster.clone());
+        let results = SweepExecutor::new().run(grid.specs());
 
+        // Pivot: rows = scheduler, columns = load, cell = throughput.
+        // Grid order is loads-outer, schedulers-inner (last axis fastest).
         let mut headers: Vec<String> = vec!["scheduler".into()];
         headers.extend(LOADS.iter().map(|l| format!("thru@{l:.1}")));
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(
-            format!("E5: delivered throughput (Gbps) — pattern = {pat}"),
+            format!("E5: delivered throughput (Gbps) — pattern = {pat_name}"),
             &header_refs,
         );
-        for (i, s) in SCHEDULERS.iter().enumerate() {
-            let mut row = vec![s.to_string()];
-            for j in 0..LOADS.len() {
-                row.push(format!("{:.2}", reports[i * LOADS.len() + j].throughput_gbps()));
+        for (si, s) in roster.iter().enumerate() {
+            let mut row = vec![s.label().to_string()];
+            for li in 0..LOADS.len() {
+                let cell = results
+                    .report(li * roster.len() + si)
+                    .map(|r| format!("{:.2}", r.throughput_gbps()))
+                    .unwrap_or_else(|| "-".into());
+                row.push(cell);
             }
             table.row(row);
         }
-        emit(&format!("exp_algorithms_{pat}"), &table);
+        emit(&format!("exp_algorithms_{pat_name}"), &table);
+        emit_sweep(
+            &format!("exp_algorithms_{pat_name}_points"),
+            &format!("E5 point dump — pattern = {pat_name}"),
+            &results,
+        );
 
-        if pat == "hotspot" {
+        if pat_name == "hotspot" {
             let mut lat = Table::new(
                 "E5: p99 bulk latency (us) at load 0.5 — pattern = hotspot",
                 &["scheduler", "p99 bulk(us)", "ocs reconfigs"],
             );
-            for (i, s) in SCHEDULERS.iter().enumerate() {
-                let r = &reports[i * LOADS.len() + 2];
-                lat.row(vec![
-                    s.to_string(),
-                    format!("{:.1}", r.latency_bulk.p99() as f64 / 1e3),
-                    r.ocs.reconfigurations.to_string(),
-                ]);
+            for (si, s) in roster.iter().enumerate() {
+                if let Some(r) = results.report(2 * roster.len() + si) {
+                    lat.row(vec![
+                        s.label().to_string(),
+                        format!("{:.1}", r.latency_bulk.p99() as f64 / 1e3),
+                        r.ocs.reconfigurations.to_string(),
+                    ]);
+                }
             }
             emit("exp_algorithms_hotspot_latency", &lat);
         }

@@ -2,64 +2,38 @@
 //!
 //! §2 credits hardware schedulers with "quick demand estimation". Quick is
 //! necessary but not sufficient — the estimator must also *track* change.
-//! A hotspot rotates every millisecond; four estimators feed the same
+//! A hotspot rotates every millisecond; the estimators feed the same
 //! scheduler, and we report estimation error (mean relative L1 distance to
-//! the true VOQ occupancy) and the throughput it costs.
+//! the true VOQ occupancy) and the throughput it costs. A thin wrapper
+//! over `xds-scenario`: estimators × {static, churn} as one grid.
 //!
 //! ```sh
 //! cargo run --release -p xds-bench --bin exp_demand
 //! ```
 
-use xds_bench::{banner, emit, parallel_map, standard_fast};
-use xds_core::demand::{
-    CountMinEstimator, DemandEstimator, EwmaEstimator, MirrorEstimator, WindowEstimator,
-};
-use xds_core::node::Workload;
-use xds_core::runtime::HybridSim;
-use xds_core::sched::GreedyLqfScheduler;
+use xds_bench::{banner, emit, emit_sweep};
 use xds_metrics::Table;
-use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
-use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+use xds_scenario::{
+    EstimatorKind, ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid, TrafficPattern,
+};
+use xds_sim::SimDuration;
 
 const N: usize = 16;
 
-fn estimator(name: &str) -> Box<dyn DemandEstimator> {
-    match name {
-        "mirror" => Box::new(MirrorEstimator::new(N)),
-        "ewma_fast" => Box::new(EwmaEstimator::new(N, 0.5)),
-        "ewma_slow" => Box::new(EwmaEstimator::new(N, 0.05)),
-        "window" => Box::new(WindowEstimator::new(N, SimDuration::from_micros(500))),
-        "countmin" => Box::new(CountMinEstimator::new(
-            N,
-            4,
-            64,
-            SimDuration::from_millis(1),
-        )),
-        other => panic!("unknown estimator {other}"),
-    }
-}
-
-const ESTIMATORS: [&str; 5] = ["mirror", "ewma_fast", "ewma_slow", "window", "countmin"];
-
-fn run_one(est: &str, rotate: bool) -> (f64, f64) {
-    let cfg = standard_fast(N, SimDuration::from_micros(1));
-    let base = TrafficMatrix::hotspot(N, 4, 0.8, 0);
-    let mut w = Workload::flows(FlowGenerator::with_load(
-        base.clone(),
-        FlowSizeDist::Fixed(150_000),
-        0.3,
-        BitRate::GBPS_10,
-        SimRng::new(41),
-    ));
-    if rotate {
-        let cycle: Vec<TrafficMatrix> = (0..8)
-            .map(|k| TrafficMatrix::hotspot(N, 4, 0.8, k * 2))
-            .collect();
-        w = w.with_matrix_cycle(SimDuration::from_millis(1), cycle);
-    }
-    let r = HybridSim::new(cfg, w, Box::new(GreedyLqfScheduler::new()), estimator(est))
-        .run(SimTime::from_millis(25));
-    (r.demand_error_mean.unwrap_or(f64::NAN), r.throughput_gbps())
+fn estimators() -> Vec<EstimatorKind> {
+    vec![
+        EstimatorKind::Mirror,
+        EstimatorKind::Ewma { alpha: 0.5 },
+        EstimatorKind::Ewma { alpha: 0.05 },
+        EstimatorKind::Window {
+            window: SimDuration::from_micros(500),
+        },
+        EstimatorKind::CountMin {
+            depth: 4,
+            width: 64,
+            decay: SimDuration::from_millis(1),
+        },
+    ]
 }
 
 fn main() {
@@ -71,11 +45,33 @@ fn main() {
          occupancy at each decision.",
     );
 
-    let cells: Vec<(&str, bool)> = ESTIMATORS
-        .iter()
-        .flat_map(|&e| [false, true].into_iter().map(move |r| (e, r)))
-        .collect();
-    let results = parallel_map(cells, |(e, rot)| run_one(e, rot));
+    let base = ScenarioSpec::new("e6")
+        .with_ports(N)
+        .with_load(0.3)
+        // Raw aggregate load, as in the original E6: the 4 hot pairs run
+        // near saturation, which is what separates the estimators.
+        .with_load_normalization(false)
+        .with_scheduler(SchedulerKind::GreedyLqf)
+        .with_duration(SimDuration::from_millis(25))
+        .with_seed(41);
+    let ests = estimators();
+    let grid = SweepGrid::new(base)
+        .estimators(ests.clone())
+        // Patterns vary fastest (later axis): static first, then churn.
+        .patterns(vec![
+            TrafficPattern::Hotspot {
+                pairs: 4,
+                fraction: 0.8,
+                offset: 0,
+            },
+            TrafficPattern::ChurnHotspot {
+                pairs: 4,
+                fraction: 0.8,
+                period: SimDuration::from_millis(1),
+                steps: 8,
+            },
+        ]);
+    let results = SweepExecutor::new().run(grid.specs());
 
     let mut table = Table::new(
         "E6: estimation error and throughput, static vs rotating hotspot",
@@ -87,18 +83,24 @@ fn main() {
             "thru(rotating)",
         ],
     );
-    for (i, e) in ESTIMATORS.iter().enumerate() {
-        let stat = &results[i * 2];
-        let rot = &results[i * 2 + 1];
-        table.row(vec![
-            e.to_string(),
-            format!("{:.3}", stat.0),
-            format!("{:.2}", stat.1),
-            format!("{:.3}", rot.0),
-            format!("{:.2}", rot.1),
-        ]);
+    for (i, e) in ests.iter().enumerate() {
+        let cell = |j: usize| {
+            results
+                .report(i * 2 + j)
+                .map(|r| {
+                    (
+                        format!("{:.3}", r.demand_error_mean.unwrap_or(f64::NAN)),
+                        format!("{:.2}", r.throughput_gbps()),
+                    )
+                })
+                .unwrap_or_else(|| ("-".into(), "-".into()))
+        };
+        let (err_s, thru_s) = cell(0);
+        let (err_r, thru_r) = cell(1);
+        table.row(vec![e.label(), err_s, thru_s, err_r, thru_r]);
     }
     emit("exp_demand", &table);
+    emit_sweep("exp_demand_points", "E6 point dump", &results);
     println!(
         "expected shape: the occupancy mirror tracks best (it sees the queues\n\
          directly — the hardware advantage); slow EWMA lags the rotation;\n\

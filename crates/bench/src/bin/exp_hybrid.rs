@@ -4,63 +4,21 @@
 //!
 //! Sweeping the c-Through-style offload threshold moves the boundary
 //! between "long burst" and "residual": too low and mice thrash circuits,
-//! too high and elephants crush the undersized EPS.
+//! too high and elephants crush the undersized EPS. A thin wrapper over
+//! `xds-scenario`: the classifier threshold and the scheduler threshold
+//! are coupled, so the points are built directly from the base spec.
 //!
 //! ```sh
 //! cargo run --release -p xds-bench --bin exp_hybrid
 //! ```
 
-use xds_bench::{banner, emit, parallel_map, standard_fast};
-use xds_core::demand::MirrorEstimator;
-use xds_core::node::Workload;
-use xds_core::runtime::HybridSim;
-use xds_core::sched::HotspotScheduler;
+use xds_bench::{banner, emit, emit_sweep};
 use xds_metrics::Table;
-use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
-use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+use xds_scenario::{ScenarioSpec, SchedulerKind, SweepExecutor};
+use xds_sim::SimDuration;
+use xds_traffic::FlowSizeDist;
 
 const N: usize = 16;
-
-fn run_threshold(bulk_threshold: u64) -> Vec<String> {
-    let cfg = standard_fast(N, SimDuration::from_micros(10));
-    // The flow classifier uses the same threshold as the scheduler: flows
-    // at or above it are OCS candidates.
-    let gen = FlowGenerator::with_load(
-        TrafficMatrix::uniform(N),
-        FlowSizeDist::WebSearch,
-        0.5,
-        BitRate::GBPS_10,
-        SimRng::new(71),
-    )
-    .with_bulk_threshold(bulk_threshold);
-    let r = HybridSim::new(
-        cfg,
-        Workload::flows(gen),
-        Box::new(HotspotScheduler::new(bulk_threshold / 2)),
-        Box::new(MirrorEstimator::new(N)),
-    )
-    .run(SimTime::from_millis(40));
-
-    let mice_p99 = r
-        .fct_mice
-        .as_ref()
-        .map(|f| format!("{:.1}", f.p99_ns as f64 / 1e3))
-        .unwrap_or_else(|| "-".into());
-    let ele_mean = r
-        .fct_elephant
-        .as_ref()
-        .map(|f| format!("{:.2}", f.mean_ns as f64 / 1e6))
-        .unwrap_or_else(|| "-".into());
-    vec![
-        xds_metrics::fmt_bytes(bulk_threshold),
-        format!("{:.1}", r.ocs_byte_share() * 100.0),
-        format!("{:.2}", r.throughput_gbps()),
-        mice_p99,
-        ele_mean,
-        r.drops.eps_full.to_string(),
-        r.ocs.reconfigurations.to_string(),
-    ]
-}
 
 fn main() {
     banner(
@@ -69,15 +27,31 @@ fn main() {
         "16x16, websearch @ 0.5, EPS at 1/10 line rate; the flow-size boundary\n\
          between EPS (short) and OCS (long bursts) swept across three decades.",
     );
-    let thresholds: Vec<u64> = vec![
-        10_000,
-        50_000,
-        100_000,
-        500_000,
-        2_000_000,
-        10_000_000,
-    ];
-    let rows = parallel_map(thresholds, run_threshold);
+    let thresholds: Vec<u64> = vec![10_000, 50_000, 100_000, 500_000, 2_000_000, 10_000_000];
+
+    let base = ScenarioSpec::new("e9")
+        .with_ports(N)
+        .with_sizes(FlowSizeDist::WebSearch)
+        .with_load(0.5)
+        .with_reconfig(SimDuration::from_micros(10))
+        .with_duration(SimDuration::from_millis(40))
+        .with_seed(71);
+    // The flow classifier uses the swept threshold; the scheduler's
+    // circuit-setup threshold tracks it at half — a coupled axis, so the
+    // points are derived rather than cross-multiplied.
+    let specs: Vec<ScenarioSpec> = thresholds
+        .iter()
+        .map(|&t| {
+            base.clone()
+                .with_name(format!("e9/bt{t}"))
+                .with_bulk_threshold(t)
+                .with_scheduler(SchedulerKind::Hotspot {
+                    threshold_bytes: t / 2,
+                })
+        })
+        .collect();
+    let results = SweepExecutor::new().run(specs);
+
     let mut table = Table::new(
         "E9: offload threshold sweep",
         &[
@@ -90,10 +64,30 @@ fn main() {
             "reconfigs",
         ],
     );
-    for row in rows {
-        table.row(row);
+    for (i, &t) in thresholds.iter().enumerate() {
+        let Some(r) = results.report(i) else { continue };
+        let mice_p99 = r
+            .fct_mice
+            .as_ref()
+            .map(|f| format!("{:.1}", f.p99_ns as f64 / 1e3))
+            .unwrap_or_else(|| "-".into());
+        let ele_mean = r
+            .fct_elephant
+            .as_ref()
+            .map(|f| format!("{:.2}", f.mean_ns / 1e6))
+            .unwrap_or_else(|| "-".into());
+        table.row(vec![
+            xds_metrics::fmt_bytes(t),
+            format!("{:.1}", r.ocs_byte_share() * 100.0),
+            format!("{:.2}", r.throughput_gbps()),
+            mice_p99,
+            ele_mean,
+            r.drops.eps_full.to_string(),
+            r.ocs.reconfigurations.to_string(),
+        ]);
     }
     emit("exp_hybrid", &table);
+    emit_sweep("exp_hybrid_points", "E9 point dump", &results);
     println!(
         "expected shape: the OCS byte share falls as the threshold rises; a\n\
          threshold near the mice/elephant knee (~100KB) keeps mice FCT low on\n\

@@ -60,7 +60,13 @@ fn make(name: &str, n: usize) -> Box<dyn Scheduler> {
     }
 }
 
-const ALGOS: [&str; 5] = ["islip_i3", "wavefront", "greedy_lqf", "hungarian", "solstice_p4"];
+const ALGOS: [&str; 5] = [
+    "islip_i3",
+    "wavefront",
+    "greedy_lqf",
+    "hungarian",
+    "solstice_p4",
+];
 
 fn main() {
     banner(
@@ -73,7 +79,16 @@ fn main() {
     // --- Hardware model table. ---
     let mut hw = Table::new(
         "E7a: hardware decision latency @ 200 MHz (cycles | ns) and SUME fit (1KB VOQs @ 64p)",
-        &["algo", "n=8", "n=16", "n=32", "n=64", "n=128", "n=256", "fits SUME @64"],
+        &[
+            "algo",
+            "n=8",
+            "n=16",
+            "n=32",
+            "n=64",
+            "n=128",
+            "n=256",
+            "fits SUME @64",
+        ],
     );
     let hw_algos: Vec<(&str, HwAlgo)> = vec![
         ("tdma", HwAlgo::Tdma),

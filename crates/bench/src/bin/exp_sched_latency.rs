@@ -4,69 +4,22 @@
 //! center network due to poor resource utilization." We sweep the decision
 //! latency from hardware-scale (100 ns) to software-scale (5 ms) while
 //! keeping everything else fixed, and watch throughput and tail FCT
-//! collapse as decisions approach (then exceed) the epoch.
+//! collapse as decisions approach (then exceed) the epoch. A thin wrapper
+//! over `xds-scenario`: a fixed-latency placement per decision point,
+//! loads as the inner axis.
 //!
 //! ```sh
 //! cargo run --release -p xds-bench --bin exp_sched_latency
 //! ```
 
-use xds_bench::{banner, emit, parallel_map};
-use xds_core::config::{NodeConfig, Placement};
-use xds_core::demand::MirrorEstimator;
-use xds_core::node::Workload;
-use xds_core::runtime::HybridSim;
-use xds_core::sched::IslipScheduler;
-use xds_hw::{ClockDomain, HwAlgo, HwSchedulerModel};
+use xds_bench::{banner, emit, emit_sweep};
 use xds_metrics::Table;
-use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
-use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+use xds_scenario::{PlacementKind, ScenarioSpec, SweepExecutor};
+use xds_sim::SimDuration;
 
 const N: usize = 16;
-
-/// A placement whose decision latency is exactly `latency` (1 GHz clock,
-/// one cycle per nanosecond in the demand stage; the algorithm itself is
-/// costed at a single cycle so the sweep isolates the latency variable).
-fn fixed_latency_placement(latency: SimDuration) -> Placement {
-    Placement::Hardware(HwSchedulerModel {
-        clock: ClockDomain::from_mhz(1000),
-        demand_cycles: latency.as_nanos().max(1),
-        algo: HwAlgo::Tdma,
-        grant_cycles: 0,
-    })
-}
-
-fn run_cell(decision: SimDuration, load: f64) -> (f64, f64, f64) {
-    let mut cfg = NodeConfig::fast(
-        N,
-        SimDuration::from_micros(1),
-        HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 }),
-    );
-    cfg.placement = fixed_latency_placement(decision);
-    cfg.epoch = SimDuration::from_micros(100);
-    cfg.seed = 11;
-    let epoch = cfg.epoch;
-    let horizon = SimTime::ZERO + (epoch.max(decision) * 40).max(SimDuration::from_millis(20));
-    let w = Workload::flows(FlowGenerator::with_load(
-        TrafficMatrix::uniform(N),
-        FlowSizeDist::Fixed(150_000),
-        load,
-        BitRate::GBPS_10,
-        SimRng::new(13),
-    ));
-    let r = HybridSim::new(
-        cfg,
-        w,
-        Box::new(IslipScheduler::new(N, 3)),
-        Box::new(MirrorEstimator::new(N)),
-    )
-    .run(horizon);
-    let p99_fct_us = r
-        .fct_overall
-        .as_ref()
-        .map(|f| f.p99_ns as f64 / 1e3)
-        .unwrap_or(f64::NAN);
-    (r.throughput_gbps(), r.goodput_fraction(), p99_fct_us)
-}
+const EPOCH: SimDuration = SimDuration::from_micros(100);
+const LOADS: [f64; 3] = [0.3, 0.6, 0.8];
 
 fn main() {
     banner(
@@ -77,7 +30,7 @@ fn main() {
          keep up and utilization collapses (the paper's software-scheduler\n\
          argument).",
     );
-    let decisions = vec![
+    let decisions = [
         SimDuration::from_nanos(100),
         SimDuration::from_micros(1),
         SimDuration::from_micros(10),
@@ -87,13 +40,26 @@ fn main() {
         SimDuration::from_millis(1),
         SimDuration::from_millis(5),
     ];
-    let loads = [0.3, 0.6, 0.8];
 
-    let cells: Vec<(SimDuration, f64)> = decisions
+    // The horizon must scale with the decision latency (a 5 ms decision
+    // needs tens of epochs to show its steady state), so points are
+    // derived from the base rather than cross-multiplied.
+    let specs: Vec<ScenarioSpec> = decisions
         .iter()
-        .flat_map(|&d| loads.iter().map(move |&l| (d, l)))
+        .flat_map(|&d| {
+            let horizon = (EPOCH.max(d) * 40).max(SimDuration::from_millis(20));
+            LOADS.iter().map(move |&l| {
+                ScenarioSpec::new(format!("e3/d{d}/load{l:.1}"))
+                    .with_ports(N)
+                    .with_load(l)
+                    .with_placement(PlacementKind::HardwareFixedLatency { latency: d })
+                    .with_epoch(EPOCH)
+                    .with_duration(horizon)
+                    .with_seed(11)
+            })
+        })
         .collect();
-    let results = parallel_map(cells, |(d, l)| run_cell(d, l));
+    let results = SweepExecutor::new().run(specs);
 
     let mut table = Table::new(
         "E3: throughput (Gbps) and p99 FCT (us) vs decision latency",
@@ -108,18 +74,31 @@ fn main() {
         ],
     );
     for (i, d) in decisions.iter().enumerate() {
-        let row: Vec<&(f64, f64, f64)> = (0..3).map(|j| &results[i * 3 + j]).collect();
+        let report = |j: usize| results.report(i * LOADS.len() + j);
+        let thru = |j: usize| {
+            report(j)
+                .map(|r| format!("{:.2}", r.throughput_gbps()))
+                .unwrap_or_else(|| "-".into())
+        };
+        let p99fct = report(1)
+            .and_then(|r| r.fct_overall.as_ref())
+            .map(|f| format!("{:.0}", f.p99_ns as f64 / 1e3))
+            .unwrap_or_else(|| "-".into());
+        let goodput = report(2)
+            .map(|r| format!("{:.2}", r.goodput_fraction()))
+            .unwrap_or_else(|| "-".into());
         table.row(vec![
             d.to_string(),
-            format!("{:.3}x", d.as_nanos() as f64 / 100_000.0),
-            format!("{:.2}", row[0].0),
-            format!("{:.2}", row[1].0),
-            format!("{:.2}", row[2].0),
-            format!("{:.0}", row[1].2),
-            format!("{:.2}", row[2].1),
+            format!("{:.3}x", d.as_nanos() as f64 / EPOCH.as_nanos() as f64),
+            thru(0),
+            thru(1),
+            thru(2),
+            p99fct,
+            goodput,
         ]);
     }
     emit("exp_sched_latency", &table);
+    emit_sweep("exp_sched_latency_points", "E3 point dump", &results);
     println!(
         "expected shape: flat until decision ~ epoch (100us), then throughput\n\
          falls and tail FCT explodes — microsecond hardware decisions keep the\n\

@@ -4,10 +4,10 @@
 //! host and switch, which is difficult to achieve at faster switching
 //! times and higher transmission rates."
 //!
-//! Two tables:
+//! Three tables, the first two thin wrappers over `xds-scenario`:
 //! * measured — goodput and dark-window hits vs clock skew, slow
-//!   scheduling (hosts transmit into their skewed view of the grant
-//!   window);
+//!   scheduling (a placements axis of skew bounds);
+//! * measured — guard-band mitigation at fixed skew (a guards axis);
 //! * analytic — the guard-band overhead each sync technology imposes as
 //!   slots shrink (the reason fast switching *demands* on-switch
 //!   scheduling).
@@ -16,50 +16,48 @@
 //! cargo run --release -p xds-bench --bin exp_sync
 //! ```
 
-use xds_bench::{banner, emit, parallel_map, standard_slow};
-use xds_core::config::Placement;
-use xds_core::demand::MirrorEstimator;
-use xds_core::node::Workload;
-use xds_core::runtime::HybridSim;
-use xds_core::sched::HotspotScheduler;
+use xds_bench::{banner, emit, emit_sweep};
 use xds_hw::SyncModel;
 use xds_metrics::Table;
-use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
-use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
+use xds_scenario::{
+    PlacementKind, ScenarioSpec, SchedulerKind, SwModelKind, SweepExecutor, SweepGrid, SyncSpec,
+};
+use xds_sim::SimDuration;
 
 const N: usize = 16;
 
-fn run_skew_guard(skew: SimDuration, guard: SimDuration) -> (u64, u64, f64) {
-    let mut cfg = standard_slow(N, SimDuration::from_micros(50));
-    cfg.epoch = SimDuration::from_millis(1);
-    cfg.seed = 61;
-    cfg.guard = guard;
-    if let Placement::Software { sync, .. } = &mut cfg.placement {
-        *sync = SyncModel {
-            skew_bound: skew,
-            drift_ppb: 0,
-            resync_interval: SimDuration::from_secs(1),
-        };
+fn base() -> ScenarioSpec {
+    ScenarioSpec::new("e8")
+        .with_ports(N)
+        .with_load(0.4)
+        .with_scheduler(SchedulerKind::Hotspot {
+            threshold_bytes: 50_000,
+        })
+        .with_reconfig(SimDuration::from_micros(50))
+        .with_epoch(SimDuration::from_millis(1))
+        .with_duration(SimDuration::from_millis(40))
+        .with_seed(61)
+}
+
+fn sw(skew: SimDuration) -> PlacementKind {
+    PlacementKind::Software {
+        model: SwModelKind::KernelDriver,
+        sync: if skew.is_zero() {
+            SyncSpec::Perfect
+        } else {
+            SyncSpec::SkewBound(skew)
+        },
     }
-    let w = Workload::flows(FlowGenerator::with_load(
-        TrafficMatrix::uniform(N),
-        FlowSizeDist::Fixed(150_000),
-        0.4,
-        BitRate::GBPS_10,
-        SimRng::new(59),
-    ));
-    let r = HybridSim::new(
-        cfg,
-        w,
-        Box::new(HotspotScheduler::new(50_000)),
-        Box::new(MirrorEstimator::new(N)),
-    )
-    .run(SimTime::from_millis(40));
-    (
-        r.drops.sync_violation,
-        r.delivered_ocs_bytes,
-        r.goodput_fraction(),
-    )
+}
+
+fn skew_row(table: &mut Table, label: String, r: Option<&xds_core::report::RunReport>) {
+    let Some(r) = r else { return };
+    table.row(vec![
+        label,
+        r.drops.sync_violation.to_string(),
+        xds_metrics::fmt_bytes(r.delivered_ocs_bytes),
+        format!("{:.3}", r.goodput_fraction()),
+    ]);
 }
 
 fn main() {
@@ -70,55 +68,53 @@ fn main() {
          obey their own skewed clocks when transmitting into grant windows.",
     );
 
-    let skews = vec![
-        SimDuration::ZERO,
-        SimDuration::from_micros(1),
-        SimDuration::from_micros(5),
-        SimDuration::from_micros(20),
-        SimDuration::from_micros(50),
-        SimDuration::from_micros(200),
-    ];
-    let results = parallel_map(skews.clone(), |s| run_skew_guard(s, SimDuration::ZERO));
+    // --- (a) Skew sweep, no guard. ---
+    let skews = [0u64, 1, 5, 20, 50, 200];
+    let grid = SweepGrid::new(base()).placements(
+        skews
+            .iter()
+            .map(|&us| sw(SimDuration::from_micros(us)))
+            .collect(),
+    );
+    let results = SweepExecutor::new().run(grid.specs());
     let mut table = Table::new(
         "E8a: measured effect of clock skew (slow scheduling, no guard)",
         &["skew bound", "dark-window hits", "ocs bytes", "goodput"],
     );
-    for (skew, (viol, ocs, gp)) in skews.iter().zip(results.iter()) {
-        table.row(vec![
-            skew.to_string(),
-            viol.to_string(),
-            xds_metrics::fmt_bytes(*ocs),
-            format!("{gp:.3}"),
-        ]);
+    for (i, &us) in skews.iter().enumerate() {
+        skew_row(
+            &mut table,
+            SimDuration::from_micros(us).to_string(),
+            results.report(i),
+        );
     }
     emit("exp_sync_measured", &table);
+    emit_sweep("exp_sync_measured_points", "E8a point dump", &results);
 
-    // The mitigation: guard bands sized to the skew, at fixed skew 20 µs.
-    let guards = vec![
-        SimDuration::ZERO,
-        SimDuration::from_micros(5),
-        SimDuration::from_micros(10),
-        SimDuration::from_micros(25),
-        SimDuration::from_micros(50),
-        SimDuration::from_micros(100),
-    ];
-    let skew = SimDuration::from_micros(20);
-    let results = parallel_map(guards.clone(), |g| run_skew_guard(skew, g));
+    // --- (b mitigation) Guard-band sweep at fixed 20 µs skew. ---
+    let guards = [0u64, 5, 10, 25, 50, 100];
+    let grid = SweepGrid::new(base().with_placement(sw(SimDuration::from_micros(20)))).guards(
+        guards
+            .iter()
+            .map(|&us| SimDuration::from_micros(us))
+            .collect(),
+    );
+    let results = SweepExecutor::new().run(grid.specs());
     let mut mit = Table::new(
         "E8c: guard-band mitigation at 20us skew — violations vs capacity",
         &["guard", "dark-window hits", "ocs bytes", "goodput"],
     );
-    for (g, (viol, ocs, gp)) in guards.iter().zip(results.iter()) {
-        mit.row(vec![
-            g.to_string(),
-            viol.to_string(),
-            xds_metrics::fmt_bytes(*ocs),
-            format!("{gp:.3}"),
-        ]);
+    for (i, &us) in guards.iter().enumerate() {
+        skew_row(
+            &mut mit,
+            SimDuration::from_micros(us).to_string(),
+            results.report(i),
+        );
     }
     emit("exp_sync_guard_mitigation", &mit);
+    emit_sweep("exp_sync_guard_points", "E8c point dump", &results);
 
-    // Analytic guard-band overhead.
+    // --- (c) Analytic guard-band overhead. ---
     let mut guard = Table::new(
         "E8b: guard-band overhead (fraction of slot lost) per sync technology",
         &["slot length", "perfect", "ptp(~1us)", "ntp(~1ms)"],

@@ -7,55 +7,51 @@
 //! Eight accelerated VOIP legs cross the switch over a bulk background at
 //! three load points, under: fast hardware scheduling, slow software
 //! scheduling, and slow software scheduling with interactive traffic
-//! gated behind grants (the pathological configuration).
+//! gated behind grants (the pathological configuration). A thin wrapper
+//! over `xds-scenario`: three placement configurations × a loads axis.
 //!
 //! ```sh
 //! cargo run --release -p xds-bench --bin exp_voip_jitter
 //! ```
 
-use xds_bench::{banner, emit, parallel_map, standard_fast, standard_slow};
-use xds_core::config::NodeConfig;
-use xds_core::demand::MirrorEstimator;
-use xds_core::node::Workload;
-use xds_core::report::RunReport;
-use xds_core::runtime::HybridSim;
-use xds_core::sched::{HotspotScheduler, IslipScheduler, Scheduler};
+use xds_bench::{banner, emit, emit_sweep};
 use xds_metrics::Table;
-use xds_net::PortNo;
-use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
-use xds_traffic::{CbrApp, FlowGenerator, FlowSizeDist, TrafficMatrix};
+use xds_scenario::{
+    AppMix, PlacementKind, ScenarioSpec, SchedulerKind, SwModelKind, SweepExecutor, SyncSpec,
+};
+use xds_sim::SimDuration;
+use xds_traffic::FlowSizeDist;
 
 const N: usize = 16;
+const LOADS: [f64; 3] = [0.2, 0.5, 0.7];
 
-fn apps() -> Vec<CbrApp> {
-    (0..8u16)
-        .map(|i| {
-            let mut a = CbrApp::voip(
-                i as u64,
-                PortNo(i),
-                PortNo(i + 8),
-                SimTime::from_micros(50 * i as u64),
-            );
-            a.interval = SimDuration::from_millis(1); // accelerated G.711
-            a
+fn base(kind: &str, load: f64) -> ScenarioSpec {
+    let spec = ScenarioSpec::new(format!("e4/{kind}/load{load:.1}"))
+        .with_ports(N)
+        .with_sizes(FlowSizeDist::WebSearch)
+        .with_load(load)
+        .with_apps(AppMix::Voip {
+            legs: 8,
+            interval: SimDuration::from_millis(1), // accelerated G.711
         })
-        .collect()
-}
-
-fn workload(load: f64) -> Workload {
-    Workload::flows(FlowGenerator::with_load(
-        TrafficMatrix::uniform(N),
-        FlowSizeDist::WebSearch,
-        load,
-        BitRate::GBPS_10,
-        SimRng::new(21),
-    ))
-    .with_apps(apps())
-}
-
-fn run(cfg: NodeConfig, sched: Box<dyn Scheduler>, load: f64) -> RunReport {
-    HybridSim::new(cfg, workload(load), sched, Box::new(MirrorEstimator::new(N)))
-        .run(SimTime::from_millis(80))
+        .with_duration(SimDuration::from_millis(80))
+        .with_seed(21);
+    match kind {
+        "fast-hw" => spec
+            .with_reconfig(SimDuration::from_nanos(100))
+            .with_placement(PlacementKind::Hardware),
+        "slow-sw" | "slow-sw-gated" => spec
+            .with_reconfig(SimDuration::from_millis(1))
+            .with_placement(PlacementKind::Software {
+                model: SwModelKind::KernelDriver,
+                sync: SyncSpec::Ptp,
+            })
+            .with_scheduler(SchedulerKind::Hotspot {
+                threshold_bytes: 100_000,
+            })
+            .with_voip_on_ocs(kind == "slow-sw-gated"),
+        other => panic!("unknown configuration {other}"),
+    }
 }
 
 fn main() {
@@ -66,7 +62,13 @@ fn main() {
          metric VOIP endpoints actually compute.",
     );
 
-    let loads = [0.2, 0.5, 0.7];
+    let kinds = ["fast-hw", "slow-sw", "slow-sw-gated"];
+    let specs: Vec<ScenarioSpec> = kinds
+        .iter()
+        .flat_map(|&k| LOADS.iter().map(move |&l| base(k, l)))
+        .collect();
+    let results = SweepExecutor::new().run(specs);
+
     let mut table = Table::new(
         "E4: interactive latency/jitter under scheduler placements",
         &[
@@ -80,43 +82,25 @@ fn main() {
             "sync drops",
         ],
     );
-
-    type Cell = (&'static str, f64);
-    let cells: Vec<Cell> = ["fast-hw", "slow-sw", "slow-sw-gated"]
-        .iter()
-        .flat_map(|&c| loads.iter().map(move |&l| (c, l)))
-        .collect();
-    let reports = parallel_map(cells.clone(), |(kind, load)| {
-        match kind {
-            "fast-hw" => {
-                let cfg = standard_fast(N, SimDuration::from_nanos(100));
-                run(cfg, Box::new(IslipScheduler::new(N, 3)), load)
-            }
-            "slow-sw" => {
-                let cfg = standard_slow(N, SimDuration::from_millis(1));
-                run(cfg, Box::new(HotspotScheduler::new(100_000)), load)
-            }
-            _ => {
-                let mut cfg = standard_slow(N, SimDuration::from_millis(1));
-                cfg.voip_on_ocs = true;
-                run(cfg, Box::new(HotspotScheduler::new(100_000)), load)
-            }
+    for (ki, kind) in kinds.iter().enumerate() {
+        for (li, load) in LOADS.iter().enumerate() {
+            let Some(r) = results.report(ki * LOADS.len() + li) else {
+                continue;
+            };
+            table.row(vec![
+                kind.to_string(),
+                format!("{load:.1}"),
+                format!("{:.1}", r.latency_interactive.p50() as f64 / 1e3),
+                format!("{:.1}", r.latency_interactive.p99() as f64 / 1e3),
+                format!("{:.1}", r.voip_jitter_mean_ns.unwrap_or(0.0) / 1e3),
+                format!("{:.1}", r.voip_jitter_max_ns.unwrap_or(0.0) / 1e3),
+                r.latency_interactive.count().to_string(),
+                r.drops.sync_violation.to_string(),
+            ]);
         }
-    });
-
-    for ((kind, load), r) in cells.iter().zip(reports.iter()) {
-        table.row(vec![
-            kind.to_string(),
-            format!("{load:.1}"),
-            format!("{:.1}", r.latency_interactive.p50() as f64 / 1e3),
-            format!("{:.1}", r.latency_interactive.p99() as f64 / 1e3),
-            format!("{:.1}", r.voip_jitter_mean_ns.unwrap_or(0.0) / 1e3),
-            format!("{:.1}", r.voip_jitter_max_ns.unwrap_or(0.0) / 1e3),
-            r.latency_interactive.count().to_string(),
-            r.drops.sync_violation.to_string(),
-        ]);
     }
     emit("exp_voip_jitter", &table);
+    emit_sweep("exp_voip_jitter_points", "E4 point dump", &results);
     println!(
         "expected shape: fast-hw keeps p99 and jitter in the microseconds at\n\
          every load; slow-sw inflates them via EPS contention and skew drops;\n\

@@ -31,7 +31,7 @@ use xds_traffic::{FlowGenerator, FlowSizeDist, TrafficMatrix};
 const N: usize = 64;
 const LOAD: f64 = 0.6;
 
-fn workload(n: usize, seed: u64, mtu_fixed: u64, matrix: TrafficMatrix) -> Workload {
+fn workload(_n: usize, seed: u64, mtu_fixed: u64, matrix: TrafficMatrix) -> Workload {
     Workload::flows(FlowGenerator::with_load(
         matrix,
         FlowSizeDist::Fixed(mtu_fixed * 40), // bulk flows, 40 jumbo frames
@@ -169,6 +169,6 @@ fn main() {
          a {}x reduction.",
         fmt_bytes(ms.slow_peak),
         fmt_bytes(ns.fast_peak),
-        if ns.fast_peak > 0 { ms.slow_peak / ns.fast_peak } else { 0 },
+        ms.slow_peak.checked_div(ns.fast_peak).unwrap_or(0),
     );
 }

@@ -35,14 +35,19 @@ fn main() {
     let model = HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 });
     let pipe = model.pipeline(n);
     let mut stage_table = Table::new(
-        format!("scheduling-logic pipeline @ {} MHz (n={n})", ClockDomain::NETFPGA_SUME.freq_hz() / 1_000_000),
+        format!(
+            "scheduling-logic pipeline @ {} MHz (n={n})",
+            ClockDomain::NETFPGA_SUME.freq_hz() / 1_000_000
+        ),
         &["stage", "cycles", "latency"],
     );
     for s in pipe.stages() {
         stage_table.row(vec![
             s.name.to_string(),
             s.cycles.to_string(),
-            ClockDomain::NETFPGA_SUME.cycles_to_time(s.cycles).to_string(),
+            ClockDomain::NETFPGA_SUME
+                .cycles_to_time(s.cycles)
+                .to_string(),
         ]);
     }
     stage_table.row(vec![
@@ -111,11 +116,19 @@ fn main() {
     let mut all_ok = true;
     for (name, value, ok) in checks {
         all_ok &= ok;
-        inv.row(vec![name.to_string(), value, if ok { "yes" } else { "NO" }.to_string()]);
+        inv.row(vec![
+            name.to_string(),
+            value,
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
     }
     emit("fig2_invariants", &inv);
     println!(
         "figure-2 pipeline: {}",
-        if all_ok { "ALL INVARIANTS HOLD" } else { "INVARIANT VIOLATION — investigate!" }
+        if all_ok {
+            "ALL INVARIANTS HOLD"
+        } else {
+            "INVARIANT VIOLATION — investigate!"
+        }
     );
 }

@@ -1,0 +1,193 @@
+//! `sweep` — the scenario library's command-line front end.
+//!
+//! ```text
+//! sweep list
+//! sweep run <scenario>[,<scenario>…]|all [options]
+//!
+//! options:
+//!   --ports n1,n2,…        port-count axis          (default: scenario's)
+//!   --loads l1,l2,…        offered-load axis        (default: scenario's)
+//!   --schedulers s1,s2,…   scheduler axis by name   (default: scenario's)
+//!   --seeds s1,s2,…        seed axis (replicas)     (default: scenario's)
+//!   --reconfigs-us r1,…    switching-time axis, µs  (default: scenario's)
+//!   --duration-ms d        horizon per point        (default: scenario's)
+//!   --threads t            worker threads           (default: all cores)
+//!   --out name             artifact basename        (default: sweep_<scenario>)
+//! ```
+//!
+//! Every run prints the aggregate table and saves machine-readable
+//! `results/<out>.json` and `results/<out>.csv`.
+
+use std::process::ExitCode;
+
+use xds_bench::emit_sweep;
+use xds_scenario::{library, ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid};
+use xds_sim::SimDuration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sweep list\n  sweep run <scenario>[,…]|all [--ports n,…] [--loads l,…]\n\
+         \x20            [--schedulers s,…] [--seeds s,…] [--reconfigs-us r,…]\n\
+         \x20            [--duration-ms d] [--threads t] [--out name]\n\
+         scenarios: {}",
+        library::all_names().join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_list<T: std::str::FromStr>(v: &str) -> Result<Vec<T>, String> {
+    v.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<T>()
+                .map_err(|_| format!("bad value {s:?} in {v:?}"))
+        })
+        .collect()
+}
+
+struct Options {
+    ports: Vec<usize>,
+    loads: Vec<f64>,
+    schedulers: Vec<SchedulerKind>,
+    seeds: Vec<u64>,
+    reconfigs: Vec<SimDuration>,
+    duration: Option<SimDuration>,
+    threads: Option<usize>,
+    out: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        ports: Vec::new(),
+        loads: Vec::new(),
+        schedulers: Vec::new(),
+        seeds: Vec::new(),
+        reconfigs: Vec::new(),
+        duration: None,
+        threads: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--ports" => o.ports = parse_list(&value()?)?,
+            "--loads" => o.loads = parse_list(&value()?)?,
+            "--seeds" => o.seeds = parse_list(&value()?)?,
+            "--reconfigs-us" => {
+                o.reconfigs = parse_list::<u64>(&value()?)?
+                    .into_iter()
+                    .map(SimDuration::from_micros)
+                    .collect()
+            }
+            "--schedulers" => {
+                o.schedulers = value()?
+                    .split(',')
+                    .map(|n| {
+                        SchedulerKind::from_name(n.trim())
+                            .ok_or_else(|| format!("unknown scheduler {n:?}"))
+                    })
+                    .collect::<Result<_, _>>()?
+            }
+            "--duration-ms" => {
+                o.duration = Some(SimDuration::from_millis(
+                    value()?.parse().map_err(|_| "bad --duration-ms")?,
+                ))
+            }
+            "--threads" => o.threads = Some(value()?.parse().map_err(|_| "bad --threads")?),
+            "--out" => o.out = Some(value()?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn run(names: &str, opts: Options) -> Result<(), String> {
+    let names: Vec<&str> = if names == "all" {
+        library::all_names()
+    } else {
+        names.split(',').map(str::trim).collect()
+    };
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    for name in &names {
+        let mut base =
+            library::scenario(name).ok_or_else(|| format!("unknown scenario {name:?}"))?;
+        if let Some(d) = opts.duration {
+            base = base.with_duration(d);
+        }
+        let mut grid = SweepGrid::new(base);
+        if !opts.ports.is_empty() {
+            grid = grid.ports(opts.ports.clone());
+        }
+        if !opts.loads.is_empty() {
+            grid = grid.loads(opts.loads.clone());
+        }
+        if !opts.schedulers.is_empty() {
+            grid = grid.schedulers(opts.schedulers.clone());
+        }
+        if !opts.seeds.is_empty() {
+            grid = grid.seeds(opts.seeds.clone());
+        }
+        if !opts.reconfigs.is_empty() {
+            grid = grid.reconfigs(opts.reconfigs.clone());
+        }
+        specs.extend(grid.specs());
+    }
+    let executor = match opts.threads {
+        Some(t) => SweepExecutor::with_threads(t),
+        None => SweepExecutor::new(),
+    };
+    println!(
+        "sweep: {} point(s) across {} thread(s)\n",
+        specs.len(),
+        executor.threads()
+    );
+    let results = executor.run(specs);
+    let out = opts
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("sweep_{}", names.join("_")));
+    emit_sweep(&out, &format!("sweep: {}", names.join(", ")), &results);
+    let failed = results.points.iter().filter(|p| p.report.is_err()).count();
+    if failed > 0 {
+        Err(format!("{failed} point(s) failed"))
+    } else {
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in library::all_names() {
+                let spec = library::scenario(name).expect("catalogue is closed");
+                println!(
+                    "{name:<12} pattern={:<14} sizes={:<10} sched={:<10} apps={}",
+                    spec.pattern.label(),
+                    spec.sizes.label(),
+                    spec.scheduler.label(),
+                    spec.apps.label(),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(names) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            match parse_options(&args[2..]).and_then(|o| run(names, o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("sweep: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

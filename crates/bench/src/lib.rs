@@ -1,12 +1,14 @@
 //! # xds-bench — the experiment harness
 //!
 //! One binary per figure/claim of the paper (see DESIGN.md §4 for the
-//! index). Each binary regenerates its table on stdout and saves a CSV
-//! under `results/`. Shared machinery lives here:
+//! index). Each binary regenerates its table on stdout and saves
+//! CSV/JSON under `results/`. The heavy lifting — scenario description,
+//! grid enumeration and the parallel sweep — lives in
+//! [`xds_scenario`]; this crate keeps only presentation helpers:
 //!
-//! * [`parallel_map`] — order-preserving parallel sweep runner (the
-//!   simulations are single-threaded and deterministic; sweeps fan out
-//!   across cores);
+//! * [`parallel_map`] — re-exported order-preserving parallel runner
+//!   (the simulations are single-threaded and deterministic; sweeps fan
+//!   out across cores);
 //! * [`standard_fast`] / [`standard_slow`] — the placement presets every
 //!   experiment starts from, so results are comparable across binaries;
 //! * [`emit`] — uniform stdout + CSV emission.
@@ -21,46 +23,7 @@ use xds_hw::{HwAlgo, HwSchedulerModel, SwSchedulerModel};
 use xds_metrics::Table;
 use xds_sim::SimDuration;
 
-/// Applies `f` to every item on a pool of worker threads, preserving
-/// input order in the output.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let (tx_in, rx_in) = crossbeam::channel::unbounded();
-    for pair in items.into_iter().enumerate() {
-        tx_in.send(pair).expect("open channel");
-    }
-    drop(tx_in);
-    let (tx_out, rx_out) = crossbeam::channel::unbounded();
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            let rx = rx_in.clone();
-            let tx = tx_out.clone();
-            let f = &f;
-            s.spawn(move |_| {
-                for (i, item) in rx.iter() {
-                    tx.send((i, f(item))).expect("open channel");
-                }
-            });
-        }
-        drop(tx_out);
-    })
-    .expect("worker panicked");
-    let mut out: Vec<(usize, R)> = rx_out.iter().collect();
-    out.sort_by_key(|&(i, _)| i);
-    out.into_iter().map(|(_, r)| r).collect()
-}
+pub use xds_scenario::parallel_map;
 
 /// The standard hardware placement: NetFPGA-SUME clock, 3-iteration iSLIP
 /// cost model.
@@ -90,6 +53,17 @@ pub fn emit(name: &str, table: &Table) {
         } else {
             println!("[saved {}]", path.display());
         }
+    }
+    println!();
+}
+
+/// Prints the sweep's aggregate table and saves its JSON + CSV rows under
+/// `results/<name>.{json,csv}` — the uniform artefact set of every
+/// scenario-driven experiment.
+pub fn emit_sweep(name: &str, title: &str, results: &xds_scenario::SweepResults) {
+    print!("{}", results.summary_table(title).render_text());
+    for path in results.write_artifacts(name) {
+        println!("[saved {}]", path.display());
     }
     println!();
 }
@@ -133,7 +107,11 @@ mod tests {
 
     #[test]
     fn standard_configs_validate() {
-        standard_fast(16, SimDuration::from_nanos(100)).validate().unwrap();
-        standard_slow(16, SimDuration::from_millis(1)).validate().unwrap();
+        standard_fast(16, SimDuration::from_nanos(100))
+            .validate()
+            .unwrap();
+        standard_slow(16, SimDuration::from_millis(1))
+            .validate()
+            .unwrap();
     }
 }

@@ -207,7 +207,11 @@ mod tests {
 
     #[test]
     fn slow_preset_validates_and_buffers_at_hosts() {
-        let cfg = NodeConfig::slow(16, SimDuration::from_millis(1), SwSchedulerModel::kernel_driver());
+        let cfg = NodeConfig::slow(
+            16,
+            SimDuration::from_millis(1),
+            SwSchedulerModel::kernel_driver(),
+        );
         cfg.validate().unwrap();
         assert_eq!(cfg.placement.label(), "software");
         assert_eq!(cfg.placement.buffering_site(), Site::Host);
@@ -242,7 +246,11 @@ mod tests {
         let a = fast.placement.decision_latency(16, &mut rng);
         let b = fast.placement.decision_latency(16, &mut rng);
         assert_eq!(a, b);
-        let slow = NodeConfig::slow(16, SimDuration::from_millis(1), SwSchedulerModel::kernel_driver());
+        let slow = NodeConfig::slow(
+            16,
+            SimDuration::from_millis(1),
+            SwSchedulerModel::kernel_driver(),
+        );
         let c = slow.placement.decision_latency(16, &mut rng);
         let d = slow.placement.decision_latency(16, &mut rng);
         assert_ne!(c, d);

@@ -225,7 +225,10 @@ pub struct CountMinEstimator {
 impl CountMinEstimator {
     /// Creates a `depth × width` sketch decayed every `decay_every`.
     pub fn new(n: usize, depth: usize, width: usize, decay_every: SimDuration) -> Self {
-        assert!(depth >= 1 && width >= 1, "sketch dimensions must be positive");
+        assert!(
+            depth >= 1 && width >= 1,
+            "sketch dimensions must be positive"
+        );
         CountMinEstimator {
             n,
             width,
@@ -239,8 +242,7 @@ impl CountMinEstimator {
 
     fn hash(&self, row: usize, s: usize, d: usize) -> usize {
         // Split-mix style per-row hashing of the pair index.
-        let mut x =
-            (s * self.n + d) as u64 ^ (row as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x = (s * self.n + d) as u64 ^ (row as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         (x ^ (x >> 31)) as usize % self.width
@@ -251,7 +253,7 @@ impl CountMinEstimator {
             for c in &mut self.counters {
                 *c /= 2;
             }
-            self.last_decay = self.last_decay + self.decay_every;
+            self.last_decay += self.decay_every;
         }
     }
 
@@ -354,7 +356,10 @@ mod tests {
         let after = e
             .estimate(SimTime::from_micros(1000), SimDuration::from_micros(10))
             .get(0, 1);
-        assert!(after < before / 10, "rate should decay: {before} -> {after}");
+        assert!(
+            after < before / 10,
+            "rate should decay: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -104,9 +104,10 @@ impl DemandMatrix {
 
     /// Iterates non-zero entries as `(src, dst, bytes)`.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
-        self.bytes.iter().enumerate().filter_map(move |(i, &b)| {
-            (b > 0).then_some((i / self.n, i % self.n, b))
-        })
+        self.bytes
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &b)| (b > 0).then_some((i / self.n, i % self.n, b)))
     }
 
     /// Sum of absolute differences against another matrix (estimation

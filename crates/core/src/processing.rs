@@ -149,7 +149,11 @@ impl ProcessingLogic {
 
     /// Largest single-VOQ high-water mark in bytes.
     pub fn peak_voq_bytes(&self) -> u64 {
-        self.queues.iter().map(|q| q.peak_bytes()).max().unwrap_or(0)
+        self.queues
+            .iter()
+            .map(|q| q.peak_bytes())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -199,7 +203,10 @@ mod tests {
         let reqs = p.take_requests(SimTime::from_nanos(7));
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].queued_bytes, 0);
-        assert_eq!(reqs[0].arrived_bytes_total, 1500, "cumulative survives drain");
+        assert_eq!(
+            reqs[0].arrived_bytes_total, 1500,
+            "cumulative survives drain"
+        );
     }
 
     #[test]

@@ -156,10 +156,7 @@ impl RunReport {
             ),
         );
         row("throughput", format!("{:.3} Gbps", self.throughput_gbps()));
-        row(
-            "p99 latency bulk",
-            format!("{}ns", self.latency_bulk.p99()),
-        );
+        row("p99 latency bulk", format!("{}ns", self.latency_bulk.p99()));
         row(
             "p99 latency interactive",
             format!("{}ns", self.latency_interactive.p99()),

@@ -168,8 +168,7 @@ struct SimState {
 
 impl SimState {
     fn gated(&self, class: TrafficClass) -> bool {
-        class == TrafficClass::Bulk
-            || (self.cfg.voip_on_ocs && class == TrafficClass::Interactive)
+        class == TrafficClass::Bulk || (self.cfg.voip_on_ocs && class == TrafficClass::Interactive)
     }
 
     fn ensure_pump(&mut self, q: &mut EventQueue<Ev>, host: usize) {
@@ -210,9 +209,8 @@ impl SimState {
         self.offered_flows += 1;
         self.fct.flow_started(f.id, f.bytes, now);
         let host = f.src.index();
-        let mut seq = 0u32;
         let gated = self.gated(f.class);
-        for size in packet_sizes(f.bytes, self.cfg.mtu) {
+        for (seq, size) in packet_sizes(f.bytes, self.cfg.mtu).enumerate() {
             let pkt = Packet::new(
                 self.next_pkt_id,
                 f.id,
@@ -221,10 +219,9 @@ impl SimState {
                 size,
                 f.class,
                 now,
-                seq,
+                seq as u32,
             );
             self.next_pkt_id += 1;
-            seq += 1;
             if gated && !self.is_hw {
                 // Slow scheduling: bulk waits in host memory for a grant.
                 let h = &mut self.hosts[host];
@@ -381,18 +378,17 @@ impl HybridSim {
         // …and the scheduler cadence.
         q.schedule_at(SimTime::ZERO, Ev::EpochStart);
 
-        let stats = self
-            .sim
-            .run_until(&mut self.state, horizon, Self::handle);
+        let stats = self.sim.run_until(&mut self.state, horizon, Self::handle);
 
         let st = self.state;
         let fct_stats = |c: SizeClass| st.fct.stats(c);
         RunReport {
             scheduler: st.scheduler.name().to_string(),
             placement: st.cfg.placement.label().to_string(),
-            horizon: stats.end_time.saturating_since(SimTime::ZERO).max(
-                horizon.saturating_since(SimTime::ZERO),
-            ),
+            horizon: stats
+                .end_time
+                .saturating_since(SimTime::ZERO)
+                .max(horizon.saturating_since(SimTime::ZERO)),
             events: stats.events_processed,
             offered_bytes: st.offered_bytes,
             offered_flows: st.offered_flows,
@@ -460,7 +456,10 @@ impl HybridSim {
                 };
                 let tx = st.cfg.host_link.tx_time(pkt.bytes as u64);
                 st.hosts[host].nic_busy_until = now + tx;
-                q.schedule_at(now + tx + st.cfg.host_link.propagation, Ev::SwitchIn { pkt });
+                q.schedule_at(
+                    now + tx + st.cfg.host_link.propagation,
+                    Ev::SwitchIn { pkt },
+                );
                 q.schedule_at(now + tx, Ev::Pump { host });
             }
 
@@ -536,8 +535,7 @@ impl HybridSim {
                     st.host_occupancy()
                 };
                 if truth.total() > 0 {
-                    st.demand_err_sum +=
-                        demand.l1_distance(&truth) as f64 / truth.total() as f64;
+                    st.demand_err_sum += demand.l1_distance(&truth) as f64 / truth.total() as f64;
                     st.demand_err_n += 1;
                 }
                 let ctx = ScheduleCtx {
@@ -741,7 +739,12 @@ mod tests {
         let r = run_fast(4, 0.4, 5);
         assert!(r.offered_bytes > 0);
         let gp = r.goodput_fraction();
-        assert!(gp > 0.8, "goodput {gp} ({:?} of {})", r.delivered_bytes(), r.offered_bytes);
+        assert!(
+            gp > 0.8,
+            "goodput {gp} ({:?} of {})",
+            r.delivered_bytes(),
+            r.offered_bytes
+        );
         assert_eq!(r.drops.sync_violation, 0, "hardware mode cannot misfire");
         assert!(r.decisions > 0);
         assert!(r.ocs.rejected == 0, "granted transmissions must be legal");
@@ -797,7 +800,11 @@ mod tests {
             Box::new(MirrorEstimator::new(n)),
         )
         .run(SimTime::from_millis(20));
-        assert!(r.latency_interactive.count() >= 60, "both calls flowed: {}", r.latency_interactive.count());
+        assert!(
+            r.latency_interactive.count() >= 60,
+            "both calls flowed: {}",
+            r.latency_interactive.count()
+        );
         // EPS at 1 Gb/s: a 200 B packet takes ~1.6 µs + queue; p99 should
         // be well under a millisecond when the EPS isn't overloaded.
         assert!(
@@ -901,10 +908,16 @@ mod tests {
         };
         let unguarded = mk(0);
         let guarded = mk(45);
-        assert!(unguarded.drops.sync_violation > 0, "skew must bite without guard");
+        assert!(
+            unguarded.drops.sync_violation > 0,
+            "skew must bite without guard"
+        );
         assert_eq!(guarded.drops.sync_violation, 0, "guard ≥ skew absorbs it");
         // The protection costs circuit capacity.
-        assert!(guarded.delivered_ocs_bytes <= unguarded.delivered_ocs_bytes + unguarded.drops.sync_violation * 9000);
+        assert!(
+            guarded.delivered_ocs_bytes
+                <= unguarded.delivered_ocs_bytes + unguarded.drops.sync_violation * 9000
+        );
     }
 
     #[test]
@@ -960,8 +973,7 @@ mod tests {
             BitRate::GBPS_10,
             SimRng::new(23),
         );
-        let w = Workload::flows(gen)
-            .with_matrix_cycle(SimDuration::from_millis(1), vec![m2, m1]);
+        let w = Workload::flows(gen).with_matrix_cycle(SimDuration::from_millis(1), vec![m2, m1]);
         let r = HybridSim::new(
             cfg,
             w,

@@ -38,7 +38,10 @@ impl BvnScheduler {
 
     /// The raw decomposition: permutations with byte coefficients,
     /// heaviest first.
-    pub fn decompose(demand: &DemandMatrix, max_perms: usize) -> Vec<(xds_switch::Permutation, u64)> {
+    pub fn decompose(
+        demand: &DemandMatrix,
+        max_perms: usize,
+    ) -> Vec<(xds_switch::Permutation, u64)> {
         let n = demand.n();
         let mut work = demand.clone();
         let mut out = Vec::new();
@@ -61,7 +64,7 @@ impl BvnScheduler {
             }
             out.push((perm, coeff));
         }
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out.sort_by_key(|&(_, coeff)| std::cmp::Reverse(coeff));
         out
     }
 }
@@ -153,10 +156,7 @@ mod tests {
             }
         }
         let decomp = BvnScheduler::decompose(&d, 16);
-        let total: u64 = decomp
-            .iter()
-            .map(|(p, w)| w * p.assigned() as u64)
-            .sum();
+        let total: u64 = decomp.iter().map(|(p, w)| w * p.assigned() as u64).sum();
         assert_eq!(total, d.total(), "full decomposition covers all demand");
     }
 

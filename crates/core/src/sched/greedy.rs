@@ -24,10 +24,8 @@ impl GreedyLqfScheduler {
     /// Ties break on `(src, dst)` so runs are deterministic.
     pub fn matching(demand: &DemandMatrix) -> Permutation {
         let n = demand.n();
-        let mut edges: Vec<(u64, usize, usize)> = demand
-            .iter_nonzero()
-            .map(|(s, d, b)| (b, s, d))
-            .collect();
+        let mut edges: Vec<(u64, usize, usize)> =
+            demand.iter_nonzero().map(|(s, d, b)| (b, s, d)).collect();
         edges.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
         let mut in_free = vec![true; n];
         let mut out_free = vec![true; n];

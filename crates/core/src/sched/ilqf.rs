@@ -31,6 +31,7 @@ impl IlqfScheduler {
     /// to its heaviest requesting input, each unmatched input accepts its
     /// heaviest granting output. Ties break on lower index (deterministic,
     /// as a fixed-priority comparator tree would).
+    #[allow(clippy::needless_range_loop)] // RR pointer phases read best with indices
     pub fn matching(&self, demand: &DemandMatrix) -> Permutation {
         let n = self.n;
         let mut in_matched = vec![false; n];
@@ -50,7 +51,7 @@ impl IlqfScheduler {
                         continue;
                     }
                     let w = demand.get(inp, out);
-                    if w > 0 && best.map_or(true, |(bw, bi)| w > bw || (w == bw && inp < bi)) {
+                    if w > 0 && best.is_none_or(|(bw, bi)| w > bw || (w == bw && inp < bi)) {
                         best = Some((w, inp));
                     }
                 }
@@ -65,7 +66,7 @@ impl IlqfScheduler {
                 for (out, &g) in grant.iter().enumerate() {
                     if g == Some(inp) && !out_matched[out] {
                         let w = demand.get(inp, out);
-                        if best.map_or(true, |(bw, bo)| w > bw || (w == bw && out < bo)) {
+                        if best.is_none_or(|(bw, bo)| w > bw || (w == bw && out < bo)) {
                             best = Some((w, out));
                         }
                     }

@@ -40,6 +40,7 @@ impl IslipScheduler {
     }
 
     /// Computes one matching (exposed for unit tests).
+    #[allow(clippy::needless_range_loop)] // RR pointer phases read best with indices
     pub fn matching(&mut self, requests: &[bool]) -> Permutation {
         let n = self.n;
         debug_assert_eq!(requests.len(), n * n);
@@ -142,7 +143,10 @@ mod tests {
         let a: usize = (0..10).map(|_| one.matching(&r).assigned()).sum();
         let b: usize = (0..10).map(|_| four.matching(&r).assigned()).sum();
         assert!(b >= a, "more iterations can't do worse: {b} vs {a}");
-        assert!(b >= 100, "4-iteration iSLIP fills most ports even cold: {b}/160");
+        assert!(
+            b >= 100,
+            "4-iteration iSLIP fills most ports even cold: {b}/160"
+        );
     }
 
     #[test]
@@ -215,8 +219,8 @@ mod tests {
                 wins[i] += 1;
             }
         }
-        for i in 1..4 {
-            assert!(wins[i] == 10, "input {i} won {} of 30 (expect exact RR)", wins[i]);
+        for (i, &w) in wins.iter().enumerate().skip(1) {
+            assert!(w == 10, "input {i} won {w} of 30 (expect exact RR)");
         }
     }
 

@@ -217,9 +217,9 @@ pub fn max_weight_assignment(n: usize, weight: &dyn Fn(usize, usize) -> u64) -> 
     }
 
     let mut perm = Permutation::empty(n);
-    for j in 1..=n {
-        if p[j] != 0 {
-            perm.set(p[j] - 1, j - 1).expect("assignment is a matching");
+    for (j, &pj) in p.iter().enumerate().take(n + 1).skip(1) {
+        if pj != 0 {
+            perm.set(pj - 1, j - 1).expect("assignment is a matching");
         }
     }
     perm
@@ -368,7 +368,10 @@ mod tests {
     fn hungarian_large_weights_do_not_overflow() {
         let big = u64::MAX / 2;
         let m = max_weight_assignment(3, &|i, j| if i == j { big } else { big - 1 });
-        let total: u128 = m.pairs().map(|(i, j)| if i == j { big as u128 } else { 0 }).sum();
+        let total: u128 = m
+            .pairs()
+            .map(|(i, j)| if i == j { big as u128 } else { 0 })
+            .sum();
         assert_eq!(total, 3 * big as u128);
     }
 }

@@ -77,8 +77,7 @@ pub struct ScheduleCtx {
 impl ScheduleCtx {
     /// Time available for actual transmission if `k` entries are used.
     pub fn usable_time(&self, k: usize) -> SimDuration {
-        self.epoch
-            .saturating_sub(self.reconfig * (k as u64))
+        self.epoch.saturating_sub(self.reconfig * (k as u64))
     }
 
     /// Bytes one circuit can carry in a slot of length `slot`.
@@ -133,7 +132,10 @@ impl Schedule {
         }
         for (i, e) in self.entries.iter().enumerate() {
             if e.perm.n() != n_ports {
-                return Err(format!("entry {i} has {} ports, switch has {n_ports}", e.perm.n()));
+                return Err(format!(
+                    "entry {i} has {} ports, switch has {n_ports}",
+                    e.perm.n()
+                ));
             }
             e.perm.check_invariants()?;
             if e.slot.is_zero() {
@@ -206,7 +208,11 @@ pub(crate) mod testutil {
     }
 
     /// Runs the scheduler and validates the output.
-    pub fn run_and_validate(s: &mut dyn Scheduler, demand: &DemandMatrix, ctx: &ScheduleCtx) -> Schedule {
+    pub fn run_and_validate(
+        s: &mut dyn Scheduler,
+        demand: &DemandMatrix,
+        ctx: &ScheduleCtx,
+    ) -> Schedule {
         let sched = s.schedule(demand, ctx);
         sched
             .validate(ctx, demand.n())

@@ -28,6 +28,7 @@ impl PimScheduler {
     }
 
     /// Computes one matching.
+    #[allow(clippy::needless_range_loop)] // RR pointer phases read best with indices
     pub fn matching(&mut self, requests: &[bool]) -> Permutation {
         let n = self.n;
         let mut in_matched = vec![false; n];
@@ -43,9 +44,7 @@ impl PimScheduler {
                     continue;
                 }
                 candidates.clear();
-                candidates.extend(
-                    (0..n).filter(|&i| !in_matched[i] && requests[i * n + out]),
-                );
+                candidates.extend((0..n).filter(|&i| !in_matched[i] && requests[i * n + out]));
                 if let Some(&inp) = self.rng.choose(&candidates) {
                     grant[out] = Some(inp);
                 }
@@ -56,9 +55,7 @@ impl PimScheduler {
                     continue;
                 }
                 candidates.clear();
-                candidates.extend(
-                    (0..n).filter(|&o| grant[o] == Some(inp) && !out_matched[o]),
-                );
+                candidates.extend((0..n).filter(|&o| grant[o] == Some(inp) && !out_matched[o]));
                 if let Some(&out) = self.rng.choose(&candidates) {
                     in_matched[inp] = true;
                     out_matched[out] = true;
@@ -108,7 +105,10 @@ mod tests {
         let total: usize = (0..20)
             .map(|_| s.matching(&full_requests(16)).assigned())
             .sum();
-        assert!(total >= 280, "PIM with log n iters should average ≥14/16: {total}/320");
+        assert!(
+            total >= 280,
+            "PIM with log n iters should average ≥14/16: {total}/320"
+        );
     }
 
     #[test]

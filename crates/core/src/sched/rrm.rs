@@ -33,6 +33,7 @@ impl RrmScheduler {
     }
 
     /// Computes one matching.
+    #[allow(clippy::needless_range_loop)] // RR pointer phases read best with indices
     pub fn matching(&mut self, requests: &[bool]) -> Permutation {
         let n = self.n;
         let mut in_matched = vec![false; n];
@@ -138,7 +139,8 @@ mod tests {
         for i in 1..4 {
             requests[i * n] = true;
         }
-        let winners: Vec<Option<usize>> = (0..6).map(|_| s.matching(&requests).input_of(0)).collect();
+        let winners: Vec<Option<usize>> =
+            (0..6).map(|_| s.matching(&requests).input_of(0)).collect();
         let distinct: std::collections::HashSet<_> = winners.iter().flatten().collect();
         assert!(distinct.len() >= 2, "service should rotate: {winners:?}");
     }

@@ -107,7 +107,7 @@ mod tests {
         let mut s = SolsticeScheduler::new(8);
         let mut d = DemandMatrix::zero(4);
         d.set(0, 1, 100_000); // elephant
-        d.set(2, 3, 200);     // mouse
+        d.set(2, 3, 200); // mouse
         let c = ctx();
         let sched = run_and_validate(&mut s, &d, &c);
         assert!(!sched.entries.is_empty());

@@ -110,8 +110,8 @@ mod tests {
                 wins[i] += 1;
             }
         }
-        for i in 1..4 {
-            assert!(wins[i] >= 5, "input {i} starved: {}", wins[i]);
+        for (i, &w) in wins.iter().enumerate().skip(1) {
+            assert!(w >= 5, "input {i} starved: {w}");
         }
     }
 

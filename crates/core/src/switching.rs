@@ -20,12 +20,7 @@ pub struct SwitchingLogic {
 
 impl SwitchingLogic {
     /// Builds the data plane.
-    pub fn new(
-        n_ports: usize,
-        reconfig: SimDuration,
-        eps_rate: BitRate,
-        eps_buffer: u64,
-    ) -> Self {
+    pub fn new(n_ports: usize, reconfig: SimDuration, eps_rate: BitRate, eps_buffer: u64) -> Self {
         SwitchingLogic {
             ocs: Ocs::new(n_ports, reconfig),
             eps: Eps::new(n_ports, eps_rate, eps_buffer),
@@ -50,7 +45,10 @@ mod tests {
         let live_at = sw.configure(Permutation::identity(4), SimTime::ZERO);
         assert_eq!(live_at, SimTime::from_micros(1));
         assert!(sw.ocs.is_dark(SimTime::from_nanos(500)));
-        assert!(sw.ocs.transmit(0, 0, 100, SimTime::from_nanos(500)).is_err());
+        assert!(sw
+            .ocs
+            .transmit(0, 0, 100, SimTime::from_nanos(500))
+            .is_err());
         assert!(sw.ocs.transmit(0, 0, 100, live_at).is_ok());
         // The EPS is available throughout — residual traffic never waits
         // for the OCS.

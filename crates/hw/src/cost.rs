@@ -76,9 +76,7 @@ impl HwAlgo {
             HwAlgo::Wavefront => 2 * n - 1,
             HwAlgo::GreedyLqf => n * log,
             HwAlgo::Hungarian => (n * n * n) / 4,
-            HwAlgo::Bvn { perms } | HwAlgo::Solstice { perms } => {
-                perms as u64 * (n * log + n)
-            }
+            HwAlgo::Bvn { perms } | HwAlgo::Solstice { perms } => perms as u64 * (n * log + n),
         }
     }
 
@@ -133,10 +131,7 @@ mod tests {
         // 16× more ports < 2× more cycles — the hardware-parallelism story.
         assert!(b < 2 * a);
         // Iterations scale linearly.
-        assert_eq!(
-            HwAlgo::Islip { iterations: 4 }.schedule_cycles(16),
-            4 * a
-        );
+        assert_eq!(HwAlgo::Islip { iterations: 4 }.schedule_cycles(16), 4 * a);
     }
 
     #[test]
@@ -175,6 +170,9 @@ mod tests {
         use crate::clock::ClockDomain;
         let cycles = HwAlgo::Islip { iterations: 3 }.schedule_cycles(64);
         let latency = ClockDomain::NETFPGA_SUME.cycles_to_time(cycles);
-        assert!(latency < xds_sim::SimDuration::from_micros(1), "latency {latency}");
+        assert!(
+            latency < xds_sim::SimDuration::from_micros(1),
+            "latency {latency}"
+        );
     }
 }

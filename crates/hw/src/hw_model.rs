@@ -98,10 +98,7 @@ mod tests {
         );
         // 4 + (2·16−1) + 2 cycles = 37 cycles = 185 ns at 200 MHz.
         assert_eq!(p.latency_cycles(), 37);
-        assert_eq!(
-            m.mean_decision_latency(16),
-            SimDuration::from_nanos(185)
-        );
+        assert_eq!(m.mean_decision_latency(16), SimDuration::from_nanos(185));
     }
 
     #[test]

@@ -74,9 +74,18 @@ mod tests {
 
     fn sample() -> Pipeline {
         Pipeline::new(vec![
-            Stage { name: "demand", cycles: 4 },
-            Stage { name: "algo", cycles: 20 },
-            Stage { name: "grant", cycles: 2 },
+            Stage {
+                name: "demand",
+                cycles: 4,
+            },
+            Stage {
+                name: "algo",
+                cycles: 20,
+            },
+            Stage {
+                name: "grant",
+                cycles: 2,
+            },
         ])
     }
 

@@ -57,8 +57,7 @@ impl SyncModel {
 
     /// Maximum drift accumulated between resyncs.
     pub fn max_drift(&self) -> SimDuration {
-        let ns =
-            self.resync_interval.as_nanos() as u128 * self.drift_ppb as u128 / 1_000_000_000;
+        let ns = self.resync_interval.as_nanos() as u128 * self.drift_ppb as u128 / 1_000_000_000;
         SimDuration::from_nanos(ns as u64)
     }
 

@@ -87,7 +87,10 @@ impl Utilization {
             return 0.0;
         }
         let f = self.busy.as_secs_f64() / window.as_secs_f64();
-        debug_assert!(f <= 1.0 + 1e-6, "utilization {f} above 1: double-counted busy time?");
+        debug_assert!(
+            f <= 1.0 + 1e-6,
+            "utilization {f} above 1: double-counted busy time?"
+        );
         f.clamp(0.0, 1.0)
     }
 }

@@ -233,7 +233,10 @@ mod tests {
             let exact = values[rank - 1] as f64;
             let approx = h.quantile(q) as f64;
             let rel = (approx - exact).abs() / exact;
-            assert!(rel <= QUANTILE_REL_ERROR + 1e-9, "q={q}: {approx} vs {exact} rel={rel}");
+            assert!(
+                rel <= QUANTILE_REL_ERROR + 1e-9,
+                "q={q}: {approx} vs {exact} rel={rel}"
+            );
         }
     }
 
@@ -302,7 +305,10 @@ mod tests {
         let mut v = 0u64;
         while v < u64::MAX / 3 {
             let u = LatencyHistogram::bucket_upper(LatencyHistogram::bucket_index(v));
-            assert!(u >= last, "bucket_upper not monotonic at value {v}: {u} < {last}");
+            assert!(
+                u >= last,
+                "bucket_upper not monotonic at value {v}: {u} < {last}"
+            );
             last = u;
             v = v * 3 / 2 + 1;
         }
@@ -310,7 +316,19 @@ mod tests {
 
     #[test]
     fn value_maps_to_bucket_containing_it() {
-        for v in [0u64, 1, 63, 64, 65, 100, 1000, 4095, 4096, 1 << 20, (1 << 40) + 12345] {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            100,
+            1000,
+            4095,
+            4096,
+            1 << 20,
+            (1 << 40) + 12345,
+        ] {
             let idx = LatencyHistogram::bucket_index(v);
             let upper = LatencyHistogram::bucket_upper(idx);
             assert!(upper >= v, "value {v} above its bucket upper {upper}");

@@ -140,7 +140,11 @@ mod tests {
             j.on_packet(t(i * 20_000), t(i * 20_000 + transit));
         }
         // The EWMA converges to |D| = 1000.
-        assert!((j.jitter_ns() - 1000.0).abs() < 50.0, "jitter {}", j.jitter_ns());
+        assert!(
+            (j.jitter_ns() - 1000.0).abs() < 50.0,
+            "jitter {}",
+            j.jitter_ns()
+        );
         assert_eq!(j.max_delta_ns(), 1000);
     }
 

@@ -96,7 +96,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -113,7 +117,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| clean(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -205,7 +213,7 @@ mod tests {
     fn float_formatting_scales() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(1234.5678), "1234.6");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(1.23456), "1.235");
         assert_eq!(fmt_f64(0.001234), "0.00123");
     }
 

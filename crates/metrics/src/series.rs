@@ -35,7 +35,7 @@ impl TimeSeries {
     /// tracked exactly.
     pub fn push(&mut self, at: SimTime, value: f64) {
         self.peak = self.peak.max(value);
-        if self.pushed % self.stride == 0 {
+        if self.pushed.is_multiple_of(self.stride) {
             if self.points.len() == self.max_points {
                 // Halve resolution: keep every other retained point.
                 let mut keep = Vec::with_capacity(self.max_points / 2 + 1);

@@ -60,7 +60,11 @@ fn prefix_matches(addr: Ipv4Addr, prefix: Ipv4Addr, len: u8) -> bool {
     if len == 0 {
         return true;
     }
-    let mask = if len == 32 { u32::MAX } else { !(u32::MAX >> len) };
+    let mask = if len == 32 {
+        u32::MAX
+    } else {
+        !(u32::MAX >> len)
+    };
     (addr.to_u32() & mask) == (prefix.to_u32() & mask)
 }
 
@@ -154,9 +158,7 @@ impl RuleTable {
     /// configuration, so this is a programming error.
     pub fn insert(&mut self, rule: Rule) {
         rule.matcher.validate().expect("malformed rule");
-        let pos = self
-            .rules
-            .partition_point(|r| r.priority >= rule.priority);
+        let pos = self.rules.partition_point(|r| r.priority >= rule.priority);
         self.rules.insert(pos, rule);
     }
 
@@ -223,7 +225,10 @@ mod tests {
             },
             action: Action::classify(TrafficClass::Interactive),
         });
-        assert_eq!(t.lookup(&tuple(1, 2, 1, 5004)).class, TrafficClass::Interactive);
+        assert_eq!(
+            t.lookup(&tuple(1, 2, 1, 5004)).class,
+            TrafficClass::Interactive
+        );
         assert_eq!(t.lookup(&tuple(1, 2, 1, 80)).class, TrafficClass::Bulk);
         assert_eq!(t.len(), 2);
     }

@@ -83,7 +83,10 @@ mod tests {
             SimTime::from_nanos(100),
             0,
         );
-        assert_eq!(p.age_at(SimTime::from_nanos(350)), SimDuration::from_nanos(250));
+        assert_eq!(
+            p.age_at(SimTime::from_nanos(350)),
+            SimDuration::from_nanos(250)
+        );
         // Clock skew can make "now" earlier than creation; age saturates.
         assert_eq!(p.age_at(SimTime::from_nanos(50)), SimDuration::ZERO);
     }

@@ -69,7 +69,9 @@ mod tests {
     fn verify_by_reinserting_checksum() {
         // A checksummed message re-sums (including the checksum field) to
         // 0xffff.
-        let mut msg = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut msg = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let c = checksum(&msg);
         msg[10] = (c >> 8) as u8;
         msg[11] = (c & 0xff) as u8;

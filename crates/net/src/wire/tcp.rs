@@ -61,17 +61,13 @@ pub struct Repr {
 
 impl Repr {
     /// Parses a TCP segment over IPv4, verifying the checksum.
-    pub fn parse<'a>(
-        data: &'a [u8],
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-    ) -> Result<(Repr, &'a [u8]), WireError> {
+    pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(Repr, &[u8]), WireError> {
         if data.len() < MIN_HEADER_LEN {
             return Err(WireError::Truncated);
         }
         let data_off = ((data[12] >> 4) as usize) * 4;
         if data_off < MIN_HEADER_LEN {
-            return Err(WireError::BadHeaderLen((data[12] >> 4) as u8));
+            return Err(WireError::BadHeaderLen(data[12] >> 4));
         }
         if data_off > data.len() {
             return Err(WireError::Truncated);
@@ -193,10 +189,7 @@ mod tests {
         let mut buf = vec![0u8; MIN_HEADER_LEN];
         sample().emit(&mut buf, 0, src, dst).unwrap();
         buf[12] = 4 << 4; // below minimum
-        assert_eq!(
-            Repr::parse(&buf, src, dst),
-            Err(WireError::BadHeaderLen(4))
-        );
+        assert_eq!(Repr::parse(&buf, src, dst), Err(WireError::BadHeaderLen(4)));
         buf[12] = 15 << 4; // beyond buffer
         assert_eq!(Repr::parse(&buf, src, dst), Err(WireError::Truncated));
     }

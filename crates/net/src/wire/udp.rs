@@ -18,11 +18,7 @@ pub struct Repr {
 impl Repr {
     /// Parses a UDP datagram carried over IPv4; verifies the checksum when
     /// present (non-zero).
-    pub fn parse<'a>(
-        data: &'a [u8],
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-    ) -> Result<(Repr, &'a [u8]), WireError> {
+    pub fn parse(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<(Repr, &[u8]), WireError> {
         if data.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }

@@ -1,0 +1,406 @@
+//! Machine-readable sweep output: JSON and CSV rows plus an aggregate
+//! human table, with deterministic formatting so fixed-seed sweeps are
+//! byte-identical across runs and thread counts.
+//!
+//! Serialization is hand-rolled (the workspace builds offline, without
+//! serde): floats are printed with Rust's shortest-roundtrip `{:?}`
+//! formatting, which is a pure function of the bit pattern.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use xds_core::report::RunReport;
+use xds_metrics::Table;
+
+use crate::spec::ScenarioSpec;
+
+/// One executed grid point: the spec that described it and the report it
+/// produced (or the reason it could not run).
+#[derive(Debug)]
+pub struct PointResult {
+    /// The declarative point.
+    pub spec: ScenarioSpec,
+    /// The measurement bundle, or a per-point error.
+    pub report: Result<RunReport, String>,
+}
+
+/// The ordered results of one sweep.
+#[derive(Debug)]
+pub struct SweepResults {
+    /// Per-point results, in grid order.
+    pub points: Vec<PointResult>,
+}
+
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` deterministically (shortest roundtrip; JSON-safe).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The columns every row carries, in order: `(name, value)` pairs.
+fn row_fields(p: &PointResult) -> Vec<(&'static str, String)> {
+    let s = &p.spec;
+    let mut f: Vec<(&'static str, String)> = vec![
+        ("scenario", format!("\"{}\"", json_escape(&s.name))),
+        (
+            "pattern",
+            format!("\"{}\"", json_escape(&s.pattern.label())),
+        ),
+        ("sizes", format!("\"{}\"", s.sizes.label())),
+        ("apps", format!("\"{}\"", s.apps.label())),
+        ("scheduler", format!("\"{}\"", s.scheduler.tag())),
+        ("estimator", format!("\"{}\"", s.estimator.label())),
+        (
+            "placement",
+            format!("\"{}\"", json_escape(&s.placement.label())),
+        ),
+        ("n_ports", s.n_ports.to_string()),
+        ("load", json_f64(s.load)),
+        ("reconfig_ns", s.reconfig.as_nanos().to_string()),
+        (
+            "epoch_ns",
+            s.epoch
+                .map(|e| e.as_nanos().to_string())
+                .unwrap_or_else(|| "null".into()),
+        ),
+        ("duration_ns", s.duration.as_nanos().to_string()),
+        ("seed", s.seed.to_string()),
+    ];
+    match &p.report {
+        Err(e) => {
+            f.push(("error", format!("\"{}\"", json_escape(e))));
+        }
+        Ok(r) => {
+            f.push(("error", "null".into()));
+            f.push(("events", r.events.to_string()));
+            f.push(("offered_bytes", r.offered_bytes.to_string()));
+            f.push(("offered_flows", r.offered_flows.to_string()));
+            f.push(("completed_flows", r.completed_flows.to_string()));
+            f.push(("delivered_ocs_bytes", r.delivered_ocs_bytes.to_string()));
+            f.push(("delivered_eps_bytes", r.delivered_eps_bytes.to_string()));
+            f.push(("throughput_gbps", json_f64(r.throughput_gbps())));
+            f.push(("goodput", json_f64(r.goodput_fraction())));
+            f.push(("ocs_byte_share", json_f64(r.ocs_byte_share())));
+            f.push(("ocs_duty_cycle", json_f64(r.ocs_duty_cycle())));
+            f.push(("p50_bulk_ns", r.latency_bulk.p50().to_string()));
+            f.push(("p99_bulk_ns", r.latency_bulk.p99().to_string()));
+            f.push(("p50_inter_ns", r.latency_interactive.p50().to_string()));
+            f.push(("p99_inter_ns", r.latency_interactive.p99().to_string()));
+            f.push((
+                "jitter_mean_ns",
+                r.voip_jitter_mean_ns
+                    .map(json_f64)
+                    .unwrap_or_else(|| "null".into()),
+            ));
+            f.push((
+                "jitter_max_ns",
+                r.voip_jitter_max_ns
+                    .map(json_f64)
+                    .unwrap_or_else(|| "null".into()),
+            ));
+            f.push((
+                "fct_p99_ns",
+                r.fct_overall
+                    .as_ref()
+                    .map(|x| x.p99_ns.to_string())
+                    .unwrap_or_else(|| "null".into()),
+            ));
+            f.push(("drops_voq", r.drops.voq_full.to_string()));
+            f.push(("drops_eps", r.drops.eps_full.to_string()));
+            f.push(("drops_sync", r.drops.sync_violation.to_string()));
+            f.push(("peak_host_buffer", r.peak_host_buffer.to_string()));
+            f.push(("peak_switch_buffer", r.peak_switch_buffer.to_string()));
+            f.push(("ocs_reconfigurations", r.ocs.reconfigurations.to_string()));
+            f.push(("decisions", r.decisions.to_string()));
+            f.push((
+                "decision_latency_mean_ns",
+                json_f64(r.decision_latency_mean_ns),
+            ));
+            f.push((
+                "demand_error_mean",
+                r.demand_error_mean
+                    .map(json_f64)
+                    .unwrap_or_else(|| "null".into()),
+            ));
+        }
+    }
+    f
+}
+
+/// Every column any row may carry, for the CSV header.
+const CSV_COLUMNS: [&str; 41] = [
+    "scenario",
+    "pattern",
+    "sizes",
+    "apps",
+    "scheduler",
+    "estimator",
+    "placement",
+    "n_ports",
+    "load",
+    "reconfig_ns",
+    "epoch_ns",
+    "duration_ns",
+    "seed",
+    "error",
+    "events",
+    "offered_bytes",
+    "offered_flows",
+    "completed_flows",
+    "delivered_ocs_bytes",
+    "delivered_eps_bytes",
+    "throughput_gbps",
+    "goodput",
+    "ocs_byte_share",
+    "ocs_duty_cycle",
+    "p50_bulk_ns",
+    "p99_bulk_ns",
+    "p50_inter_ns",
+    "p99_inter_ns",
+    "jitter_mean_ns",
+    "jitter_max_ns",
+    "fct_p99_ns",
+    "drops_voq",
+    "drops_eps",
+    "drops_sync",
+    "peak_host_buffer",
+    "peak_switch_buffer",
+    "ocs_reconfigurations",
+    "decisions",
+    "decision_latency_mean_ns",
+    "demand_error_mean",
+    "ok",
+];
+
+impl SweepResults {
+    /// Serializes every point as one JSON array of flat objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (k, v)) in row_fields(p).iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{k}\": {v}");
+            }
+            out.push('}');
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// Serializes every point as CSV with a fixed header (missing fields
+    /// are empty cells).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&CSV_COLUMNS.join(","));
+        out.push('\n');
+        for p in &self.points {
+            let fields = row_fields(p);
+            let cells: Vec<String> = CSV_COLUMNS
+                .iter()
+                .map(|col| {
+                    if *col == "ok" {
+                        return if p.report.is_ok() { "1" } else { "0" }.to_string();
+                    }
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == col)
+                        .map(|(_, v)| {
+                            // JSON string literals drop their quotes in CSV;
+                            // commas inside values get re-quoted CSV-style.
+                            let raw = v.trim_matches('"').to_string();
+                            if raw.contains(',') {
+                                format!("\"{raw}\"")
+                            } else {
+                                raw
+                            }
+                        })
+                        .unwrap_or_default()
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the headline aggregate table (one row per point).
+    pub fn summary_table(&self, title: impl Into<String>) -> Table {
+        let mut t = Table::new(
+            title,
+            &[
+                "scenario",
+                "sched",
+                "n",
+                "load",
+                "thru(Gbps)",
+                "goodput",
+                "ocs%",
+                "p99 bulk(us)",
+                "p99 inter(us)",
+                "drops",
+                "status",
+            ],
+        );
+        for p in &self.points {
+            match &p.report {
+                Ok(r) => {
+                    t.row(vec![
+                        p.spec.name.clone(),
+                        p.spec.scheduler.label().to_string(),
+                        p.spec.n_ports.to_string(),
+                        format!("{:.2}", p.spec.load),
+                        format!("{:.2}", r.throughput_gbps()),
+                        format!("{:.3}", r.goodput_fraction()),
+                        format!("{:.1}", r.ocs_byte_share() * 100.0),
+                        format!("{:.1}", r.latency_bulk.p99() as f64 / 1e3),
+                        format!("{:.1}", r.latency_interactive.p99() as f64 / 1e3),
+                        r.drops.total().to_string(),
+                        "ok".into(),
+                    ]);
+                }
+                Err(e) => {
+                    t.row(vec![
+                        p.spec.name.clone(),
+                        p.spec.scheduler.label().to_string(),
+                        p.spec.n_ports.to_string(),
+                        format!("{:.2}", p.spec.load),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("error: {e}"),
+                    ]);
+                }
+            }
+        }
+        t
+    }
+
+    /// Writes `results/<name>.json` and `results/<name>.csv` (best-effort;
+    /// failures are reported on stderr, the return lists what was
+    /// written).
+    pub fn write_artifacts(&self, name: &str) -> Vec<std::path::PathBuf> {
+        let dir = Path::new("results");
+        let mut written = Vec::new();
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("(could not create {}: {e})", dir.display());
+            return written;
+        }
+        for (ext, body) in [("json", self.to_json()), ("csv", self.to_csv())] {
+            let path = dir.join(format!("{name}.{ext}"));
+            match std::fs::write(&path, body) {
+                Ok(()) => written.push(path),
+                Err(e) => eprintln!("(could not save {}: {e})", path.display()),
+            }
+        }
+        written
+    }
+
+    /// The successful reports, in grid order, paired with their specs.
+    pub fn ok_reports(&self) -> impl Iterator<Item = (&ScenarioSpec, &RunReport)> {
+        self.points
+            .iter()
+            .filter_map(|p| p.report.as_ref().ok().map(|r| (&p.spec, r)))
+    }
+
+    /// The report at `idx`, if the point succeeded.
+    pub fn report(&self, idx: usize) -> Option<&RunReport> {
+        self.points.get(idx).and_then(|p| p.report.as_ref().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ScenarioSpec;
+    use crate::SweepExecutor;
+    use xds_sim::SimDuration;
+
+    fn small_results() -> SweepResults {
+        SweepExecutor::with_threads(2).run(vec![
+            ScenarioSpec::new("a")
+                .with_ports(4)
+                .with_duration(SimDuration::from_millis(1)),
+            ScenarioSpec::new("bad").with_ports(1),
+        ])
+    }
+
+    #[test]
+    fn json_is_wellformed_enough_and_carries_errors() {
+        let r = small_results();
+        let json = r.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"scenario\":").count(), 2);
+        assert!(json.contains("\"error\": null"));
+        assert!(json.contains("need at least 2 ports"));
+        // Balanced braces across rows.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_point() {
+        let r = small_results();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("scenario,pattern,"));
+        let header_cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), header_cols, "ragged row: {l}");
+        }
+        assert!(lines[1].ends_with(",1"), "ok point flagged: {}", lines[1]);
+        assert!(
+            lines[2].ends_with(",0"),
+            "error point flagged: {}",
+            lines[2]
+        );
+    }
+
+    #[test]
+    fn summary_table_renders_both_outcomes() {
+        let r = small_results();
+        let t = r.summary_table("test");
+        let text = t.render_text();
+        assert!(text.contains("ok"));
+        assert!(text.contains("error:"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(0.5), "0.5");
+    }
+}

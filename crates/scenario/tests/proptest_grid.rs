@@ -1,0 +1,122 @@
+//! Property tests of the sweep grid: enumeration is the *exact* cross
+//! product of the axes — every combination exactly once, no duplicates,
+//! no strays — for arbitrary axis shapes.
+
+use proptest::prelude::*;
+use xds_scenario::{ScenarioSpec, SchedulerKind, SweepGrid};
+use xds_sim::SimDuration;
+
+/// Distinct loads: 0.01, 0.02, … so combinations are identifiable.
+fn loads(k: usize) -> Vec<f64> {
+    (1..=k).map(|i| i as f64 / 100.0).collect()
+}
+
+fn ports(k: usize) -> Vec<usize> {
+    (0..k).map(|i| 4 + 2 * i).collect()
+}
+
+fn seeds(k: usize) -> Vec<u64> {
+    (0..k as u64).map(|i| 100 + i).collect()
+}
+
+fn reconfigs(k: usize) -> Vec<SimDuration> {
+    (0..k as u64)
+        .map(|i| SimDuration::from_micros(i + 1))
+        .collect()
+}
+
+fn schedulers(k: usize) -> Vec<SchedulerKind> {
+    SchedulerKind::roster().into_iter().take(k).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// |grid| = ∏ axis sizes, and every (load, port, reconfig, scheduler,
+    /// seed) combination appears exactly once.
+    #[test]
+    fn enumeration_is_the_exact_cross_product(
+        nl in 1usize..4,
+        np in 1usize..3,
+        nr in 1usize..3,
+        ns in 1usize..5,
+        nseed in 1usize..4,
+    ) {
+        let ls = loads(nl);
+        let ps = ports(np);
+        let rs = reconfigs(nr);
+        let ss = schedulers(ns);
+        let sds = seeds(nseed);
+        let grid = SweepGrid::new(ScenarioSpec::new("p"))
+            .loads(ls.clone())
+            .ports(ps.clone())
+            .reconfigs(rs.clone())
+            .schedulers(ss.clone())
+            .seeds(sds.clone());
+        let expect = nl * np * nr * ns * nseed;
+        prop_assert_eq!(grid.len(), expect);
+        let specs = grid.specs();
+        prop_assert_eq!(specs.len(), expect);
+
+        // Exactly once per combination.
+        for &l in &ls {
+            for &p in &ps {
+                for &r in &rs {
+                    for s in &ss {
+                        for &seed in &sds {
+                            let hits = specs.iter().filter(|sp| {
+                                sp.load == l
+                                    && sp.n_ports == p
+                                    && sp.reconfig == r
+                                    && &sp.scheduler == s
+                                    && sp.seed == seed
+                            }).count();
+                            prop_assert_eq!(
+                                hits, 1,
+                                "combo load={} n={} rc={} sched={} seed={}",
+                                l, p, r, s.label(), seed
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // No duplicate points overall (covers fields the combo check
+        // might miss).
+        for i in 0..specs.len() {
+            for j in i + 1..specs.len() {
+                prop_assert_ne!(&specs[i], &specs[j], "duplicate at {} and {}", i, j);
+            }
+        }
+    }
+
+    /// Point names are unique whenever any axis is swept, so result rows
+    /// stay distinguishable.
+    #[test]
+    fn swept_grids_have_unique_point_names(
+        nl in 2usize..5,
+        nseed in 2usize..4,
+    ) {
+        let grid = SweepGrid::new(ScenarioSpec::new("p"))
+            .loads(loads(nl))
+            .seeds(seeds(nseed));
+        let names: Vec<String> = grid.specs().into_iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), names.len(), "names collide: {:?}", names);
+    }
+
+    /// Singleton axes apply their value to every point without affecting
+    /// the point count.
+    #[test]
+    fn singleton_axes_apply_uniformly(nl in 1usize..5, port in 4usize..10) {
+        let grid = SweepGrid::new(ScenarioSpec::new("p"))
+            .loads(loads(nl))
+            .ports(vec![port]);
+        let specs = grid.specs();
+        prop_assert_eq!(specs.len(), nl);
+        prop_assert!(specs.iter().all(|s| s.n_ports == port));
+    }
+}

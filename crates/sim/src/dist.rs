@@ -92,7 +92,9 @@ impl Dist {
             }
             Dist::LogNormal { mu, sigma } => {
                 if !(mu.is_finite() && sigma.is_finite() && *sigma >= 0.0) {
-                    return Err(format!("lognormal needs finite mu and sigma ≥ 0, got ({mu}, {sigma})"));
+                    return Err(format!(
+                        "lognormal needs finite mu and sigma ≥ 0, got ({mu}, {sigma})"
+                    ));
                 }
             }
             Dist::Empirical(cdf) => cdf.validate()?,
@@ -130,7 +132,11 @@ impl Sample for Dist {
             Dist::Constant(v) => Some(*v),
             Dist::Uniform { lo, hi } => Some(0.5 * (lo + hi)),
             Dist::Exp { mean } => Some(*mean),
-            Dist::Pareto { scale, shape, cap: None } => {
+            Dist::Pareto {
+                scale,
+                shape,
+                cap: None,
+            } => {
                 if *shape > 1.0 {
                     Some(shape * scale / (shape - 1.0))
                 } else {
@@ -175,7 +181,10 @@ impl EmpiricalCdf {
         let pts = &self.points;
         for w in pts.windows(2) {
             if w[1].0 < w[0].0 {
-                return Err(format!("CDF values must be non-decreasing: {} after {}", w[1].0, w[0].0));
+                return Err(format!(
+                    "CDF values must be non-decreasing: {} after {}",
+                    w[1].0, w[0].0
+                ));
             }
             if w[1].1 < w[0].1 {
                 return Err(format!(
@@ -186,7 +195,10 @@ impl EmpiricalCdf {
         }
         let last = pts.last().expect("non-empty");
         if (last.1 - 1.0).abs() > 1e-9 {
-            return Err(format!("CDF must end at probability 1.0, ends at {}", last.1));
+            return Err(format!(
+                "CDF must end at probability 1.0, ends at {}",
+                last.1
+            ));
         }
         Ok(())
     }
@@ -360,7 +372,10 @@ mod tests {
 
     #[test]
     fn lognormal_mean() {
-        let d = Dist::LogNormal { mu: 1.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         let expect = (1.0f64 + 0.125).exp();
         let m = mean_of(&d, 7, 300_000);
         assert!((m - expect).abs() / expect < 0.02, "mean {m} vs {expect}");
@@ -371,9 +386,26 @@ mod tests {
     fn validation_catches_bad_parameters() {
         assert!(Dist::Uniform { lo: 1.0, hi: 1.0 }.validate().is_err());
         assert!(Dist::Exp { mean: 0.0 }.validate().is_err());
-        assert!(Dist::Pareto { scale: -1.0, shape: 1.0, cap: None }.validate().is_err());
-        assert!(Dist::Pareto { scale: 10.0, shape: 1.0, cap: Some(5.0) }.validate().is_err());
-        assert!(Dist::LogNormal { mu: 0.0, sigma: -1.0 }.validate().is_err());
+        assert!(Dist::Pareto {
+            scale: -1.0,
+            shape: 1.0,
+            cap: None
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::Pareto {
+            scale: 10.0,
+            shape: 1.0,
+            cap: Some(5.0)
+        }
+        .validate()
+        .is_err());
+        assert!(Dist::LogNormal {
+            mu: 0.0,
+            sigma: -1.0
+        }
+        .validate()
+        .is_err());
         assert!(Dist::Constant(f64::NAN).validate().is_err());
         assert!(Dist::Uniform { lo: 0.0, hi: 1.0 }.validate().is_ok());
     }
@@ -402,7 +434,8 @@ mod tests {
         assert!(EmpiricalCdf::new(vec![]).is_err());
         assert!(EmpiricalCdf::new(vec![(0.0, 0.0), (1.0, 0.5)]).is_err()); // doesn't end at 1
         assert!(EmpiricalCdf::new(vec![(5.0, 0.0), (1.0, 1.0)]).is_err()); // values decrease
-        assert!(EmpiricalCdf::new(vec![(0.0, 0.5), (1.0, 0.2), (2.0, 1.0)]).is_err()); // probs decrease
+        assert!(EmpiricalCdf::new(vec![(0.0, 0.5), (1.0, 0.2), (2.0, 1.0)]).is_err());
+        // probs decrease
     }
 
     #[test]
@@ -441,7 +474,10 @@ mod tests {
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let d = Dist::LogNormal { mu: 2.0, sigma: 1.0 };
+        let d = Dist::LogNormal {
+            mu: 2.0,
+            sigma: 1.0,
+        };
         let a: Vec<f64> = {
             let mut rng = SimRng::new(77);
             (0..32).map(|_| d.sample(&mut rng)).collect()

@@ -75,7 +75,7 @@ impl BitRate {
 impl core::fmt::Display for BitRate {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let bps = self.0;
-        if bps >= 1_000_000_000 && bps % 1_000_000_000 == 0 {
+        if bps >= 1_000_000_000 && bps.is_multiple_of(1_000_000_000) {
             write!(f, "{}Gbps", bps / 1_000_000_000)
         } else if bps >= 1_000_000 {
             write!(f, "{:.1}Mbps", bps as f64 / 1e6)

@@ -77,10 +77,7 @@ impl SimRng {
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -156,7 +153,10 @@ impl SimRng {
     /// # Panics
     /// Panics if `mean` is not finite and positive.
     pub fn exp(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exp() needs a positive mean");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exp() needs a positive mean"
+        );
         let u = loop {
             let u = self.f64();
             if u > 0.0 {
@@ -347,7 +347,7 @@ mod tests {
     fn permutation_indices_complete() {
         let mut rng = SimRng::new(29);
         let p = rng.permutation_indices(16);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

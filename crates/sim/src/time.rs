@@ -118,7 +118,10 @@ impl SimDuration {
     /// Creates a duration from fractional seconds, rounding to the nearest
     /// nanosecond. Panics on negative or non-finite input.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -150,7 +153,10 @@ impl SimDuration {
     /// Multiplies by a float factor, rounding to the nearest nanosecond.
     /// Panics on negative or non-finite factors.
     pub fn mul_f64(self, k: f64) -> SimDuration {
-        assert!(k.is_finite() && k >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 

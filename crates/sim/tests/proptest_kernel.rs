@@ -47,7 +47,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut granted = 0u64;
         for &(gap_ns, bytes) in &requests {
-            now = now + SimDuration::from_nanos(gap_ns);
+            now += SimDuration::from_nanos(gap_ns);
             if tb.try_consume(now, bytes) {
                 granted += bytes;
             }

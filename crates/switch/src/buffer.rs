@@ -148,7 +148,7 @@ mod tests {
         for _ in 0..3 {
             b.on_enqueue(Site::Switch, 1000, now);
             b.on_dequeue_at(Site::Switch, 1000, now + SimDuration::from_nanos(10));
-            now = now + SimDuration::from_nanos(5);
+            now += SimDuration::from_nanos(5);
         }
         // At t=5 and t=10 two packets overlap (released at 10/15/20).
         assert_eq!(b.peak(Site::Switch), 2000);

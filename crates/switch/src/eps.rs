@@ -83,6 +83,7 @@ impl Eps {
     ///
     /// Returns the departure time (when the last bit leaves the egress
     /// port) or `Err(())` on a full queue.
+    #[allow(clippy::result_unit_err)] // Err(()) is the documented drop signal
     pub fn enqueue(&mut self, out: usize, bytes: u64, now: SimTime) -> Result<SimTime, ()> {
         let port = &mut self.ports[out];
         Self::gc(port, now);

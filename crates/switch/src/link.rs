@@ -45,10 +45,7 @@ mod tests {
         };
         let t0 = SimTime::from_micros(1);
         // 1500B at 10G = 1200ns, +25ns propagation.
-        assert_eq!(
-            l.arrival_time(t0, 1500),
-            t0 + SimDuration::from_nanos(1225)
-        );
+        assert_eq!(l.arrival_time(t0, 1500), t0 + SimDuration::from_nanos(1225));
     }
 
     #[test]

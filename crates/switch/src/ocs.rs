@@ -220,7 +220,10 @@ mod tests {
         assert_eq!(ocs.output_for(0, t(0)), None);
         assert_eq!(
             ocs.transmit(0, 1, 100, t(0)),
-            Err(OcsError::NotConnected { input: 0, output: 1 })
+            Err(OcsError::NotConnected {
+                input: 0,
+                output: 1
+            })
         );
     }
 

@@ -134,12 +134,18 @@ impl Permutation {
             if let Some(o) = fo {
                 count += 1;
                 if self.inverse[o] != Some(i) {
-                    return Err(format!("inverse of {o} is {:?}, expected {i}", self.inverse[o]));
+                    return Err(format!(
+                        "inverse of {o} is {:?}, expected {i}",
+                        self.inverse[o]
+                    ));
                 }
             }
         }
         if count != self.assigned {
-            return Err(format!("assigned count {} != actual {count}", self.assigned));
+            return Err(format!(
+                "assigned count {} != actual {count}",
+                self.assigned
+            ));
         }
         Ok(())
     }

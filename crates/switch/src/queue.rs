@@ -21,7 +21,10 @@ pub struct DropTailQueue {
 impl DropTailQueue {
     /// Creates a queue bounded by both byte and packet capacity.
     pub fn new(cap_bytes: u64, cap_pkts: usize) -> Self {
-        assert!(cap_bytes > 0 && cap_pkts > 0, "queue capacity must be positive");
+        assert!(
+            cap_bytes > 0 && cap_pkts > 0,
+            "queue capacity must be positive"
+        );
         DropTailQueue {
             q: VecDeque::new(),
             bytes: 0,

@@ -19,7 +19,7 @@ proptest! {
         let mut delivered = 0u64;
         let mut last_dep = [SimTime::ZERO; 4];
         for &(port, bytes, gap) in &pkts {
-            now = now + SimDuration::from_nanos(gap);
+            now += SimDuration::from_nanos(gap);
             offered += bytes;
             let p = port as usize;
             if let Ok(dep) = eps.enqueue(p, bytes, now) {

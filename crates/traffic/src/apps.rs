@@ -61,7 +61,7 @@ impl CbrApp {
         }
         let j = self.send_jitter.as_nanos();
         let delta = rng.range_u64(0, 2 * j + 1); // [0, 2j]
-        // base - j + delta ∈ [base - j, base + j]
+                                                 // base - j + delta ∈ [base - j, base + j]
         (base + SimDuration::from_nanos(delta)) - SimDuration::from_nanos(j)
     }
 

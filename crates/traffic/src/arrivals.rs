@@ -135,7 +135,11 @@ impl ArrivalProcess {
                 let mut gap = SimDuration::ZERO;
                 loop {
                     if sojourn_remaining.is_zero() {
-                        let mean = if *in_a { *mean_sojourn_a } else { *mean_sojourn_b };
+                        let mean = if *in_a {
+                            *mean_sojourn_a
+                        } else {
+                            *mean_sojourn_b
+                        };
                         *sojourn_remaining =
                             SimDuration::from_secs_f64(rng.exp(mean.as_secs_f64()));
                     }
@@ -164,8 +168,7 @@ impl ArrivalProcess {
                 mean_off,
                 ..
             } => {
-                let duty =
-                    mean_on.as_secs_f64() / (mean_on.as_secs_f64() + mean_off.as_secs_f64());
+                let duty = mean_on.as_secs_f64() / (mean_on.as_secs_f64() + mean_off.as_secs_f64());
                 duty / mean_gap_on.as_secs_f64()
             }
             ArrivalProcess::Mmpp2 {
@@ -210,10 +213,7 @@ mod tests {
         let gaps: Vec<SimDuration> = (0..20_000).map(|_| p.next_gap(&mut rng)).collect();
         // Bursty: many tiny gaps (intra-burst) and some large (inter-burst).
         let tiny = gaps.iter().filter(|g| g.as_nanos() < 50_000).count();
-        let huge = gaps
-            .iter()
-            .filter(|g| g.as_nanos() > 1_000_000)
-            .count();
+        let huge = gaps.iter().filter(|g| g.as_nanos() > 1_000_000).count();
         assert!(tiny > 10_000, "expected many intra-burst gaps, got {tiny}");
         assert!(huge > 100, "expected inter-burst gaps, got {huge}");
     }
@@ -273,7 +273,9 @@ mod tests {
             SimDuration::from_millis(5),
         );
         let mut rng = SimRng::new(33);
-        let gaps: Vec<u64> = (0..50_000).map(|_| p.next_gap(&mut rng).as_nanos()).collect();
+        let gaps: Vec<u64> = (0..50_000)
+            .map(|_| p.next_gap(&mut rng).as_nanos())
+            .collect();
         let fast = gaps.iter().filter(|&&g| g < 10_000).count();
         let slow = gaps.iter().filter(|&&g| g > 200_000).count();
         assert!(fast > 10_000, "fast-state gaps expected: {fast}");

@@ -104,7 +104,7 @@ impl FlowGenerator {
     /// Generates the next flow; `start` times are non-decreasing.
     pub fn next_flow(&mut self) -> FlowSpec {
         let gap = self.arrivals.next_gap(&mut self.rng);
-        self.clock = self.clock + gap;
+        self.clock += gap;
         let (src, dst) = self.matrix.sample_pair(&mut self.rng);
         let bytes = self.sizes.sample_bytes(&mut self.rng);
         let id = self.next_id;
@@ -242,6 +242,9 @@ mod tests {
         assert!(flows.iter().all(|f| f.start <= SimTime::from_micros(500)));
         // Next flow from the generator continues after the horizon.
         let next = g.next_flow();
-        assert!(next.start + SimDuration::ZERO > SimTime::from_micros(500) || next.start <= SimTime::from_micros(500));
+        assert!(
+            next.start + SimDuration::ZERO > SimTime::from_micros(500)
+                || next.start <= SimTime::from_micros(500)
+        );
     }
 }

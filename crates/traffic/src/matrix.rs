@@ -72,7 +72,10 @@ impl TrafficMatrix {
 
     /// A (cyclic-shift) permutation: source `s` sends only to `(s+k) % n`.
     pub fn permutation(n: usize, k: usize) -> Self {
-        assert!(k % n != 0, "shift 0 would put all load on the diagonal");
+        assert!(
+            !k.is_multiple_of(n),
+            "shift 0 would put all load on the diagonal"
+        );
         let mut w = vec![0.0; n * n];
         for s in 0..n {
             w[s * n + (s + k) % n] = 1.0;
@@ -238,7 +241,10 @@ mod tests {
         for s in 0..8 {
             assert!((m.fraction(s, (s + 3) % 8) - 1.0 / 8.0).abs() < 1e-9);
         }
-        assert!((m.imbalance() - 1.0).abs() < 1e-9, "permutations are balanced");
+        assert!(
+            (m.imbalance() - 1.0).abs() < 1e-9,
+            "permutations are balanced"
+        );
     }
 
     #[test]
@@ -273,7 +279,10 @@ mod tests {
         assert_valid(&m);
         let col = m.col_sums();
         assert!((col[3] - 1.0).abs() < 1e-9);
-        assert!((m.imbalance() - 8.0).abs() < 1e-9, "incast is maximally imbalanced");
+        assert!(
+            (m.imbalance() - 8.0).abs() < 1e-9,
+            "incast is maximally imbalanced"
+        );
     }
 
     #[test]

@@ -44,9 +44,18 @@ fn main() {
     }
 
     let frames = [
-        ("voip rtp", build_udp_frame(1, 2, 16_384, 5_004, b"rtp audio frame")),
-        ("storage replication", build_udp_frame(3, 20, 9_000, 9_000, &[0u8; 256])),
-        ("ordinary rpc", build_udp_frame(7, 9, 40_000, 8_080, b"rpc call")),
+        (
+            "voip rtp",
+            build_udp_frame(1, 2, 16_384, 5_004, b"rtp audio frame"),
+        ),
+        (
+            "storage replication",
+            build_udp_frame(3, 20, 9_000, 9_000, &[0u8; 256]),
+        ),
+        (
+            "ordinary rpc",
+            build_udp_frame(7, 9, 40_000, 8_080, b"rpc call"),
+        ),
     ];
 
     let mut table = Table::new(

@@ -41,7 +41,14 @@ fn main() {
     let n = 16;
     let mut table = Table::new(
         "staged shuffle over the hybrid switch (16x16 @ 10G, load 0.6)",
-        &["scheduler", "stage period", "thru(Gbps)", "duty%", "reconfigs", "p99 bulk(us)"],
+        &[
+            "scheduler",
+            "stage period",
+            "thru(Gbps)",
+            "duty%",
+            "reconfigs",
+            "p99 bulk(us)",
+        ],
     );
     for period in [SimDuration::from_millis(5), SimDuration::from_millis(1)] {
         table.row(run(n, period, Box::new(IslipScheduler::new(n, 3)), "islip"));

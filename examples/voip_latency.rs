@@ -47,7 +47,14 @@ fn main() {
     let horizon = SimTime::from_millis(60);
     let mut table = Table::new(
         "VOIP under slow vs fast scheduling (4 calls over websearch @ 0.4)",
-        &["configuration", "p50 lat", "p99 lat", "jitter(mean)", "jitter(max)", "lost"],
+        &[
+            "configuration",
+            "p50 lat",
+            "p99 lat",
+            "jitter(mean)",
+            "jitter(max)",
+            "lost",
+        ],
     );
 
     let fast_cfg = NodeConfig::fast(
@@ -65,14 +72,26 @@ fn main() {
     gated_cfg.voip_on_ocs = true;
 
     let runs: Vec<(&str, NodeConfig, Box<dyn Scheduler>)> = vec![
-        ("fast hw, voip on EPS", fast_cfg, Box::new(IslipScheduler::new(n, 3))),
-        ("slow sw, voip on EPS", slow_cfg, Box::new(HotspotScheduler::new(100_000))),
-        ("slow sw, voip gated on OCS", gated_cfg, Box::new(HotspotScheduler::new(100_000))),
+        (
+            "fast hw, voip on EPS",
+            fast_cfg,
+            Box::new(IslipScheduler::new(n, 3)),
+        ),
+        (
+            "slow sw, voip on EPS",
+            slow_cfg,
+            Box::new(HotspotScheduler::new(100_000)),
+        ),
+        (
+            "slow sw, voip gated on OCS",
+            gated_cfg,
+            Box::new(HotspotScheduler::new(100_000)),
+        ),
     ];
 
     for (label, cfg, sched) in runs {
-        let r = HybridSim::new(cfg, workload(n), sched, Box::new(MirrorEstimator::new(n)))
-            .run(horizon);
+        let r =
+            HybridSim::new(cfg, workload(n), sched, Box::new(MirrorEstimator::new(n))).run(horizon);
         table.row(vec![
             label.to_string(),
             format!("{:.1}us", r.latency_interactive.p50() as f64 / 1e3),

@@ -22,6 +22,7 @@
 //! | [`hw`] | hardware/software scheduler timing, sync, FPGA resources |
 //! | [`metrics`] | histograms, RFC 3550 jitter, FCT, report tables |
 //! | [`core`] | **the framework**: VOQs → demand → scheduler → grants |
+//! | [`scenario`] | declarative scenario library + parallel sweep engine |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@ pub use xds_core as core;
 pub use xds_hw as hw;
 pub use xds_metrics as metrics;
 pub use xds_net as net;
+pub use xds_scenario as scenario;
 pub use xds_sim as sim;
 pub use xds_switch as switch;
 pub use xds_traffic as traffic;
@@ -73,8 +75,8 @@ pub mod prelude {
     pub use xds_core::report::RunReport;
     pub use xds_core::runtime::HybridSim;
     pub use xds_core::sched::{
-        BvnScheduler, EpsOnlyScheduler, GreedyLqfScheduler, HotspotScheduler,
-        HungarianScheduler, IlqfScheduler, IslipScheduler, PimScheduler, RrmScheduler, Schedule, ScheduleCtx,
+        BvnScheduler, EpsOnlyScheduler, GreedyLqfScheduler, HotspotScheduler, HungarianScheduler,
+        IlqfScheduler, IslipScheduler, PimScheduler, RrmScheduler, Schedule, ScheduleCtx,
         ScheduleEntry, Scheduler, SolsticeScheduler, TdmaScheduler, WavefrontScheduler,
     };
     pub use xds_hw::{
@@ -82,11 +84,13 @@ pub mod prelude {
     };
     pub use xds_metrics::{fmt_bytes, fmt_f64, LatencyHistogram, SizeClass, Table};
     pub use xds_net::{FiveTuple, IpProtocol, Packet, PortNo, TrafficClass};
+    pub use xds_scenario::{
+        library as scenario_library, AppMix, EstimatorKind, PlacementKind, ScenarioSpec,
+        SchedulerKind, SweepExecutor, SweepGrid, TrafficPattern,
+    };
     pub use xds_sim::{BitRate, Dist, SimDuration, SimRng, SimTime};
     pub use xds_switch::{Eps, Link, Ocs, Permutation, Site};
-    pub use xds_traffic::{
-        ArrivalProcess, CbrApp, FlowGenerator, FlowSizeDist, TrafficMatrix,
-    };
+    pub use xds_traffic::{ArrivalProcess, CbrApp, FlowGenerator, FlowSizeDist, TrafficMatrix};
 }
 
 #[cfg(test)]

@@ -181,7 +181,12 @@ fn all_estimators_run_the_full_stack() {
         Box::new(MirrorEstimator::new(n)),
         Box::new(EwmaEstimator::new(n, 0.25)),
         Box::new(WindowEstimator::new(n, SimDuration::from_micros(200))),
-        Box::new(CountMinEstimator::new(n, 4, 64, SimDuration::from_millis(1))),
+        Box::new(CountMinEstimator::new(
+            n,
+            4,
+            64,
+            SimDuration::from_millis(1),
+        )),
     ];
     for est in mk {
         let r = HybridSim::new(

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use xdsched::core::demand::DemandMatrix;
 use xdsched::core::sched::{
-    BvnScheduler, GreedyLqfScheduler, HungarianScheduler, IslipScheduler, ScheduleCtx,
-    Scheduler, SolsticeScheduler, WavefrontScheduler,
+    BvnScheduler, GreedyLqfScheduler, HungarianScheduler, IslipScheduler, ScheduleCtx, Scheduler,
+    SolsticeScheduler, WavefrontScheduler,
 };
 use xdsched::metrics::LatencyHistogram;
 use xdsched::net::classify::LpmTable;
@@ -222,5 +222,7 @@ proptest! {
 }
 
 fn xds_traffic_packet_sizes(bytes: u64, mtu: u32) -> u64 {
-    xdsched::traffic::packet_sizes(bytes, mtu).map(u64::from).sum()
+    xdsched::traffic::packet_sizes(bytes, mtu)
+        .map(u64::from)
+        .sum()
 }

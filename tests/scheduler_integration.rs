@@ -12,7 +12,7 @@ fn cfg(n: usize) -> NodeConfig {
     )
 }
 
-fn workload(n: usize, matrix: TrafficMatrix, load: f64, seed: u64) -> Workload {
+fn workload(_n: usize, matrix: TrafficMatrix, load: f64, seed: u64) -> Workload {
     // Mixed sizes: short flows exercise the EPS path, elephants the OCS
     // path — so even the EPS-only baseline has something to deliver.
     Workload::flows(FlowGenerator::with_load(
@@ -24,7 +24,7 @@ fn workload(n: usize, matrix: TrafficMatrix, load: f64, seed: u64) -> Workload {
     ))
 }
 
-fn bulk_workload(n: usize, matrix: TrafficMatrix, load: f64, seed: u64) -> Workload {
+fn bulk_workload(_n: usize, matrix: TrafficMatrix, load: f64, seed: u64) -> Workload {
     // All-bulk fixed-size flows: every byte needs a circuit grant.
     Workload::flows(FlowGenerator::with_load(
         matrix,
@@ -72,10 +72,7 @@ fn every_scheduler_survives_every_pattern() {
                 Box::new(MirrorEstimator::new(n)),
             )
             .run(SimTime::from_millis(3));
-            assert!(
-                r.delivered_bytes() > 0,
-                "{name} delivered nothing on {m:?}"
-            );
+            assert!(r.delivered_bytes() > 0, "{name} delivered nothing on {m:?}");
             assert_eq!(r.ocs.rejected, 0, "{name} misrouted");
         }
     }

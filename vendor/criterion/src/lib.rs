@@ -1,0 +1,223 @@
+//! An offline, API-compatible subset of the `criterion` benchmarking
+//! crate — enough surface for the workspace's `[[bench]]` targets to
+//! compile and produce useful numbers without network access to crates.io.
+//!
+//! Differences vs the real crate: fixed-budget timing (no adaptive
+//! sampling, no statistical analysis, no HTML reports); each benchmark is
+//! warmed up briefly and then timed for a fixed number of batches, and the
+//! per-iteration mean / min are printed to stdout.
+//!
+//! Swapping the real crate back in is a one-line change in the workspace
+//! manifest; no bench source changes are required.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation (printed alongside results).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    iters_per_batch: u64,
+    batches: u64,
+    /// (mean, min) nanoseconds per iteration, filled by [`Bencher::iter`].
+    result_ns: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording mean and best per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one batch, untimed.
+        for _ in 0..self.iters_per_batch.min(10) {
+            std::hint::black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.batches {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            total += dt;
+            best = best.min(dt);
+        }
+        let iters = (self.iters_per_batch * self.batches).max(1) as f64;
+        self.result_ns = Some((
+            total.as_secs_f64() * 1e9 / iters,
+            best.as_secs_f64() * 1e9 / self.iters_per_batch.max(1) as f64,
+        ));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Lowers/raises the timing budget (kept as a hint in this subset).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with the group's settings.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        self.run(&label, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark; `input` is passed through.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        self.run(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: one probe iteration bounds the batch size so heavy
+        // benchmarks (whole simulations) stay fast under the stub.
+        let mut probe = Bencher {
+            iters_per_batch: 1,
+            batches: 1,
+            result_ns: None,
+        };
+        f(&mut probe);
+        let probe_ns = probe.result_ns.map(|(m, _)| m).unwrap_or(1e3).max(1.0);
+        // Aim for ~20 ms of measured time across batches.
+        let budget_ns = 2e7_f64;
+        let total_iters = (budget_ns / probe_ns).clamp(1.0, 1e6) as u64;
+        let batches = (self.sample_size as u64).clamp(1, 10);
+        let mut b = Bencher {
+            iters_per_batch: (total_iters / batches).max(1),
+            batches,
+            result_ns: None,
+        };
+        f(&mut b);
+        let (mean, best) = b.result_ns.unwrap_or((f64::NAN, f64::NAN));
+        let thru = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / mean * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.1} MB/s)", n as f64 / mean * 1e3)
+            }
+            None => String::new(),
+        };
+        println!("bench: {label:<50} mean {mean:>12.1} ns/iter  best {best:>12.1}{thru}");
+    }
+
+    /// Ends the group (no-op in this subset; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: R) -> &mut Self {
+        self.benchmark_group("crit").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(2);
+        g.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn stub_benches_run_to_completion() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

@@ -16,4 +16,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --no-run
+
+echo "==> sweep bench --smoke (perf harness liveness; output under results/)"
+cargo run --release -q -p xds-bench --bin sweep -- bench --smoke
+
 echo "ci.sh: all green"

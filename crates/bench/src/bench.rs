@@ -1,0 +1,416 @@
+//! The reproducible perf baseline: `sweep bench`.
+//!
+//! Simulation cost is a first-class metric of this project — "as fast as
+//! the hardware allows" is unfalsifiable without a trajectory — so this
+//! module pins a catalogue subset (fixed scenarios, fixed seeds, fixed
+//! durations) and measures **wall-clock and events/second per point**,
+//! emitting a `BENCH_<date>.json` artifact every future PR can diff
+//! against. Points run sequentially on one thread: the quantity under
+//! test is the cost of one simulation, not sweep parallelism.
+//!
+//! The pinned subset spans the runtime's distinct hot paths:
+//!
+//! * `uniform` / `websearch` — fast-mode packet pump + EPS/OCS split;
+//! * `churn` — demand estimation under matrix rotation;
+//! * `hotspot-sw` — slow-mode host VOQs, control-channel grants;
+//! * `scale-stress` at 128 and 256 ports — multi-entry schedule
+//!   execution at fabric scale, where per-event copying dominates.
+//!
+//! `--smoke` shrinks every horizon ~20× so CI can prove the harness
+//! itself still runs (seconds, not minutes) without producing numbers
+//! anyone should compare.
+
+use std::time::Instant;
+
+use xds_scenario::{library, PlacementKind, ScenarioSpec, SwModelKind, SyncSpec, TrafficPattern};
+use xds_sim::SimDuration;
+
+/// One measured point of the baseline.
+#[derive(Debug, Clone)]
+pub struct BenchPoint {
+    /// Point name (`<scenario>/n<ports>`).
+    pub name: String,
+    /// Scheduler tag (parameterized).
+    pub scheduler: String,
+    /// Fabric port count.
+    pub n_ports: usize,
+    /// Simulated horizon.
+    pub duration: SimDuration,
+    /// Pinned seed.
+    pub seed: u64,
+    /// Events the simulation processed.
+    pub events: u64,
+    /// Wall-clock nanoseconds the point took.
+    pub wall_ns: u128,
+    /// Total delivered bytes (sanity anchor: must not drift run-to-run).
+    pub delivered_bytes: u64,
+}
+
+impl BenchPoint {
+    /// Simulation throughput in events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.events as f64 * 1e9 / self.wall_ns as f64
+    }
+}
+
+/// A completed baseline run.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// ISO date the run was taken (`YYYY-MM-DD`).
+    pub date: String,
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// Per-point measurements, in catalogue order.
+    pub points: Vec<BenchPoint>,
+}
+
+impl BenchRun {
+    /// Total events across all points.
+    pub fn total_events(&self) -> u64 {
+        self.points.iter().map(|p| p.events).sum()
+    }
+
+    /// Total wall-clock nanoseconds across all points.
+    pub fn total_wall_ns(&self) -> u128 {
+        self.points.iter().map(|p| p.wall_ns).sum()
+    }
+
+    /// Aggregate events/second over the whole subset.
+    pub fn events_per_sec(&self) -> f64 {
+        let w = self.total_wall_ns();
+        if w == 0 {
+            return 0.0;
+        }
+        self.total_events() as f64 * 1e9 / w as f64
+    }
+
+    /// Serializes the run (and, when given, the baseline it is being
+    /// compared against) as the `BENCH_<date>.json` artifact.
+    pub fn to_json(&self, baseline: Option<&Baseline>) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"schema\": \"xds-bench-v1\",");
+        let _ = writeln!(o, "  \"date\": \"{}\",", self.date);
+        let _ = writeln!(o, "  \"mode\": \"{}\",", self.mode);
+        o.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let _ = write!(
+                o,
+                "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"n_ports\": {}, \
+                 \"duration_ns\": {}, \"seed\": {}, \"events\": {}, \"wall_ns\": {}, \
+                 \"events_per_sec\": {:.0}, \"delivered_bytes\": {}",
+                p.name,
+                p.scheduler,
+                p.n_ports,
+                p.duration.as_nanos(),
+                p.seed,
+                p.events,
+                p.wall_ns,
+                p.events_per_sec(),
+                p.delivered_bytes
+            );
+            if let Some(b) = baseline {
+                if let Some(base_eps) = b.point_events_per_sec(&p.name) {
+                    let _ = write!(
+                        o,
+                        ", \"baseline_events_per_sec\": {base_eps:.0}, \"speedup\": {:.2}",
+                        p.events_per_sec() / base_eps
+                    );
+                }
+            }
+            o.push('}');
+            if i + 1 < self.points.len() {
+                o.push(',');
+            }
+            o.push('\n');
+        }
+        o.push_str("  ],\n");
+        let _ = writeln!(
+            o,
+            "  \"total\": {{\"events\": {}, \"wall_ns\": {}, \"events_per_sec\": {:.0}}}{}",
+            self.total_events(),
+            self.total_wall_ns(),
+            self.events_per_sec(),
+            if baseline.is_some() { "," } else { "" }
+        );
+        if let Some(b) = baseline {
+            let _ = writeln!(
+                o,
+                "  \"baseline\": {{\"date\": \"{}\", \"events_per_sec\": {:.0}, \
+                 \"speedup\": {:.2}}}",
+                b.date,
+                b.total_events_per_sec,
+                self.events_per_sec() / b.total_events_per_sec
+            );
+        }
+        o.push_str("}\n");
+        o
+    }
+}
+
+/// A previously-emitted baseline, parsed back for comparison.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Date of the baseline run.
+    pub date: String,
+    /// Aggregate events/second of the baseline.
+    pub total_events_per_sec: f64,
+    /// Per-point `(name, events_per_sec)` pairs.
+    pub per_point: Vec<(String, f64)>,
+}
+
+impl Baseline {
+    /// Baseline events/second for a named point, if present.
+    pub fn point_events_per_sec(&self, name: &str) -> Option<f64> {
+        self.per_point
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| *e)
+    }
+
+    /// Parses a `BENCH_*.json` previously written by [`BenchRun::to_json`].
+    /// This is a minimal scanner for our own line-oriented format, not a
+    /// general JSON parser (the workspace builds without serde).
+    pub fn parse(text: &str) -> Option<Baseline> {
+        fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+            let pat = format!("\"{key}\": ");
+            let start = line.find(&pat)? + pat.len();
+            let rest = &line[start..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].trim().trim_matches('"'))
+        }
+        let mut date = None;
+        let mut total = None;
+        let mut per_point = Vec::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with("\"date\"") && date.is_none() {
+                date = field(t, "date").map(str::to_string);
+            } else if t.starts_with("{\"name\"") {
+                let name = field(t, "name")?.to_string();
+                let eps: f64 = field(t, "events_per_sec")?.parse().ok()?;
+                per_point.push((name, eps));
+            } else if t.starts_with("\"total\"") {
+                total = field(t, "events_per_sec")?.parse::<f64>().ok();
+            }
+        }
+        Some(Baseline {
+            date: date?,
+            total_events_per_sec: total?,
+            per_point,
+        })
+    }
+}
+
+/// The pinned catalogue subset. `smoke` shrinks every horizon ~20× for
+/// the CI liveness check.
+pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
+    let ms =
+        |full: u64, smoke_ms: u64| SimDuration::from_millis(if smoke { smoke_ms } else { full });
+    let mut specs = vec![
+        library::scenario("uniform")
+            .expect("catalogue entry")
+            .with_ports(16)
+            .with_seed(11)
+            .with_duration(ms(20, 1)),
+        library::scenario("websearch")
+            .expect("catalogue entry")
+            .with_ports(16)
+            .with_seed(12)
+            .with_duration(ms(20, 1)),
+        library::scenario("churn")
+            .expect("catalogue entry")
+            .with_ports(16)
+            .with_seed(13)
+            .with_duration(ms(20, 1)),
+        // Slow-path point: host VOQs + control-channel grants.
+        ScenarioSpec::new("hotspot-sw")
+            .with_ports(16)
+            .with_pattern(TrafficPattern::Hotspot {
+                pairs: 4,
+                fraction: 0.6,
+                offset: 0,
+            })
+            .with_placement(PlacementKind::Software {
+                model: SwModelKind::TunedUserspace,
+                sync: SyncSpec::Ptp,
+            })
+            .with_reconfig(SimDuration::from_micros(100))
+            .with_epoch(SimDuration::from_millis(1))
+            .with_seed(14)
+            .with_duration(ms(40, 2)),
+        library::scenario("scale-stress")
+            .expect("catalogue entry")
+            .with_seed(15)
+            .with_duration(ms(20, 1)),
+        library::scenario("scale-stress")
+            .expect("catalogue entry")
+            .with_ports(256)
+            .with_seed(16)
+            .with_duration(ms(10, 1)),
+    ];
+    for s in &mut specs {
+        let named = format!("{}/n{}", s.name, s.n_ports);
+        *s = s.clone().with_name(named);
+    }
+    specs
+}
+
+/// Runs every point sequentially, timing each; `progress` is called with
+/// a one-line summary after each point.
+pub fn run_bench(
+    specs: Vec<ScenarioSpec>,
+    mode: &str,
+    date: String,
+    mut progress: impl FnMut(&BenchPoint),
+) -> Result<BenchRun, String> {
+    let mut points = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let t0 = Instant::now();
+        let report = spec
+            .run()
+            .map_err(|e| format!("bench point {}: {e}", spec.name))?;
+        let wall_ns = t0.elapsed().as_nanos();
+        let p = BenchPoint {
+            name: spec.name.clone(),
+            scheduler: spec.scheduler.tag(),
+            n_ports: spec.n_ports,
+            duration: spec.duration,
+            seed: spec.seed,
+            events: report.events,
+            wall_ns,
+            delivered_bytes: report.delivered_bytes(),
+        };
+        progress(&p);
+        points.push(p);
+    }
+    Ok(BenchRun {
+        date,
+        mode: mode.to_string(),
+        points,
+    })
+}
+
+/// Today's date as `YYYY-MM-DD` (UTC), from the system clock — no
+/// external time crates, so the civil-date arithmetic is inlined
+/// (Howard Hinnant's `civil_from_days`).
+pub fn today_string() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_points_are_pinned_and_distinct() {
+        let full = catalogue(false);
+        assert!(full.len() >= 5, "subset must span the hot paths");
+        let names: Vec<&str> = full.iter().map(|s| s.name.as_str()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "point names collide: {names:?}");
+        // Seeds are pinned and distinct so the subset is reproducible.
+        let mut seeds: Vec<u64> = full.iter().map(|s| s.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), full.len());
+        // The scale points are present at both fabric sizes.
+        assert!(names.contains(&"scale-stress/n128"));
+        assert!(names.contains(&"scale-stress/n256"));
+    }
+
+    #[test]
+    fn smoke_catalogue_is_strictly_shorter() {
+        let full = catalogue(false);
+        let smoke = catalogue(true);
+        assert_eq!(full.len(), smoke.len());
+        for (f, s) in full.iter().zip(&smoke) {
+            assert!(s.duration < f.duration, "{} not shrunk", f.name);
+            assert_eq!(f.seed, s.seed, "smoke must keep the pinned seed");
+        }
+    }
+
+    #[test]
+    fn bench_json_roundtrips_through_baseline_parser() {
+        let run = BenchRun {
+            date: "2026-07-30".into(),
+            mode: "full".into(),
+            points: vec![
+                BenchPoint {
+                    name: "uniform/n16".into(),
+                    scheduler: "islip_i3".into(),
+                    n_ports: 16,
+                    duration: SimDuration::from_millis(20),
+                    seed: 11,
+                    events: 1_000_000,
+                    wall_ns: 500_000_000,
+                    delivered_bytes: 42,
+                },
+                BenchPoint {
+                    name: "scale-stress/n128".into(),
+                    scheduler: "solstice_p4".into(),
+                    n_ports: 128,
+                    duration: SimDuration::from_millis(20),
+                    seed: 15,
+                    events: 6_000_000,
+                    wall_ns: 2_000_000_000,
+                    delivered_bytes: 7,
+                },
+            ],
+        };
+        let json = run.to_json(None);
+        let base = Baseline::parse(&json).expect("self-emitted JSON parses");
+        assert_eq!(base.date, "2026-07-30");
+        assert_eq!(base.per_point.len(), 2);
+        assert_eq!(base.point_events_per_sec("uniform/n16"), Some(2_000_000.0));
+        assert!((base.total_events_per_sec - run.events_per_sec()).abs() < 1.0);
+        // Comparison run embeds speedups against the parsed baseline.
+        let cmp = run.to_json(Some(&base));
+        assert!(cmp.contains("\"speedup\": 1.00"), "{cmp}");
+        assert!(cmp.contains("\"baseline\""));
+    }
+
+    #[test]
+    fn smoke_bench_runs_end_to_end() {
+        // Shrink further so the unit test stays fast: just the two
+        // 16-port fast-mode points at 1 ms.
+        let specs: Vec<ScenarioSpec> = catalogue(true)
+            .into_iter()
+            .filter(|s| s.n_ports == 16)
+            .take(2)
+            .collect();
+        let run = run_bench(specs, "smoke", "2026-01-01".into(), |_| {}).unwrap();
+        assert_eq!(run.points.len(), 2);
+        assert!(run.total_events() > 0);
+        assert!(run.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn today_string_is_iso_shaped() {
+        let d = today_string();
+        assert_eq!(d.len(), 10, "{d}");
+        assert_eq!(&d[4..5], "-");
+        assert_eq!(&d[7..8], "-");
+        assert!(d[..4].parse::<u32>().unwrap() >= 2024);
+    }
+}

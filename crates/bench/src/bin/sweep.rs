@@ -3,8 +3,9 @@
 //! ```text
 //! sweep list
 //! sweep run <scenario>[,<scenario>…]|all [options]
+//! sweep bench [--smoke] [--baseline file.json] [--out file.json] [--date YYYY-MM-DD]
 //!
-//! options:
+//! options (run):
 //!   --ports n1,n2,…        port-count axis          (default: scenario's)
 //!   --loads l1,l2,…        offered-load axis        (default: scenario's)
 //!   --schedulers s1,s2,…   scheduler axis by name   (default: scenario's)
@@ -17,6 +18,13 @@
 //!
 //! Every run prints the aggregate table and saves machine-readable
 //! `results/<out>.json` and `results/<out>.csv`.
+//!
+//! `sweep bench` runs the pinned perf-baseline subset (see
+//! [`xds_bench::bench`]) sequentially on one thread, prints wall-clock and
+//! events/sec per point, and writes `BENCH_<date>.json`; with
+//! `--baseline`, per-point and aggregate speedups against a previous
+//! artifact are embedded. `--smoke` is the CI liveness mode: ~20× shorter
+//! horizons, output under `results/`.
 
 use std::process::ExitCode;
 
@@ -29,6 +37,7 @@ fn usage() -> ExitCode {
         "usage:\n  sweep list\n  sweep run <scenario>[,…]|all [--ports n,…] [--loads l,…]\n\
          \x20            [--schedulers s,…] [--seeds s,…] [--reconfigs-us r,…]\n\
          \x20            [--duration-ms d] [--threads t] [--out name]\n\
+         \x20 sweep bench [--smoke] [--baseline file.json] [--out file.json] [--date YYYY-MM-DD]\n\
          scenarios: {}",
         library::all_names().join(", ")
     );
@@ -160,6 +169,85 @@ fn run(names: &str, opts: Options) -> Result<(), String> {
     }
 }
 
+fn run_bench_cmd(args: &[String]) -> Result<(), String> {
+    let mut smoke = false;
+    let mut baseline_path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut date: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--baseline" => baseline_path = Some(value()?),
+            "--out" => out = Some(value()?),
+            "--date" => date = Some(value()?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let baseline = match &baseline_path {
+        None => None,
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            Some(
+                xds_bench::bench::Baseline::parse(&text)
+                    .ok_or_else(|| format!("{p} is not a BENCH_*.json artifact"))?,
+            )
+        }
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+    let date = date.unwrap_or_else(xds_bench::bench::today_string);
+    let specs = xds_bench::bench::catalogue(smoke);
+    println!(
+        "sweep bench: {} pinned point(s), mode={mode}, sequential single-thread\n",
+        specs.len()
+    );
+    let run = xds_bench::bench::run_bench(specs, mode, date.clone(), |p| {
+        println!(
+            "  {:<20} {:>10} events {:>9.1} ms {:>12.0} ev/s",
+            p.name,
+            p.events,
+            p.wall_ns as f64 / 1e6,
+            p.events_per_sec()
+        );
+    })?;
+    println!(
+        "\n  total: {} events in {:.1} ms = {:.0} events/sec",
+        run.total_events(),
+        run.total_wall_ns() as f64 / 1e6,
+        run.events_per_sec()
+    );
+    if let Some(b) = &baseline {
+        println!(
+            "  baseline ({}): {:.0} events/sec -> speedup {:.2}x",
+            b.date,
+            b.total_events_per_sec,
+            run.events_per_sec() / b.total_events_per_sec
+        );
+    }
+    let path = out.unwrap_or_else(|| {
+        if smoke {
+            // CI liveness runs must not overwrite the committed artifact.
+            format!("results/bench_smoke_{date}.json")
+        } else {
+            format!("BENCH_{date}.json")
+        }
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(&path, run.to_json(baseline.as_ref()))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("[saved {path}]");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -176,6 +264,13 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("bench") => match run_bench_cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("sweep bench: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("run") => {
             let Some(names) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 return usage();

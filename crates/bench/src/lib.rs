@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
+
 use std::path::Path;
 
 use xds_core::config::NodeConfig;

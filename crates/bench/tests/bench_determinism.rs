@@ -1,0 +1,68 @@
+//! Determinism of the perf-baseline subset across worker counts: the
+//! `sweep bench` points (including the 128/256-port `scale-stress`
+//! scenario) must produce **byte-identical** serialized output whether
+//! the sweep runs on 1, 2 or 8 threads. This extends the original
+//! small-scenario determinism test to the exact workloads the perf
+//! trajectory is pinned to — a hot-path change that races or reorders
+//! anything shows up here as a serialization diff.
+
+use xds_bench::bench;
+use xds_scenario::{library, ScenarioSpec, SweepExecutor};
+use xds_sim::SimDuration;
+
+/// The bench subset, shrunk to test-friendly horizons while keeping the
+/// pinned seeds and every scenario shape (both scale-stress sizes
+/// included).
+fn subset() -> Vec<ScenarioSpec> {
+    bench::catalogue(true)
+        .into_iter()
+        .map(|s| {
+            // Large fabrics get a further-reduced horizon so the test
+            // stays fast; seeds and shapes are untouched.
+            if s.n_ports >= 128 {
+                s.with_duration(SimDuration::from_micros(300))
+            } else {
+                s
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn bench_subset_is_byte_identical_across_thread_counts() {
+    let specs = subset();
+    assert!(
+        specs.iter().any(|s| s.n_ports == 128) && specs.iter().any(|s| s.n_ports == 256),
+        "subset must include both scale-stress fabric sizes"
+    );
+    let reference = SweepExecutor::with_threads(1).run(specs.clone());
+    let ref_json = reference.to_json();
+    let ref_csv = reference.to_csv();
+    assert!(
+        reference.points.iter().all(|p| p.report.is_ok()),
+        "every bench point must run"
+    );
+    for threads in [2usize, 8] {
+        let got = SweepExecutor::with_threads(threads).run(specs.clone());
+        assert_eq!(
+            got.to_json(),
+            ref_json,
+            "JSON diverged at {threads} threads"
+        );
+        assert_eq!(got.to_csv(), ref_csv, "CSV diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn scale_stress_trace_is_byte_identical_across_repeats() {
+    // Repeatability of the full report serialization (deeper than the
+    // sweep row): the scale point exercises the schedule slab, the
+    // chunked VOQ pool and the radix release queue at fabric scale.
+    let spec = library::scenario("scale-stress")
+        .expect("catalogue entry")
+        .with_seed(15)
+        .with_duration(SimDuration::from_micros(500));
+    let a = spec.run().expect("runs").trace_json();
+    let b = spec.run().expect("runs").trace_json();
+    assert_eq!(a, b);
+}

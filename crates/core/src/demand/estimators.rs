@@ -29,6 +29,25 @@ pub trait DemandEstimator: Send {
 
     /// Produces the demand estimate for the epoch starting at `now`.
     fn estimate(&mut self, now: SimTime, epoch: SimDuration) -> DemandMatrix;
+
+    /// Writes the estimate into a caller-owned matrix, overwriting every
+    /// cell — the allocation-free form the runtime's epoch loop uses (the
+    /// output buffer is reused across epochs). The default falls back to
+    /// [`estimate`](Self::estimate); the shipped estimators override it
+    /// to fill in place.
+    fn estimate_into(&mut self, now: SimTime, epoch: SimDuration, out: &mut DemandMatrix) {
+        *out = self.estimate(now, epoch);
+    }
+
+    /// True when this estimator's output provably equals the true VOQ
+    /// occupancy at every estimation instant (every occupancy change
+    /// generates a request, and the estimate is the latest reports
+    /// verbatim). The runtime then skips the `n²` ground-truth snapshot
+    /// and L1 pass per epoch — the demand error is identically zero.
+    /// Only return `true` when exactness holds by construction.
+    fn mirrors_occupancy(&self) -> bool {
+        false
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -61,6 +80,14 @@ impl DemandEstimator for MirrorEstimator {
 
     fn estimate(&mut self, _now: SimTime, _epoch: SimDuration) -> DemandMatrix {
         self.occupancy.clone()
+    }
+
+    fn estimate_into(&mut self, _now: SimTime, _epoch: SimDuration, out: &mut DemandMatrix) {
+        out.copy_from(&self.occupancy);
+    }
+
+    fn mirrors_occupancy(&self) -> bool {
+        true
     }
 }
 
@@ -116,17 +143,20 @@ impl DemandEstimator for EwmaEstimator {
         self.last_at[idx] = req.at;
     }
 
-    fn estimate(&mut self, _now: SimTime, epoch: SimDuration) -> DemandMatrix {
+    fn estimate(&mut self, now: SimTime, epoch: SimDuration) -> DemandMatrix {
         let mut m = DemandMatrix::zero(self.n);
+        self.estimate_into(now, epoch, &mut m);
+        m
+    }
+
+    fn estimate_into(&mut self, _now: SimTime, epoch: SimDuration, out: &mut DemandMatrix) {
+        let secs = epoch.as_secs_f64();
         for s in 0..self.n {
             for d in 0..self.n {
-                let bytes = self.rate[s * self.n + d] * epoch.as_secs_f64();
-                if bytes >= 1.0 {
-                    m.set(s, d, bytes as u64);
-                }
+                let bytes = self.rate[s * self.n + d] * secs;
+                out.set(s, d, if bytes >= 1.0 { bytes as u64 } else { 0 });
             }
         }
-        m
     }
 }
 
@@ -183,21 +213,29 @@ impl DemandEstimator for WindowEstimator {
     }
 
     fn estimate(&mut self, now: SimTime, epoch: SimDuration) -> DemandMatrix {
-        self.evict(now);
         let mut m = DemandMatrix::zero(self.n);
+        self.estimate_into(now, epoch, &mut m);
+        m
+    }
+
+    fn estimate_into(&mut self, now: SimTime, epoch: SimDuration, out: &mut DemandMatrix) {
+        self.evict(now);
+        out.clear();
         for &(_, s, d, b) in &self.events {
-            m.add(s, d, b);
+            out.add(s, d, b);
         }
         // Rescale window bytes to the epoch horizon.
         let scale = epoch.as_secs_f64() / self.window.as_secs_f64();
         if (scale - 1.0).abs() > 1e-9 {
-            let mut scaled = DemandMatrix::zero(self.n);
-            for (s, d, b) in m.iter_nonzero() {
-                scaled.set(s, d, (b as f64 * scale) as u64);
+            for s in 0..self.n {
+                for d in 0..self.n {
+                    let b = out.get(s, d);
+                    if b > 0 {
+                        out.set(s, d, (b as f64 * scale) as u64);
+                    }
+                }
             }
-            return scaled;
         }
-        m
     }
 }
 
@@ -285,17 +323,20 @@ impl DemandEstimator for CountMinEstimator {
         }
     }
 
-    fn estimate(&mut self, now: SimTime, _epoch: SimDuration) -> DemandMatrix {
-        self.maybe_decay(now);
+    fn estimate(&mut self, now: SimTime, epoch: SimDuration) -> DemandMatrix {
         let mut m = DemandMatrix::zero(self.n);
+        self.estimate_into(now, epoch, &mut m);
+        m
+    }
+
+    fn estimate_into(&mut self, now: SimTime, _epoch: SimDuration, out: &mut DemandMatrix) {
+        self.maybe_decay(now);
         for s in 0..self.n {
             for d in 0..self.n {
-                if s != d {
-                    m.set(s, d, self.point_query(s, d));
-                }
+                let v = if s != d { self.point_query(s, d) } else { 0 };
+                out.set(s, d, v);
             }
         }
-        m
     }
 }
 

@@ -63,6 +63,37 @@ impl DemandMatrix {
         *e = e.saturating_sub(bytes);
     }
 
+    /// Zeroes every entry in place (scratch-buffer reuse: the hot path
+    /// rebuilds demand and occupancy every epoch and must not reallocate
+    /// the `n²` backing store each time).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+
+    /// Overwrites `self` with `other`'s entries, reusing the allocation.
+    ///
+    /// # Panics
+    /// Panics if the port counts differ.
+    pub fn copy_from(&mut self, other: &DemandMatrix) {
+        assert_eq!(self.n, other.n, "matrix sizes differ");
+        self.bytes.copy_from_slice(&other.bytes);
+    }
+
+    /// Overwrites every entry from a row-major slice (the incremental-
+    /// occupancy fast path).
+    ///
+    /// # Panics
+    /// Panics if the slice is not exactly `n²` long.
+    pub fn copy_from_slice(&mut self, src: &[u64]) {
+        assert_eq!(src.len(), self.n * self.n, "need n² entries");
+        self.bytes.copy_from_slice(src);
+    }
+
+    /// The row-major backing store (read-only view for flat iteration).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.bytes
+    }
+
     /// Total demanded bytes.
     pub fn total(&self) -> u64 {
         self.bytes.iter().sum()
@@ -119,6 +150,20 @@ impl DemandMatrix {
             .zip(other.bytes.iter())
             .map(|(&a, &b)| a.abs_diff(b))
             .sum()
+    }
+
+    /// `(l1_distance(truth), truth.total())` in one pass — the epoch
+    /// loop's demand-error sample, fused so the truth matrix is walked
+    /// once instead of twice.
+    pub fn error_vs(&self, truth: &DemandMatrix) -> (u64, u64) {
+        assert_eq!(self.n, truth.n, "matrix sizes differ");
+        let mut l1 = 0u64;
+        let mut total = 0u64;
+        for (&a, &b) in self.bytes.iter().zip(truth.bytes.iter()) {
+            l1 += a.abs_diff(b);
+            total += b;
+        }
+        (l1, total)
     }
 }
 

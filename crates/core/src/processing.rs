@@ -13,19 +13,84 @@
 
 use xds_net::Packet;
 use xds_sim::SimTime;
-use xds_switch::DropTailQueue;
 
 use crate::demand::{DemandMatrix, SchedRequest};
 
+const NIL: u32 = u32::MAX;
+
+/// Packets per pool chunk: four 40-byte descriptors plus the link fit in
+/// three cache lines, and a VOQ touches a new chunk only every fourth
+/// packet.
+const CHUNK_PKTS: usize = 4;
+
+/// A pooled run of consecutive packets belonging to one VOQ, linked into
+/// that VOQ's FIFO.
+#[derive(Debug, Clone)]
+struct Chunk {
+    pkts: [Packet; CHUNK_PKTS],
+    next: u32,
+}
+
+/// Per-pair bookkeeping kept beside the dense occupancy array.
+#[derive(Debug, Clone)]
+struct PairState {
+    /// Cumulative bytes ever enqueued (for rate estimators).
+    arrived_total: u64,
+    /// High-water mark of queued bytes.
+    peak_bytes: u64,
+    /// Chunk FIFO head/tail (`NIL` when empty).
+    head: u32,
+    tail: u32,
+    /// First live packet within the head chunk.
+    head_off: u8,
+    /// Live packets within the tail chunk.
+    tail_len: u8,
+    /// Whether this pair is in the dirty list.
+    dirty: bool,
+}
+
+impl PairState {
+    fn new() -> Self {
+        PairState {
+            arrived_total: 0,
+            peak_bytes: 0,
+            head: NIL,
+            tail: NIL,
+            head_off: 0,
+            tail_len: 0,
+            dirty: false,
+        }
+    }
+}
+
 /// The VOQ bank plus request bookkeeping.
+///
+/// Storage is built for the per-packet hot path: all `n²` VOQs share one
+/// **packet pool** (a free-list slab) and each VOQ is an intrusive FIFO
+/// of pool indices, so an enqueue touches one pool slot and one compact
+/// per-pair record instead of a per-queue `VecDeque` plus three parallel
+/// arrays. Queued bytes live in a dense `n²` array maintained
+/// incrementally, so the per-epoch ground-truth snapshot is a `memcpy`,
+/// and dirty pairs are kept in an explicit list so request generation
+/// touches only the pairs that changed — at 256 ports the old full-
+/// matrix scans and scattered per-queue state dominated both the epoch
+/// loop and the packet path.
 #[derive(Debug)]
 pub struct ProcessingLogic {
     n: usize,
-    queues: Vec<DropTailQueue>,
-    /// Cumulative bytes ever enqueued per pair (for rate estimators).
-    arrived_total: Vec<u64>,
-    /// Pairs whose status changed since the last request poll.
-    dirty: Vec<bool>,
+    voq_capacity: u64,
+    /// Shared chunk pool; free chunks form a FIFO through `next` so runs
+    /// freed together are reused together (keeps traversals in order).
+    pool: Vec<Chunk>,
+    free_head: u32,
+    free_tail: u32,
+    pairs: Vec<PairState>,
+    /// Queued bytes per pair, dense row-major (mirrors the FIFO contents).
+    queued: Vec<u64>,
+    /// Indices currently flagged dirty, unsorted (sorted on take).
+    dirty_list: Vec<u32>,
+    /// Incrementally-maintained sum of `queued` (O(1) ground-truth total).
+    total_queued: u64,
     drops: u64,
     dropped_bytes: u64,
 }
@@ -34,13 +99,17 @@ impl ProcessingLogic {
     /// Creates an `n × n` VOQ bank with `voq_capacity` bytes per queue.
     pub fn new(n: usize, voq_capacity: u64) -> Self {
         assert!(n >= 2, "need at least 2 ports");
+        assert!(voq_capacity > 0, "queue capacity must be positive");
         ProcessingLogic {
             n,
-            queues: (0..n * n)
-                .map(|_| DropTailQueue::new(voq_capacity, usize::MAX))
-                .collect(),
-            arrived_total: vec![0; n * n],
-            dirty: vec![false; n * n],
+            voq_capacity,
+            pool: Vec::new(),
+            free_head: NIL,
+            free_tail: NIL,
+            pairs: vec![PairState::new(); n * n],
+            queued: vec![0; n * n],
+            dirty_list: Vec::new(),
+            total_queued: 0,
             drops: 0,
             dropped_bytes: 0,
         }
@@ -56,67 +125,146 @@ impl ProcessingLogic {
         src * self.n + dst
     }
 
+    #[inline]
+    fn mark_dirty(&mut self, idx: usize) {
+        if !self.pairs[idx].dirty {
+            self.pairs[idx].dirty = true;
+            self.dirty_list.push(idx as u32);
+        }
+    }
+
+    /// Takes a chunk off the free FIFO (or grows the pool), seeding every
+    /// slot with `p` (slot 0 is the live one; the rest are overwritten as
+    /// the chunk fills).
+    #[inline]
+    fn alloc_chunk(&mut self, p: Packet) -> u32 {
+        if self.free_head != NIL {
+            let c = self.free_head;
+            self.free_head = self.pool[c as usize].next;
+            if self.free_head == NIL {
+                self.free_tail = NIL;
+            }
+            let chunk = &mut self.pool[c as usize];
+            chunk.pkts[0] = p;
+            chunk.next = NIL;
+            c
+        } else {
+            assert!(self.pool.len() < NIL as usize, "VOQ pool overflow");
+            self.pool.push(Chunk {
+                pkts: [p; CHUNK_PKTS],
+                next: NIL,
+            });
+            (self.pool.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    fn free_chunk(&mut self, c: u32) {
+        self.pool[c as usize].next = NIL;
+        if self.free_tail == NIL {
+            self.free_head = c;
+        } else {
+            self.pool[self.free_tail as usize].next = c;
+        }
+        self.free_tail = c;
+    }
+
     /// Enqueues a packet into VOQ `(packet.src, packet.dst)`.
     ///
     /// On overflow the packet is returned and counted as a drop.
     pub fn enqueue(&mut self, p: Packet) -> Result<(), Packet> {
         let idx = self.idx(p.src.index(), p.dst.index());
         let bytes = p.bytes as u64;
-        match self.queues[idx].push(p) {
-            Ok(()) => {
-                self.arrived_total[idx] += bytes;
-                self.dirty[idx] = true;
-                Ok(())
-            }
-            Err(p) => {
-                self.drops += 1;
-                self.dropped_bytes += bytes;
-                Err(p)
-            }
+        if self.queued[idx] + bytes > self.voq_capacity {
+            self.drops += 1;
+            self.dropped_bytes += bytes;
+            return Err(p);
         }
+        let pair = &self.pairs[idx];
+        if pair.tail != NIL && (pair.tail_len as usize) < CHUNK_PKTS {
+            // Fast path: room in the tail chunk.
+            let tail = pair.tail as usize;
+            let len = pair.tail_len;
+            self.pool[tail].pkts[len as usize] = p;
+            self.pairs[idx].tail_len = len + 1;
+        } else {
+            let c = self.alloc_chunk(p);
+            let pair = &mut self.pairs[idx];
+            if pair.tail == NIL {
+                pair.head = c;
+                pair.head_off = 0;
+            } else {
+                let old_tail = pair.tail;
+                self.pool[old_tail as usize].next = c;
+            }
+            let pair = &mut self.pairs[idx];
+            pair.tail = c;
+            pair.tail_len = 1;
+        }
+        let pair = &mut self.pairs[idx];
+        pair.arrived_total += bytes;
+        self.queued[idx] += bytes;
+        self.total_queued += bytes;
+        let q = self.queued[idx];
+        let pair = &mut self.pairs[idx];
+        pair.peak_bytes = pair.peak_bytes.max(q);
+        self.mark_dirty(idx);
+        Ok(())
     }
 
     /// Bytes queued for `(src, dst)`.
     pub fn queued_bytes(&self, src: usize, dst: usize) -> u64 {
-        self.queues[self.idx(src, dst)].bytes()
+        self.queued[self.idx(src, dst)]
     }
 
-    /// Total bytes across all VOQs.
+    /// Total bytes across all VOQs (O(1): maintained incrementally).
     pub fn total_bytes(&self) -> u64 {
-        self.queues.iter().map(|q| q.bytes()).sum()
+        debug_assert_eq!(self.total_queued, self.queued.iter().sum::<u64>());
+        self.total_queued
     }
 
     /// Snapshot of the true occupancy (ground truth for E6).
     pub fn occupancy(&self) -> DemandMatrix {
         let mut m = DemandMatrix::zero(self.n);
-        for s in 0..self.n {
-            for d in 0..self.n {
-                m.set(s, d, self.queued_bytes(s, d));
-            }
-        }
+        self.occupancy_into(&mut m);
         m
+    }
+
+    /// Writes the true occupancy into a caller-owned matrix, overwriting
+    /// every cell (the allocation-free form the epoch loop uses). The
+    /// occupancy is maintained incrementally, so this is a flat copy.
+    pub fn occupancy_into(&self, out: &mut DemandMatrix) {
+        out.copy_from_slice(&self.queued);
     }
 
     /// Drains the dirty set into scheduling requests — what the paper's
     /// "subsystem generates scheduling requests" step produces.
     pub fn take_requests(&mut self, now: SimTime) -> Vec<SchedRequest> {
         let mut out = Vec::new();
-        for s in 0..self.n {
-            for d in 0..self.n {
-                let idx = self.idx(s, d);
-                if self.dirty[idx] {
-                    self.dirty[idx] = false;
-                    out.push(SchedRequest {
-                        src: s,
-                        dst: d,
-                        queued_bytes: self.queues[idx].bytes(),
-                        arrived_bytes_total: self.arrived_total[idx],
-                        at: now,
-                    });
-                }
-            }
-        }
+        self.take_requests_into(now, &mut out);
         out
+    }
+
+    /// [`take_requests`](Self::take_requests) into a reused buffer: the
+    /// buffer is cleared, then filled in `(src, dst)` scan order. Only
+    /// the dirty list is visited (sorted so the order matches a full
+    /// row-major scan), not the whole `n²` matrix.
+    pub fn take_requests_into(&mut self, now: SimTime, out: &mut Vec<SchedRequest>) {
+        out.clear();
+        self.dirty_list.sort_unstable();
+        for k in 0..self.dirty_list.len() {
+            let idx = self.dirty_list[k] as usize;
+            debug_assert!(self.pairs[idx].dirty);
+            self.pairs[idx].dirty = false;
+            out.push(SchedRequest {
+                src: idx / self.n,
+                dst: idx % self.n,
+                queued_bytes: self.queued[idx],
+                arrived_bytes_total: self.pairs[idx].arrived_total,
+                at: now,
+            });
+        }
+        self.dirty_list.clear();
     }
 
     /// Executes a grant: dequeues packets from `(src, dst)` whose total
@@ -124,22 +272,73 @@ impl ProcessingLogic {
     /// marked dirty so the occupancy drop is reported in the next request
     /// wave.
     pub fn dequeue_upto(&mut self, src: usize, dst: usize, budget_bytes: u64) -> Vec<Packet> {
-        let idx = self.idx(src, dst);
-        let q = &mut self.queues[idx];
         let mut out = Vec::new();
+        self.dequeue_upto_into(src, dst, budget_bytes, &mut out);
+        out
+    }
+
+    /// [`dequeue_upto`](Self::dequeue_upto) appending into a reused
+    /// buffer (the grant-execution hot path runs once per matched pair
+    /// per slot and must not allocate a fresh vector each time).
+    pub fn dequeue_upto_into(
+        &mut self,
+        src: usize,
+        dst: usize,
+        budget_bytes: u64,
+        out: &mut Vec<Packet>,
+    ) {
+        let idx = self.idx(src, dst);
+        let mut head = self.pairs[idx].head;
+        if head == NIL {
+            return;
+        }
+        let mut off = self.pairs[idx].head_off;
+        let tail = self.pairs[idx].tail;
+        let tail_len = self.pairs[idx].tail_len;
         let mut used = 0u64;
-        while let Some(head) = q.peek() {
-            let b = head.bytes as u64;
-            if used + b > budget_bytes {
+        let before = out.len();
+        'drain: while head != NIL {
+            let limit = if head == tail {
+                tail_len
+            } else {
+                CHUNK_PKTS as u8
+            };
+            while off < limit {
+                let pkt = self.pool[head as usize].pkts[off as usize];
+                let b = pkt.bytes as u64;
+                if used + b > budget_bytes {
+                    break 'drain;
+                }
+                used += b;
+                out.push(pkt);
+                off += 1;
+            }
+            if head == tail {
+                // Tail chunk exhausted: the FIFO is empty.
+                if off == tail_len {
+                    self.free_chunk(head);
+                    head = NIL;
+                    off = 0;
+                }
                 break;
             }
-            used += b;
-            out.push(q.pop().expect("peeked"));
+            let next = self.pool[head as usize].next;
+            self.free_chunk(head);
+            head = next;
+            off = 0;
         }
-        if !out.is_empty() {
-            self.dirty[idx] = true;
+        if out.len() > before {
+            let pair = &mut self.pairs[idx];
+            pair.head = head;
+            pair.head_off = off;
+            if head == NIL {
+                pair.tail = NIL;
+                pair.tail_len = 0;
+            }
+            self.queued[idx] -= used;
+            self.total_queued -= used;
+            self.mark_dirty(idx);
         }
-        out
     }
 
     /// `(dropped packets, dropped bytes)` from VOQ overflow.
@@ -149,11 +348,7 @@ impl ProcessingLogic {
 
     /// Largest single-VOQ high-water mark in bytes.
     pub fn peak_voq_bytes(&self) -> u64 {
-        self.queues
-            .iter()
-            .map(|q| q.peak_bytes())
-            .max()
-            .unwrap_or(0)
+        self.pairs.iter().map(|p| p.peak_bytes).max().unwrap_or(0)
     }
 }
 

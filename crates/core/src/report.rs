@@ -126,6 +126,138 @@ impl RunReport {
         1.0 - (self.ocs.dark_time.as_secs_f64() / self.horizon.as_secs_f64()).min(1.0)
     }
 
+    /// Canonical deep serialization of the whole measurement bundle as
+    /// deterministic JSON: every counter, drop cause, histogram digest and
+    /// FCT class, formatted identically on every run of the same
+    /// simulation. This is the golden-trace format — regression tests
+    /// snapshot it byte-for-byte, so any behavioral drift in the runtime
+    /// (event ordering, byte accounting, latency recording) shows up as a
+    /// diff even when headline aggregates happen to agree.
+    pub fn trace_json(&self) -> String {
+        use std::fmt::Write as _;
+        fn f64j(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:?}")
+            } else {
+                "null".into()
+            }
+        }
+        fn hist(out: &mut String, key: &str, h: &LatencyHistogram) {
+            let _ = writeln!(
+                out,
+                "  \"{key}\": {{\"count\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}},",
+                h.count(),
+                h.min(),
+                h.max(),
+                f64j(h.mean()),
+                h.p50(),
+                h.quantile(0.90),
+                h.p99(),
+                h.p999()
+            );
+        }
+        fn fct(out: &mut String, key: &str, s: &Option<FctStats>) {
+            match s {
+                None => {
+                    let _ = writeln!(out, "  \"{key}\": null,");
+                }
+                Some(s) => {
+                    let _ = writeln!(
+                        out,
+                        "  \"{key}\": {{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+                         \"p99_ns\": {}, \"max_ns\": {}}},",
+                        s.count,
+                        f64j(s.mean_ns),
+                        s.p50_ns,
+                        s.p99_ns,
+                        s.max_ns
+                    );
+                }
+            }
+        }
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"scheduler\": \"{}\",", self.scheduler);
+        let _ = writeln!(o, "  \"placement\": \"{}\",", self.placement);
+        let _ = writeln!(o, "  \"horizon_ns\": {},", self.horizon.as_nanos());
+        let _ = writeln!(o, "  \"events\": {},", self.events);
+        let _ = writeln!(o, "  \"offered_bytes\": {},", self.offered_bytes);
+        let _ = writeln!(o, "  \"offered_flows\": {},", self.offered_flows);
+        let _ = writeln!(o, "  \"completed_flows\": {},", self.completed_flows);
+        let _ = writeln!(
+            o,
+            "  \"delivered_ocs_bytes\": {},",
+            self.delivered_ocs_bytes
+        );
+        let _ = writeln!(
+            o,
+            "  \"delivered_eps_bytes\": {},",
+            self.delivered_eps_bytes
+        );
+        hist(&mut o, "latency_interactive", &self.latency_interactive);
+        hist(&mut o, "latency_short", &self.latency_short);
+        hist(&mut o, "latency_bulk", &self.latency_bulk);
+        let _ = writeln!(
+            o,
+            "  \"voip_jitter_mean_ns\": {},",
+            self.voip_jitter_mean_ns
+                .map(f64j)
+                .unwrap_or_else(|| "null".into())
+        );
+        let _ = writeln!(
+            o,
+            "  \"voip_jitter_max_ns\": {},",
+            self.voip_jitter_max_ns
+                .map(f64j)
+                .unwrap_or_else(|| "null".into())
+        );
+        fct(&mut o, "fct_mice", &self.fct_mice);
+        fct(&mut o, "fct_medium", &self.fct_medium);
+        fct(&mut o, "fct_elephant", &self.fct_elephant);
+        fct(&mut o, "fct_overall", &self.fct_overall);
+        let _ = writeln!(o, "  \"peak_host_buffer\": {},", self.peak_host_buffer);
+        let _ = writeln!(o, "  \"peak_switch_buffer\": {},", self.peak_switch_buffer);
+        let _ = writeln!(
+            o,
+            "  \"drops\": {{\"voq_full\": {}, \"eps_full\": {}, \"sync_violation\": {}}},",
+            self.drops.voq_full, self.drops.eps_full, self.drops.sync_violation
+        );
+        let _ = writeln!(
+            o,
+            "  \"ocs\": {{\"reconfigurations\": {}, \"dark_time_ns\": {}, \
+             \"delivered_bytes\": {}, \"delivered_packets\": {}, \"rejected\": {}}},",
+            self.ocs.reconfigurations,
+            self.ocs.dark_time.as_nanos(),
+            self.ocs.delivered_bytes,
+            self.ocs.delivered_packets,
+            self.ocs.rejected
+        );
+        let _ = writeln!(
+            o,
+            "  \"eps\": {{\"delivered_bytes\": {}, \"delivered_packets\": {}, \
+             \"drops\": {}, \"dropped_bytes\": {}}},",
+            self.eps.delivered_bytes,
+            self.eps.delivered_packets,
+            self.eps.drops,
+            self.eps.dropped_bytes
+        );
+        let _ = writeln!(o, "  \"decisions\": {},", self.decisions);
+        let _ = writeln!(
+            o,
+            "  \"decision_latency_mean_ns\": {},",
+            f64j(self.decision_latency_mean_ns)
+        );
+        let _ = writeln!(
+            o,
+            "  \"demand_error_mean\": {}",
+            self.demand_error_mean
+                .map(f64j)
+                .unwrap_or_else(|| "null".into())
+        );
+        o.push_str("}\n");
+        o
+    }
+
     /// FCT stats for one class.
     pub fn fct(&self, class: SizeClass) -> Option<&FctStats> {
         match class {

@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 
 use xds_metrics::{FctTracker, LatencyHistogram, Rfc3550Jitter, SizeClass};
 use xds_net::{Packet, TrafficClass};
-use xds_sim::{EventQueue, SimDuration, SimRng, SimTime, Simulation};
+use xds_sim::{EventQueue, SimDuration, SimRng, SimTime, Simulation, TxTimeCache};
 use xds_switch::{BufferTracker, Site};
 use xds_traffic::{packet_sizes, FlowSpec};
 
@@ -34,7 +34,13 @@ use crate::switching::SwitchingLogic;
 const APP_FLOW_BASE: u64 = u64::MAX / 2;
 
 /// Simulation events.
-#[derive(Debug, Clone)]
+///
+/// Deliberately **not** `Clone`: nothing on the hot path may copy an
+/// event's payload. Schedules in particular live once in the runtime's
+/// slab ([`SimState::scheds`]) and travel through the queue as a plain
+/// `(sid, idx)` pair — the compiler proves no event handler duplicates
+/// them.
+#[derive(Debug)]
 enum Ev {
     /// Inject the pending flow and pull the next one from the generator.
     NextFlow,
@@ -46,12 +52,14 @@ enum Ev {
     SwitchIn { pkt: Packet },
     /// Scheduler epoch boundary: estimate demand, compute a schedule.
     EpochStart,
-    /// The computed schedule arrives (decision latency elapsed).
-    ApplySchedule { sched: Schedule },
-    /// Configure entry `idx` of the schedule (OCS goes dark).
-    SlotConfigure { sched: Schedule, idx: usize },
-    /// Entry `idx` circuits are live: move granted traffic.
-    SlotActive { sched: Schedule, idx: usize },
+    /// The computed schedule (slab id `sid`) arrives (decision latency
+    /// elapsed).
+    ApplySchedule { sid: usize },
+    /// Configure entry `idx` of schedule `sid` (OCS goes dark).
+    SlotConfigure { sid: usize, idx: usize },
+    /// Entry `idx` of schedule `sid` circuits are live: move granted
+    /// traffic. The last entry's activation retires the slab slot.
+    SlotActive { sid: usize, idx: usize },
     /// (Slow mode) A grant reaches a host: transmit into the window as the
     /// host's skewed clock sees it.
     HostGrant {
@@ -73,9 +81,14 @@ enum Via {
     Eps,
 }
 
-/// Per-host state.
+/// Per-host state. Field order is deliberate: the pump path (once per
+/// packet) touches `nic_busy_until`, `pump_active` and the staging-queue
+/// headers, so those lead the struct and share cache lines; the slow-
+/// mode VOQ state is colder and trails.
 #[derive(Debug)]
 struct Host {
+    nic_busy_until: SimTime,
+    pump_active: bool,
     /// Staging queues toward the NIC, strict priority order.
     q_inter: VecDeque<Packet>,
     q_short: VecDeque<Packet>,
@@ -83,22 +96,27 @@ struct Host {
     /// Slow mode: per-destination bulk VOQs held in host memory.
     voq: Vec<VecDeque<Packet>>,
     voq_bytes: Vec<u64>,
+    /// Incremental sum of `voq_bytes` (O(1) ground-truth total).
+    voq_total: u64,
     voq_arrived: Vec<u64>,
     voq_dirty: Vec<bool>,
-    pump_active: bool,
-    nic_busy_until: SimTime,
     /// Clock offset vs the switch in signed nanoseconds (slow mode).
     clock_offset_ns: i64,
 }
 
 impl Host {
+    /// Staging queues start with room for a burst of packets so the
+    /// steady-state pump path never grows them one push at a time.
+    const STAGING_CAPACITY: usize = 32;
+
     fn new(n: usize) -> Self {
         Host {
-            q_inter: VecDeque::new(),
-            q_short: VecDeque::new(),
-            q_bulk: VecDeque::new(),
+            q_inter: VecDeque::with_capacity(Self::STAGING_CAPACITY),
+            q_short: VecDeque::with_capacity(Self::STAGING_CAPACITY),
+            q_bulk: VecDeque::with_capacity(Self::STAGING_CAPACITY),
             voq: (0..n).map(|_| VecDeque::new()).collect(),
             voq_bytes: vec![0; n],
+            voq_total: 0,
             voq_arrived: vec![0; n],
             voq_dirty: vec![false; n],
             pump_active: false,
@@ -147,6 +165,33 @@ struct SimState {
     switching: SwitchingLogic,
     buffers: BufferTracker,
     rng: SimRng,
+
+    /// Whether the estimator provably mirrors true occupancy (resolved
+    /// once at construction): the epoch loop then skips the ground-truth
+    /// snapshot and L1 pass — the error sample is identically zero.
+    estimator_is_mirror: bool,
+
+    /// Slab of in-flight schedules: events carry `(sid, idx)` instead of
+    /// cloning the schedule through the queue. A slot is allocated when a
+    /// decision lands, freed after its last entry's activation; freed ids
+    /// are recycled so the slab stays as small as the number of schedules
+    /// simultaneously in flight (≥ 2 only when decision latency overlaps
+    /// the next epoch).
+    scheds: Vec<Option<Schedule>>,
+    free_scheds: Vec<usize>,
+
+    /// One-entry serialization memos for the two per-packet rates (host
+    /// NIC and OCS circuit): packet streams repeat the MTU size, so the
+    /// hot paths skip a division per packet.
+    host_tx: TxTimeCache,
+    line_tx: TxTimeCache,
+
+    // Epoch-loop scratch buffers, reused so the per-epoch path performs
+    // no `n²`-sized allocations.
+    demand_scratch: DemandMatrix,
+    truth_scratch: DemandMatrix,
+    reqs_scratch: Vec<SchedRequest>,
+    grant_scratch: Vec<Packet>,
 
     // metrics
     next_pkt_id: u64,
@@ -228,6 +273,7 @@ impl SimState {
                 let d = f.dst.index();
                 h.voq[d].push_back(pkt);
                 h.voq_bytes[d] += size as u64;
+                h.voq_total += size as u64;
                 h.voq_arrived[d] += size as u64;
                 h.voq_dirty[d] = true;
                 self.buffers.on_enqueue(Site::Host, size as u64, now);
@@ -243,8 +289,8 @@ impl SimState {
         self.ensure_pump(q, host);
     }
 
-    fn host_requests(&mut self, now: SimTime) -> Vec<SchedRequest> {
-        let mut out = Vec::new();
+    fn host_requests_into(&mut self, now: SimTime, out: &mut Vec<SchedRequest>) {
+        out.clear();
         for (hi, h) in self.hosts.iter_mut().enumerate() {
             for d in 0..h.voq_dirty.len() {
                 if h.voq_dirty[d] {
@@ -259,18 +305,31 @@ impl SimState {
                 }
             }
         }
-        out
     }
 
-    fn host_occupancy(&self) -> DemandMatrix {
+    /// Writes the true host-VOQ occupancy into the reused truth buffer.
+    fn host_occupancy_into_scratch(&mut self) {
         let n = self.cfg.n_ports;
-        let mut m = DemandMatrix::zero(n);
         for (hi, h) in self.hosts.iter().enumerate() {
             for d in 0..n {
-                m.set(hi, d, h.voq_bytes[d]);
+                self.truth_scratch.set(hi, d, h.voq_bytes[d]);
             }
         }
-        m
+    }
+
+    /// Parks a freshly-decided schedule in the slab, returning its id.
+    fn alloc_sched(&mut self, sched: Schedule) -> usize {
+        match self.free_scheds.pop() {
+            Some(sid) => {
+                debug_assert!(self.scheds[sid].is_none(), "slab slot still live");
+                self.scheds[sid] = Some(sched);
+                sid
+            }
+            None => {
+                self.scheds.push(Some(sched));
+                self.scheds.len() - 1
+            }
+        }
     }
 }
 
@@ -316,6 +375,7 @@ impl HybridSim {
             }
         }
         let jitters = workload.apps.iter().map(|_| Rfc3550Jitter::new()).collect();
+        let estimator_is_mirror = estimator.mirrors_occupancy();
         let state = SimState {
             proc: ProcessingLogic::new(n, cfg.voq_capacity),
             switching: SwitchingLogic::new(n, cfg.reconfig, cfg.eps_rate, cfg.eps_buffer),
@@ -332,6 +392,15 @@ impl HybridSim {
             matrix_cycle: workload.matrix_cycle,
             hosts,
             rng,
+            estimator_is_mirror,
+            scheds: Vec::new(),
+            free_scheds: Vec::new(),
+            host_tx: cfg.host_link.rate.tx_cache(),
+            line_tx: cfg.line_rate.tx_cache(),
+            demand_scratch: DemandMatrix::zero(n),
+            truth_scratch: DemandMatrix::zero(n),
+            reqs_scratch: Vec::new(),
+            grant_scratch: Vec::new(),
             next_pkt_id: 0,
             offered_bytes: 0,
             offered_flows: 0,
@@ -454,7 +523,7 @@ impl HybridSim {
                     st.hosts[host].pump_active = false;
                     return;
                 };
-                let tx = st.cfg.host_link.tx_time(pkt.bytes as u64);
+                let tx = st.host_tx.tx_time(pkt.bytes as u64);
                 st.hosts[host].nic_busy_until = now + tx;
                 q.schedule_at(
                     now + tx + st.cfg.host_link.propagation,
@@ -485,6 +554,7 @@ impl HybridSim {
                     let h = &mut st.hosts[host];
                     h.voq[d].push_back(pkt);
                     h.voq_bytes[d] += a.pkt_bytes as u64;
+                    h.voq_total += a.pkt_bytes as u64;
                     h.voq_arrived[d] += a.pkt_bytes as u64;
                     h.voq_dirty[d] = true;
                     st.buffers.on_enqueue(Site::Host, a.pkt_bytes as u64, now);
@@ -520,23 +590,45 @@ impl HybridSim {
 
             Ev::EpochStart => {
                 // Figure 2: requests → demand estimation → algorithm.
-                let reqs = if st.is_hw {
-                    st.proc.take_requests(now)
+                // Requests, demand and ground truth all land in reused
+                // scratch buffers: this loop runs every epoch and must
+                // not make n²-sized allocations.
+                let mut reqs = std::mem::take(&mut st.reqs_scratch);
+                if st.is_hw {
+                    st.proc.take_requests_into(now, &mut reqs);
                 } else {
-                    st.host_requests(now)
-                };
+                    st.host_requests_into(now, &mut reqs);
+                }
                 for r in &reqs {
                     st.estimator.on_request(r);
                 }
-                let demand = st.estimator.estimate(now, st.cfg.epoch);
-                let truth = if st.is_hw {
-                    st.proc.occupancy()
+                st.reqs_scratch = reqs;
+                st.estimator
+                    .estimate_into(now, st.cfg.epoch, &mut st.demand_scratch);
+                if st.estimator_is_mirror {
+                    // The estimate equals the ground truth by construction
+                    // (every occupancy change produced a request): the L1
+                    // error is identically zero, and the truth total is
+                    // available incrementally — skip both n² walks.
+                    let truth_total = if st.is_hw {
+                        st.proc.total_bytes()
+                    } else {
+                        st.hosts.iter().map(|h| h.voq_total).sum()
+                    };
+                    if truth_total > 0 {
+                        st.demand_err_n += 1;
+                    }
                 } else {
-                    st.host_occupancy()
-                };
-                if truth.total() > 0 {
-                    st.demand_err_sum += demand.l1_distance(&truth) as f64 / truth.total() as f64;
-                    st.demand_err_n += 1;
+                    if st.is_hw {
+                        st.proc.occupancy_into(&mut st.truth_scratch);
+                    } else {
+                        st.host_occupancy_into_scratch();
+                    }
+                    let (err_l1, truth_total) = st.demand_scratch.error_vs(&st.truth_scratch);
+                    if truth_total > 0 {
+                        st.demand_err_sum += err_l1 as f64 / truth_total as f64;
+                        st.demand_err_n += 1;
+                    }
                 }
                 let ctx = ScheduleCtx {
                     now,
@@ -545,7 +637,7 @@ impl HybridSim {
                     epoch: st.cfg.epoch,
                     max_entries: st.cfg.max_entries,
                 };
-                let sched = st.scheduler.schedule(&demand, &ctx);
+                let sched = st.scheduler.schedule(&st.demand_scratch, &ctx);
                 debug_assert!(
                     sched.validate(&ctx, st.cfg.n_ports).is_ok(),
                     "{} produced an invalid schedule",
@@ -558,7 +650,8 @@ impl HybridSim {
                 st.decisions += 1;
                 st.decision_ns_sum += d.as_nanos() as u128;
                 if !sched.entries.is_empty() {
-                    q.schedule_at(now + d, Ev::ApplySchedule { sched });
+                    let sid = st.alloc_sched(sched);
+                    q.schedule_at(now + d, Ev::ApplySchedule { sid });
                 }
                 let next = now + st.cfg.epoch.max(d);
                 if next <= st.horizon {
@@ -566,13 +659,13 @@ impl HybridSim {
                 }
             }
 
-            Ev::ApplySchedule { sched } => {
-                q.schedule_at(now, Ev::SlotConfigure { sched, idx: 0 });
+            Ev::ApplySchedule { sid } => {
+                q.schedule_at(now, Ev::SlotConfigure { sid, idx: 0 });
             }
 
-            Ev::SlotConfigure { sched, idx } => {
-                let entry = &sched.entries[idx];
-                let active_at = st.switching.configure(entry.perm.clone(), now);
+            Ev::SlotConfigure { sid, idx } => {
+                let entry = &st.scheds[sid].as_ref().expect("schedule slot live").entries[idx];
+                let active_at = st.switching.configure(&entry.perm, now);
                 let slot_end = active_at + entry.slot;
                 if !st.is_hw {
                     // Grants travel the control channel to the hosts. The
@@ -596,23 +689,28 @@ impl HybridSim {
                         }
                     }
                 }
-                q.schedule_at(active_at, Ev::SlotActive { sched, idx });
+                q.schedule_at(active_at, Ev::SlotActive { sid, idx });
             }
 
-            Ev::SlotActive { sched, idx } => {
+            Ev::SlotActive { sid, idx } => {
+                // Move the schedule out of the slab for the duration of
+                // the grant burst (record_delivery needs `&mut st`), and
+                // retire the slot after the last entry.
+                let sched = st.scheds[sid].take().expect("schedule slot live");
                 let entry = &sched.entries[idx];
                 let slot_end = now + entry.slot;
                 if st.is_hw {
                     // Processing logic executes grants: budgeted dequeue,
                     // packets serialized at line rate onto the circuit.
                     let budget = st.cfg.line_rate.bytes_in(entry.slot);
-                    let pairs: Vec<(usize, usize)> = entry.perm.pairs().collect();
-                    for (i, j) in pairs {
-                        let pkts = st.proc.dequeue_upto(i, j, budget);
+                    let mut granted = std::mem::take(&mut st.grant_scratch);
+                    for (i, j) in entry.perm.pairs() {
+                        granted.clear();
+                        st.proc.dequeue_upto_into(i, j, budget, &mut granted);
                         let mut cursor = now;
-                        for pkt in pkts {
+                        for pkt in granted.drain(..) {
                             let bytes = pkt.bytes as u64;
-                            let dep = cursor + st.cfg.line_rate.tx_time(bytes);
+                            let dep = cursor + st.line_tx.tx_time(bytes);
                             cursor = dep;
                             st.switching
                                 .ocs
@@ -623,15 +721,13 @@ impl HybridSim {
                             st.record_delivery(&pkt, deliver, Via::Ocs);
                         }
                     }
+                    st.grant_scratch = granted;
                 }
                 if idx + 1 < sched.entries.len() {
-                    q.schedule_at(
-                        slot_end,
-                        Ev::SlotConfigure {
-                            sched,
-                            idx: idx + 1,
-                        },
-                    );
+                    st.scheds[sid] = Some(sched);
+                    q.schedule_at(slot_end, Ev::SlotConfigure { sid, idx: idx + 1 });
+                } else {
+                    st.free_scheds.push(sid);
                 }
             }
 
@@ -652,7 +748,7 @@ impl HybridSim {
                 let link = st.cfg.host_link;
                 while let Some(front) = h.voq[dst].front() {
                     let bytes = front.bytes as u64;
-                    let tx = link.tx_time(bytes);
+                    let tx = st.host_tx.tx_time(bytes);
                     if cursor + tx > end_seen {
                         break;
                     }
@@ -660,6 +756,7 @@ impl HybridSim {
                     let dep = cursor + tx;
                     cursor = dep;
                     h.voq_bytes[dst] -= bytes;
+                    h.voq_total -= bytes;
                     h.voq_dirty[dst] = true;
                     st.buffers.on_dequeue_at(Site::Host, bytes, dep);
                     q.schedule_at(dep + link.propagation, Ev::OcsIn { pkt });

@@ -61,25 +61,91 @@ pub fn max_cardinality<F: Fn(usize, usize) -> bool>(n: usize, adj: F) -> Permuta
     p
 }
 
+/// Reusable buffers for [`hopcroft_karp_csr`]: a scheduler that runs a
+/// matching per schedule entry per epoch holds one of these so the inner
+/// loop performs no allocation.
+#[derive(Debug, Default, Clone)]
+pub struct MatchingWorkspace {
+    /// CSR row offsets (`n + 1` entries) into `adj_targets`.
+    pub adj_offsets: Vec<u32>,
+    /// CSR edge targets, rows concatenated in input order.
+    pub adj_targets: Vec<u32>,
+    match_in: Vec<usize>,
+    match_out: Vec<usize>,
+    dist: Vec<u32>,
+    queue: VecDeque<usize>,
+}
+
+impl MatchingWorkspace {
+    /// Clears and refills the CSR adjacency from an iterator of edges in
+    /// **row-major order** (all edges of input 0, then input 1, …) —
+    /// exactly the order the predicate-driven builder visited them, so
+    /// the matching is identical.
+    pub fn build_adjacency(&mut self, n: usize, edges: impl Iterator<Item = (usize, usize)>) {
+        self.adj_offsets.clear();
+        self.adj_targets.clear();
+        self.adj_offsets.resize(n + 1, 0);
+        let mut row = 0usize;
+        for (i, j) in edges {
+            debug_assert!(i >= row, "edges must arrive in row-major order");
+            while row < i {
+                row += 1;
+                self.adj_offsets[row] = self.adj_targets.len() as u32;
+            }
+            self.adj_targets.push(j as u32);
+        }
+        while row < n {
+            row += 1;
+            self.adj_offsets[row] = self.adj_targets.len() as u32;
+        }
+    }
+}
+
 /// Maximum-cardinality bipartite matching via Hopcroft–Karp, O(E·√V).
 ///
 /// Functionally interchangeable with [`max_cardinality`] (both return a
 /// maximum matching; the *set* of edges may differ) but asymptotically
 /// faster, which matters for the large-port decompositions of E7.
 pub fn hopcroft_karp<F: Fn(usize, usize) -> bool>(n: usize, adj: F) -> Permutation {
-    const NIL: usize = usize::MAX;
-    let mut match_in = vec![NIL; n]; // input -> output
-    let mut match_out = vec![NIL; n]; // output -> input
-    let mut dist = vec![u32::MAX; n];
+    let adj = &adj;
+    let mut ws = MatchingWorkspace::default();
+    ws.build_adjacency(
+        n,
+        (0..n).flat_map(|i| (0..n).filter(move |&j| adj(i, j)).map(move |j| (i, j))),
+    );
+    hopcroft_karp_csr(n, &mut ws)
+}
 
-    // Materialize adjacency once: the predicate may be expensive.
-    let adj_lists: Vec<Vec<usize>> = (0..n)
-        .map(|i| (0..n).filter(|&j| adj(i, j)).collect())
-        .collect();
+/// [`hopcroft_karp`] over a pre-built CSR adjacency with reused buffers —
+/// the allocation-free form the hybrid decomposition schedulers call once
+/// per schedule entry per epoch. Fill `ws` via
+/// [`MatchingWorkspace::build_adjacency`] first. Produces the exact
+/// matching the predicate form produces for the same edge set.
+pub fn hopcroft_karp_csr(n: usize, ws: &mut MatchingWorkspace) -> Permutation {
+    const NIL: usize = usize::MAX;
+    let MatchingWorkspace {
+        adj_offsets,
+        adj_targets,
+        match_in,
+        match_out,
+        dist,
+        queue,
+    } = ws;
+    let adj_offsets: &[u32] = adj_offsets;
+    let adj_targets: &[u32] = adj_targets;
+    match_in.clear();
+    match_in.resize(n, NIL);
+    match_out.clear();
+    match_out.resize(n, NIL);
+    dist.clear();
+    dist.resize(n, u32::MAX);
+    queue.clear();
+    let row =
+        |i: usize| -> &[u32] { &adj_targets[adj_offsets[i] as usize..adj_offsets[i + 1] as usize] };
 
     loop {
         // BFS phase: layer free inputs.
-        let mut queue = VecDeque::new();
+        queue.clear();
         for i in 0..n {
             if match_in[i] == NIL {
                 dist[i] = 0;
@@ -90,8 +156,8 @@ pub fn hopcroft_karp<F: Fn(usize, usize) -> bool>(n: usize, adj: F) -> Permutati
         }
         let mut found_augmenting = false;
         while let Some(i) = queue.pop_front() {
-            for &j in &adj_lists[i] {
-                let owner = match_out[j];
+            for &j in row(i) {
+                let owner = match_out[j as usize];
                 if owner == NIL {
                     found_augmenting = true;
                 } else if dist[owner] == u32::MAX {
@@ -106,18 +172,20 @@ pub fn hopcroft_karp<F: Fn(usize, usize) -> bool>(n: usize, adj: F) -> Permutati
         // DFS phase: augment along layered paths.
         fn dfs(
             i: usize,
-            adj_lists: &[Vec<usize>],
+            adj_offsets: &[u32],
+            adj_targets: &[u32],
             dist: &mut [u32],
             match_in: &mut [usize],
             match_out: &mut [usize],
         ) -> bool {
             const NIL: usize = usize::MAX;
-            for k in 0..adj_lists[i].len() {
-                let j = adj_lists[i][k];
+            let (lo, hi) = (adj_offsets[i] as usize, adj_offsets[i + 1] as usize);
+            for k in lo..hi {
+                let j = adj_targets[k] as usize;
                 let owner = match_out[j];
                 let reachable = owner == NIL
                     || (dist[owner] == dist[i].saturating_add(1)
-                        && dfs(owner, adj_lists, dist, match_in, match_out));
+                        && dfs(owner, adj_offsets, adj_targets, dist, match_in, match_out));
                 if reachable {
                     match_in[i] = j;
                     match_out[j] = i;
@@ -129,7 +197,7 @@ pub fn hopcroft_karp<F: Fn(usize, usize) -> bool>(n: usize, adj: F) -> Permutati
         }
         for i in 0..n {
             if match_in[i] == NIL && dist[i] == 0 {
-                dfs(i, &adj_lists, &mut dist, &mut match_in, &mut match_out);
+                dfs(i, adj_offsets, adj_targets, dist, match_in, match_out);
             }
         }
     }

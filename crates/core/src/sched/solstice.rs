@@ -17,20 +17,38 @@ use xds_hw::HwAlgo;
 
 use crate::demand::DemandMatrix;
 
-use super::matching::hopcroft_karp;
+use super::matching::{hopcroft_karp_csr, MatchingWorkspace};
 use super::{Schedule, ScheduleCtx, ScheduleEntry, Scheduler};
 
 /// Solstice-style scheduler.
+///
+/// The decomposition loop operates on a **sparse worklist** of the
+/// demand's non-zero cells (collected in one pass per epoch) plus a dense
+/// residual copy for point lookups, with a reused matching workspace —
+/// at 256 ports the original dense formulation re-scanned the full `n²`
+/// matrix once per threshold probe and allocated adjacency lists per
+/// matching, and this path runs every epoch.
 #[derive(Debug, Clone)]
 pub struct SolsticeScheduler {
     max_perms: u32,
+    /// Residual demand, reused across epochs (resized on port change).
+    work: Option<DemandMatrix>,
+    /// Row-major positions of the epoch's non-zero cells; values are read
+    /// from `work` so `sub` updates are seen without list maintenance.
+    nonzero: Vec<u32>,
+    ws: MatchingWorkspace,
 }
 
 impl SolsticeScheduler {
     /// Creates the scheduler with a configuration budget per epoch.
     pub fn new(max_perms: u32) -> Self {
         assert!(max_perms >= 1);
-        SolsticeScheduler { max_perms }
+        SolsticeScheduler {
+            max_perms,
+            work: None,
+            nonzero: Vec::new(),
+            ws: MatchingWorkspace::default(),
+        }
     }
 }
 
@@ -47,15 +65,33 @@ impl Scheduler for SolsticeScheduler {
 
     fn schedule(&mut self, demand: &DemandMatrix, ctx: &ScheduleCtx) -> Schedule {
         let n = demand.n();
-        let mut work = demand.clone();
+        let work = match &mut self.work {
+            Some(w) if w.n() == n => {
+                w.copy_from(demand);
+                w
+            }
+            slot => slot.insert(demand.clone()),
+        };
+        self.nonzero.clear();
+        for (idx, &v) in demand.as_slice().iter().enumerate() {
+            if v > 0 {
+                self.nonzero.push(idx as u32);
+            }
+        }
         let mut entries: Vec<ScheduleEntry> = Vec::new();
         let budget = (self.max_perms as usize).min(ctx.max_entries);
         let mut remaining = ctx.epoch;
 
         while entries.len() < budget {
-            let Some((_, _, max_e)) = work.max_entry() else {
+            let max_e = self
+                .nonzero
+                .iter()
+                .map(|&idx| work.as_slice()[idx as usize])
+                .max()
+                .unwrap_or(0);
+            if max_e == 0 {
                 break;
-            };
+            }
             // A slot must at least pay for its reconfiguration.
             if remaining <= ctx.reconfig * 2 {
                 break;
@@ -64,7 +100,18 @@ impl Scheduler for SolsticeScheduler {
             // until a matching exists among entries ≥ t.
             let mut t = 1u64 << (63 - max_e.leading_zeros());
             let perm = loop {
-                let m = hopcroft_karp(n, |i, j| work.get(i, j) >= t);
+                // The worklist is row-major, so the CSR rows match the
+                // order the dense predicate scan produced — the matching
+                // is identical.
+                self.ws.build_adjacency(
+                    n,
+                    self.nonzero
+                        .iter()
+                        .map(|&idx| idx as usize)
+                        .filter(|&idx| work.as_slice()[idx] >= t)
+                        .map(|idx| (idx / n, idx % n)),
+                );
+                let m = hopcroft_karp_csr(n, &mut self.ws);
                 if !m.is_empty() || t == 1 {
                     break m;
                 }

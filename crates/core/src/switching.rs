@@ -28,7 +28,9 @@ impl SwitchingLogic {
     }
 
     /// Applies a grant matrix to the OCS; returns when circuits are live.
-    pub fn configure(&mut self, perm: Permutation, now: SimTime) -> SimTime {
+    /// The permutation is borrowed — the schedule keeps ownership, the
+    /// OCS copies into its preallocated pending buffer.
+    pub fn configure(&mut self, perm: &Permutation, now: SimTime) -> SimTime {
         self.ocs.configure(perm, now)
     }
 }
@@ -42,7 +44,7 @@ mod tests {
         // The grant matrix reaches the switching logic, circuits go dark,
         // then become live — only then may processing logic transmit.
         let mut sw = SwitchingLogic::new(4, SimDuration::from_micros(1), BitRate::GBPS_1, 100_000);
-        let live_at = sw.configure(Permutation::identity(4), SimTime::ZERO);
+        let live_at = sw.configure(&Permutation::identity(4), SimTime::ZERO);
         assert_eq!(live_at, SimTime::from_micros(1));
         assert!(sw.ocs.is_dark(SimTime::from_nanos(500)));
         assert!(sw

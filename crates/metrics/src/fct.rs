@@ -10,6 +10,7 @@ use std::collections::HashMap;
 
 use xds_sim::SimTime;
 
+use crate::fasthash::FastHashMap;
 use crate::hist::LatencyHistogram;
 
 /// Conventional data-center flow size classes.
@@ -71,9 +72,14 @@ pub struct FctStats {
 }
 
 /// Tracks open flows and records completion times per size class.
+///
+/// The open-flow map is probed once per **delivered packet**, so it uses
+/// the deterministic fast hasher rather than SipHash; map iteration order
+/// is never observed (all outputs derive from the per-class histograms
+/// and scalar counters), so results stay byte-identical.
 #[derive(Debug, Default)]
 pub struct FctTracker {
-    open: HashMap<u64, OpenFlow>,
+    open: FastHashMap<u64, OpenFlow>,
     done: HashMap<SizeClass, LatencyHistogram>,
     completed: u64,
     delivered_bytes: u64,

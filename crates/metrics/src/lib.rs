@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod fasthash;
 pub mod fct;
 pub mod hist;
 pub mod jitter;
@@ -26,6 +27,7 @@ pub mod report;
 pub mod series;
 
 pub use counters::{Throughput, Utilization};
+pub use fasthash::{FastHashBuilder, FastHashMap, FastHasher};
 pub use fct::{FctStats, FctTracker, SizeClass};
 pub use hist::LatencyHistogram;
 pub use jitter::{InterArrival, Rfc3550Jitter};

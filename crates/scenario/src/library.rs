@@ -14,7 +14,7 @@ use xds_traffic::FlowSizeDist;
 use crate::spec::{AppMix, ScenarioSpec, SchedulerKind, TrafficPattern};
 
 /// Every name [`scenario`] recognizes, in catalogue order.
-pub const ALL: [&str; 10] = [
+pub const ALL: [&str; 11] = [
     "uniform",
     "permutation",
     "hotspot",
@@ -25,6 +25,7 @@ pub const ALL: [&str; 10] = [
     "voip-mix",
     "skewed-zipf",
     "churn",
+    "scale-stress",
 ];
 
 /// Every name the library recognizes, in catalogue order.
@@ -97,6 +98,20 @@ pub fn scenario(name: &str) -> Option<ScenarioSpec> {
             // rest form a long tail.
             "skewed-zipf" => ScenarioSpec::new("skewed-zipf")
                 .with_pattern(TrafficPattern::Zipf { exponent: 1.2 }),
+
+            // Large-fabric stress: 128 ports (sweepable to 256) of multi-ring
+            // demand that needs all four configuration slots of a Solstice
+            // decomposition per epoch — the scale point the perf baseline
+            // (`sweep bench`) tracks, sized to saturate the schedule-
+            // execution hot path rather than any single pair.
+            "scale-stress" => ScenarioSpec::new("scale-stress")
+                .with_ports(128)
+                .with_pattern(TrafficPattern::MultiRing {
+                    shifts: vec![1, 9, 33, 57],
+                })
+                .with_scheduler(SchedulerKind::Solstice { perms: 4 })
+                .with_load(0.6)
+                .with_duration(SimDuration::from_millis(2)),
 
             // Adversarial demand churn: the hotspot jumps every millisecond,
             // stressing demand estimation and reconfiguration agility.

@@ -1,0 +1,130 @@
+//! Scheduler-invariant battery: for **every** scheduler in the registry,
+//! over random demand matrices, the produced schedule must satisfy the
+//! structural contracts the runtime relies on:
+//!
+//! * every `ScheduleEntry.perm` is a valid (partial) permutation — no
+//!   input or output port matched twice (`check_invariants`);
+//! * `Schedule::span(reconfig)` never exceeds the epoch budget (within
+//!   the one-reconfig rounding tolerance `validate` documents);
+//! * the entry count respects `max_entries`, and no slot is zero-length.
+//!
+//! This is the safety net under the hot-path runtime overhaul: the
+//! runtime now borrows schedules out of a slab and executes them without
+//! cloning, so a malformed schedule would corrupt the OCS configuration
+//! sequence rather than just waste time.
+
+use proptest::prelude::*;
+use xds_core::demand::DemandMatrix;
+use xds_core::sched::{ScheduleCtx, Scheduler};
+use xds_scenario::SchedulerKind;
+use xds_sim::{BitRate, SimDuration, SimTime};
+
+/// The full registry: the sweep roster plus the parameterized variants
+/// the roster's defaults don't cover.
+fn registry() -> Vec<SchedulerKind> {
+    let mut kinds = SchedulerKind::roster();
+    kinds.push(SchedulerKind::Ilqf { iterations: 2 });
+    kinds.push(SchedulerKind::Hotspot {
+        threshold_bytes: 10_000,
+    });
+    kinds.push(SchedulerKind::Islip { iterations: 1 });
+    kinds.push(SchedulerKind::Bvn { perms: 2 });
+    kinds.push(SchedulerKind::Solstice { perms: 8 });
+    kinds
+}
+
+fn ctx(reconfig_ns: u64, epoch_us: u64, max_entries: usize) -> ScheduleCtx {
+    ScheduleCtx {
+        now: SimTime::ZERO,
+        line_rate: BitRate::GBPS_10,
+        reconfig: SimDuration::from_nanos(reconfig_ns),
+        epoch: SimDuration::from_micros(epoch_us),
+        max_entries,
+    }
+}
+
+fn check_all(demand_bytes: &[u64], n: usize, c: &ScheduleCtx) {
+    let demand = DemandMatrix::from_vec(n, demand_bytes.to_vec());
+    for kind in registry() {
+        let mut s: Box<dyn Scheduler> = kind.build(n);
+        // Two consecutive epochs: iterative schedulers carry round-robin
+        // pointers, so the second call exercises non-initial state.
+        for _ in 0..2 {
+            let sched = s.schedule(&demand, c);
+            sched.validate(c, n).unwrap_or_else(|e| {
+                panic!(
+                    "{} produced an invalid schedule on {demand_bytes:?}: {e}",
+                    s.name()
+                )
+            });
+            for (i, e) in sched.entries.iter().enumerate() {
+                e.perm.check_invariants().unwrap_or_else(|err| {
+                    panic!("{} entry {i}: invalid permutation: {err}", s.name())
+                });
+            }
+            assert!(
+                sched.span(c.reconfig) <= c.epoch + c.reconfig,
+                "{} schedule span {} exceeds epoch budget {} (+1 reconfig tolerance)",
+                s.name(),
+                sched.span(c.reconfig),
+                c.epoch
+            );
+            assert!(sched.entries.len() <= c.max_entries);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dense random demand: every cell uniform in [0, 1 MB).
+    #[test]
+    fn all_schedulers_valid_on_dense_random_demand(
+        n in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = xds_sim::SimRng::new(seed);
+        let bytes: Vec<u64> = (0..n * n).map(|_| rng.below(1_000_000)).collect();
+        check_all(&bytes, n, &ctx(1_000, 100, 8));
+    }
+
+    /// Sparse spiky demand: few huge entries over zeros — the regime the
+    /// decomposition schedulers (BvN, Solstice, Hotspot) branch on.
+    #[test]
+    fn all_schedulers_valid_on_sparse_spiky_demand(
+        n in 2usize..9,
+        seed in 0u64..1000,
+        spikes in 1usize..6,
+    ) {
+        let mut rng = xds_sim::SimRng::new(seed);
+        let mut bytes = vec![0u64; n * n];
+        for _ in 0..spikes {
+            let cell = rng.below((n * n) as u64) as usize;
+            bytes[cell] = 10_000_000 + rng.below(1_000_000_000);
+        }
+        check_all(&bytes, n, &ctx(1_000, 100, 8));
+    }
+
+    /// Tight budgets: epoch barely above the reconfiguration time and a
+    /// one-entry cap — the corner where span overshoots are most likely.
+    #[test]
+    fn all_schedulers_respect_tight_budgets(
+        n in 2usize..7,
+        seed in 0u64..1000,
+        max_entries in 1usize..3,
+    ) {
+        let mut rng = xds_sim::SimRng::new(seed);
+        let bytes: Vec<u64> = (0..n * n).map(|_| rng.below(100_000)).collect();
+        // 10 µs epoch against a 2 µs reconfig: at most 4 slots fit even
+        // before the entry cap bites.
+        check_all(&bytes, n, &ctx(2_000, 10, max_entries));
+    }
+
+    /// All-zero demand must always produce an empty (or at least valid)
+    /// schedule — no scheduler may go dark for nothing and overrun.
+    #[test]
+    fn all_schedulers_valid_on_zero_demand(n in 2usize..9) {
+        let bytes = vec![0u64; n * n];
+        check_all(&bytes, n, &ctx(1_000, 100, 8));
+    }
+}

@@ -38,6 +38,6 @@ pub mod trace;
 
 pub use dist::{Dist, EmpiricalCdf, Sample, Zipf};
 pub use event::{EventQueue, RunStats, Simulation};
-pub use rate::{BitRate, TokenBucket};
+pub use rate::{BitRate, TokenBucket, TxTimeCache};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

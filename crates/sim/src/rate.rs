@@ -53,9 +53,27 @@ impl BitRate {
     /// Time to serialize `bytes` onto the wire, rounded up to the next
     /// nanosecond.
     pub fn tx_time(self, bytes: u64) -> SimDuration {
+        // Fast path: for packet-scale sizes the numerator fits u64, and
+        // hardware 64-bit division beats the software u128 routine —
+        // this runs two to three times per simulated packet.
+        if bytes <= u64::MAX / 8_000_000_000 {
+            let ns = (bytes * 8_000_000_000).div_ceil(self.0);
+            return SimDuration::from_nanos(ns);
+        }
         let bits = bytes as u128 * 8;
         let ns = (bits * 1_000_000_000).div_ceil(self.0 as u128);
         SimDuration::from_nanos(ns as u64)
+    }
+
+    /// A one-entry [`tx_time`](Self::tx_time) memo for this rate. Packet
+    /// streams overwhelmingly repeat one wire size (the MTU), so hot
+    /// paths that serialize per packet hit the memo instead of dividing.
+    pub fn tx_cache(self) -> TxTimeCache {
+        TxTimeCache {
+            rate: self,
+            bytes: u64::MAX,
+            tx: SimDuration::ZERO,
+        }
     }
 
     /// Bytes that can be fully transmitted within `window` (rounded down).
@@ -69,6 +87,33 @@ impl BitRate {
     pub fn scale(self, k: f64) -> BitRate {
         assert!(k.is_finite() && k > 0.0, "rate scale factor must be > 0");
         BitRate(((self.0 as f64 * k) as u64).max(1))
+    }
+}
+
+/// A one-entry [`BitRate::tx_time`] memo (see [`BitRate::tx_cache`]):
+/// returns exactly what `tx_time` returns, skipping the division while
+/// consecutive lookups repeat the same byte count.
+#[derive(Debug, Clone, Copy)]
+pub struct TxTimeCache {
+    rate: BitRate,
+    bytes: u64,
+    tx: SimDuration,
+}
+
+impl TxTimeCache {
+    /// Serialization time of `bytes` at the cached rate.
+    #[inline]
+    pub fn tx_time(&mut self, bytes: u64) -> SimDuration {
+        if bytes != self.bytes {
+            self.bytes = bytes;
+            self.tx = self.rate.tx_time(bytes);
+        }
+        self.tx
+    }
+
+    /// The rate this cache serializes at.
+    pub fn rate(&self) -> BitRate {
+        self.rate
     }
 }
 

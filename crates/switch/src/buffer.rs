@@ -7,10 +7,107 @@
 //! occupancy is exact at every enqueue instant (occupancy can only decrease
 //! between enqueues, so peaks are never missed).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use xds_sim::SimTime;
+
+/// An exact **monotone radix queue** of pending releases.
+///
+/// Both operations the tracker performs are monotone in simulated time —
+/// releases are scheduled in the future, and occupancy is queried at
+/// non-decreasing enqueue instants — which is the textbook setting for a
+/// radix heap: entries live in buckets indexed by the highest bit in
+/// which their key differs from the last drain time (`floor`), pushes
+/// are O(1), and each entry is redistributed to strictly lower buckets
+/// at most once per differing bit. This replaced a binary heap that paid
+/// `O(log n)` sifts twice per simulated packet.
+#[derive(Debug)]
+struct ReleaseQueue {
+    /// `buckets[0]`: keys equal to `floor`. `buckets[b]` (b ≥ 1): keys
+    /// whose highest differing bit from `floor` is `b - 1`.
+    buckets: Vec<Vec<(u64, u8, u64)>>,
+    /// Reused redistribution buffer (bucket capacities cycle through it).
+    scratch: Vec<(u64, u8, u64)>,
+    floor: u64,
+    len: usize,
+}
+
+impl ReleaseQueue {
+    fn new() -> Self {
+        ReleaseQueue {
+            buckets: (0..65).map(|_| Vec::new()).collect(),
+            scratch: Vec::new(),
+            floor: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        let x = key ^ self.floor;
+        if x == 0 {
+            0
+        } else {
+            64 - x.leading_zeros() as usize
+        }
+    }
+
+    /// Pushes a release; `key` must be ≥ the last `drain_upto` bound
+    /// (guaranteed: releases are in the future of the simulation clock).
+    #[inline]
+    fn push(&mut self, key: u64, site: u8, bytes: u64) {
+        debug_assert!(key >= self.floor, "monotonicity violated");
+        let b = self.bucket_of(key);
+        self.buckets[b].push((key, site, bytes));
+        self.len += 1;
+    }
+
+    /// Applies `f` to every entry with key ≤ `t`, removing them, and
+    /// returns the exact minimum remaining key (`None` when empty). `t`
+    /// must be non-decreasing across calls.
+    fn drain_upto(&mut self, t: u64, mut f: impl FnMut(u8, u64)) -> Option<u64> {
+        loop {
+            // Keys equal to the floor are immediately due when floor ≤ t.
+            if !self.buckets[0].is_empty() {
+                if self.floor > t {
+                    return Some(self.floor);
+                }
+                self.len -= self.buckets[0].len();
+                let mut due = std::mem::take(&mut self.buckets[0]);
+                for &(_, site, bytes) in &due {
+                    f(site, bytes);
+                }
+                due.clear();
+                self.buckets[0] = due;
+            }
+            if self.len == 0 {
+                return None;
+            }
+            // Advance the floor to the minimum key: it lives in the
+            // lowest non-empty bucket (radix-heap invariant; bucket 0 is
+            // empty here, so that minimum is the global one).
+            let b = (1..self.buckets.len())
+                .find(|&b| !self.buckets[b].is_empty())
+                .expect("len > 0");
+            let min = self.buckets[b]
+                .iter()
+                .map(|&(k, ..)| k)
+                .min()
+                .expect("non-empty");
+            if min > t {
+                return Some(min);
+            }
+            self.floor = min;
+            // Redistribute: every entry lands in a strictly lower bucket
+            // (its highest differing bit from the new floor shrank).
+            std::mem::swap(&mut self.scratch, &mut self.buckets[b]);
+            for &(k, site, bytes) in &self.scratch {
+                let nb = self.bucket_of(k);
+                debug_assert!(nb < b);
+                self.buckets[nb].push((k, site, bytes));
+            }
+            self.scratch.clear();
+        }
+    }
+}
 
 /// Where the bytes are parked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,12 +137,27 @@ impl Site {
 }
 
 /// Tracks current and peak buffered bytes per site.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BufferTracker {
     current: [u64; 2],
     peak: [u64; 2],
-    /// `(release time, site idx, bytes)` min-heap.
-    pending: BinaryHeap<Reverse<(SimTime, usize, u64)>>,
+    /// Pending releases, radix-bucketed (see [`ReleaseQueue`]).
+    pending: ReleaseQueue,
+    /// Cached earliest pending release: `on_enqueue` runs once per packet
+    /// and can skip the queue entirely (one compare) while nothing is
+    /// due. Conservative (may be earlier than the true minimum).
+    next_release: SimTime,
+}
+
+impl Default for BufferTracker {
+    fn default() -> Self {
+        BufferTracker {
+            current: [0; 2],
+            peak: [0; 2],
+            pending: ReleaseQueue::new(),
+            next_release: SimTime::MAX,
+        }
+    }
 }
 
 impl BufferTracker {
@@ -55,15 +167,16 @@ impl BufferTracker {
     }
 
     fn drain(&mut self, now: SimTime) {
-        while let Some(&Reverse((at, site, bytes))) = self.pending.peek() {
-            if at <= now {
-                self.pending.pop();
-                debug_assert!(self.current[site] >= bytes, "buffer underflow");
-                self.current[site] = self.current[site].saturating_sub(bytes);
-            } else {
-                break;
-            }
+        if now < self.next_release {
+            return;
         }
+        let current = &mut self.current;
+        let remaining = self.pending.drain_upto(now.as_nanos(), |site, bytes| {
+            let site = site as usize;
+            debug_assert!(current[site] >= bytes, "buffer underflow");
+            current[site] = current[site].saturating_sub(bytes);
+        });
+        self.next_release = remaining.map(SimTime::from_nanos).unwrap_or(SimTime::MAX);
     }
 
     /// Records `bytes` becoming buffered at `site` at time `now`.
@@ -77,7 +190,9 @@ impl BufferTracker {
     /// Records that `bytes` will leave `site` at `release` (e.g. the
     /// packet's transmission completion).
     pub fn on_dequeue_at(&mut self, site: Site, bytes: u64, release: SimTime) {
-        self.pending.push(Reverse((release, site.idx(), bytes)));
+        self.next_release = self.next_release.min(release);
+        self.pending
+            .push(release.as_nanos(), site.idx() as u8, bytes);
     }
 
     /// Immediately removes `bytes` from `site` (drop or instant transfer).

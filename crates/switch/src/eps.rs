@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 
-use xds_sim::{BitRate, SimDuration, SimTime};
+use xds_sim::{BitRate, SimDuration, SimTime, TxTimeCache};
 
 /// Per-run statistics of the EPS.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,6 +39,8 @@ struct OutPort {
 #[derive(Debug, Clone)]
 pub struct Eps {
     rate: BitRate,
+    /// One-entry serialization memo (packets repeat the MTU size).
+    tx_cache: TxTimeCache,
     cap_bytes: u64,
     ports: Vec<OutPort>,
     stats: EpsStats,
@@ -52,6 +54,7 @@ impl Eps {
         assert!(cap_bytes > 0, "EPS buffer must be positive");
         Eps {
             rate,
+            tx_cache: rate.tx_cache(),
             cap_bytes,
             ports: vec![OutPort::default(); n],
             stats: EpsStats::default(),
@@ -93,7 +96,7 @@ impl Eps {
             return Err(());
         }
         let start = port.busy_until.max(now);
-        let departure = start + self.rate.tx_time(bytes);
+        let departure = start + self.tx_cache.tx_time(bytes);
         port.busy_until = departure;
         port.in_flight.push_back((departure, bytes));
         port.queued_bytes += bytes;

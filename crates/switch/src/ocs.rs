@@ -66,18 +66,25 @@ pub struct OcsStats {
     pub rejected: u64,
 }
 
-#[derive(Debug, Clone)]
-enum State {
-    Active { perm: Permutation },
-    Dark { until: SimTime, next: Permutation },
-}
-
 /// The optical circuit switch.
+///
+/// State is kept flat — the active configuration, the pending one, and an
+/// optional dark deadline — so that reconfiguring **reuses** the two
+/// permutation buffers instead of allocating: [`Ocs::configure`] borrows
+/// the caller's permutation and copies it into the pending buffer, and
+/// activation is a pointer swap. The OCS reconfigures once per schedule
+/// entry per epoch; on large fabrics this path must not touch the
+/// allocator.
 #[derive(Debug, Clone)]
 pub struct Ocs {
     n: usize,
     reconfig: SimDuration,
-    state: State,
+    /// The live configuration (meaningful while not dark).
+    active: Permutation,
+    /// The configuration being applied (meaningful while dark).
+    next: Permutation,
+    /// End of the current dark window, if reconfiguring.
+    dark_until: Option<SimTime>,
     stats: OcsStats,
     /// Skip the dark window when the new configuration equals the current
     /// one (some devices can hold; default false — conservative).
@@ -92,9 +99,9 @@ impl Ocs {
         Ocs {
             n,
             reconfig,
-            state: State::Active {
-                perm: Permutation::empty(n),
-            },
+            active: Permutation::empty(n),
+            next: Permutation::empty(n),
+            dark_until: None,
             stats: OcsStats::default(),
             skip_identical: false,
         }
@@ -117,23 +124,22 @@ impl Ocs {
     }
 
     /// Begins applying a new configuration at `now`; returns the instant
-    /// the circuits become usable. The switch is dark in between.
+    /// the circuits become usable. The switch is dark in between. The
+    /// permutation is copied into the switch's pending buffer — no
+    /// allocation when the port count is unchanged (always, in practice).
     ///
     /// # Panics
     /// Panics if the permutation's port count differs from the switch's.
-    pub fn configure(&mut self, perm: Permutation, now: SimTime) -> SimTime {
+    pub fn configure(&mut self, perm: &Permutation, now: SimTime) -> SimTime {
         assert_eq!(perm.n(), self.n, "configuration port count mismatch");
-        if self.skip_identical {
-            if let State::Active { perm: cur } = &self.state {
-                if *cur == perm {
-                    return now;
-                }
-            }
+        if self.skip_identical && self.dark_until.is_none() && self.active == *perm {
+            return now;
         }
         let until = now + self.reconfig;
         self.stats.reconfigurations += 1;
         self.stats.dark_time += self.reconfig;
-        self.state = State::Dark { until, next: perm };
+        self.next.copy_from(perm);
+        self.dark_until = Some(until);
         until
     }
 
@@ -141,33 +147,36 @@ impl Ocs {
     /// Callers that poll (rather than schedule an event at the activation
     /// instant) use this.
     pub fn tick(&mut self, now: SimTime) {
-        if let State::Dark { until, next } = &self.state {
-            if now >= *until {
-                self.state = State::Active { perm: next.clone() };
+        if let Some(until) = self.dark_until {
+            if now >= until {
+                core::mem::swap(&mut self.active, &mut self.next);
+                self.dark_until = None;
             }
         }
     }
 
     /// Whether the switch is dark (reconfiguring) at `now`.
     pub fn is_dark(&self, now: SimTime) -> bool {
-        matches!(&self.state, State::Dark { until, .. } if now < *until)
+        matches!(self.dark_until, Some(until) if now < until)
     }
 
     /// The output circuit-connected to `input` at `now`, if any.
     pub fn output_for(&mut self, input: usize, now: SimTime) -> Option<usize> {
         self.tick(now);
-        match &self.state {
-            State::Active { perm } => perm.output_of(input),
-            State::Dark { .. } => None,
+        if self.dark_until.is_some() {
+            None
+        } else {
+            self.active.output_of(input)
         }
     }
 
     /// The currently active permutation (after advancing to `now`).
     pub fn active_permutation(&mut self, now: SimTime) -> Option<&Permutation> {
         self.tick(now);
-        match &self.state {
-            State::Active { perm } => Some(perm),
-            State::Dark { .. } => None,
+        if self.dark_until.is_some() {
+            None
+        } else {
+            Some(&self.active)
         }
     }
 
@@ -181,21 +190,17 @@ impl Ocs {
         now: SimTime,
     ) -> Result<(), OcsError> {
         self.tick(now);
-        match &self.state {
-            State::Dark { until, .. } => {
-                self.stats.rejected += 1;
-                Err(OcsError::Dark { until: *until })
-            }
-            State::Active { perm } => {
-                if perm.output_of(input) == Some(output) {
-                    self.stats.delivered_bytes += bytes;
-                    self.stats.delivered_packets += 1;
-                    Ok(())
-                } else {
-                    self.stats.rejected += 1;
-                    Err(OcsError::NotConnected { input, output })
-                }
-            }
+        if let Some(until) = self.dark_until {
+            self.stats.rejected += 1;
+            return Err(OcsError::Dark { until });
+        }
+        if self.active.output_of(input) == Some(output) {
+            self.stats.delivered_bytes += bytes;
+            self.stats.delivered_packets += 1;
+            Ok(())
+        } else {
+            self.stats.rejected += 1;
+            Err(OcsError::NotConnected { input, output })
         }
     }
 
@@ -230,7 +235,7 @@ mod tests {
     #[test]
     fn configuration_takes_effect_after_dark_window() {
         let mut ocs = Ocs::new(4, SimDuration::from_nanos(100));
-        let active_at = ocs.configure(Permutation::identity(4), t(50));
+        let active_at = ocs.configure(&Permutation::identity(4), t(50));
         assert_eq!(active_at, t(150));
         assert!(ocs.is_dark(t(149)));
         assert_eq!(ocs.output_for(0, t(149)), None);
@@ -251,7 +256,7 @@ mod tests {
     #[test]
     fn misrouting_is_detected() {
         let mut ocs = Ocs::new(4, SimDuration::from_nanos(10));
-        ocs.configure(Permutation::rotation(4, 1), t(0));
+        ocs.configure(&Permutation::rotation(4, 1), t(0));
         assert_eq!(ocs.output_for(0, t(10)), Some(1));
         assert!(ocs.transmit(0, 2, 64, t(10)).is_err());
         assert!(ocs.transmit(0, 1, 64, t(10)).is_ok());
@@ -260,9 +265,9 @@ mod tests {
     #[test]
     fn reconfiguration_replaces_circuits() {
         let mut ocs = Ocs::new(3, SimDuration::from_nanos(10));
-        ocs.configure(Permutation::identity(3), t(0));
+        ocs.configure(&Permutation::identity(3), t(0));
         assert_eq!(ocs.output_for(1, t(10)), Some(1));
-        ocs.configure(Permutation::rotation(3, 1), t(20));
+        ocs.configure(&Permutation::rotation(3, 1), t(20));
         // Dark again during the swap.
         assert!(ocs.is_dark(t(25)));
         assert_eq!(ocs.output_for(1, t(30)), Some(2));
@@ -274,10 +279,10 @@ mod tests {
     fn skip_identical_avoids_dark_window() {
         let mut ocs = Ocs::new(2, SimDuration::from_millis(1)).with_skip_identical(true);
         let p = Permutation::identity(2);
-        let first = ocs.configure(p.clone(), t(0));
+        let first = ocs.configure(&p, t(0));
         assert_eq!(first, SimTime::from_millis(1));
         ocs.tick(first);
-        let second = ocs.configure(p, first);
+        let second = ocs.configure(&p, first);
         assert_eq!(second, first, "identical config should be a no-op");
         assert_eq!(ocs.stats().reconfigurations, 1);
     }
@@ -286,9 +291,9 @@ mod tests {
     fn without_skip_identical_always_pays() {
         let mut ocs = Ocs::new(2, SimDuration::from_micros(1));
         let p = Permutation::identity(2);
-        let first = ocs.configure(p.clone(), t(0));
+        let first = ocs.configure(&p, t(0));
         ocs.tick(first);
-        let second = ocs.configure(p, first);
+        let second = ocs.configure(&p, first);
         assert_eq!(second, first + SimDuration::from_micros(1));
         assert_eq!(ocs.stats().reconfigurations, 2);
     }
@@ -301,8 +306,8 @@ mod tests {
         let mut slow = Ocs::new(64, SimDuration::from_millis(10));
         let mut now = t(0);
         for k in 0..5 {
-            let f = fast.configure(Permutation::rotation(64, k + 1), now);
-            let s = slow.configure(Permutation::rotation(64, k + 1), now);
+            let f = fast.configure(&Permutation::rotation(64, k + 1), now);
+            let s = slow.configure(&Permutation::rotation(64, k + 1), now);
             now = f.max(s) + SimDuration::from_micros(100);
         }
         assert_eq!(fast.stats().dark_time, SimDuration::from_nanos(50));
@@ -313,6 +318,6 @@ mod tests {
     #[should_panic(expected = "port count mismatch")]
     fn wrong_port_count_panics() {
         let mut ocs = Ocs::new(4, SimDuration::from_nanos(10));
-        ocs.configure(Permutation::identity(8), t(0));
+        ocs.configure(&Permutation::identity(8), t(0));
     }
 }

@@ -123,6 +123,16 @@ impl Permutation {
             .filter_map(|(i, o)| o.map(|o| (i, o)))
     }
 
+    /// Overwrites `self` with `other`, reusing the existing allocations
+    /// when the port counts match (the hot-path alternative to `clone()`:
+    /// the OCS reconfigures thousands of times per run and must not
+    /// allocate per configuration).
+    pub fn copy_from(&mut self, other: &Permutation) {
+        self.forward.clone_from(&other.forward);
+        self.inverse.clone_from(&other.inverse);
+        self.assigned = other.assigned;
+    }
+
     /// Verifies internal consistency (debug aid for property tests).
     pub fn check_invariants(&self) -> Result<(), String> {
         let n = self.forward.len();

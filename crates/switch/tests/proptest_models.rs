@@ -43,7 +43,7 @@ proptest! {
         let reconfig = SimDuration::from_nanos(reconfig_ns);
         let mut ocs = Ocs::new(n, reconfig);
         let t0 = SimTime::from_micros(1);
-        let live = ocs.configure(Permutation::rotation(n, shift), t0);
+        let live = ocs.configure(&Permutation::rotation(n, shift), t0);
         prop_assert_eq!(live, t0 + reconfig);
         // Mid-dark: everything rejected.
         let mid = SimTime::from_nanos(t0.as_nanos() + reconfig_ns / 2);

@@ -1,0 +1,113 @@
+//! Golden-trace regression tests: pinned-seed end-to-end runs whose full
+//! [`RunReport`](xds_core::report::RunReport) serialization is snapshotted
+//! under `tests/golden/` and asserted **byte-identical** on every run.
+//!
+//! The snapshots were captured on `main` *before* the hot-path runtime
+//! overhaul (schedule slab ids in the event queue, scratch-buffer reuse,
+//! borrowed permutations), so they pin the pre-refactor behavior: any
+//! event-ordering or accounting drift introduced by a performance change
+//! fails these tests with a precise field-level diff.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! XDS_UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! and commit the diff with an explanation of why the behavior moved.
+
+use std::path::{Path, PathBuf};
+
+use xds_scenario::{
+    library, PlacementKind, ScenarioSpec, SchedulerKind, SwModelKind, SyncSpec, TrafficPattern,
+};
+use xds_sim::SimDuration;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The fast-mode (hardware placement) golden point: the `websearch`
+/// catalogue entry — heavy-tailed sizes exercise the EPS (mice) and OCS
+/// (elephants) paths plus the FCT machinery — pinned to seed 42.
+fn fast_spec() -> ScenarioSpec {
+    library::scenario("websearch")
+        .expect("catalogue entry")
+        .with_name("golden-fast")
+        .with_seed(42)
+        .with_duration(SimDuration::from_millis(3))
+}
+
+/// The slow-mode (software placement) golden point: a hotspot workload
+/// with PTP-grade sync and a guard band — exercises host VOQs, control-
+/// channel grants, skewed-clock transmission and sync-violation
+/// accounting — pinned to seed 7.
+fn slow_spec() -> ScenarioSpec {
+    ScenarioSpec::new("golden-slow")
+        .with_ports(8)
+        .with_pattern(TrafficPattern::Hotspot {
+            pairs: 2,
+            fraction: 0.6,
+            offset: 0,
+        })
+        .with_scheduler(SchedulerKind::Hotspot {
+            threshold_bytes: 10_000,
+        })
+        .with_placement(PlacementKind::Software {
+            model: SwModelKind::TunedUserspace,
+            sync: SyncSpec::Ptp,
+        })
+        .with_reconfig(SimDuration::from_micros(100))
+        .with_epoch(SimDuration::from_millis(1))
+        .with_guard(SimDuration::from_micros(5))
+        .with_seed(7)
+        .with_duration(SimDuration::from_millis(12))
+}
+
+fn check_golden(spec: ScenarioSpec, file: &str) {
+    let report = spec.run().expect("golden spec must run");
+    let got = report.trace_json();
+    let path = golden_dir().join(file);
+    if std::env::var_os("XDS_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &got).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with XDS_UPDATE_GOLDEN=1 to capture",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "golden trace {} drifted — the runtime's behavior changed. If the \
+         change is intentional, regenerate with XDS_UPDATE_GOLDEN=1 and \
+         commit the diff.",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_fast_mode_trace_is_byte_identical() {
+    check_golden(fast_spec(), "fast_websearch.json");
+}
+
+#[test]
+fn golden_slow_mode_trace_is_byte_identical() {
+    check_golden(slow_spec(), "slow_hotspot.json");
+}
+
+/// The golden runs themselves must be deterministic, or byte-identity
+/// against a snapshot would be meaningless: run each spec twice and
+/// require identical serializations within the same process.
+#[test]
+fn golden_specs_are_self_deterministic() {
+    for spec in [fast_spec(), slow_spec()] {
+        let a = spec.run().expect("spec runs").trace_json();
+        let b = spec.run().expect("spec runs").trace_json();
+        assert_eq!(a, b, "{} is not deterministic", spec.name);
+    }
+}

@@ -20,6 +20,22 @@ echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run
 
 echo "==> sweep bench --smoke (perf harness liveness; output under results/)"
-cargo run --release -q -p xds-bench --bin sweep -- bench --smoke
+cargo run --release -q -p xds-bench --bin sweep -- bench --smoke \
+    --out results/bench_smoke_ci.json
+grep -q '"name": "scale-stress/n512"' results/bench_smoke_ci.json \
+    || { echo "ci.sh: smoke subset lost the 512-port scale point"; exit 1; }
+
+echo "==> sweep bench --smoke --baseline (the baseline-diff path must run)"
+# Diff a second smoke pass against the first: per-point and aggregate
+# speedup fields must be emitted (values hover around 1.0 — the check is
+# that the comparison code path runs, not the number). The exact
+# self-diff (same artifact on both sides -> speedup 1.00) is pinned by
+# the bench_json_roundtrips_through_baseline_parser unit test.
+cargo run --release -q -p xds-bench --bin sweep -- bench --smoke \
+    --baseline results/bench_smoke_ci.json --out results/bench_smoke_ci_diff.json
+grep -q '"baseline"' results/bench_smoke_ci_diff.json \
+    || { echo "ci.sh: baseline diff missing from smoke artifact"; exit 1; }
+grep -q '"speedup"' results/bench_smoke_ci_diff.json \
+    || { echo "ci.sh: speedup fields missing from smoke artifact"; exit 1; }
 
 echo "ci.sh: all green"

@@ -11,18 +11,29 @@
 //! The pinned subset spans the runtime's distinct hot paths:
 //!
 //! * `uniform` / `websearch` — fast-mode packet pump + EPS/OCS split;
+//! * `uniform-ewma` / `uniform-countmin` — the non-mirror epoch path
+//!   (ground-truth snapshot + L1 error pass) that the mirror points
+//!   skip entirely;
 //! * `churn` — demand estimation under matrix rotation;
 //! * `hotspot-sw` — slow-mode host VOQs, control-channel grants;
-//! * `scale-stress` at 128 and 256 ports — multi-entry schedule
-//!   execution at fabric scale, where per-event copying dominates.
+//! * `scale-stress` at 128, 256 and 512 ports — multi-entry schedule
+//!   execution at fabric scale, where per-event memory traffic
+//!   dominates.
 //!
 //! `--smoke` shrinks every horizon ~20× so CI can prove the harness
 //! itself still runs (seconds, not minutes) without producing numbers
 //! anyone should compare.
+//!
+//! When the subset grows, older baselines lack the new points; the
+//! aggregate `speedup` is therefore computed over the **matched**
+//! points only (present in both runs), so adding a point never
+//! mechanically inflates or deflates the trajectory.
 
 use std::time::Instant;
 
-use xds_scenario::{library, PlacementKind, ScenarioSpec, SwModelKind, SyncSpec, TrafficPattern};
+use xds_scenario::{
+    library, EstimatorKind, PlacementKind, ScenarioSpec, SwModelKind, SyncSpec, TrafficPattern,
+};
 use xds_sim::SimDuration;
 
 /// One measured point of the baseline.
@@ -87,6 +98,55 @@ impl BenchRun {
         self.total_events() as f64 * 1e9 / w as f64
     }
 
+    /// Aggregate speedup over the points present in **both** runs.
+    /// Comparing intersection aggregates on *both sides* keeps the
+    /// speedup meaningful when the pinned subset changes in either
+    /// direction: a freshly added point has no baseline counterpart and
+    /// a retired baseline point no longer weighs the denominator.
+    pub fn matched_speedup(&self, baseline: &Baseline) -> MatchedSpeedup {
+        let mut events = 0u64;
+        let mut wall = 0u128;
+        let mut base_events = 0u64;
+        let mut base_wall = 0u128;
+        let mut base_exact = true;
+        let mut matched = 0usize;
+        for p in &self.points {
+            let Some(bp) = baseline.point(&p.name) else {
+                continue;
+            };
+            matched += 1;
+            events += p.events;
+            wall += p.wall_ns;
+            match (bp.events, bp.wall_ns) {
+                (Some(e), Some(w)) => {
+                    base_events += e;
+                    base_wall += w;
+                }
+                _ => base_exact = false,
+            }
+        }
+        let run_eps = if wall == 0 {
+            0.0
+        } else {
+            events as f64 * 1e9 / wall as f64
+        };
+        // Hand-edited baselines may lack the raw counters; fall back to
+        // the whole-subset aggregate rather than a partial sum (the
+        // artifact then says so via `matched_baseline_exact`).
+        let base_eps = if base_exact && base_wall > 0 {
+            base_events as f64 * 1e9 / base_wall as f64
+        } else {
+            base_exact = false;
+            baseline.total_events_per_sec
+        };
+        MatchedSpeedup {
+            matched,
+            run_events_per_sec: run_eps,
+            baseline_events_per_sec: base_eps,
+            baseline_exact: base_exact,
+        }
+    }
+
     /// Serializes the run (and, when given, the baseline it is being
     /// compared against) as the `BENCH_<date>.json` artifact.
     pub fn to_json(&self, baseline: Option<&Baseline>) -> String {
@@ -137,18 +197,65 @@ impl BenchRun {
             if baseline.is_some() { "," } else { "" }
         );
         if let Some(b) = baseline {
-            let _ = writeln!(
+            let m = self.matched_speedup(b);
+            let _ = write!(
                 o,
                 "  \"baseline\": {{\"date\": \"{}\", \"events_per_sec\": {:.0}, \
-                 \"speedup\": {:.2}}}",
-                b.date,
-                b.total_events_per_sec,
-                self.events_per_sec() / b.total_events_per_sec
+                 \"matched_points\": {}",
+                b.date, b.total_events_per_sec, m.matched
             );
+            if let Some(speedup) = m.speedup() {
+                let _ = write!(
+                    o,
+                    ", \"matched_events_per_sec\": {:.0}, \
+                     \"matched_baseline_events_per_sec\": {:.0}, \
+                     \"matched_baseline_exact\": {}, \"speedup\": {speedup:.2}",
+                    m.run_events_per_sec, m.baseline_events_per_sec, m.baseline_exact
+                );
+            }
+            o.push_str("}\n");
         }
         o.push_str("}\n");
         o
     }
+}
+
+/// The aggregate comparison over the intersection of two runs' points.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchedSpeedup {
+    /// Points present in both runs.
+    pub matched: usize,
+    /// This run's aggregate events/second over the matched points.
+    pub run_events_per_sec: f64,
+    /// The baseline's aggregate events/second over the matched points
+    /// (its whole-subset aggregate when raw counters were unavailable —
+    /// see `baseline_exact`).
+    pub baseline_events_per_sec: f64,
+    /// Whether the baseline side was recomputed over exactly the
+    /// matched points (true for any artifact this tool emitted).
+    pub baseline_exact: bool,
+}
+
+impl MatchedSpeedup {
+    /// The aggregate speedup, or `None` when nothing matched (or either
+    /// side is degenerate) — callers must not report a number then.
+    pub fn speedup(&self) -> Option<f64> {
+        (self.matched > 0 && self.run_events_per_sec > 0.0 && self.baseline_events_per_sec > 0.0)
+            .then(|| self.run_events_per_sec / self.baseline_events_per_sec)
+    }
+}
+
+/// One point of a previously-emitted baseline.
+#[derive(Debug, Clone)]
+pub struct BaselinePoint {
+    /// Point name (`<scenario>/n<ports>`).
+    pub name: String,
+    /// Events/second the baseline recorded for it.
+    pub events_per_sec: f64,
+    /// Raw event count, when the artifact carried it.
+    pub events: Option<u64>,
+    /// Raw wall-clock nanoseconds, when the artifact carried it.
+    pub wall_ns: Option<u128>,
 }
 
 /// A previously-emitted baseline, parsed back for comparison.
@@ -158,17 +265,37 @@ pub struct Baseline {
     pub date: String,
     /// Aggregate events/second of the baseline.
     pub total_events_per_sec: f64,
-    /// Per-point `(name, events_per_sec)` pairs.
-    pub per_point: Vec<(String, f64)>,
+    /// Per-point measurements, in artifact order.
+    pub per_point: Vec<BaselinePoint>,
 }
 
 impl Baseline {
+    /// The baseline's measurement of a named point, if present.
+    pub fn point(&self, name: &str) -> Option<&BaselinePoint> {
+        self.per_point.iter().find(|p| p.name == name)
+    }
+
     /// Baseline events/second for a named point, if present.
     pub fn point_events_per_sec(&self, name: &str) -> Option<f64> {
-        self.per_point
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, e)| *e)
+        self.point(name).map(|p| p.events_per_sec)
+    }
+
+    /// Loads and parses a baseline artifact, with errors a CLI can print
+    /// verbatim: a missing, truncated, unparsable or degenerate file is
+    /// reported as one line naming the path, never a panic mid-parse.
+    pub fn load(path: &str) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+        let base = Baseline::parse(&text).ok_or_else(|| {
+            format!("{path} is not a BENCH_*.json artifact (truncated or not bench JSON?)")
+        })?;
+        if !(base.total_events_per_sec.is_finite() && base.total_events_per_sec > 0.0) {
+            return Err(format!(
+                "{path}: baseline aggregate events_per_sec is {} — refusing to divide by it",
+                base.total_events_per_sec
+            ));
+        }
+        Ok(base)
     }
 
     /// Parses a `BENCH_*.json` previously written by [`BenchRun::to_json`].
@@ -192,7 +319,12 @@ impl Baseline {
             } else if t.starts_with("{\"name\"") {
                 let name = field(t, "name")?.to_string();
                 let eps: f64 = field(t, "events_per_sec")?.parse().ok()?;
-                per_point.push((name, eps));
+                per_point.push(BaselinePoint {
+                    name,
+                    events_per_sec: eps,
+                    events: field(t, "events").and_then(|v| v.parse().ok()),
+                    wall_ns: field(t, "wall_ns").and_then(|v| v.parse().ok()),
+                });
             } else if t.starts_with("\"total\"") {
                 total = field(t, "events_per_sec")?.parse::<f64>().ok();
             }
@@ -251,6 +383,35 @@ pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
             .with_ports(256)
             .with_seed(16)
             .with_duration(ms(10, 1)),
+        // Non-mirror estimators: the epoch loop's ground-truth snapshot
+        // and L1 pass are on the perf trajectory only through these
+        // points (every other fast-mode point mirrors occupancy).
+        library::scenario("uniform")
+            .expect("catalogue entry")
+            .with_name("uniform-ewma")
+            .with_estimator(EstimatorKind::Ewma { alpha: 0.3 })
+            .with_ports(16)
+            .with_seed(17)
+            .with_duration(ms(20, 1)),
+        library::scenario("uniform")
+            .expect("catalogue entry")
+            .with_name("uniform-countmin")
+            .with_estimator(EstimatorKind::CountMin {
+                depth: 4,
+                width: 64,
+                decay: SimDuration::from_micros(500),
+            })
+            .with_ports(16)
+            .with_seed(18)
+            .with_duration(ms(20, 1)),
+        // Half-kilofabric scale point (1024 exists in the library but
+        // stays out of the pinned subset: its wall-clock would dominate
+        // the run without exercising a new code path).
+        library::scenario("scale-stress")
+            .expect("catalogue entry")
+            .with_ports(512)
+            .with_seed(19)
+            .with_duration(ms(4, 1)),
     ];
     for s in &mut specs {
         let named = format!("{}/n{}", s.name, s.n_ports);
@@ -334,9 +495,21 @@ mod tests {
         seeds.sort();
         seeds.dedup();
         assert_eq!(seeds.len(), full.len());
-        // The scale points are present at both fabric sizes.
+        // The scale points are present at all three fabric sizes.
         assert!(names.contains(&"scale-stress/n128"));
         assert!(names.contains(&"scale-stress/n256"));
+        assert!(names.contains(&"scale-stress/n512"));
+        // The non-mirror estimator points keep the ground-truth snapshot
+        // + L1 epoch path on the trajectory.
+        assert!(names.contains(&"uniform-ewma/n16"));
+        assert!(names.contains(&"uniform-countmin/n16"));
+        let full = catalogue(false);
+        for s in &full {
+            let mirror = s.estimator == xds_scenario::EstimatorKind::Mirror;
+            if s.name.contains("ewma") || s.name.contains("countmin") {
+                assert!(!mirror, "{} must exercise a non-mirror estimator", s.name);
+            }
+        }
     }
 
     #[test]
@@ -388,6 +561,129 @@ mod tests {
         let cmp = run.to_json(Some(&base));
         assert!(cmp.contains("\"speedup\": 1.00"), "{cmp}");
         assert!(cmp.contains("\"baseline\""));
+    }
+
+    #[test]
+    fn missing_baseline_is_a_clear_error_not_a_panic() {
+        let err = Baseline::load("/no/such/dir/BENCH_x.json").unwrap_err();
+        assert!(
+            err.contains("/no/such/dir/BENCH_x.json"),
+            "error must name the path: {err}"
+        );
+    }
+
+    #[test]
+    fn truncated_and_garbage_baselines_are_clear_errors() {
+        let dir = std::env::temp_dir();
+        // Not JSON at all.
+        let garbage = dir.join("xds_bench_garbage.json");
+        std::fs::write(&garbage, "not json at all\n{{{").unwrap();
+        let err = Baseline::load(garbage.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("not a BENCH_*.json artifact"), "{err}");
+        // A real artifact cut off before the totals: parseable lines but
+        // no aggregate — must error, not divide by garbage.
+        let run = BenchRun {
+            date: "2026-07-30".into(),
+            mode: "full".into(),
+            points: vec![BenchPoint {
+                name: "uniform/n16".into(),
+                scheduler: "islip_i3".into(),
+                n_ports: 16,
+                duration: SimDuration::from_millis(20),
+                seed: 11,
+                events: 1_000,
+                wall_ns: 1_000_000,
+                delivered_bytes: 1,
+            }],
+        };
+        let full = run.to_json(None);
+        let cut = &full[..full.find("\"total\"").unwrap()];
+        let truncated = dir.join("xds_bench_truncated.json");
+        std::fs::write(&truncated, cut).unwrap();
+        let err = Baseline::load(truncated.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("xds_bench_truncated.json"), "{err}");
+        // Zero aggregate: refuse the division.
+        let zeroed = full.replace(
+            "\"total\": {\"events\": 1000, \"wall_ns\": 1000000, \"events_per_sec\": 1000000}",
+            "\"total\": {\"events\": 0, \"wall_ns\": 0, \"events_per_sec\": 0}",
+        );
+        assert_ne!(zeroed, full, "replacement must have matched");
+        let zero_path = dir.join("xds_bench_zero.json");
+        std::fs::write(&zero_path, zeroed).unwrap();
+        let err = Baseline::load(zero_path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("refusing to divide"), "{err}");
+    }
+
+    #[test]
+    fn matched_aggregate_ignores_points_the_baseline_lacks() {
+        let mk = |name: &str, events: u64, wall_ns: u128| BenchPoint {
+            name: name.into(),
+            scheduler: "islip_i3".into(),
+            n_ports: 16,
+            duration: SimDuration::from_millis(20),
+            seed: 1,
+            events,
+            wall_ns,
+            delivered_bytes: 0,
+        };
+        let old = BenchRun {
+            date: "2026-07-30".into(),
+            mode: "full".into(),
+            points: vec![mk("a", 1_000_000, 1_000_000_000)],
+        };
+        let base = Baseline::parse(&old.to_json(None)).unwrap();
+        // New run: same point twice as fast, plus a new very fast point
+        // that would inflate a naive whole-run aggregate.
+        let new = BenchRun {
+            date: "2026-07-31".into(),
+            mode: "full".into(),
+            points: vec![
+                mk("a", 1_000_000, 500_000_000),
+                mk("b-new", 50_000_000, 1_000_000_000),
+            ],
+        };
+        let m = new.matched_speedup(&base);
+        assert_eq!(m.matched, 1);
+        assert!(m.baseline_exact, "emitted artifacts carry raw counters");
+        let speedup = m.speedup().unwrap();
+        assert!((speedup - 2.0).abs() < 0.01, "matched speedup {speedup}");
+        let json = new.to_json(Some(&base));
+        assert!(json.contains("\"matched_points\": 1"), "{json}");
+        assert!(json.contains("\"speedup\": 2.00"), "{json}");
+        // The baseline side of the ratio is recomputed over the matched
+        // points too: dropping a point from the run must not let the
+        // baseline's whole-subset aggregate skew the number.
+        let old2 = BenchRun {
+            date: "2026-07-30".into(),
+            mode: "full".into(),
+            points: vec![
+                mk("a", 1_000_000, 1_000_000_000),
+                mk("slow", 1_000_000, 9_000_000_000),
+            ],
+        };
+        let base2 = Baseline::parse(&old2.to_json(None)).unwrap();
+        let new2 = BenchRun {
+            date: "2026-07-31".into(),
+            mode: "full".into(),
+            points: vec![mk("a", 1_000_000, 1_000_000_000)],
+        };
+        let m2 = new2.matched_speedup(&base2);
+        assert_eq!(m2.matched, 1);
+        let s2 = m2.speedup().unwrap();
+        assert!(
+            (s2 - 1.0).abs() < 0.01,
+            "same speed on the matched point must read 1.0, got {s2}"
+        );
+        // Nothing in common: no number at all, not a bogus 0.00.
+        let stranger = BenchRun {
+            date: "2026-08-01".into(),
+            mode: "full".into(),
+            points: vec![mk("z", 1, 1_000)],
+        };
+        assert!(stranger.matched_speedup(&base2).speedup().is_none());
+        let json = stranger.to_json(Some(&base2));
+        assert!(json.contains("\"matched_points\": 0"), "{json}");
+        assert!(!json.contains("\"speedup\""), "{json}");
     }
 
     #[test]

@@ -189,15 +189,12 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
+    // Resolve the baseline *before* running minutes of bench points: a
+    // bad path or a truncated artifact must fail in milliseconds with a
+    // one-line error, not panic after the measurement.
     let baseline = match &baseline_path {
         None => None,
-        Some(p) => {
-            let text = std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?;
-            Some(
-                xds_bench::bench::Baseline::parse(&text)
-                    .ok_or_else(|| format!("{p} is not a BENCH_*.json artifact"))?,
-            )
-        }
+        Some(p) => Some(xds_bench::bench::Baseline::load(p)?),
     };
     let mode = if smoke { "smoke" } else { "full" };
     let date = date.unwrap_or_else(xds_bench::bench::today_string);
@@ -222,12 +219,26 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
         run.events_per_sec()
     );
     if let Some(b) = &baseline {
-        println!(
-            "  baseline ({}): {:.0} events/sec -> speedup {:.2}x",
-            b.date,
-            b.total_events_per_sec,
-            run.events_per_sec() / b.total_events_per_sec
-        );
+        let m = run.matched_speedup(b);
+        match m.speedup() {
+            Some(speedup) => println!(
+                "  baseline ({}): {:.0} events/sec on the {} matched point(s) \
+                 -> speedup {speedup:.2}x{}",
+                b.date,
+                m.baseline_events_per_sec,
+                m.matched,
+                if m.baseline_exact {
+                    ""
+                } else {
+                    " (baseline lacks raw counters: denominator is its whole-subset aggregate)"
+                }
+            ),
+            None => println!(
+                "  baseline ({}): no points in common with this subset — \
+                 no speedup to report",
+                b.date
+            ),
+        }
     }
     let path = out.unwrap_or_else(|| {
         if smoke {

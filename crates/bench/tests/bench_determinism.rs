@@ -31,10 +31,20 @@ fn subset() -> Vec<ScenarioSpec> {
 #[test]
 fn bench_subset_is_byte_identical_across_thread_counts() {
     let specs = subset();
-    assert!(
-        specs.iter().any(|s| s.n_ports == 128) && specs.iter().any(|s| s.n_ports == 256),
-        "subset must include both scale-stress fabric sizes"
-    );
+    for ports in [128, 256, 512] {
+        assert!(
+            specs.iter().any(|s| s.n_ports == ports),
+            "subset must include the scale-stress point at {ports} ports"
+        );
+    }
+    // The non-mirror estimator points (ground-truth snapshot + L1 epoch
+    // path) are under the same determinism contract.
+    for name in ["uniform-ewma/n16", "uniform-countmin/n16"] {
+        assert!(
+            specs.iter().any(|s| s.name == name),
+            "subset must include {name}"
+        );
+    }
     let reference = SweepExecutor::with_threads(1).run(specs.clone());
     let ref_json = reference.to_json();
     let ref_csv = reference.to_csv();

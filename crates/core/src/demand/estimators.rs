@@ -48,6 +48,17 @@ pub trait DemandEstimator: Send {
     fn mirrors_occupancy(&self) -> bool {
         false
     }
+
+    /// A borrowed view of the estimate when it is already materialized
+    /// inside the estimator (the mirror's incrementally-maintained
+    /// occupancy). The runtime's epoch loop feeds this straight to the
+    /// scheduler, skipping the per-epoch `n²` copy into its scratch
+    /// matrix — at 256 ports that copy was half a megabyte per epoch.
+    /// Must return `Some` only when the borrowed matrix equals what
+    /// [`estimate_into`](Self::estimate_into) would have produced.
+    fn estimate_ref(&mut self, _now: SimTime, _epoch: SimDuration) -> Option<&DemandMatrix> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -88,6 +99,12 @@ impl DemandEstimator for MirrorEstimator {
 
     fn mirrors_occupancy(&self) -> bool {
         true
+    }
+
+    fn estimate_ref(&mut self, _now: SimTime, _epoch: SimDuration) -> Option<&DemandMatrix> {
+        // The mirror *is* the estimate: hand the scheduler the
+        // incrementally-maintained matrix instead of copying it.
+        Some(&self.occupancy)
     }
 }
 

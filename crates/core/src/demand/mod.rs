@@ -89,9 +89,35 @@ impl DemandMatrix {
         self.bytes.copy_from_slice(src);
     }
 
+    /// Overwrites every entry from a row-major iterator (the strided
+    /// gather the VOQ bank uses when occupancy lives inside per-pair
+    /// records rather than a dense array).
+    ///
+    /// # Panics
+    /// Panics if the iterator does not yield exactly `n²` entries.
+    pub fn fill_from(&mut self, src: impl Iterator<Item = u64>) {
+        let mut wrote = 0;
+        for v in src {
+            assert!(wrote < self.bytes.len(), "more than n² entries");
+            self.bytes[wrote] = v;
+            wrote += 1;
+        }
+        assert_eq!(wrote, self.n * self.n, "need n² entries");
+    }
+
     /// The row-major backing store (read-only view for flat iteration).
     pub fn as_slice(&self) -> &[u64] {
         &self.bytes
+    }
+
+    /// Writes one cell by row-major flat index (sparse-update fast path).
+    pub fn set_cell(&mut self, idx: usize, bytes: u64) {
+        self.bytes[idx] = bytes;
+    }
+
+    /// Zeroes one cell by row-major flat index.
+    pub fn clear_cell(&mut self, idx: usize) {
+        self.bytes[idx] = 0;
     }
 
     /// Total demanded bytes.

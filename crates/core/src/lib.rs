@@ -33,6 +33,7 @@
 pub mod config;
 pub mod demand;
 pub mod node;
+pub mod pool;
 pub mod processing;
 pub mod report;
 pub mod runtime;
@@ -42,6 +43,7 @@ pub mod switching;
 pub use config::{NodeConfig, Placement};
 pub use demand::{DemandEstimator, DemandMatrix, SchedRequest};
 pub use node::{MatrixCycle, Workload};
+pub use pool::{PacketPool, PktFifo};
 pub use report::RunReport;
 pub use runtime::HybridSim;
 pub use sched::{Schedule, ScheduleCtx, ScheduleEntry, Scheduler};

@@ -1,0 +1,383 @@
+//! The shared chunked packet pool: one slab of 4-packet chunks backing
+//! any number of intrusive FIFOs.
+//!
+//! PR 2 introduced this layout inside the switch-side VOQ bank
+//! ([`crate::processing::ProcessingLogic`]); here it is factored out so
+//! the host-staging path (`q_inter`/`q_short`/`q_bulk` and the slow-mode
+//! host VOQs in [`crate::runtime`]) shares the same discipline instead of
+//! shuffling 40-byte [`Packet`] descriptors through per-queue
+//! `VecDeque`s. A queue is a [`PktFifo`] — four integers naming a chunk
+//! run inside the pool — so moving a packet touches one pool slot and one
+//! compact header, enqueue order is preserved exactly, and freed chunks
+//! recycle through a FIFO free list (runs freed together are reused
+//! together, keeping traversals in allocation order).
+//!
+//! The pool tracks live packets and in-use chunks so callers can assert
+//! **occupancy conservation** at epoch boundaries: every chunk is either
+//! on the free list or reachable from exactly one FIFO, and a packet
+//! dropped *before* admission never touches the pool (so it cannot leak
+//! or double-free a chunk).
+
+use xds_net::Packet;
+
+const NIL: u32 = u32::MAX;
+
+/// Packets per pool chunk: four 40-byte descriptors plus the link fit in
+/// three cache lines, and a FIFO touches a new chunk only every fourth
+/// packet.
+pub const CHUNK_PKTS: usize = 4;
+
+/// A pooled run of consecutive packets belonging to one FIFO, linked into
+/// that FIFO's chunk list.
+#[derive(Debug, Clone)]
+struct Chunk {
+    pkts: [Packet; CHUNK_PKTS],
+    next: u32,
+}
+
+/// An intrusive FIFO of packets inside a [`PacketPool`]: chunk-list head
+/// and tail plus the live offsets within them. Plain data — copying the
+/// header without transferring ownership of the chunks is a logic error,
+/// so it is deliberately not `Clone`/`Copy`.
+#[derive(Debug)]
+pub struct PktFifo {
+    /// Chunk FIFO head/tail (`NIL` when empty).
+    head: u32,
+    tail: u32,
+    /// First live packet within the head chunk.
+    head_off: u8,
+    /// Live packets within the tail chunk.
+    tail_len: u8,
+}
+
+impl Default for PktFifo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PktFifo {
+    /// An empty FIFO (owns no chunks).
+    pub const fn new() -> Self {
+        PktFifo {
+            head: NIL,
+            tail: NIL,
+            head_off: 0,
+            tail_len: 0,
+        }
+    }
+
+    /// True when no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.head == NIL
+    }
+}
+
+/// The shared chunk slab plus its free list and conservation counters.
+#[derive(Debug, Default)]
+pub struct PacketPool {
+    chunks: Vec<Chunk>,
+    /// Free chunks form a FIFO through `next`.
+    free_head: u32,
+    free_tail: u32,
+    free_chunks: usize,
+    live_pkts: u64,
+}
+
+impl PacketPool {
+    /// Creates an empty pool; chunks are allocated on demand and recycled
+    /// forever after.
+    pub fn new() -> Self {
+        PacketPool {
+            chunks: Vec::new(),
+            free_head: NIL,
+            free_tail: NIL,
+            free_chunks: 0,
+            live_pkts: 0,
+        }
+    }
+
+    /// Takes a chunk off the free FIFO (or grows the slab), seeding every
+    /// slot with `p` (slot 0 is the live one; the rest are overwritten as
+    /// the chunk fills).
+    #[inline]
+    fn alloc_chunk(&mut self, p: Packet) -> u32 {
+        if self.free_head != NIL {
+            let c = self.free_head;
+            self.free_head = self.chunks[c as usize].next;
+            if self.free_head == NIL {
+                self.free_tail = NIL;
+            }
+            self.free_chunks -= 1;
+            let chunk = &mut self.chunks[c as usize];
+            chunk.pkts[0] = p;
+            chunk.next = NIL;
+            c
+        } else {
+            assert!(self.chunks.len() < NIL as usize, "packet pool overflow");
+            self.chunks.push(Chunk {
+                pkts: [p; CHUNK_PKTS],
+                next: NIL,
+            });
+            (self.chunks.len() - 1) as u32
+        }
+    }
+
+    /// Returns a chunk to the free FIFO. Every chunk is freed exactly
+    /// once per use: only the dequeue paths below call this, always on a
+    /// chunk they have just unlinked from a FIFO.
+    #[inline]
+    fn free_chunk(&mut self, c: u32) {
+        self.chunks[c as usize].next = NIL;
+        if self.free_tail == NIL {
+            self.free_head = c;
+        } else {
+            self.chunks[self.free_tail as usize].next = c;
+        }
+        self.free_tail = c;
+        self.free_chunks += 1;
+    }
+
+    /// Appends `p` to the back of `f`.
+    #[inline]
+    pub fn push(&mut self, f: &mut PktFifo, p: Packet) {
+        if f.tail != NIL && (f.tail_len as usize) < CHUNK_PKTS {
+            // Fast path: room in the tail chunk.
+            self.chunks[f.tail as usize].pkts[f.tail_len as usize] = p;
+            f.tail_len += 1;
+        } else {
+            let c = self.alloc_chunk(p);
+            if f.tail == NIL {
+                f.head = c;
+                f.head_off = 0;
+            } else {
+                self.chunks[f.tail as usize].next = c;
+            }
+            f.tail = c;
+            f.tail_len = 1;
+        }
+        self.live_pkts += 1;
+    }
+
+    /// The packet at the front of `f`, if any.
+    #[inline]
+    pub fn front<'a>(&'a self, f: &PktFifo) -> Option<&'a Packet> {
+        if f.head == NIL {
+            return None;
+        }
+        Some(&self.chunks[f.head as usize].pkts[f.head_off as usize])
+    }
+
+    /// Removes and returns the front packet of `f`, releasing its chunk
+    /// to the free list when the last live packet leaves it.
+    #[inline]
+    pub fn pop(&mut self, f: &mut PktFifo) -> Option<Packet> {
+        if f.head == NIL {
+            return None;
+        }
+        let head = f.head;
+        let p = self.chunks[head as usize].pkts[f.head_off as usize];
+        f.head_off += 1;
+        self.live_pkts -= 1;
+        let exhausted = if f.head == f.tail {
+            f.head_off == f.tail_len
+        } else {
+            f.head_off as usize == CHUNK_PKTS
+        };
+        if exhausted {
+            let next = self.chunks[head as usize].next;
+            self.free_chunk(head);
+            if f.head == f.tail {
+                *f = PktFifo::new();
+            } else {
+                f.head = next;
+                f.head_off = 0;
+            }
+        }
+        Some(p)
+    }
+
+    /// Dequeues packets from the front of `f` while their cumulative size
+    /// fits within `budget_bytes`, appending them to `out`. Returns the
+    /// bytes drained (grant execution's budgeted dequeue, kept here so
+    /// the chunk walk stays inside the pool).
+    pub fn drain_budget_into(
+        &mut self,
+        f: &mut PktFifo,
+        budget_bytes: u64,
+        out: &mut Vec<Packet>,
+    ) -> u64 {
+        let mut head = f.head;
+        if head == NIL {
+            return 0;
+        }
+        let mut off = f.head_off;
+        let tail = f.tail;
+        let tail_len = f.tail_len;
+        let mut used = 0u64;
+        'drain: while head != NIL {
+            let limit = if head == tail {
+                tail_len
+            } else {
+                CHUNK_PKTS as u8
+            };
+            while off < limit {
+                let pkt = self.chunks[head as usize].pkts[off as usize];
+                let b = pkt.bytes as u64;
+                if used + b > budget_bytes {
+                    break 'drain;
+                }
+                used += b;
+                self.live_pkts -= 1;
+                out.push(pkt);
+                off += 1;
+            }
+            if head == tail {
+                // Tail chunk exhausted: the FIFO is empty.
+                if off == tail_len {
+                    self.free_chunk(head);
+                    head = NIL;
+                    off = 0;
+                }
+                break;
+            }
+            let next = self.chunks[head as usize].next;
+            self.free_chunk(head);
+            head = next;
+            off = 0;
+        }
+        f.head = head;
+        f.head_off = off;
+        if head == NIL {
+            f.tail = NIL;
+            f.tail_len = 0;
+        }
+        used
+    }
+
+    /// Packets currently queued across every FIFO backed by this pool.
+    pub fn live_packets(&self) -> u64 {
+        self.live_pkts
+    }
+
+    /// Chunks currently reachable from some FIFO (not on the free list).
+    pub fn chunks_in_use(&self) -> usize {
+        self.chunks.len() - self.free_chunks
+    }
+
+    /// Debug-asserts occupancy conservation: every in-use chunk holds
+    /// between one and [`CHUNK_PKTS`] live packets, and an empty pool has
+    /// released every chunk to the free list. A chunk freed twice (or a
+    /// drop path that forgot to release one) breaks these bounds. Called
+    /// by the runtime once per scheduler epoch; compiles to nothing in
+    /// release builds.
+    #[inline]
+    pub fn debug_assert_conserved(&self) {
+        let in_use = self.chunks_in_use() as u64;
+        debug_assert!(
+            in_use <= self.live_pkts && self.live_pkts <= in_use * CHUNK_PKTS as u64,
+            "pool occupancy violated: {} live packets across {} in-use chunks",
+            self.live_pkts,
+            in_use,
+        );
+        debug_assert!(
+            self.live_pkts > 0 || in_use == 0,
+            "pool leak: {in_use} chunks in use with zero live packets",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xds_net::{PortNo, TrafficClass};
+    use xds_sim::SimTime;
+
+    fn pkt(id: u64, bytes: u32) -> Packet {
+        Packet::new(
+            id,
+            id,
+            PortNo(0),
+            PortNo(1),
+            bytes,
+            TrafficClass::Bulk,
+            SimTime::ZERO,
+            0,
+        )
+    }
+
+    #[test]
+    fn fifo_order_across_chunk_boundaries() {
+        let mut pool = PacketPool::new();
+        let mut f = PktFifo::new();
+        for i in 0..11 {
+            pool.push(&mut f, pkt(i, 100));
+        }
+        assert_eq!(pool.live_packets(), 11);
+        assert_eq!(pool.chunks_in_use(), 3);
+        for i in 0..11 {
+            assert_eq!(pool.front(&f).unwrap().id.0, i);
+            assert_eq!(pool.pop(&mut f).unwrap().id.0, i);
+        }
+        assert!(pool.pop(&mut f).is_none());
+        assert!(f.is_empty());
+        pool.debug_assert_conserved();
+        assert_eq!(pool.chunks_in_use(), 0, "all chunks back on the free list");
+    }
+
+    #[test]
+    fn chunks_are_recycled_not_grown() {
+        let mut pool = PacketPool::new();
+        let mut f = PktFifo::new();
+        for round in 0..5u64 {
+            for i in 0..8 {
+                pool.push(&mut f, pkt(round * 8 + i, 64));
+            }
+            while pool.pop(&mut f).is_some() {}
+        }
+        assert_eq!(pool.chunks.len(), 2, "slab stays at peak footprint");
+        pool.debug_assert_conserved();
+    }
+
+    #[test]
+    fn interleaved_fifos_do_not_cross_talk() {
+        let mut pool = PacketPool::new();
+        let mut a = PktFifo::new();
+        let mut b = PktFifo::new();
+        for i in 0..6 {
+            pool.push(&mut a, pkt(i, 10));
+            pool.push(&mut b, pkt(100 + i, 10));
+        }
+        for i in 0..6 {
+            assert_eq!(pool.pop(&mut a).unwrap().id.0, i);
+            assert_eq!(pool.pop(&mut b).unwrap().id.0, 100 + i);
+        }
+        pool.debug_assert_conserved();
+    }
+
+    #[test]
+    fn drain_budget_respects_budget_and_frees_once() {
+        let mut pool = PacketPool::new();
+        let mut f = PktFifo::new();
+        for i in 0..5 {
+            pool.push(&mut f, pkt(i, 1500));
+        }
+        let before_chunks = pool.chunks_in_use();
+        let mut out = Vec::new();
+        let used = pool.drain_budget_into(&mut f, 4000, &mut out);
+        assert_eq!(used, 3000);
+        assert_eq!(out.len(), 2);
+        assert_eq!(pool.live_packets(), 3);
+        // Draining within the head chunk frees nothing yet.
+        assert_eq!(pool.chunks_in_use(), before_chunks);
+        let used = pool.drain_budget_into(&mut f, u64::MAX, &mut out);
+        assert_eq!(used, 4500);
+        assert!(f.is_empty());
+        assert_eq!(pool.chunks_in_use(), 0);
+        pool.debug_assert_conserved();
+        // A second drain on the empty FIFO must be a no-op, not a
+        // double free.
+        assert_eq!(pool.drain_budget_into(&mut f, u64::MAX, &mut out), 0);
+        assert_eq!(pool.chunks_in_use(), 0);
+    }
+}

@@ -15,78 +15,42 @@ use xds_net::Packet;
 use xds_sim::SimTime;
 
 use crate::demand::{DemandMatrix, SchedRequest};
-
-const NIL: u32 = u32::MAX;
-
-/// Packets per pool chunk: four 40-byte descriptors plus the link fit in
-/// three cache lines, and a VOQ touches a new chunk only every fourth
-/// packet.
-const CHUNK_PKTS: usize = 4;
-
-/// A pooled run of consecutive packets belonging to one VOQ, linked into
-/// that VOQ's FIFO.
-#[derive(Debug, Clone)]
-struct Chunk {
-    pkts: [Packet; CHUNK_PKTS],
-    next: u32,
-}
+use crate::pool::{PacketPool, PktFifo};
 
 /// Per-pair bookkeeping kept beside the dense occupancy array.
-#[derive(Debug, Clone)]
+#[derive(Debug, Default)]
 struct PairState {
     /// Cumulative bytes ever enqueued (for rate estimators).
     arrived_total: u64,
     /// High-water mark of queued bytes.
     peak_bytes: u64,
-    /// Chunk FIFO head/tail (`NIL` when empty).
-    head: u32,
-    tail: u32,
-    /// First live packet within the head chunk.
-    head_off: u8,
-    /// Live packets within the tail chunk.
-    tail_len: u8,
+    /// The pair's packets, as an intrusive FIFO in the shared pool.
+    fifo: PktFifo,
+    queued: u64,
     /// Whether this pair is in the dirty list.
     dirty: bool,
-}
-
-impl PairState {
-    fn new() -> Self {
-        PairState {
-            arrived_total: 0,
-            peak_bytes: 0,
-            head: NIL,
-            tail: NIL,
-            head_off: 0,
-            tail_len: 0,
-            dirty: false,
-        }
-    }
 }
 
 /// The VOQ bank plus request bookkeeping.
 ///
 /// Storage is built for the per-packet hot path: all `n²` VOQs share one
-/// **packet pool** (a free-list slab) and each VOQ is an intrusive FIFO
-/// of pool indices, so an enqueue touches one pool slot and one compact
-/// per-pair record instead of a per-queue `VecDeque` plus three parallel
-/// arrays. Queued bytes live in a dense `n²` array maintained
-/// incrementally, so the per-epoch ground-truth snapshot is a `memcpy`,
-/// and dirty pairs are kept in an explicit list so request generation
-/// touches only the pairs that changed — at 256 ports the old full-
-/// matrix scans and scattered per-queue state dominated both the epoch
-/// loop and the packet path.
+/// **packet pool** ([`PacketPool`] — a free-list slab of 4-packet chunks)
+/// and each VOQ is an intrusive FIFO of pool indices, so an enqueue
+/// touches one pool slot and one compact per-pair record instead of a
+/// per-queue `VecDeque` plus three parallel arrays. Queued bytes live in
+/// a dense `n²` array maintained incrementally, so the per-epoch
+/// ground-truth snapshot is a `memcpy`, and dirty pairs are kept in an
+/// explicit list so request generation touches only the pairs that
+/// changed — at 256 ports and above the old full-matrix scans and
+/// scattered per-queue state dominated both the epoch loop and the packet
+/// path.
 #[derive(Debug)]
 pub struct ProcessingLogic {
     n: usize,
     voq_capacity: u64,
-    /// Shared chunk pool; free chunks form a FIFO through `next` so runs
-    /// freed together are reused together (keeps traversals in order).
-    pool: Vec<Chunk>,
-    free_head: u32,
-    free_tail: u32,
+    /// Shared chunk pool backing every VOQ FIFO.
+    pool: PacketPool,
     pairs: Vec<PairState>,
-    /// Queued bytes per pair, dense row-major (mirrors the FIFO contents).
-    queued: Vec<u64>,
     /// Indices currently flagged dirty, unsorted (sorted on take).
     dirty_list: Vec<u32>,
     /// Incrementally-maintained sum of `queued` (O(1) ground-truth total).
@@ -103,11 +67,8 @@ impl ProcessingLogic {
         ProcessingLogic {
             n,
             voq_capacity,
-            pool: Vec::new(),
-            free_head: NIL,
-            free_tail: NIL,
-            pairs: vec![PairState::new(); n * n],
-            queued: vec![0; n * n],
+            pool: PacketPool::new(),
+            pairs: (0..n * n).map(|_| PairState::default()).collect(),
             dirty_list: Vec::new(),
             total_queued: 0,
             drops: 0,
@@ -133,93 +94,41 @@ impl ProcessingLogic {
         }
     }
 
-    /// Takes a chunk off the free FIFO (or grows the pool), seeding every
-    /// slot with `p` (slot 0 is the live one; the rest are overwritten as
-    /// the chunk fills).
-    #[inline]
-    fn alloc_chunk(&mut self, p: Packet) -> u32 {
-        if self.free_head != NIL {
-            let c = self.free_head;
-            self.free_head = self.pool[c as usize].next;
-            if self.free_head == NIL {
-                self.free_tail = NIL;
-            }
-            let chunk = &mut self.pool[c as usize];
-            chunk.pkts[0] = p;
-            chunk.next = NIL;
-            c
-        } else {
-            assert!(self.pool.len() < NIL as usize, "VOQ pool overflow");
-            self.pool.push(Chunk {
-                pkts: [p; CHUNK_PKTS],
-                next: NIL,
-            });
-            (self.pool.len() - 1) as u32
-        }
-    }
-
-    #[inline]
-    fn free_chunk(&mut self, c: u32) {
-        self.pool[c as usize].next = NIL;
-        if self.free_tail == NIL {
-            self.free_head = c;
-        } else {
-            self.pool[self.free_tail as usize].next = c;
-        }
-        self.free_tail = c;
-    }
-
     /// Enqueues a packet into VOQ `(packet.src, packet.dst)`.
     ///
-    /// On overflow the packet is returned and counted as a drop.
+    /// On overflow the packet is returned and counted as a drop — it is
+    /// rejected *before* admission, so it never owns a pool chunk and the
+    /// caller has nothing to release.
     pub fn enqueue(&mut self, p: Packet) -> Result<(), Packet> {
         let idx = self.idx(p.src.index(), p.dst.index());
         let bytes = p.bytes as u64;
-        if self.queued[idx] + bytes > self.voq_capacity {
+        if self.pairs[idx].queued + bytes > self.voq_capacity {
             self.drops += 1;
             self.dropped_bytes += bytes;
             return Err(p);
         }
-        let pair = &self.pairs[idx];
-        if pair.tail != NIL && (pair.tail_len as usize) < CHUNK_PKTS {
-            // Fast path: room in the tail chunk.
-            let tail = pair.tail as usize;
-            let len = pair.tail_len;
-            self.pool[tail].pkts[len as usize] = p;
-            self.pairs[idx].tail_len = len + 1;
-        } else {
-            let c = self.alloc_chunk(p);
-            let pair = &mut self.pairs[idx];
-            if pair.tail == NIL {
-                pair.head = c;
-                pair.head_off = 0;
-            } else {
-                let old_tail = pair.tail;
-                self.pool[old_tail as usize].next = c;
-            }
-            let pair = &mut self.pairs[idx];
-            pair.tail = c;
-            pair.tail_len = 1;
-        }
+        let pair = &mut self.pairs[idx];
+        self.pool.push(&mut pair.fifo, p);
         let pair = &mut self.pairs[idx];
         pair.arrived_total += bytes;
-        self.queued[idx] += bytes;
+        pair.queued += bytes;
+        pair.peak_bytes = pair.peak_bytes.max(pair.queued);
         self.total_queued += bytes;
-        let q = self.queued[idx];
-        let pair = &mut self.pairs[idx];
-        pair.peak_bytes = pair.peak_bytes.max(q);
         self.mark_dirty(idx);
         Ok(())
     }
 
     /// Bytes queued for `(src, dst)`.
     pub fn queued_bytes(&self, src: usize, dst: usize) -> u64 {
-        self.queued[self.idx(src, dst)]
+        self.pairs[self.idx(src, dst)].queued
     }
 
     /// Total bytes across all VOQs (O(1): maintained incrementally).
     pub fn total_bytes(&self) -> u64 {
-        debug_assert_eq!(self.total_queued, self.queued.iter().sum::<u64>());
+        debug_assert_eq!(
+            self.total_queued,
+            self.pairs.iter().map(|p| p.queued).sum::<u64>()
+        );
         self.total_queued
     }
 
@@ -234,7 +143,7 @@ impl ProcessingLogic {
     /// every cell (the allocation-free form the epoch loop uses). The
     /// occupancy is maintained incrementally, so this is a flat copy.
     pub fn occupancy_into(&self, out: &mut DemandMatrix) {
-        out.copy_from_slice(&self.queued);
+        out.fill_from(self.pairs.iter().map(|p| p.queued));
     }
 
     /// Drains the dirty set into scheduling requests — what the paper's
@@ -248,8 +157,10 @@ impl ProcessingLogic {
     /// [`take_requests`](Self::take_requests) into a reused buffer: the
     /// buffer is cleared, then filled in `(src, dst)` scan order. Only
     /// the dirty list is visited (sorted so the order matches a full
-    /// row-major scan), not the whole `n²` matrix.
+    /// row-major scan), not the whole `n²` matrix. Runs once per epoch,
+    /// so it doubles as the pool's conservation checkpoint.
     pub fn take_requests_into(&mut self, now: SimTime, out: &mut Vec<SchedRequest>) {
+        self.pool.debug_assert_conserved();
         out.clear();
         self.dirty_list.sort_unstable();
         for k in 0..self.dirty_list.len() {
@@ -259,7 +170,7 @@ impl ProcessingLogic {
             out.push(SchedRequest {
                 src: idx / self.n,
                 dst: idx % self.n,
-                queued_bytes: self.queued[idx],
+                queued_bytes: self.pairs[idx].queued,
                 arrived_bytes_total: self.pairs[idx].arrived_total,
                 at: now,
             });
@@ -288,54 +199,11 @@ impl ProcessingLogic {
         out: &mut Vec<Packet>,
     ) {
         let idx = self.idx(src, dst);
-        let mut head = self.pairs[idx].head;
-        if head == NIL {
-            return;
-        }
-        let mut off = self.pairs[idx].head_off;
-        let tail = self.pairs[idx].tail;
-        let tail_len = self.pairs[idx].tail_len;
-        let mut used = 0u64;
-        let before = out.len();
-        'drain: while head != NIL {
-            let limit = if head == tail {
-                tail_len
-            } else {
-                CHUNK_PKTS as u8
-            };
-            while off < limit {
-                let pkt = self.pool[head as usize].pkts[off as usize];
-                let b = pkt.bytes as u64;
-                if used + b > budget_bytes {
-                    break 'drain;
-                }
-                used += b;
-                out.push(pkt);
-                off += 1;
-            }
-            if head == tail {
-                // Tail chunk exhausted: the FIFO is empty.
-                if off == tail_len {
-                    self.free_chunk(head);
-                    head = NIL;
-                    off = 0;
-                }
-                break;
-            }
-            let next = self.pool[head as usize].next;
-            self.free_chunk(head);
-            head = next;
-            off = 0;
-        }
-        if out.len() > before {
-            let pair = &mut self.pairs[idx];
-            pair.head = head;
-            pair.head_off = off;
-            if head == NIL {
-                pair.tail = NIL;
-                pair.tail_len = 0;
-            }
-            self.queued[idx] -= used;
+        let used = self
+            .pool
+            .drain_budget_into(&mut self.pairs[idx].fifo, budget_bytes, out);
+        if used > 0 {
+            self.pairs[idx].queued -= used;
             self.total_queued -= used;
             self.mark_dirty(idx);
         }
@@ -349,6 +217,12 @@ impl ProcessingLogic {
     /// Largest single-VOQ high-water mark in bytes.
     pub fn peak_voq_bytes(&self) -> u64 {
         self.pairs.iter().map(|p| p.peak_bytes).max().unwrap_or(0)
+    }
+
+    /// The backing pool's conservation counters, for tests and epoch
+    /// assertions: `(live packets, chunks in use)`.
+    pub fn pool_occupancy(&self) -> (u64, usize) {
+        (self.pool.live_packets(), self.pool.chunks_in_use())
     }
 }
 
@@ -429,6 +303,25 @@ mod tests {
         // The drop still dirties nothing extra — occupancy didn't change.
         let reqs = p.take_requests(SimTime::ZERO);
         assert_eq!(reqs.len(), 1, "only the successful enqueue is reported");
+    }
+
+    #[test]
+    fn rejected_packets_never_touch_the_pool() {
+        let mut p = ProcessingLogic::new(2, 2000);
+        p.enqueue(pkt(1, 0, 1, 1500)).unwrap();
+        let occupancy = p.pool_occupancy();
+        for i in 0..10 {
+            assert!(p.enqueue(pkt(10 + i, 0, 1, 1500)).is_err());
+        }
+        assert_eq!(
+            p.pool_occupancy(),
+            occupancy,
+            "a pre-admission drop must not allocate or free chunks"
+        );
+        // Drain and verify every chunk is released exactly once.
+        let got = p.dequeue_upto(0, 1, u64::MAX);
+        assert_eq!(got.len(), 1);
+        assert_eq!(p.pool_occupancy(), (0, 0));
     }
 
     #[test]

@@ -13,8 +13,6 @@
 //! The event loop owns all state (no interior mutability): every handler
 //! is a match arm over the private event enum.
 
-use std::collections::VecDeque;
-
 use xds_metrics::{FctTracker, LatencyHistogram, Rfc3550Jitter, SizeClass};
 use xds_net::{Packet, TrafficClass};
 use xds_sim::{EventQueue, SimDuration, SimRng, SimTime, Simulation, TxTimeCache};
@@ -24,6 +22,7 @@ use xds_traffic::{packet_sizes, FlowSpec};
 use crate::config::{NodeConfig, Placement};
 use crate::demand::{DemandEstimator, DemandMatrix, SchedRequest};
 use crate::node::Workload;
+use crate::pool::{PacketPool, PktFifo};
 use crate::processing::ProcessingLogic;
 use crate::report::{DropStats, RunReport};
 use crate::sched::{Schedule, ScheduleCtx, Scheduler};
@@ -85,16 +84,22 @@ enum Via {
 /// packet) touches `nic_busy_until`, `pump_active` and the staging-queue
 /// headers, so those lead the struct and share cache lines; the slow-
 /// mode VOQ state is colder and trails.
+///
+/// All packet storage lives in the runtime's shared [`PacketPool`]
+/// ([`SimState::host_pool`]): the staging queues and slow-mode VOQs are
+/// 10-byte intrusive FIFO headers, so a host enqueue/dequeue moves one
+/// descriptor inside the pool instead of shifting a per-queue `VecDeque`,
+/// and all hosts' packets recycle through one free list.
 #[derive(Debug)]
 struct Host {
     nic_busy_until: SimTime,
     pump_active: bool,
     /// Staging queues toward the NIC, strict priority order.
-    q_inter: VecDeque<Packet>,
-    q_short: VecDeque<Packet>,
-    q_bulk: VecDeque<Packet>,
+    q_inter: PktFifo,
+    q_short: PktFifo,
+    q_bulk: PktFifo,
     /// Slow mode: per-destination bulk VOQs held in host memory.
-    voq: Vec<VecDeque<Packet>>,
+    voq: Vec<PktFifo>,
     voq_bytes: Vec<u64>,
     /// Incremental sum of `voq_bytes` (O(1) ground-truth total).
     voq_total: u64,
@@ -105,16 +110,12 @@ struct Host {
 }
 
 impl Host {
-    /// Staging queues start with room for a burst of packets so the
-    /// steady-state pump path never grows them one push at a time.
-    const STAGING_CAPACITY: usize = 32;
-
     fn new(n: usize) -> Self {
         Host {
-            q_inter: VecDeque::with_capacity(Self::STAGING_CAPACITY),
-            q_short: VecDeque::with_capacity(Self::STAGING_CAPACITY),
-            q_bulk: VecDeque::with_capacity(Self::STAGING_CAPACITY),
-            voq: (0..n).map(|_| VecDeque::new()).collect(),
+            q_inter: PktFifo::new(),
+            q_short: PktFifo::new(),
+            q_bulk: PktFifo::new(),
+            voq: (0..n).map(|_| PktFifo::new()).collect(),
             voq_bytes: vec![0; n],
             voq_total: 0,
             voq_arrived: vec![0; n],
@@ -125,11 +126,14 @@ impl Host {
         }
     }
 
-    fn pop_staged(&mut self) -> Option<Packet> {
-        self.q_inter
-            .pop_front()
-            .or_else(|| self.q_short.pop_front())
-            .or_else(|| self.q_bulk.pop_front())
+    fn pop_staged(&mut self, pool: &mut PacketPool) -> Option<Packet> {
+        if let Some(p) = pool.pop(&mut self.q_inter) {
+            return Some(p);
+        }
+        if let Some(p) = pool.pop(&mut self.q_short) {
+            return Some(p);
+        }
+        pool.pop(&mut self.q_bulk)
     }
 
     /// The actual (switch-clock) instant at which this host's clock reads
@@ -161,6 +165,8 @@ struct SimState {
     matrix_cycle: Option<crate::node::MatrixCycle>,
 
     hosts: Vec<Host>,
+    /// Shared chunk pool backing every host's staging queues and VOQs.
+    host_pool: PacketPool,
     proc: ProcessingLogic,
     switching: SwitchingLogic,
     buffers: BufferTracker,
@@ -271,7 +277,7 @@ impl SimState {
                 // Slow scheduling: bulk waits in host memory for a grant.
                 let h = &mut self.hosts[host];
                 let d = f.dst.index();
-                h.voq[d].push_back(pkt);
+                self.host_pool.push(&mut h.voq[d], pkt);
                 h.voq_bytes[d] += size as u64;
                 h.voq_total += size as u64;
                 h.voq_arrived[d] += size as u64;
@@ -279,11 +285,12 @@ impl SimState {
                 self.buffers.on_enqueue(Site::Host, size as u64, now);
             } else {
                 let h = &mut self.hosts[host];
-                match pkt.class {
-                    TrafficClass::Interactive => h.q_inter.push_back(pkt),
-                    TrafficClass::Short => h.q_short.push_back(pkt),
-                    TrafficClass::Bulk => h.q_bulk.push_back(pkt),
-                }
+                let q = match pkt.class {
+                    TrafficClass::Interactive => &mut h.q_inter,
+                    TrafficClass::Short => &mut h.q_short,
+                    TrafficClass::Bulk => &mut h.q_bulk,
+                };
+                self.host_pool.push(q, pkt);
             }
         }
         self.ensure_pump(q, host);
@@ -391,6 +398,7 @@ impl HybridSim {
             apps: workload.apps,
             matrix_cycle: workload.matrix_cycle,
             hosts,
+            host_pool: PacketPool::new(),
             rng,
             estimator_is_mirror,
             scheds: Vec::new(),
@@ -519,7 +527,7 @@ impl HybridSim {
                     q.schedule_at(nic_busy, Ev::Pump { host });
                     return;
                 }
-                let Some(pkt) = st.hosts[host].pop_staged() else {
+                let Some(pkt) = st.hosts[host].pop_staged(&mut st.host_pool) else {
                     st.hosts[host].pump_active = false;
                     return;
                 };
@@ -552,14 +560,15 @@ impl HybridSim {
                     // waits in host memory like any elephant.
                     let d = a.dst.index();
                     let h = &mut st.hosts[host];
-                    h.voq[d].push_back(pkt);
+                    st.host_pool.push(&mut h.voq[d], pkt);
                     h.voq_bytes[d] += a.pkt_bytes as u64;
                     h.voq_total += a.pkt_bytes as u64;
                     h.voq_arrived[d] += a.pkt_bytes as u64;
                     h.voq_dirty[d] = true;
                     st.buffers.on_enqueue(Site::Host, a.pkt_bytes as u64, now);
                 } else {
-                    st.hosts[host].q_inter.push_back(pkt);
+                    let h = &mut st.hosts[host];
+                    st.host_pool.push(&mut h.q_inter, pkt);
                     st.ensure_pump(q, host);
                 }
                 let next = a.next_send(now, &mut st.rng);
@@ -589,6 +598,12 @@ impl HybridSim {
             }
 
             Ev::EpochStart => {
+                // Pool-boundary audit, once per epoch: every chunk in the
+                // host pool is on the free list or reachable from exactly
+                // one staging queue / VOQ (the switch-side pool asserts
+                // the same inside `take_requests_into`). Free in release
+                // builds.
+                st.host_pool.debug_assert_conserved();
                 // Figure 2: requests → demand estimation → algorithm.
                 // Requests, demand and ground truth all land in reused
                 // scratch buffers: this loop runs every epoch and must
@@ -603,8 +618,16 @@ impl HybridSim {
                     st.estimator.on_request(r);
                 }
                 st.reqs_scratch = reqs;
-                st.estimator
-                    .estimate_into(now, st.cfg.epoch, &mut st.demand_scratch);
+                // Estimators that keep the estimate materialized (the
+                // mirror) lend it out via `estimate_ref`; only the ones
+                // that must compute one fill the scratch matrix. The
+                // lent reference is stable within the epoch, so it is
+                // re-borrowed wherever the estimate is read.
+                let have_ref = st.estimator.estimate_ref(now, st.cfg.epoch).is_some();
+                if !have_ref {
+                    st.estimator
+                        .estimate_into(now, st.cfg.epoch, &mut st.demand_scratch);
+                }
                 if st.estimator_is_mirror {
                     // The estimate equals the ground truth by construction
                     // (every occupancy change produced a request): the L1
@@ -624,7 +647,11 @@ impl HybridSim {
                     } else {
                         st.host_occupancy_into_scratch();
                     }
-                    let (err_l1, truth_total) = st.demand_scratch.error_vs(&st.truth_scratch);
+                    let estimate = match st.estimator.estimate_ref(now, st.cfg.epoch) {
+                        Some(m) => m,
+                        None => &st.demand_scratch,
+                    };
+                    let (err_l1, truth_total) = estimate.error_vs(&st.truth_scratch);
                     if truth_total > 0 {
                         st.demand_err_sum += err_l1 as f64 / truth_total as f64;
                         st.demand_err_n += 1;
@@ -637,7 +664,11 @@ impl HybridSim {
                     epoch: st.cfg.epoch,
                     max_entries: st.cfg.max_entries,
                 };
-                let sched = st.scheduler.schedule(&st.demand_scratch, &ctx);
+                let demand = match st.estimator.estimate_ref(now, st.cfg.epoch) {
+                    Some(m) => m,
+                    None => &st.demand_scratch,
+                };
+                let sched = st.scheduler.schedule(demand, &ctx);
                 debug_assert!(
                     sched.validate(&ctx, st.cfg.n_ports).is_ok(),
                     "{} produced an invalid schedule",
@@ -707,15 +738,21 @@ impl HybridSim {
                     for (i, j) in entry.perm.pairs() {
                         granted.clear();
                         st.proc.dequeue_upto_into(i, j, budget, &mut granted);
+                        if granted.is_empty() {
+                            continue;
+                        }
+                        // One circuit validation per burst (identical
+                        // accounting to per-packet transmits).
+                        let total: u64 = granted.iter().map(|p| p.bytes as u64).sum();
+                        st.switching
+                            .ocs
+                            .transmit_batch(i, j, total, granted.len() as u64, now)
+                            .expect("granted circuit must be live");
                         let mut cursor = now;
                         for pkt in granted.drain(..) {
                             let bytes = pkt.bytes as u64;
                             let dep = cursor + st.line_tx.tx_time(bytes);
                             cursor = dep;
-                            st.switching
-                                .ocs
-                                .transmit(i, j, bytes, now)
-                                .expect("granted circuit must be live");
                             st.buffers.on_dequeue_at(Site::Switch, bytes, dep);
                             let deliver = dep + st.cfg.host_link.propagation;
                             st.record_delivery(&pkt, deliver, Via::Ocs);
@@ -744,15 +781,16 @@ impl HybridSim {
                     (h.actual_time(slot_start), h.actual_time(slot_end))
                 };
                 let h = &mut st.hosts[host];
+                let pool = &mut st.host_pool;
                 let mut cursor = now.max(start_seen).max(h.nic_busy_until);
                 let link = st.cfg.host_link;
-                while let Some(front) = h.voq[dst].front() {
+                while let Some(front) = pool.front(&h.voq[dst]) {
                     let bytes = front.bytes as u64;
                     let tx = st.host_tx.tx_time(bytes);
                     if cursor + tx > end_seen {
                         break;
                     }
-                    let pkt = h.voq[dst].pop_front().expect("peeked");
+                    let pkt = pool.pop(&mut h.voq[dst]).expect("peeked");
                     let dep = cursor + tx;
                     cursor = dep;
                     h.voq_bytes[dst] -= bytes;

@@ -65,17 +65,26 @@ impl Scheduler for SolsticeScheduler {
 
     fn schedule(&mut self, demand: &DemandMatrix, ctx: &ScheduleCtx) -> Schedule {
         let n = demand.n();
+        // The residual matrix persists across epochs and is reset
+        // *sparsely*: only last epoch's non-zero cells can hold residue
+        // (`sub` never touches other cells), so zeroing that worklist and
+        // writing this epoch's non-zero cells rebuilds the residual
+        // without a dense `n²` copy — on large fabrics with sparse
+        // demand that copy was half the scheduler's epoch cost.
         let work = match &mut self.work {
             Some(w) if w.n() == n => {
-                w.copy_from(demand);
+                for &idx in &self.nonzero {
+                    w.clear_cell(idx as usize);
+                }
                 w
             }
-            slot => slot.insert(demand.clone()),
+            slot => slot.insert(DemandMatrix::zero(n)),
         };
         self.nonzero.clear();
         for (idx, &v) in demand.as_slice().iter().enumerate() {
             if v > 0 {
                 self.nonzero.push(idx as u32);
+                work.set_cell(idx, v);
             }
         }
         let mut entries: Vec<ScheduleEntry> = Vec::new();

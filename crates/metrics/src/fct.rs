@@ -76,10 +76,18 @@ pub struct FctStats {
 /// The open-flow map is probed once per **delivered packet**, so it uses
 /// the deterministic fast hasher rather than SipHash; map iteration order
 /// is never observed (all outputs derive from the per-class histograms
-/// and scalar counters), so results stay byte-identical.
+/// and scalar counters), so results stay byte-identical. Flow state
+/// lives in a slab indexed by the map, with a one-entry memo of the last
+/// credited flow: deliveries arrive in per-flow runs (a flow's packets
+/// enqueue contiguously and drain contiguously from a VOQ), so most
+/// credits skip the hash probe entirely.
 #[derive(Debug, Default)]
 pub struct FctTracker {
-    open: FastHashMap<u64, OpenFlow>,
+    open: FastHashMap<u64, u32>,
+    slots: Vec<OpenFlow>,
+    free_slots: Vec<u32>,
+    /// `(flow id, slot)` of the most recently credited open flow.
+    last: Option<(u64, u32)>,
     done: HashMap<SizeClass, LatencyHistogram>,
     completed: u64,
     delivered_bytes: u64,
@@ -95,15 +103,26 @@ impl FctTracker {
     ///
     /// Re-registering an id that is still open is a caller bug and panics.
     pub fn flow_started(&mut self, flow_id: u64, size_bytes: u64, at: SimTime) {
-        let prev = self.open.insert(
-            flow_id,
-            OpenFlow {
-                size_bytes,
-                delivered: 0,
-                started: at,
-            },
-        );
+        let flow = OpenFlow {
+            size_bytes,
+            delivered: 0,
+            started: at,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = flow;
+                s
+            }
+            None => {
+                self.slots.push(flow);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let prev = self.open.insert(flow_id, slot);
         assert!(prev.is_none(), "flow {flow_id} registered twice");
+        // A completed flow's id may be reused: the memo must never serve
+        // a stale slot for it.
+        self.last = Some((flow_id, slot));
     }
 
     /// Credits delivered bytes to a flow; when the flow's full size has
@@ -111,18 +130,28 @@ impl FctTracker {
     /// ignored (e.g. background flows the caller chose not to track).
     pub fn bytes_delivered(&mut self, flow_id: u64, bytes: u64, at: SimTime) {
         self.delivered_bytes += bytes;
-        let Some(flow) = self.open.get_mut(&flow_id) else {
-            return;
+        let slot = match self.last {
+            Some((id, s)) if id == flow_id => s,
+            _ => {
+                let Some(&s) = self.open.get(&flow_id) else {
+                    return;
+                };
+                self.last = Some((flow_id, s));
+                s
+            }
         };
+        let flow = &mut self.slots[slot as usize];
         flow.delivered += bytes;
         if flow.delivered >= flow.size_bytes {
-            let flow = self.open.remove(&flow_id).expect("present");
             let fct = at.saturating_since(flow.started);
             self.done
                 .entry(SizeClass::of(flow.size_bytes))
                 .or_default()
                 .record(fct.as_nanos());
             self.completed += 1;
+            self.open.remove(&flow_id).expect("present");
+            self.free_slots.push(slot);
+            self.last = None;
         }
     }
 

@@ -14,7 +14,7 @@ use xds_traffic::FlowSizeDist;
 use crate::spec::{AppMix, ScenarioSpec, SchedulerKind, TrafficPattern};
 
 /// Every name [`scenario`] recognizes, in catalogue order.
-pub const ALL: [&str; 11] = [
+pub const ALL: [&str; 13] = [
     "uniform",
     "permutation",
     "hotspot",
@@ -26,6 +26,8 @@ pub const ALL: [&str; 11] = [
     "skewed-zipf",
     "churn",
     "scale-stress",
+    "scale-stress-512",
+    "scale-stress-1024",
 ];
 
 /// Every name the library recognizes, in catalogue order.
@@ -112,6 +114,27 @@ pub fn scenario(name: &str) -> Option<ScenarioSpec> {
                 .with_scheduler(SchedulerKind::Solstice { perms: 4 })
                 .with_load(0.6)
                 .with_duration(SimDuration::from_millis(2)),
+
+            // The same multi-ring stress at half-kilofabric scale,
+            // derived from the base entry so the specs cannot drift:
+            // 512 ports exercise the chunked VOQ pool, slab-id schedules
+            // and ladder event queue at the sizes they were built for.
+            // The horizon is short — per-epoch scheduling is O(n²)-ish —
+            // and sweepable up when a study needs more.
+            "scale-stress-512" => scenario("scale-stress")
+                .expect("base entry exists")
+                .with_name("scale-stress-512")
+                .with_ports(512)
+                .with_duration(SimDuration::from_millis(1)),
+
+            // Kilofabric stress: 1024 ports — the largest configuration
+            // the pooled data structures are sized for (a million VOQ
+            // headers, slab schedules, no per-packet allocation).
+            "scale-stress-1024" => scenario("scale-stress")
+                .expect("base entry exists")
+                .with_name("scale-stress-1024")
+                .with_ports(1024)
+                .with_duration(SimDuration::from_micros(500)),
 
             // Adversarial demand churn: the hotspot jumps every millisecond,
             // stressing demand estimation and reconfiguration agility.

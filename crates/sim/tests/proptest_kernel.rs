@@ -26,6 +26,67 @@ proptest! {
         }
     }
 
+    /// Differential test of the ladder queue against a naive reference
+    /// model: interleaved schedules (with delays spanning 0 ns to ms,
+    /// mimicking the simulator's packet/epoch/app mix) and pops must
+    /// deliver the byte-identical `(time, payload)` sequence a total
+    /// `(time, insertion)` sort would — the property the golden traces
+    /// rely on when the queue's internals change.
+    #[test]
+    fn ladder_queue_matches_reference_model(
+        ops in proptest::collection::vec((0u8..4, 0u64..u64::MAX), 1..400),
+    ) {
+        let mut q = EventQueue::new();
+        // Reference: (time, seq) keyed min-list.
+        let mut model: Vec<(u64, u64, u64)> = Vec::new();
+        let mut next_seq = 0u64;
+        let mut now = 0u64;
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for &(kind, r) in &ops {
+            match kind {
+                // Schedule with a delay profile chosen by `kind`/`r`.
+                0..=2 => {
+                    let delay = match kind {
+                        0 => r % 4,            // same-instant / near ties
+                        1 => 500 + r % 3_000,  // ~µs packet events
+                        _ => r % 2_000_000,    // up to ms timers
+                    };
+                    let t = now + delay;
+                    q.schedule_at(SimTime::from_nanos(t), next_seq);
+                    model.push((t, next_seq, next_seq));
+                    next_seq += 1;
+                }
+                _ => {
+                    // Pop from both, compare.
+                    let got = q.pop();
+                    let want = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(t, s, _))| (t, s))
+                        .map(|(i, _)| i);
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some((t, p)), Some(i)) => {
+                            let (mt, _, mp) = model.swap_remove(i);
+                            now = mt;
+                            popped.push((t.as_nanos(), p));
+                            expected.push((mt, mp));
+                        }
+                        (g, w) => prop_assert!(false, "pop mismatch: {g:?} vs model {w:?}"),
+                    }
+                }
+            }
+        }
+        // Drain the remainder.
+        while let Some((t, p)) = q.pop() {
+            popped.push((t.as_nanos(), p));
+        }
+        model.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        expected.extend(model.iter().map(|&(t, _, p)| (t, p)));
+        prop_assert_eq!(popped, expected);
+    }
+
     /// The clock equals the timestamp of the last popped event, always.
     #[test]
     fn clock_tracks_pops(times in proptest::collection::vec(0u64..1_000, 1..100)) {

@@ -22,12 +22,28 @@ use xds_sim::SimTime;
 #[derive(Debug)]
 struct ReleaseQueue {
     /// `buckets[0]`: keys equal to `floor`. `buckets[b]` (b ≥ 1): keys
-    /// whose highest differing bit from `floor` is `b - 1`.
-    buckets: Vec<Vec<(u64, u8, u64)>>,
+    /// whose highest differing bit from `floor` is `b - 1`. Entries are
+    /// `(key, bytes | site << 63)` — 16 bytes each, half the memory
+    /// traffic of the naive tuple on a path that runs once per packet
+    /// (byte counts are far below 2^63, so the tag bit is free).
+    buckets: Vec<Vec<(u64, u64)>>,
     /// Reused redistribution buffer (bucket capacities cycle through it).
-    scratch: Vec<(u64, u8, u64)>,
+    scratch: Vec<(u64, u64)>,
     floor: u64,
     len: usize,
+}
+
+/// Packs `(site, bytes)` into the tagged word.
+#[inline]
+fn pack(site: u8, bytes: u64) -> u64 {
+    debug_assert!(bytes < 1 << 63, "byte count overflows the site tag");
+    bytes | (site as u64) << 63
+}
+
+/// Unpacks the tagged word back into `(site, bytes)`.
+#[inline]
+fn unpack(word: u64) -> (u8, u64) {
+    ((word >> 63) as u8, word & ((1 << 63) - 1))
 }
 
 impl ReleaseQueue {
@@ -56,7 +72,7 @@ impl ReleaseQueue {
     fn push(&mut self, key: u64, site: u8, bytes: u64) {
         debug_assert!(key >= self.floor, "monotonicity violated");
         let b = self.bucket_of(key);
-        self.buckets[b].push((key, site, bytes));
+        self.buckets[b].push((key, pack(site, bytes)));
         self.len += 1;
     }
 
@@ -72,7 +88,8 @@ impl ReleaseQueue {
                 }
                 self.len -= self.buckets[0].len();
                 let mut due = std::mem::take(&mut self.buckets[0]);
-                for &(_, site, bytes) in &due {
+                for &(_, word) in &due {
+                    let (site, bytes) = unpack(word);
                     f(site, bytes);
                 }
                 due.clear();
@@ -99,10 +116,10 @@ impl ReleaseQueue {
             // Redistribute: every entry lands in a strictly lower bucket
             // (its highest differing bit from the new floor shrank).
             std::mem::swap(&mut self.scratch, &mut self.buckets[b]);
-            for &(k, site, bytes) in &self.scratch {
+            for &(k, word) in &self.scratch {
                 let nb = self.bucket_of(k);
                 debug_assert!(nb < b);
-                self.buckets[nb].push((k, site, bytes));
+                self.buckets[nb].push((k, word));
             }
             self.scratch.clear();
         }

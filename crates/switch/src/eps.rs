@@ -75,11 +75,19 @@ impl Eps {
         while let Some(&(dep, bytes)) = port.in_flight.front() {
             if dep <= now {
                 port.in_flight.pop_front();
+                debug_assert!(
+                    port.queued_bytes >= bytes,
+                    "EPS release accounting: departing packet not in occupancy"
+                );
                 port.queued_bytes -= bytes;
             } else {
                 break;
             }
         }
+        debug_assert!(
+            !port.in_flight.is_empty() || port.queued_bytes == 0,
+            "EPS occupancy retained after every packet departed"
+        );
     }
 
     /// Offers a packet of `bytes` to output `out` at `now`.
@@ -185,6 +193,30 @@ mod tests {
         assert_eq!(s.delivered_packets, 2);
         // Capacity frees once the head departs.
         assert!(eps.enqueue(0, 1500, SimTime::from_micros(12)).is_ok());
+    }
+
+    /// Drop-and-release audit: a rejected packet must never enter the
+    /// occupancy accounting, and each accepted packet's bytes must leave
+    /// it exactly once — over-releasing would free buffer capacity that
+    /// was never held (mirroring the packet-pool conservation rule at
+    /// the host/VOQ boundary).
+    #[test]
+    fn rejected_packets_never_enter_occupancy() {
+        let mut eps = Eps::new(1, BitRate::GBPS_1, 3000);
+        let d1 = eps.enqueue(0, 1500, t(0)).unwrap();
+        let d2 = eps.enqueue(0, 1500, t(0)).unwrap();
+        for _ in 0..3 {
+            assert!(eps.enqueue(0, 1500, t(0)).is_err());
+        }
+        assert_eq!(eps.queued_bytes(0, t(0)), 3000, "drops held no bytes");
+        // Departures release exactly the accepted bytes, exactly once:
+        // occupancy reaches zero and stays there.
+        assert_eq!(eps.queued_bytes(0, d1), 1500);
+        assert_eq!(eps.queued_bytes(0, d2), 0);
+        assert_eq!(eps.queued_bytes(0, d2 + SimDuration::from_micros(50)), 0);
+        let s = eps.stats();
+        assert_eq!((s.drops, s.dropped_bytes), (3, 4500));
+        assert_eq!(s.delivered_bytes, 3000);
     }
 
     #[test]

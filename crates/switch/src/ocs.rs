@@ -189,17 +189,34 @@ impl Ocs {
         bytes: u64,
         now: SimTime,
     ) -> Result<(), OcsError> {
+        self.transmit_batch(input, output, bytes, 1, now)
+    }
+
+    /// [`transmit`](Self::transmit) for a burst of `packets` packets
+    /// totalling `bytes`, all starting on the same circuit at `now` —
+    /// grant execution moves whole VOQ bursts per slot, and validating
+    /// the circuit once per burst instead of once per packet keeps that
+    /// hot path off the permutation lookup. Accounting is identical to
+    /// `packets` individual calls (including `rejected` on failure).
+    pub fn transmit_batch(
+        &mut self,
+        input: usize,
+        output: usize,
+        bytes: u64,
+        packets: u64,
+        now: SimTime,
+    ) -> Result<(), OcsError> {
         self.tick(now);
         if let Some(until) = self.dark_until {
-            self.stats.rejected += 1;
+            self.stats.rejected += packets;
             return Err(OcsError::Dark { until });
         }
         if self.active.output_of(input) == Some(output) {
             self.stats.delivered_bytes += bytes;
-            self.stats.delivered_packets += 1;
+            self.stats.delivered_packets += packets;
             Ok(())
         } else {
-            self.stats.rejected += 1;
+            self.stats.rejected += packets;
             Err(OcsError::NotConnected { input, output })
         }
     }

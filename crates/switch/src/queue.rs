@@ -152,6 +152,35 @@ mod tests {
         assert!(q.push(pkt(3, 1)).is_err());
     }
 
+    /// Drop accounting audit at the queue boundary: a rejected packet is
+    /// *returned*, never stored — so the caller (who may own pooled
+    /// storage for it) releases it exactly once, and accepted bytes are
+    /// conserved between occupancy and the drop counters.
+    #[test]
+    fn rejected_packets_are_returned_and_bytes_conserved() {
+        let mut q = DropTailQueue::new(1000, 100);
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        for i in 0..20 {
+            match q.push(pkt(i, 150)) {
+                Ok(()) => accepted += 150,
+                Err(p) => {
+                    assert_eq!(p.id.0, i, "the rejected packet comes back intact");
+                    rejected += 150;
+                }
+            }
+        }
+        assert_eq!(q.bytes() + rejected, accepted + rejected);
+        assert_eq!(q.drops(), (rejected / 150, rejected));
+        // Draining returns every accepted byte exactly once.
+        let mut drained = 0u64;
+        while let Some(p) = q.pop() {
+            drained += p.bytes as u64;
+        }
+        assert_eq!(drained, accepted);
+        assert_eq!(q.bytes(), 0);
+    }
+
     #[test]
     fn peak_tracks_high_water() {
         let mut q = DropTailQueue::new(10_000, 100);

@@ -24,6 +24,12 @@ cargo run --release -q -p xds-bench --bin sweep -- bench --smoke \
     --out results/bench_smoke_ci.json
 grep -q '"name": "scale-stress/n512"' results/bench_smoke_ci.json \
     || { echo "ci.sh: smoke subset lost the 512-port scale point"; exit 1; }
+grep -q '"name": "scale-stress/n1024"' results/bench_smoke_ci.json \
+    || { echo "ci.sh: smoke subset lost the kilofabric scale point"; exit 1; }
+grep -q '"phase_decompose_ns"' results/bench_smoke_ci.json \
+    || { echo "ci.sh: per-phase epoch timings missing from bench artifact"; exit 1; }
+grep -q '"phase_estimate_ns"' results/bench_smoke_ci.json \
+    || { echo "ci.sh: per-phase epoch timings missing from bench artifact"; exit 1; }
 
 echo "==> sweep bench --smoke --baseline (the baseline-diff path must run)"
 # Diff a second smoke pass against the first: per-point and aggregate

@@ -16,9 +16,11 @@
 //!   skip entirely;
 //! * `churn` — demand estimation under matrix rotation;
 //! * `hotspot-sw` — slow-mode host VOQs, control-channel grants;
-//! * `scale-stress` at 128, 256 and 512 ports — multi-entry schedule
-//!   execution at fabric scale, where per-event memory traffic
-//!   dominates.
+//! * `scale-stress` at 128, 256, 512 and 1024 ports — multi-entry
+//!   schedule execution at fabric scale; per-event memory traffic
+//!   dominates up to 512, and at 1024 the per-epoch scheduling path
+//!   itself becomes the quantity under test (each point also records a
+//!   wall-clock phase split: estimate / decompose / apply).
 //!
 //! `--smoke` shrinks every horizon ~20× so CI can prove the harness
 //! itself still runs (seconds, not minutes) without producing numbers
@@ -51,10 +53,18 @@ pub struct BenchPoint {
     pub seed: u64,
     /// Events the simulation processed.
     pub events: u64,
-    /// Wall-clock nanoseconds the point took.
+    /// Wall-clock nanoseconds the point took (fastest repeat).
     pub wall_ns: u128,
     /// Total delivered bytes (sanity anchor: must not drift run-to-run).
     pub delivered_bytes: u64,
+    /// Wall-clock ns the epoch path spent in request intake + demand
+    /// estimation + error sampling (fastest repeat).
+    pub phase_estimate_ns: u64,
+    /// Wall-clock ns spent inside `Scheduler::schedule` — the
+    /// decomposition/matching work that dominates large-fabric points.
+    pub phase_decompose_ns: u64,
+    /// Wall-clock ns spent executing grant bursts at slot activation.
+    pub phase_apply_ns: u64,
 }
 
 impl BenchPoint {
@@ -74,6 +84,10 @@ pub struct BenchRun {
     pub date: String,
     /// `"full"` or `"smoke"`.
     pub mode: String,
+    /// Runs per point; each point records its fastest (the documented
+    /// fastest-of-N measurement method, as a flag instead of a by-hand
+    /// loop).
+    pub repeats: u32,
     /// Per-point measurements, in catalogue order.
     pub points: Vec<BenchPoint>,
 }
@@ -155,13 +169,16 @@ impl BenchRun {
         let _ = writeln!(o, "  \"schema\": \"xds-bench-v1\",");
         let _ = writeln!(o, "  \"date\": \"{}\",", self.date);
         let _ = writeln!(o, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(o, "  \"repeats\": {},", self.repeats);
         o.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             let _ = write!(
                 o,
                 "    {{\"name\": \"{}\", \"scheduler\": \"{}\", \"n_ports\": {}, \
                  \"duration_ns\": {}, \"seed\": {}, \"events\": {}, \"wall_ns\": {}, \
-                 \"events_per_sec\": {:.0}, \"delivered_bytes\": {}",
+                 \"events_per_sec\": {:.0}, \"delivered_bytes\": {}, \
+                 \"phase_estimate_ns\": {}, \"phase_decompose_ns\": {}, \
+                 \"phase_apply_ns\": {}",
                 p.name,
                 p.scheduler,
                 p.n_ports,
@@ -170,7 +187,10 @@ impl BenchRun {
                 p.events,
                 p.wall_ns,
                 p.events_per_sec(),
-                p.delivered_bytes
+                p.delivered_bytes,
+                p.phase_estimate_ns,
+                p.phase_decompose_ns,
+                p.phase_apply_ns
             );
             if let Some(b) = baseline {
                 if let Some(base_eps) = b.point_events_per_sec(&p.name) {
@@ -353,11 +373,16 @@ pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
             .with_ports(16)
             .with_seed(12)
             .with_duration(ms(20, 1)),
+        // 100 ms horizon: at 20 ms this point finished in ~4 ms of
+        // wall-clock, entirely inside the host's noise floor, making it
+        // the jumpiest line of every trajectory diff. Lengthening only
+        // this point is safe: the aggregate speedup is computed over
+        // matched points via events/sec, which is horizon-normalized.
         library::scenario("churn")
             .expect("catalogue entry")
             .with_ports(16)
             .with_seed(13)
-            .with_duration(ms(20, 1)),
+            .with_duration(ms(100, 1)),
         // Slow-path point: host VOQs + control-channel grants.
         ScenarioSpec::new("hotspot-sw")
             .with_ports(16)
@@ -404,14 +429,26 @@ pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
             .with_ports(16)
             .with_seed(18)
             .with_duration(ms(20, 1)),
-        // Half-kilofabric scale point (1024 exists in the library but
-        // stays out of the pinned subset: its wall-clock would dominate
-        // the run without exercising a new code path).
+        // Half-kilofabric scale point.
         library::scenario("scale-stress")
             .expect("catalogue entry")
             .with_ports(512)
             .with_seed(19)
             .with_duration(ms(4, 1)),
+        // The kilofabric point: 1024 ports, where Solstice's epoch path
+        // (worklist probing + matching) dominates wall-clock well before
+        // the packet path — the per-phase timing fields exist to keep
+        // that split measurable. 2 ms is the sustainable horizon chosen
+        // in PR 4 (~200 epochs; seconds of wall-clock, not minutes).
+        library::scenario("scale-stress")
+            .expect("catalogue entry")
+            .with_ports(1024)
+            .with_seed(20)
+            .with_duration(if smoke {
+                SimDuration::from_micros(250)
+            } else {
+                SimDuration::from_millis(2)
+            }),
     ];
     for s in &mut specs {
         let named = format!("{}/n{}", s.name, s.n_ports);
@@ -421,36 +458,65 @@ pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
 }
 
 /// Runs every point sequentially, timing each; `progress` is called with
-/// a one-line summary after each point.
+/// a one-line summary after each point. With `repeats > 1` every point
+/// runs that many times and records its **fastest** wall-clock (and that
+/// run's phase split) — the documented fastest-of-N method against host
+/// noise. Repeats must agree on events and delivered bytes (the runs are
+/// seeded identically); a mismatch is a determinism bug and errors out.
 pub fn run_bench(
     specs: Vec<ScenarioSpec>,
     mode: &str,
     date: String,
+    repeats: u32,
     mut progress: impl FnMut(&BenchPoint),
 ) -> Result<BenchRun, String> {
+    let repeats = repeats.max(1);
     let mut points = Vec::with_capacity(specs.len());
     for spec in specs {
-        let t0 = Instant::now();
-        let report = spec
-            .run()
-            .map_err(|e| format!("bench point {}: {e}", spec.name))?;
-        let wall_ns = t0.elapsed().as_nanos();
-        let p = BenchPoint {
-            name: spec.name.clone(),
-            scheduler: spec.scheduler.tag(),
-            n_ports: spec.n_ports,
-            duration: spec.duration,
-            seed: spec.seed,
-            events: report.events,
-            wall_ns,
-            delivered_bytes: report.delivered_bytes(),
-        };
+        let mut best: Option<BenchPoint> = None;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let report = spec
+                .run()
+                .map_err(|e| format!("bench point {}: {e}", spec.name))?;
+            let wall_ns = t0.elapsed().as_nanos();
+            let p = BenchPoint {
+                name: spec.name.clone(),
+                scheduler: spec.scheduler.tag(),
+                n_ports: spec.n_ports,
+                duration: spec.duration,
+                seed: spec.seed,
+                events: report.events,
+                wall_ns,
+                delivered_bytes: report.delivered_bytes(),
+                phase_estimate_ns: report.phases.estimate,
+                phase_decompose_ns: report.phases.decompose,
+                phase_apply_ns: report.phases.apply,
+            };
+            match &best {
+                Some(b) => {
+                    if b.events != p.events || b.delivered_bytes != p.delivered_bytes {
+                        return Err(format!(
+                            "bench point {}: repeats disagree (events {} vs {}, bytes {} vs {}) \
+                             — the simulation is not deterministic",
+                            p.name, b.events, p.events, b.delivered_bytes, p.delivered_bytes
+                        ));
+                    }
+                    if p.wall_ns < b.wall_ns {
+                        best = Some(p);
+                    }
+                }
+                None => best = Some(p),
+            }
+        }
+        let p = best.expect("repeats >= 1");
         progress(&p);
         points.push(p);
     }
     Ok(BenchRun {
         date,
         mode: mode.to_string(),
+        repeats,
         points,
     })
 }
@@ -495,10 +561,11 @@ mod tests {
         seeds.sort();
         seeds.dedup();
         assert_eq!(seeds.len(), full.len());
-        // The scale points are present at all three fabric sizes.
+        // The scale points are present at all four fabric sizes.
         assert!(names.contains(&"scale-stress/n128"));
         assert!(names.contains(&"scale-stress/n256"));
         assert!(names.contains(&"scale-stress/n512"));
+        assert!(names.contains(&"scale-stress/n1024"));
         // The non-mirror estimator points keep the ground-truth snapshot
         // + L1 epoch path on the trajectory.
         assert!(names.contains(&"uniform-ewma/n16"));
@@ -528,6 +595,7 @@ mod tests {
         let run = BenchRun {
             date: "2026-07-30".into(),
             mode: "full".into(),
+            repeats: 1,
             points: vec![
                 BenchPoint {
                     name: "uniform/n16".into(),
@@ -538,6 +606,9 @@ mod tests {
                     events: 1_000_000,
                     wall_ns: 500_000_000,
                     delivered_bytes: 42,
+                    phase_estimate_ns: 0,
+                    phase_decompose_ns: 0,
+                    phase_apply_ns: 0,
                 },
                 BenchPoint {
                     name: "scale-stress/n128".into(),
@@ -548,6 +619,9 @@ mod tests {
                     events: 6_000_000,
                     wall_ns: 2_000_000_000,
                     delivered_bytes: 7,
+                    phase_estimate_ns: 0,
+                    phase_decompose_ns: 0,
+                    phase_apply_ns: 0,
                 },
             ],
         };
@@ -585,6 +659,7 @@ mod tests {
         let run = BenchRun {
             date: "2026-07-30".into(),
             mode: "full".into(),
+            repeats: 1,
             points: vec![BenchPoint {
                 name: "uniform/n16".into(),
                 scheduler: "islip_i3".into(),
@@ -594,6 +669,9 @@ mod tests {
                 events: 1_000,
                 wall_ns: 1_000_000,
                 delivered_bytes: 1,
+                phase_estimate_ns: 0,
+                phase_decompose_ns: 0,
+                phase_apply_ns: 0,
             }],
         };
         let full = run.to_json(None);
@@ -625,10 +703,14 @@ mod tests {
             events,
             wall_ns,
             delivered_bytes: 0,
+            phase_estimate_ns: 0,
+            phase_decompose_ns: 0,
+            phase_apply_ns: 0,
         };
         let old = BenchRun {
             date: "2026-07-30".into(),
             mode: "full".into(),
+            repeats: 1,
             points: vec![mk("a", 1_000_000, 1_000_000_000)],
         };
         let base = Baseline::parse(&old.to_json(None)).unwrap();
@@ -637,6 +719,7 @@ mod tests {
         let new = BenchRun {
             date: "2026-07-31".into(),
             mode: "full".into(),
+            repeats: 1,
             points: vec![
                 mk("a", 1_000_000, 500_000_000),
                 mk("b-new", 50_000_000, 1_000_000_000),
@@ -656,6 +739,7 @@ mod tests {
         let old2 = BenchRun {
             date: "2026-07-30".into(),
             mode: "full".into(),
+            repeats: 1,
             points: vec![
                 mk("a", 1_000_000, 1_000_000_000),
                 mk("slow", 1_000_000, 9_000_000_000),
@@ -665,6 +749,7 @@ mod tests {
         let new2 = BenchRun {
             date: "2026-07-31".into(),
             mode: "full".into(),
+            repeats: 1,
             points: vec![mk("a", 1_000_000, 1_000_000_000)],
         };
         let m2 = new2.matched_speedup(&base2);
@@ -678,6 +763,7 @@ mod tests {
         let stranger = BenchRun {
             date: "2026-08-01".into(),
             mode: "full".into(),
+            repeats: 1,
             points: vec![mk("z", 1, 1_000)],
         };
         assert!(stranger.matched_speedup(&base2).speedup().is_none());
@@ -695,7 +781,7 @@ mod tests {
             .filter(|s| s.n_ports == 16)
             .take(2)
             .collect();
-        let run = run_bench(specs, "smoke", "2026-01-01".into(), |_| {}).unwrap();
+        let run = run_bench(specs, "smoke", "2026-01-01".into(), 1, |_| {}).unwrap();
         assert_eq!(run.points.len(), 2);
         assert!(run.total_events() > 0);
         assert!(run.events_per_sec() > 0.0);

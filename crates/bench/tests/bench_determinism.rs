@@ -31,7 +31,7 @@ fn subset() -> Vec<ScenarioSpec> {
 #[test]
 fn bench_subset_is_byte_identical_across_thread_counts() {
     let specs = subset();
-    for ports in [128, 256, 512] {
+    for ports in [128, 256, 512, 1024] {
         assert!(
             specs.iter().any(|s| s.n_ports == ports),
             "subset must include the scale-stress point at {ports} ports"

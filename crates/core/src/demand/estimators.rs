@@ -72,10 +72,13 @@ pub struct MirrorEstimator {
 }
 
 impl MirrorEstimator {
-    /// Creates a mirror over `n` ports.
+    /// Creates a mirror over `n` ports. The occupancy matrix tracks its
+    /// support: schedulers borrowing it via
+    /// [`estimate_ref`](DemandEstimator::estimate_ref) get the non-zero
+    /// worklist for free instead of re-scanning `n²` cells per epoch.
     pub fn new(n: usize) -> Self {
         MirrorEstimator {
-            occupancy: DemandMatrix::zero(n),
+            occupancy: DemandMatrix::zero_tracked(n),
         }
     }
 }
@@ -103,7 +106,10 @@ impl DemandEstimator for MirrorEstimator {
 
     fn estimate_ref(&mut self, _now: SimTime, _epoch: SimDuration) -> Option<&DemandMatrix> {
         // The mirror *is* the estimate: hand the scheduler the
-        // incrementally-maintained matrix instead of copying it.
+        // incrementally-maintained matrix instead of copying it. Compact
+        // first so the lent support is exact — drained VOQs would
+        // otherwise accumulate as stale worklist entries across epochs.
+        self.occupancy.compact_support();
         Some(&self.occupancy)
     }
 }
@@ -123,6 +129,12 @@ pub struct EwmaEstimator {
     last_total: Vec<u64>,
     /// Last update time per pair.
     last_at: Vec<SimTime>,
+    /// Pairs whose smoothed rate is non-zero — the only cells
+    /// [`estimate_into`](DemandEstimator::estimate_into) must visit (an
+    /// EWMA decays multiplicatively, so a pair goes active at its first
+    /// arrival and stays; every other cell reads an exact zero).
+    active: Vec<u32>,
+    active_member: Vec<bool>,
 }
 
 impl EwmaEstimator {
@@ -136,6 +148,8 @@ impl EwmaEstimator {
             rate: vec![0.0; n * n],
             last_total: vec![0; n * n],
             last_at: vec![SimTime::ZERO; n * n],
+            active: Vec::new(),
+            active_member: vec![false; n * n],
         }
     }
 }
@@ -158,6 +172,10 @@ impl DemandEstimator for EwmaEstimator {
         self.rate[idx] = self.alpha * inst_rate + (1.0 - self.alpha) * self.rate[idx];
         self.last_total[idx] = req.arrived_bytes_total;
         self.last_at[idx] = req.at;
+        if self.rate[idx] > 0.0 && !self.active_member[idx] {
+            self.active_member[idx] = true;
+            self.active.push(idx as u32);
+        }
     }
 
     fn estimate(&mut self, now: SimTime, epoch: SimDuration) -> DemandMatrix {
@@ -168,10 +186,14 @@ impl DemandEstimator for EwmaEstimator {
 
     fn estimate_into(&mut self, _now: SimTime, epoch: SimDuration, out: &mut DemandMatrix) {
         let secs = epoch.as_secs_f64();
-        for s in 0..self.n {
-            for d in 0..self.n {
-                let bytes = self.rate[s * self.n + d] * secs;
-                out.set(s, d, if bytes >= 1.0 { bytes as u64 } else { 0 });
+        // Inactive pairs hold an exact zero rate: clearing then filling
+        // only the active worklist writes the same matrix the dense
+        // `n²` double loop produced.
+        out.clear_sparse();
+        for &idx in &self.active {
+            let bytes = self.rate[idx as usize] * secs;
+            if bytes >= 1.0 {
+                out.set_cell(idx as usize, bytes as u64);
             }
         }
     }
@@ -189,6 +211,9 @@ pub struct WindowEstimator {
     /// `(time, src, dst, bytes)` arrival deltas inside the window.
     events: std::collections::VecDeque<(SimTime, usize, usize, u64)>,
     last_total: Vec<u64>,
+    /// Scratch: distinct pairs touched by the current window (rescale
+    /// visits each once instead of walking `n²` cells).
+    touched: Vec<u32>,
 }
 
 impl WindowEstimator {
@@ -200,6 +225,7 @@ impl WindowEstimator {
             window,
             events: std::collections::VecDeque::new(),
             last_total: vec![0; n * n],
+            touched: Vec::new(),
         }
     }
 
@@ -237,20 +263,25 @@ impl DemandEstimator for WindowEstimator {
 
     fn estimate_into(&mut self, now: SimTime, epoch: SimDuration, out: &mut DemandMatrix) {
         self.evict(now);
-        out.clear();
+        out.clear_sparse();
+        self.touched.clear();
         for &(_, s, d, b) in &self.events {
+            let idx = s * self.n + d;
+            // First touch of a pair (the matrix was just cleared, so a
+            // zero cell means unseen): the worklist collects each
+            // distinct pair once, already deduplicated.
+            if out.as_slice()[idx] == 0 {
+                self.touched.push(idx as u32);
+            }
             out.add(s, d, b);
         }
-        // Rescale window bytes to the epoch horizon.
+        // Rescale window bytes to the epoch horizon — each distinct
+        // touched pair exactly once (every other cell is zero).
         let scale = epoch.as_secs_f64() / self.window.as_secs_f64();
         if (scale - 1.0).abs() > 1e-9 {
-            for s in 0..self.n {
-                for d in 0..self.n {
-                    let b = out.get(s, d);
-                    if b > 0 {
-                        out.set(s, d, (b as f64 * scale) as u64);
-                    }
-                }
+            for &idx in &self.touched {
+                let b = out.as_slice()[idx as usize];
+                out.set_cell(idx as usize, (b as f64 * scale) as u64);
             }
         }
     }
@@ -348,6 +379,11 @@ impl DemandEstimator for CountMinEstimator {
 
     fn estimate_into(&mut self, now: SimTime, _epoch: SimDuration, out: &mut DemandMatrix) {
         self.maybe_decay(now);
+        // Deliberately dense: a sketch has no per-pair state, and a pair
+        // that never saw traffic can still read non-zero when its hashes
+        // collide with hot counters in every row — materializing the
+        // estimate *is* `n²` point queries. (The sparse epoch interface
+        // covers the estimators whose zero cells are exact.)
         for s in 0..self.n {
             for d in 0..self.n {
                 let v = if s != d { self.point_query(s, d) } else { 0 };

@@ -84,6 +84,30 @@ pub struct RunReport {
     pub decision_latency_mean_ns: f64,
     /// Mean relative L1 demand-estimation error (E6), if sampled.
     pub demand_error_mean: Option<f64>,
+
+    /// Wall-clock split of the per-epoch scheduling path (host time, not
+    /// simulated time — which phase of the epoch loop the simulator
+    /// itself spends its cycles in). Deliberately **not** part of
+    /// [`trace_json`](Self::trace_json): wall-clock is nondeterministic,
+    /// and the golden traces pin simulated behavior only.
+    pub phases: EpochPhaseNs,
+}
+
+/// Wall-clock nanoseconds the simulator spent in each phase of the
+/// epoch path, summed over the run: request intake plus demand
+/// estimation plus error sampling (`estimate`), the scheduling
+/// algorithm proper (`decompose`), and grant-burst execution at slot
+/// activation (`apply`, fast mode). The bench harness emits these per
+/// point so a scale regression names its phase instead of just its
+/// point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochPhaseNs {
+    /// Requests → estimator → demand-error sample.
+    pub estimate: u64,
+    /// `Scheduler::schedule` (the decomposition / matching work).
+    pub decompose: u64,
+    /// Grant execution when a slot activates (fast mode).
+    pub apply: u64,
 }
 
 impl RunReport {
@@ -343,6 +367,7 @@ mod tests {
             decisions: 0,
             decision_latency_mean_ns: 0.0,
             demand_error_mean: None,
+            phases: EpochPhaseNs::default(),
         }
     }
 

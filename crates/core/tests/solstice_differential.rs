@@ -1,0 +1,143 @@
+//! Differential pin: the production [`SolsticeScheduler`] — value-
+//! bucketed worklists, incremental halving probes, support-tracked
+//! residuals and the epoch-to-epoch matching memo — must emit schedules
+//! **identical** to the straightforward dense reference implementation
+//! ([`reference_schedule`]) on every epoch of every run.
+//!
+//! The scheduler is stateful on purpose (warm residual, memos), so each
+//! proptest case drives a *sequence* of epochs with demand that persists,
+//! drifts and jumps between them: steady epochs exercise the memo-replay
+//! path, jumps exercise the miss path, and port-count changes exercise
+//! the warm-start reset. The reference is stateless and recomputed from
+//! scratch each epoch — any divergence is a determinism bug in the
+//! optimized path.
+
+use proptest::prelude::*;
+use xds_core::demand::DemandMatrix;
+use xds_core::sched::solstice::{reference_schedule, SolsticeScheduler};
+use xds_core::sched::{ScheduleCtx, Scheduler};
+use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
+
+fn ctx(reconfig_ns: u64, epoch_us: u64, max_entries: usize) -> ScheduleCtx {
+    ScheduleCtx {
+        now: SimTime::ZERO,
+        line_rate: BitRate::GBPS_10,
+        reconfig: SimDuration::from_nanos(reconfig_ns),
+        epoch: SimDuration::from_micros(epoch_us),
+        max_entries,
+    }
+}
+
+/// Random demand over `n` ports: `cells` non-zero entries with values
+/// spanning several value buckets (equal values included — ties are
+/// where matching choice is most sensitive).
+fn random_demand(n: usize, cells: usize, rng: &mut SimRng, tracked: bool) -> DemandMatrix {
+    let mut d = if tracked {
+        DemandMatrix::zero_tracked(n)
+    } else {
+        DemandMatrix::zero(n)
+    };
+    for _ in 0..cells {
+        let idx = rng.below((n * n) as u64) as usize;
+        // Mix tiny, mid and elephant values; bias toward round numbers
+        // so equal entries (matching ties) are common.
+        let v = match rng.below(4) {
+            0 => 1 + rng.below(64),
+            1 => 10_000,
+            2 => 50_000 + 1_000 * rng.below(8),
+            _ => 1 << (10 + rng.below(20)),
+        };
+        d.set(idx / n, idx % n, v);
+    }
+    d
+}
+
+/// Mutates a demand in place the way epoch-to-epoch churn does: some
+/// cells drain to zero, some grow, some appear.
+fn drift_demand(d: &mut DemandMatrix, rng: &mut SimRng) {
+    let n = d.n();
+    let changes = rng.below(1 + (n as u64)) as usize;
+    for _ in 0..changes {
+        let idx = rng.below((n * n) as u64) as usize;
+        let (s, t) = (idx / n, idx % n);
+        match rng.below(3) {
+            0 => d.set(s, t, 0),
+            1 => d.add(s, t, 1 + rng.below(100_000)),
+            _ => d.set(s, t, 1 + rng.below(1 << 24)),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Multi-epoch runs over drifting demand: every epoch's schedule
+    /// equals the stateless reference's.
+    #[test]
+    fn optimized_solstice_equals_reference_across_epochs(
+        n in 2usize..24,
+        seed in 0u64..10_000,
+        perms in 1u32..9,
+        tracked in any::<bool>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let c = ctx(1_000, 100, 8);
+        let mut s = SolsticeScheduler::new(perms);
+        let cells = 1 + rng.below((2 * n) as u64) as usize;
+        let mut d = random_demand(n, cells, &mut rng, tracked);
+        for epoch in 0..5 {
+            let got = s.schedule(&d, &c);
+            let want = reference_schedule(&d, &c, perms);
+            prop_assert_eq!(
+                &got, &want,
+                "epoch {} (n={}, seed={}, perms={}, tracked={}) diverged",
+                epoch, n, seed, perms, tracked
+            );
+            // Epochs 0→1 keep demand identical (pure memo replay); later
+            // epochs drift it.
+            if epoch >= 1 {
+                drift_demand(&mut d, &mut rng);
+            }
+        }
+    }
+
+    /// Tight budgets and coarse reconfiguration: the slot-sizing branch
+    /// points (`remaining <= 2*reconfig`, zero slots) must agree too.
+    #[test]
+    fn optimized_solstice_equals_reference_under_tight_budgets(
+        n in 2usize..10,
+        seed in 0u64..10_000,
+        max_entries in 1usize..4,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let c = ctx(2_000, 10, max_entries);
+        let mut s = SolsticeScheduler::new(8);
+        for _ in 0..3 {
+            let cells = 1 + rng.below((n * n) as u64) as usize;
+            let d = random_demand(n, cells, &mut rng, true);
+            let got = s.schedule(&d, &c);
+            let want = reference_schedule(&d, &c, 8);
+            prop_assert_eq!(&got, &want);
+        }
+    }
+
+    /// Port-count changes mid-run: the optimized scheduler's warm state
+    /// resets and still matches the reference at every size.
+    #[test]
+    fn optimized_solstice_equals_reference_across_port_changes(
+        seed in 0u64..10_000,
+        sizes in proptest::collection::vec(2usize..17, 2..5),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let c = ctx(1_000, 100, 8);
+        let mut s = SolsticeScheduler::new(4);
+        for n in sizes {
+            let cells = 1 + rng.below((2 * n) as u64) as usize;
+            let tracked = rng.bool(0.5);
+            let d = random_demand(n, cells, &mut rng, tracked);
+            let got = s.schedule(&d, &c);
+            let want = reference_schedule(&d, &c, 4);
+            prop_assert_eq!(&got, &want, "diverged after switching to n={}", n);
+        }
+    }
+}

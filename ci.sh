@@ -30,6 +30,28 @@ grep -q '"phase_decompose_ns"' results/bench_smoke_ci.json \
     || { echo "ci.sh: per-phase epoch timings missing from bench artifact"; exit 1; }
 grep -q '"phase_estimate_ns"' results/bench_smoke_ci.json \
     || { echo "ci.sh: per-phase epoch timings missing from bench artifact"; exit 1; }
+grep -q '"profile": "lean"' results/bench_smoke_ci.json \
+    || { echo "ci.sh: bench artifact must record the lean instrumentation profile"; exit 1; }
+
+echo "==> instrumentation profiles (lean/full event counts must agree on one point)"
+cargo run --release -q -p xds-bench --bin sweep -- run uniform \
+    --duration-ms 1 --threads 1 --profile full --out ci_profile_full >/dev/null
+cargo run --release -q -p xds-bench --bin sweep -- run uniform \
+    --duration-ms 1 --threads 1 --profile lean --out ci_profile_lean >/dev/null
+full_events=$(grep -o '"events": [0-9]*' results/ci_profile_full.json | head -1)
+lean_events=$(grep -o '"events": [0-9]*' results/ci_profile_lean.json | head -1)
+[ -n "$full_events" ] \
+    || { echo "ci.sh: full-profile sweep row lost its event count"; exit 1; }
+[ "$full_events" = "$lean_events" ] \
+    || { echo "ci.sh: lean/full event counts diverged ($lean_events vs $full_events)"; exit 1; }
+
+echo "==> sweep timeseries (epoch-resolution artifact must be non-empty)"
+cargo run --release -q -p xds-bench --bin sweep -- timeseries uniform \
+    --duration-ms 1 --threads 1 --out ci_timeseries >/dev/null
+grep -q '"epoch": 0' results/ci_timeseries.timeseries.json \
+    || { echo "ci.sh: timeseries artifact is empty"; exit 1; }
+grep -q '"duty_cycle"' results/ci_timeseries.timeseries.json \
+    || { echo "ci.sh: timeseries rows lost the duty-cycle column"; exit 1; }
 
 echo "==> sweep bench --smoke --baseline (the baseline-diff path must run)"
 # Diff a second smoke pass against the first: per-point and aggregate

@@ -9,7 +9,7 @@ use std::hint::black_box;
 use xds_core::config::NodeConfig;
 use xds_core::demand::MirrorEstimator;
 use xds_core::node::Workload;
-use xds_core::runtime::HybridSim;
+use xds_core::runtime::SimBuilder;
 use xds_core::sched::IslipScheduler;
 use xds_hw::{HwAlgo, HwSchedulerModel};
 use xds_metrics::LatencyHistogram;
@@ -112,13 +112,13 @@ fn bench_end_to_end(c: &mut Criterion) {
                 BitRate::GBPS_10,
                 SimRng::new(4),
             ));
-            let r = HybridSim::new(
-                cfg,
-                w,
-                Box::new(IslipScheduler::new(n, 3)),
-                Box::new(MirrorEstimator::new(n)),
-            )
-            .run(SimTime::from_millis(1));
+            let r = SimBuilder::new(cfg)
+                .workload(w)
+                .scheduler(Box::new(IslipScheduler::new(n, 3)))
+                .estimator(Box::new(MirrorEstimator::new(n)))
+                .build()
+                .expect("valid testbed")
+                .run(SimTime::from_millis(1));
             black_box(r.delivered_bytes())
         });
     });

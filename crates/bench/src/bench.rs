@@ -34,7 +34,8 @@
 use std::time::Instant;
 
 use xds_scenario::{
-    library, EstimatorKind, PlacementKind, ScenarioSpec, SwModelKind, SyncSpec, TrafficPattern,
+    library, EstimatorKind, InstrProfile, PlacementKind, ScenarioSpec, SwModelKind, SyncSpec,
+    TrafficPattern,
 };
 use xds_sim::SimDuration;
 
@@ -88,6 +89,10 @@ pub struct BenchRun {
     /// fastest-of-N measurement method, as a flag instead of a by-hand
     /// loop).
     pub repeats: u32,
+    /// Instrumentation profile the points ran under (`lean` is the
+    /// default: the quantity under test is the simulation, not the
+    /// observation; events/bytes are profile-invariant by contract).
+    pub profile: String,
     /// Per-point measurements, in catalogue order.
     pub points: Vec<BenchPoint>,
 }
@@ -170,6 +175,7 @@ impl BenchRun {
         let _ = writeln!(o, "  \"date\": \"{}\",", self.date);
         let _ = writeln!(o, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(o, "  \"repeats\": {},", self.repeats);
+        let _ = writeln!(o, "  \"profile\": \"{}\",", self.profile);
         o.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             let _ = write!(
@@ -463,16 +469,24 @@ pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
 /// run's phase split) — the documented fastest-of-N method against host
 /// noise. Repeats must agree on events and delivered bytes (the runs are
 /// seeded identically); a mismatch is a determinism bug and errors out.
+///
+/// `profile` selects the instrumentation bundle every point runs under
+/// (the CLI defaults to [`InstrProfile::Lean`]: simulated behavior —
+/// events, delivered bytes — is identical across profiles, so lean
+/// artifacts stay comparable to historical full-fidelity baselines while
+/// excluding observation cost from the measurement).
 pub fn run_bench(
     specs: Vec<ScenarioSpec>,
     mode: &str,
     date: String,
     repeats: u32,
+    profile: InstrProfile,
     mut progress: impl FnMut(&BenchPoint),
 ) -> Result<BenchRun, String> {
     let repeats = repeats.max(1);
     let mut points = Vec::with_capacity(specs.len());
     for spec in specs {
+        let spec = spec.with_profile(profile);
         let mut best: Option<BenchPoint> = None;
         for _ in 0..repeats {
             let t0 = Instant::now();
@@ -517,6 +531,7 @@ pub fn run_bench(
         date,
         mode: mode.to_string(),
         repeats,
+        profile: profile.label().to_string(),
         points,
     })
 }
@@ -596,6 +611,7 @@ mod tests {
             date: "2026-07-30".into(),
             mode: "full".into(),
             repeats: 1,
+            profile: "full".into(),
             points: vec![
                 BenchPoint {
                     name: "uniform/n16".into(),
@@ -660,6 +676,7 @@ mod tests {
             date: "2026-07-30".into(),
             mode: "full".into(),
             repeats: 1,
+            profile: "full".into(),
             points: vec![BenchPoint {
                 name: "uniform/n16".into(),
                 scheduler: "islip_i3".into(),
@@ -711,6 +728,7 @@ mod tests {
             date: "2026-07-30".into(),
             mode: "full".into(),
             repeats: 1,
+            profile: "full".into(),
             points: vec![mk("a", 1_000_000, 1_000_000_000)],
         };
         let base = Baseline::parse(&old.to_json(None)).unwrap();
@@ -720,6 +738,7 @@ mod tests {
             date: "2026-07-31".into(),
             mode: "full".into(),
             repeats: 1,
+            profile: "full".into(),
             points: vec![
                 mk("a", 1_000_000, 500_000_000),
                 mk("b-new", 50_000_000, 1_000_000_000),
@@ -740,6 +759,7 @@ mod tests {
             date: "2026-07-30".into(),
             mode: "full".into(),
             repeats: 1,
+            profile: "full".into(),
             points: vec![
                 mk("a", 1_000_000, 1_000_000_000),
                 mk("slow", 1_000_000, 9_000_000_000),
@@ -750,6 +770,7 @@ mod tests {
             date: "2026-07-31".into(),
             mode: "full".into(),
             repeats: 1,
+            profile: "full".into(),
             points: vec![mk("a", 1_000_000, 1_000_000_000)],
         };
         let m2 = new2.matched_speedup(&base2);
@@ -764,6 +785,7 @@ mod tests {
             date: "2026-08-01".into(),
             mode: "full".into(),
             repeats: 1,
+            profile: "full".into(),
             points: vec![mk("z", 1, 1_000)],
         };
         assert!(stranger.matched_speedup(&base2).speedup().is_none());
@@ -781,7 +803,15 @@ mod tests {
             .filter(|s| s.n_ports == 16)
             .take(2)
             .collect();
-        let run = run_bench(specs, "smoke", "2026-01-01".into(), 1, |_| {}).unwrap();
+        let run = run_bench(
+            specs,
+            "smoke",
+            "2026-01-01".into(),
+            1,
+            InstrProfile::Lean,
+            |_| {},
+        )
+        .unwrap();
         assert_eq!(run.points.len(), 2);
         assert!(run.total_events() > 0);
         assert!(run.events_per_sec() > 0.0);

@@ -22,7 +22,7 @@ use xds_bench::{banner, emit, parallel_map, standard_fast, standard_slow};
 use xds_core::config::NodeConfig;
 use xds_core::demand::MirrorEstimator;
 use xds_core::node::Workload;
-use xds_core::runtime::HybridSim;
+use xds_core::runtime::SimBuilder;
 use xds_core::sched::{HotspotScheduler, IslipScheduler};
 use xds_metrics::fmt_bytes;
 use xds_sim::{BitRate, SimDuration, SimRng, SimTime};
@@ -65,36 +65,36 @@ fn run_row(reconfig: SimDuration) -> Row {
     tune(&mut fast_cfg);
     let epoch = fast_cfg.epoch;
     let horizon = SimTime::ZERO + (epoch * 8).max(SimDuration::from_millis(20));
-    let fast = HybridSim::new(
-        fast_cfg.clone(),
-        workload(N, 42, 9_000, TrafficMatrix::uniform(N)),
-        Box::new(IslipScheduler::new(N, 3)),
-        Box::new(MirrorEstimator::new(N)),
-    )
-    .run(horizon);
+    let fast = SimBuilder::new(fast_cfg.clone())
+        .workload(workload(N, 42, 9_000, TrafficMatrix::uniform(N)))
+        .scheduler(Box::new(IslipScheduler::new(N, 3)))
+        .estimator(Box::new(MirrorEstimator::new(N)))
+        .build()
+        .expect("valid testbed")
+        .run(horizon);
 
     // Same placement under permutation traffic (one live VOQ per port —
     // the per-port regime the paper's first-order model describes).
-    let fast_perm = HybridSim::new(
-        fast_cfg,
-        workload(N, 42, 9_000, TrafficMatrix::permutation(N, 7)),
-        Box::new(IslipScheduler::new(N, 3)),
-        Box::new(MirrorEstimator::new(N)),
-    )
-    .run(horizon);
+    let fast_perm = SimBuilder::new(fast_cfg)
+        .workload(workload(N, 42, 9_000, TrafficMatrix::permutation(N, 7)))
+        .scheduler(Box::new(IslipScheduler::new(N, 3)))
+        .estimator(Box::new(MirrorEstimator::new(N)))
+        .build()
+        .expect("valid testbed")
+        .run(horizon);
 
     // Slow placement: software scheduler, host VOQs, same cadence.
     let mut slow_cfg = standard_slow(N, reconfig);
     tune(&mut slow_cfg);
     slow_cfg.epoch = epoch.max(slow_cfg.epoch);
     let slow_horizon = SimTime::ZERO + (slow_cfg.epoch * 8).max(SimDuration::from_millis(20));
-    let slow = HybridSim::new(
-        slow_cfg,
-        workload(N, 42, 9_000, TrafficMatrix::uniform(N)),
-        Box::new(HotspotScheduler::new(50_000)),
-        Box::new(MirrorEstimator::new(N)),
-    )
-    .run(slow_horizon);
+    let slow = SimBuilder::new(slow_cfg)
+        .workload(workload(N, 42, 9_000, TrafficMatrix::uniform(N)))
+        .scheduler(Box::new(HotspotScheduler::new(50_000)))
+        .estimator(Box::new(MirrorEstimator::new(N)))
+        .build()
+        .expect("valid testbed")
+        .run(slow_horizon);
 
     // Paper first-order model: all ports at `LOAD` accumulate for one
     // scheduling period (10× switching time, i.e. a 90 % duty cycle).

@@ -13,7 +13,7 @@
 use xds_bench::{banner, emit, standard_fast};
 use xds_core::demand::MirrorEstimator;
 use xds_core::node::Workload;
-use xds_core::runtime::HybridSim;
+use xds_core::runtime::SimBuilder;
 use xds_core::sched::IslipScheduler;
 use xds_hw::{ClockDomain, HwAlgo, HwSchedulerModel};
 use xds_metrics::Table;
@@ -67,13 +67,13 @@ fn main() {
         SimRng::new(7),
     );
     let apps = vec![CbrApp::voip(0, PortNo(1), PortNo(6), SimTime::ZERO)];
-    let report = HybridSim::new(
-        cfg,
-        Workload::flows(flows).with_apps(apps),
-        Box::new(IslipScheduler::new(n, 3)),
-        Box::new(MirrorEstimator::new(n)),
-    )
-    .run(SimTime::from_millis(20));
+    let report = SimBuilder::new(cfg)
+        .workload(Workload::flows(flows).with_apps(apps))
+        .scheduler(Box::new(IslipScheduler::new(n, 3)))
+        .estimator(Box::new(MirrorEstimator::new(n)))
+        .build()
+        .expect("valid testbed")
+        .run(SimTime::from_millis(20));
 
     emit("fig2_run_summary", &report.summary_table());
 

@@ -3,10 +3,11 @@
 //! ```text
 //! sweep list
 //! sweep run <scenario>[,<scenario>…]|all [options]
+//! sweep timeseries <scenario>[,<scenario>…]|all [options]
 //! sweep bench [--smoke] [--baseline file.json] [--out file.json] [--date YYYY-MM-DD]
-//!             [--repeat N]
+//!             [--repeat N] [--profile full|lean]
 //!
-//! options (run):
+//! options (run / timeseries):
 //!   --ports n1,n2,…        port-count axis          (default: scenario's)
 //!   --loads l1,l2,…        offered-load axis        (default: scenario's)
 //!   --schedulers s1,s2,…   scheduler axis by name   (default: scenario's)
@@ -15,10 +16,16 @@
 //!   --duration-ms d        horizon per point        (default: scenario's)
 //!   --threads t            worker threads           (default: all cores)
 //!   --out name             artifact basename        (default: sweep_<scenario>)
+//!   --profile p            instrumentation profile: full|lean|timeseries
+//!                          (run only; default full)
 //! ```
 //!
 //! Every run prints the aggregate table and saves machine-readable
-//! `results/<out>.json` and `results/<out>.csv`.
+//! `results/<out>.json` and `results/<out>.csv`. When any point runs the
+//! `timeseries` instrumentation profile, the epoch-resolution stream is
+//! additionally saved as `results/<out>.timeseries.{json,csv}` — one row
+//! per `(point, epoch)` with demand error, duty cycle and VOQ backlog.
+//! `sweep timeseries` is shorthand for `sweep run --profile timeseries`.
 //!
 //! `sweep bench` runs the pinned perf-baseline subset (see
 //! [`xds_bench::bench`]) sequentially on one thread, prints wall-clock and
@@ -26,13 +33,18 @@
 //! `--baseline`, per-point and aggregate speedups against a previous
 //! artifact are embedded. `--repeat N` runs every point N times and keeps
 //! the fastest (the documented measurement method on a noisy host; the
-//! artifact records `repeats`). `--smoke` is the CI liveness mode: ~20×
-//! shorter horizons, output under `results/`.
+//! artifact records `repeats`). Bench points default to the `lean`
+//! instrumentation profile — events and delivered bytes are identical to
+//! `full` (enforced by the instrument-equivalence test), so the artifact
+//! stays comparable to historical baselines while excluding observation
+//! cost from the measurement; the artifact records `profile`. `--smoke`
+//! is the CI liveness mode: ~20× shorter horizons, output under
+//! `results/`.
 
 use std::process::ExitCode;
 
 use xds_bench::emit_sweep;
-use xds_scenario::{library, ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid};
+use xds_scenario::{library, InstrProfile, ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid};
 use xds_sim::SimDuration;
 
 fn usage() -> ExitCode {
@@ -40,8 +52,10 @@ fn usage() -> ExitCode {
         "usage:\n  sweep list\n  sweep run <scenario>[,…]|all [--ports n,…] [--loads l,…]\n\
          \x20            [--schedulers s,…] [--seeds s,…] [--reconfigs-us r,…]\n\
          \x20            [--duration-ms d] [--threads t] [--out name]\n\
+         \x20            [--profile full|lean|timeseries]\n\
+         \x20 sweep timeseries <scenario>[,…]|all [run options]\n\
          \x20 sweep bench [--smoke] [--baseline file.json] [--out file.json]\n\
-         \x20            [--date YYYY-MM-DD] [--repeat N]\n\
+         \x20            [--date YYYY-MM-DD] [--repeat N] [--profile full|lean]\n\
          scenarios: {}",
         library::all_names().join(", ")
     );
@@ -67,6 +81,7 @@ struct Options {
     duration: Option<SimDuration>,
     threads: Option<usize>,
     out: Option<String>,
+    profile: Option<InstrProfile>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -79,6 +94,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         duration: None,
         threads: None,
         out: None,
+        profile: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -113,6 +129,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--threads" => o.threads = Some(value()?.parse().map_err(|_| "bad --threads")?),
             "--out" => o.out = Some(value()?),
+            "--profile" => {
+                let v = value()?;
+                o.profile = Some(
+                    InstrProfile::from_name(&v)
+                        .ok_or_else(|| format!("unknown profile {v:?} (full|lean|timeseries)"))?,
+                )
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -131,6 +154,9 @@ fn run(names: &str, opts: Options) -> Result<(), String> {
             library::scenario(name).ok_or_else(|| format!("unknown scenario {name:?}"))?;
         if let Some(d) = opts.duration {
             base = base.with_duration(d);
+        }
+        if let Some(p) = opts.profile {
+            base = base.with_profile(p);
         }
         let mut grid = SweepGrid::new(base);
         if !opts.ports.is_empty() {
@@ -165,6 +191,11 @@ fn run(names: &str, opts: Options) -> Result<(), String> {
         .clone()
         .unwrap_or_else(|| format!("sweep_{}", names.join("_")));
     emit_sweep(&out, &format!("sweep: {}", names.join(", ")), &results);
+    if results.has_timeseries() {
+        for path in results.write_timeseries_artifacts(&out) {
+            println!("[saved {}]", path.display());
+        }
+    }
     let failed = results.points.iter().filter(|p| p.report.is_err()).count();
     if failed > 0 {
         Err(format!("{failed} point(s) failed"))
@@ -179,6 +210,7 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     let mut out: Option<String> = None;
     let mut date: Option<String> = None;
     let mut repeat: u32 = 1;
+    let mut profile = InstrProfile::Lean;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -198,6 +230,13 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
                     .filter(|&r| r >= 1)
                     .ok_or("bad --repeat (need an integer >= 1)")?
             }
+            "--profile" => {
+                let v = value()?;
+                profile = match InstrProfile::from_name(&v) {
+                    Some(p @ (InstrProfile::Full | InstrProfile::Lean)) => p,
+                    _ => return Err(format!("bad --profile {v:?} (bench takes full|lean)")),
+                }
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -213,10 +252,11 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     let specs = xds_bench::bench::catalogue(smoke);
     println!(
         "sweep bench: {} pinned point(s), mode={mode}, fastest-of-{repeat}, \
-         sequential single-thread\n",
-        specs.len()
+         profile={}, sequential single-thread\n",
+        specs.len(),
+        profile.label()
     );
-    let run = xds_bench::bench::run_bench(specs, mode, date.clone(), repeat, |p| {
+    let run = xds_bench::bench::run_bench(specs, mode, date.clone(), repeat, profile, |p| {
         println!(
             "  {:<20} {:>10} events {:>9.1} ms {:>12.0} ev/s",
             p.name,
@@ -303,6 +343,31 @@ fn main() -> ExitCode {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("sweep: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("timeseries") => {
+            // `sweep run --profile timeseries` with the profile pinned:
+            // the epoch-resolution artifact is the whole point here.
+            let Some(names) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let parsed = parse_options(&args[2..]).and_then(|mut o| {
+                // Reject a conflicting explicit profile instead of
+                // silently overriding it (mirrors bench's behavior).
+                if matches!(o.profile, Some(p) if p != InstrProfile::TimeSeries) {
+                    return Err("the timeseries subcommand pins --profile timeseries; \
+                         use `sweep run --profile <p>` for other profiles"
+                        .into());
+                }
+                o.profile = Some(InstrProfile::TimeSeries);
+                Ok(o)
+            });
+            match parsed.and_then(|o| run(names, o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("sweep timeseries: {e}");
                     ExitCode::FAILURE
                 }
             }

@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod demand;
+pub mod instrument;
 pub mod node;
 pub mod pool;
 pub mod processing;
@@ -42,8 +43,12 @@ pub mod switching;
 
 pub use config::{NodeConfig, Placement};
 pub use demand::{DemandEstimator, DemandMatrix, SchedRequest};
+pub use instrument::{
+    DeliveryPath, DeliveryRecord, DeliverySink, DropCause, DropSink, EpochProbe, EpochSample,
+    InstrProfile, Instrumentation, SinkCtx,
+};
 pub use node::{MatrixCycle, Workload};
 pub use pool::{PacketPool, PktFifo};
-pub use report::RunReport;
-pub use runtime::HybridSim;
+pub use report::{MetricValue, RunReport};
+pub use runtime::{BuildError, HybridSim, SimBuilder};
 pub use sched::{Schedule, ScheduleCtx, ScheduleEntry, Scheduler};

@@ -1,6 +1,13 @@
 //! Run reports: every experiment consumes the same measurement bundle.
+//!
+//! Derived metrics are exposed twice: as typed methods
+//! ([`RunReport::throughput_gbps`], …) and as the canonical
+//! [`RunReport::metric_columns`] list — the single accessor layer both
+//! the human [`RunReport::summary_table`] and the machine-readable sweep
+//! rows (`xds_scenario::output`) derive their cells from, so the two can
+//! never disagree on what a column means.
 
-use xds_metrics::{FctStats, LatencyHistogram, SizeClass, Table};
+use xds_metrics::{EpochSeries, FctStats, LatencyHistogram, SizeClass, Table};
 use xds_sim::SimDuration;
 use xds_switch::{EpsStats, OcsStats};
 
@@ -91,6 +98,24 @@ pub struct RunReport {
     /// [`trace_json`](Self::trace_json): wall-clock is nondeterministic,
     /// and the golden traces pin simulated behavior only.
     pub phases: EpochPhaseNs,
+
+    /// Epoch-resolution telemetry (per-epoch demand error, duty cycle,
+    /// VOQ backlog), recorded only under the `timeseries`
+    /// instrumentation profile. Like [`phases`](Self::phases), excluded
+    /// from [`trace_json`](Self::trace_json) — the golden traces pin the
+    /// classic aggregate bundle.
+    pub timeseries: Option<EpochSeries>,
+
+    /// Whether a delivery sink actually observed this run (false under
+    /// the `lean` profile). When false, the latency/FCT fields above are
+    /// *unmeasured*, not zero, and [`metric_columns`](Self::metric_columns)
+    /// renders them as `null` so lean rows cannot be mistaken for
+    /// "measured zero". Excluded from `trace_json` (goldens always run
+    /// full fidelity).
+    pub measured_deliveries: bool,
+    /// Whether buffer-peak accounting ran (false under `lean`): when
+    /// false the peak-buffer fields are unmeasured, not zero.
+    pub measured_buffers: bool,
 }
 
 /// Wall-clock nanoseconds the simulator spent in each phase of the
@@ -108,6 +133,60 @@ pub struct EpochPhaseNs {
     pub decompose: u64,
     /// Grant execution when a slot activates (fast mode).
     pub apply: u64,
+}
+
+/// A single machine-readable metric value from the
+/// [`RunReport::metric_columns`] accessor layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Exact counter.
+    U64(u64),
+    /// Derived rate/ratio.
+    F64(f64),
+    /// Optional float (absent renders as `null`/empty).
+    OptF64(Option<f64>),
+    /// Optional counter (absent renders as `null`/empty).
+    OptU64(Option<u64>),
+}
+
+impl MetricValue {
+    /// Deterministic JSON literal: integers verbatim, floats in Rust's
+    /// shortest-roundtrip `{:?}` form, absent/non-finite as `null`.
+    pub fn json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:?}")
+            } else {
+                "null".into()
+            }
+        }
+        match self {
+            MetricValue::U64(v) => v.to_string(),
+            MetricValue::F64(v) => f(*v),
+            MetricValue::OptF64(v) => v.map(f).unwrap_or_else(|| "null".into()),
+            MetricValue::OptU64(v) => v.map(|x| x.to_string()).unwrap_or_else(|| "null".into()),
+        }
+    }
+
+    /// The value as a float, if present (counters widen losslessly
+    /// enough for presentation).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            MetricValue::U64(v) => Some(*v as f64),
+            MetricValue::F64(v) => Some(*v),
+            MetricValue::OptF64(v) => *v,
+            MetricValue::OptU64(v) => v.map(|x| x as f64),
+        }
+    }
+
+    /// The value as an exact counter, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            MetricValue::U64(v) => Some(*v),
+            MetricValue::OptU64(v) => *v,
+            _ => None,
+        }
+    }
 }
 
 impl RunReport {
@@ -282,6 +361,87 @@ impl RunReport {
         o
     }
 
+    /// The canonical machine-readable metric columns, in stable order:
+    /// the one list every row emitter (sweep JSON/CSV) and the summary
+    /// table derive their report-backed cells from. Names are stable
+    /// column identifiers.
+    pub fn metric_columns(&self) -> Vec<(&'static str, MetricValue)> {
+        use MetricValue as V;
+        // Observation-derived columns render as absent (`null`/empty)
+        // when their recorder did not run: a lean row must not read as
+        // "measured zero latency / zero buffering".
+        let obs = |v: u64| {
+            if self.measured_deliveries {
+                V::OptU64(Some(v))
+            } else {
+                V::OptU64(None)
+            }
+        };
+        let buf = |v: u64| {
+            if self.measured_buffers {
+                V::OptU64(Some(v))
+            } else {
+                V::OptU64(None)
+            }
+        };
+        vec![
+            ("events", V::U64(self.events)),
+            ("offered_bytes", V::U64(self.offered_bytes)),
+            ("offered_flows", V::U64(self.offered_flows)),
+            ("completed_flows", obs(self.completed_flows)),
+            ("delivered_ocs_bytes", V::U64(self.delivered_ocs_bytes)),
+            ("delivered_eps_bytes", V::U64(self.delivered_eps_bytes)),
+            ("throughput_gbps", V::F64(self.throughput_gbps())),
+            ("goodput", V::F64(self.goodput_fraction())),
+            ("ocs_byte_share", V::F64(self.ocs_byte_share())),
+            ("ocs_duty_cycle", V::F64(self.ocs_duty_cycle())),
+            ("p50_bulk_ns", obs(self.latency_bulk.p50())),
+            ("p99_bulk_ns", obs(self.latency_bulk.p99())),
+            ("p50_inter_ns", obs(self.latency_interactive.p50())),
+            ("p99_inter_ns", obs(self.latency_interactive.p99())),
+            ("jitter_mean_ns", V::OptF64(self.voip_jitter_mean_ns)),
+            ("jitter_max_ns", V::OptF64(self.voip_jitter_max_ns)),
+            (
+                "fct_p99_ns",
+                V::OptU64(self.fct_overall.as_ref().map(|x| x.p99_ns)),
+            ),
+            ("drops_voq", V::U64(self.drops.voq_full)),
+            ("drops_eps", V::U64(self.drops.eps_full)),
+            ("drops_sync", V::U64(self.drops.sync_violation)),
+            ("peak_host_buffer", buf(self.peak_host_buffer)),
+            ("peak_switch_buffer", buf(self.peak_switch_buffer)),
+            ("ocs_reconfigurations", V::U64(self.ocs.reconfigurations)),
+            ("decisions", V::U64(self.decisions)),
+            (
+                "decision_latency_mean_ns",
+                V::F64(self.decision_latency_mean_ns),
+            ),
+            ("demand_error_mean", V::OptF64(self.demand_error_mean)),
+        ]
+    }
+
+    /// Looks one canonical metric column up by name.
+    pub fn metric(&self, name: &str) -> Option<MetricValue> {
+        self.metric_columns()
+            .into_iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Looks a canonical column up in an already-materialized
+    /// [`metric_columns`](Self::metric_columns) slice — the shared lens
+    /// every table renderer uses, so a renamed column fails in one
+    /// place.
+    ///
+    /// # Panics
+    /// Panics on an unknown name (the canonical set is closed).
+    pub fn column(cols: &[(&'static str, MetricValue)], name: &str) -> MetricValue {
+        cols.iter()
+            .find(|(k, _)| *k == name)
+            .unwrap_or_else(|| panic!("unknown metric column {name}"))
+            .1
+    }
+
     /// FCT stats for one class.
     pub fn fct(&self, class: SizeClass) -> Option<&FctStats> {
         match class {
@@ -292,8 +452,28 @@ impl RunReport {
     }
 
     /// Renders the headline numbers as a table (used by the quickstart
-    /// example and F2).
+    /// example and F2). Every report-derived cell is pulled from the
+    /// same [`metric_columns`](Self::metric_columns) accessor layer the
+    /// machine-readable sweep rows use — only the formatting differs.
+    /// Unmeasured observables (lean profile) render as `-`.
     pub fn summary_table(&self) -> Table {
+        let cols = self.metric_columns();
+        let m = |name: &str| Self::column(&cols, name);
+        let u = |name: &str| m(name).as_u64().expect("counter column");
+        let f = |name: &str| m(name).as_f64().expect("numeric column");
+        // Observation columns may be absent (unmeasured).
+        let bytes_or_dash = |name: &str| {
+            m(name)
+                .as_u64()
+                .map(xds_metrics::fmt_bytes)
+                .unwrap_or_else(|| "-".into())
+        };
+        let ns_or_dash = |name: &str| {
+            m(name)
+                .as_u64()
+                .map(|v| format!("{v}ns"))
+                .unwrap_or_else(|| "-".into())
+        };
         let mut t = Table::new(
             format!("run summary: {} / {}", self.scheduler, self.placement),
             &["metric", "value"],
@@ -302,34 +482,31 @@ impl RunReport {
             t.row(vec![k.to_string(), v]);
         };
         row("horizon", self.horizon.to_string());
-        row("offered", xds_metrics::fmt_bytes(self.offered_bytes));
+        row("offered", xds_metrics::fmt_bytes(u("offered_bytes")));
         row(
             "delivered (ocs/eps)",
             format!(
                 "{} / {}",
-                xds_metrics::fmt_bytes(self.delivered_ocs_bytes),
-                xds_metrics::fmt_bytes(self.delivered_eps_bytes)
+                xds_metrics::fmt_bytes(u("delivered_ocs_bytes")),
+                xds_metrics::fmt_bytes(u("delivered_eps_bytes"))
             ),
         );
-        row("throughput", format!("{:.3} Gbps", self.throughput_gbps()));
-        row("p99 latency bulk", format!("{}ns", self.latency_bulk.p99()));
-        row(
-            "p99 latency interactive",
-            format!("{}ns", self.latency_interactive.p99()),
-        );
+        row("throughput", format!("{:.3} Gbps", f("throughput_gbps")));
+        row("p99 latency bulk", ns_or_dash("p99_bulk_ns"));
+        row("p99 latency interactive", ns_or_dash("p99_inter_ns"));
         row(
             "peak buffer host/switch",
             format!(
                 "{} / {}",
-                xds_metrics::fmt_bytes(self.peak_host_buffer),
-                xds_metrics::fmt_bytes(self.peak_switch_buffer)
+                bytes_or_dash("peak_host_buffer"),
+                bytes_or_dash("peak_switch_buffer")
             ),
         );
         row("drops", format!("{:?}", self.drops));
-        row("decisions", self.decisions.to_string());
+        row("decisions", u("decisions").to_string());
         row(
             "mean decision latency",
-            format!("{:.0}ns", self.decision_latency_mean_ns),
+            format!("{:.0}ns", f("decision_latency_mean_ns")),
         );
         t
     }
@@ -368,6 +545,9 @@ mod tests {
             decision_latency_mean_ns: 0.0,
             demand_error_mean: None,
             phases: EpochPhaseNs::default(),
+            timeseries: None,
+            measured_deliveries: true,
+            measured_buffers: true,
         }
     }
 
@@ -407,5 +587,34 @@ mod tests {
         assert!(!t.is_empty());
         let text = t.render_text();
         assert!(text.contains("throughput"));
+    }
+
+    #[test]
+    fn metric_columns_cover_the_canonical_set_and_agree_with_methods() {
+        let mut r = blank();
+        r.delivered_ocs_bytes = 9_000_000;
+        r.delivered_eps_bytes = 1_000_000;
+        r.offered_bytes = 20_000_000;
+        r.decisions = 7;
+        let cols = r.metric_columns();
+        // Stable, duplicate-free names.
+        let mut names: Vec<&str> = cols.iter().map(|(k, _)| *k).collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n, "metric column names must be unique");
+        // The accessor agrees with the typed methods it wraps.
+        assert_eq!(
+            r.metric("throughput_gbps").unwrap().as_f64().unwrap(),
+            r.throughput_gbps()
+        );
+        assert_eq!(r.metric("decisions").unwrap().as_u64(), Some(7));
+        assert_eq!(r.metric("no_such_column"), None);
+        // JSON literals are deterministic and null-safe.
+        assert_eq!(MetricValue::U64(3).json(), "3");
+        assert_eq!(MetricValue::F64(0.5).json(), "0.5");
+        assert_eq!(MetricValue::F64(f64::NAN).json(), "null");
+        assert_eq!(MetricValue::OptF64(None).json(), "null");
+        assert_eq!(MetricValue::OptU64(Some(9)).json(), "9");
     }
 }

@@ -12,25 +12,31 @@
 //!
 //! The event loop owns all state (no interior mutability): every handler
 //! is a match arm over the private event enum.
+//!
+//! Metric recording is **not** inlined here: the runtime hands batched
+//! [`DeliveryRecord`]s, per-epoch [`EpochSample`]s and drop events to the
+//! [`Instrumentation`] bundle the simulation was built with (see
+//! [`crate::instrument`]), so observables grow without touching the hot
+//! path. Simulations are assembled with [`SimBuilder`], which returns a
+//! typed [`BuildError`] instead of panicking on bad input.
 
-use xds_metrics::{FctTracker, LatencyHistogram, Rfc3550Jitter, SizeClass};
 use xds_net::{Packet, TrafficClass};
 use xds_sim::{EventQueue, SimDuration, SimRng, SimTime, Simulation, TxTimeCache};
 use xds_switch::{BufferTracker, Site};
 use xds_traffic::{packet_sizes, FlowSpec};
 
 use crate::config::{NodeConfig, Placement};
-use crate::demand::{DemandEstimator, DemandMatrix, SchedRequest};
+use crate::demand::{DemandEstimator, DemandMatrix, MirrorEstimator, SchedRequest};
+use crate::instrument::{
+    DeliveryPath, DeliveryRecord, DeliverySink, DropCause, DropSink, EpochProbe, EpochSample,
+    Instrumentation, SinkCtx, APP_FLOW_BASE,
+};
 use crate::node::Workload;
 use crate::pool::{PacketPool, PktFifo};
 use crate::processing::ProcessingLogic;
-use crate::report::{DropStats, EpochPhaseNs, RunReport};
+use crate::report::{EpochPhaseNs, RunReport};
 use crate::sched::{Schedule, ScheduleCtx, Scheduler};
 use crate::switching::SwitchingLogic;
-
-/// Flow ids at or above this are interactive app streams, not tracked by
-/// the FCT machinery.
-const APP_FLOW_BASE: u64 = u64::MAX / 2;
 
 /// Simulation events.
 ///
@@ -72,12 +78,6 @@ enum Ev {
     OcsIn { pkt: Packet },
     /// Rotate the workload's traffic matrix (E6's moving hotspot).
     RotateMatrix { idx: usize },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Via {
-    Ocs,
-    Eps,
 }
 
 /// Per-host state. Field order is deliberate: the pump path (once per
@@ -206,22 +206,33 @@ struct SimState {
     /// drain traffic were ~8% of the point).
     release_scratch: Vec<(u64, u64)>,
 
-    // metrics
+    // Core accounting the runtime always keeps exact, under every
+    // instrumentation profile: these O(1) adds define the run's identity
+    // (events and delivered bytes must match across profiles).
     next_pkt_id: u64,
     offered_bytes: u64,
     offered_flows: u64,
     delivered_ocs: u64,
     delivered_eps: u64,
-    latency_interactive: LatencyHistogram,
-    latency_short: LatencyHistogram,
-    latency_bulk: LatencyHistogram,
-    fct: FctTracker,
-    jitters: Vec<Rfc3550Jitter>,
-    drops: DropStats,
     decisions: u64,
     decision_ns_sum: u128,
-    demand_err_sum: f64,
-    demand_err_n: u64,
+
+    // Pluggable observation (see `crate::instrument`). The capability
+    // flags are resolved once at build so the per-packet path tests a
+    // bool, never a vtable.
+    delivery_sink: Box<dyn DeliverySink>,
+    epoch_probe: Box<dyn EpochProbe>,
+    drop_sink: Box<dyn DropSink>,
+    /// Cached `delivery_sink.wants_batches()`.
+    want_deliveries: bool,
+    /// Cached `epoch_probe.wants_demand_error()`.
+    want_demand_error: bool,
+    /// Whether buffer-peak accounting (the radix release queue) runs.
+    track_buffers: bool,
+    /// Delivery records accumulated across one grant burst (or one EPS /
+    /// slow-mode delivery) and flushed to the sink as a single batch.
+    delivery_scratch: Vec<DeliveryRecord>,
+
     /// Wall-clock split of the epoch path (estimate / decompose /
     /// apply), accumulated with `Instant` around the three phases. The
     /// clock is read a handful of times per *epoch* (not per event), so
@@ -243,34 +254,40 @@ impl SimState {
         }
     }
 
-    fn record_delivery(&mut self, pkt: &Packet, at: SimTime, via: Via) {
-        let lat = at.saturating_since(pkt.created).as_nanos();
-        match pkt.class {
-            TrafficClass::Interactive => {
-                self.latency_interactive.record(lat);
-                if pkt.flow >= APP_FLOW_BASE {
-                    let app = (pkt.flow - APP_FLOW_BASE) as usize;
-                    if let Some(j) = self.jitters.get_mut(app) {
-                        j.on_packet(pkt.created, at);
-                    }
-                }
-            }
-            TrafficClass::Short => self.latency_short.record(lat),
-            TrafficClass::Bulk => self.latency_bulk.record(lat),
-        }
+    /// Books a delivery: the exact byte counters update inline (they are
+    /// profile-invariant), the observation — latency, jitter, FCT — is
+    /// deferred into the burst batch handed to the delivery sink by
+    /// [`flush_deliveries`](Self::flush_deliveries).
+    fn record_delivery(&mut self, pkt: &Packet, at: SimTime, via: DeliveryPath) {
         match via {
-            Via::Ocs => self.delivered_ocs += pkt.bytes as u64,
-            Via::Eps => self.delivered_eps += pkt.bytes as u64,
+            DeliveryPath::Ocs => self.delivered_ocs += pkt.bytes as u64,
+            DeliveryPath::Eps => self.delivered_eps += pkt.bytes as u64,
         }
-        if pkt.flow < APP_FLOW_BASE {
-            self.fct.bytes_delivered(pkt.flow, pkt.bytes as u64, at);
+        if self.want_deliveries {
+            self.delivery_scratch.push(DeliveryRecord {
+                flow: pkt.flow,
+                bytes: pkt.bytes,
+                class: pkt.class,
+                created: pkt.created,
+                delivered: at,
+                via,
+            });
+        }
+    }
+
+    /// Hands the accumulated burst to the delivery sink (one virtual
+    /// call per grant burst, not per packet) and resets the scratch.
+    fn flush_deliveries(&mut self) {
+        if !self.delivery_scratch.is_empty() {
+            self.delivery_sink.on_batch(&self.delivery_scratch);
+            self.delivery_scratch.clear();
         }
     }
 
     fn inject_flow(&mut self, q: &mut EventQueue<Ev>, now: SimTime, f: FlowSpec) {
         self.offered_bytes += f.bytes;
         self.offered_flows += 1;
-        self.fct.flow_started(f.id, f.bytes, now);
+        self.delivery_sink.on_flow_started(f.id, f.bytes, now);
         let host = f.src.index();
         let gated = self.gated(f.class);
         for (seq, size) in packet_sizes(f.bytes, self.cfg.mtu).enumerate() {
@@ -294,7 +311,9 @@ impl SimState {
                 h.voq_total += size as u64;
                 h.voq_arrived[d] += size as u64;
                 h.voq_dirty[d] = true;
-                self.buffers.on_enqueue(Site::Host, size as u64, now);
+                if self.track_buffers {
+                    self.buffers.on_enqueue(Site::Host, size as u64, now);
+                }
             } else {
                 let h = &mut self.hosts[host];
                 let q = match pkt.class {
@@ -352,35 +371,169 @@ impl SimState {
     }
 }
 
-/// The assembled simulation: configuration + workload + scheduling logic.
-pub struct HybridSim {
-    state: SimState,
-    sim: Simulation<Ev>,
+/// Why a simulation could not be assembled. Returned (typed, never
+/// panicked) by [`SimBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The configuration failed [`NodeConfig::validate`].
+    InvalidConfig(String),
+    /// The workload's traffic matrix spans a different port space than
+    /// the switch.
+    PortSpaceMismatch {
+        /// Port count of the workload's traffic matrix.
+        workload_ports: usize,
+        /// Port count of the switch configuration.
+        switch_ports: usize,
+    },
+    /// An interactive app names an endpoint outside the switch's ports.
+    AppEndpointOutOfRange {
+        /// Index of the offending app in the workload.
+        app: usize,
+        /// The app's source port.
+        src: usize,
+        /// The app's destination port.
+        dst: usize,
+        /// Port count of the switch configuration.
+        switch_ports: usize,
+    },
+    /// No scheduler was supplied to the builder.
+    MissingScheduler,
 }
 
-impl HybridSim {
-    /// Builds a testbed run.
-    ///
-    /// # Panics
-    /// Panics if the configuration fails [`NodeConfig::validate`] or the
-    /// workload's port space exceeds the switch's.
-    pub fn new(
-        cfg: NodeConfig,
-        workload: Workload,
-        scheduler: Box<dyn Scheduler>,
-        estimator: Box<dyn DemandEstimator>,
-    ) -> Self {
-        cfg.validate().expect("invalid configuration");
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            BuildError::PortSpaceMismatch {
+                workload_ports,
+                switch_ports,
+            } => write!(
+                f,
+                "workload port count mismatch: workload spans {workload_ports} ports, \
+                 switch has {switch_ports}"
+            ),
+            BuildError::AppEndpointOutOfRange {
+                app,
+                src,
+                dst,
+                switch_ports,
+            } => write!(
+                f,
+                "app endpoints out of range: app {app} uses {src} -> {dst} on a \
+                 {switch_ports}-port switch"
+            ),
+            BuildError::MissingScheduler => {
+                write!(f, "no scheduler supplied (SimBuilder::scheduler)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Assembles a [`HybridSim`]: configuration, workload, scheduling logic
+/// and an [`Instrumentation`] bundle, validated into a typed
+/// [`BuildError`] instead of a panic.
+///
+/// ```
+/// use xds_core::config::NodeConfig;
+/// use xds_core::runtime::SimBuilder;
+/// use xds_core::sched::IslipScheduler;
+/// use xds_hw::{HwAlgo, HwSchedulerModel};
+/// use xds_sim::SimDuration;
+///
+/// let n = 4;
+/// let cfg = NodeConfig::fast(
+///     n,
+///     SimDuration::from_nanos(100),
+///     HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 }),
+/// );
+/// let sim = SimBuilder::new(cfg)
+///     .scheduler(Box::new(IslipScheduler::new(n, 3)))
+///     .build()
+///     .expect("valid configuration");
+/// # let _ = sim;
+/// ```
+pub struct SimBuilder {
+    cfg: NodeConfig,
+    workload: Workload,
+    scheduler: Option<Box<dyn Scheduler>>,
+    estimator: Option<Box<dyn DemandEstimator>>,
+    instr: Instrumentation,
+}
+
+impl SimBuilder {
+    /// Starts a build from a configuration. Defaults: an empty workload,
+    /// a [`MirrorEstimator`] sized to the switch, full-fidelity
+    /// instrumentation, and **no scheduler** (one must be supplied).
+    pub fn new(cfg: NodeConfig) -> Self {
+        SimBuilder {
+            cfg,
+            workload: Workload::apps_only(Vec::new()),
+            scheduler: None,
+            estimator: None,
+            instr: Instrumentation::full(),
+        }
+    }
+
+    /// Sets the workload (background flows + interactive apps).
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the scheduling algorithm (required).
+    pub fn scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Sets the demand estimator (defaults to the exact occupancy
+    /// mirror).
+    pub fn estimator(mut self, estimator: Box<dyn DemandEstimator>) -> Self {
+        self.estimator = Some(estimator);
+        self
+    }
+
+    /// Sets the instrumentation bundle (defaults to
+    /// [`Instrumentation::full`]).
+    pub fn instrumentation(mut self, instr: Instrumentation) -> Self {
+        self.instr = instr;
+        self
+    }
+
+    /// Validates and assembles the simulation.
+    pub fn build(self) -> Result<HybridSim, BuildError> {
+        let SimBuilder {
+            cfg,
+            workload,
+            scheduler,
+            estimator,
+            mut instr,
+        } = self;
+        cfg.validate().map_err(BuildError::InvalidConfig)?;
         let n = cfg.n_ports;
         if let Some(g) = &workload.flows {
-            assert_eq!(g.matrix().n(), n, "workload port count mismatch");
+            if g.matrix().n() != n {
+                return Err(BuildError::PortSpaceMismatch {
+                    workload_ports: g.matrix().n(),
+                    switch_ports: n,
+                });
+            }
         }
-        for a in &workload.apps {
-            assert!(
-                a.src.index() < n && a.dst.index() < n,
-                "app endpoints out of range"
-            );
+        for (i, a) in workload.apps.iter().enumerate() {
+            if a.src.index() >= n || a.dst.index() >= n {
+                return Err(BuildError::AppEndpointOutOfRange {
+                    app: i,
+                    src: a.src.index(),
+                    dst: a.dst.index(),
+                    switch_ports: n,
+                });
+            }
         }
+        let scheduler = scheduler.ok_or(BuildError::MissingScheduler)?;
+        let estimator = estimator.unwrap_or_else(|| Box::new(MirrorEstimator::new(n)));
+
         let mut rng = SimRng::new(cfg.seed);
         let (is_hw, ctrl_oneway) = match &cfg.placement {
             Placement::Hardware(_) => (true, SimDuration::ZERO),
@@ -393,7 +546,12 @@ impl HybridSim {
                 h.clock_offset_ns = sync.sample_offset_ns(&mut sync_rng);
             }
         }
-        let jitters = workload.apps.iter().map(|_| Rfc3550Jitter::new()).collect();
+        instr.delivery.bind(&SinkCtx {
+            n_ports: n,
+            n_apps: workload.apps.len(),
+        });
+        let want_deliveries = instr.delivery.wants_batches();
+        let want_demand_error = instr.epoch.wants_demand_error();
         let estimator_is_mirror = estimator.mirrors_occupancy();
         let state = SimState {
             proc: ProcessingLogic::new(n, cfg.voq_capacity),
@@ -430,23 +588,62 @@ impl HybridSim {
             offered_flows: 0,
             delivered_ocs: 0,
             delivered_eps: 0,
-            latency_interactive: LatencyHistogram::new(),
-            latency_short: LatencyHistogram::new(),
-            latency_bulk: LatencyHistogram::new(),
-            fct: FctTracker::new(),
-            jitters,
-            drops: DropStats::default(),
             decisions: 0,
             decision_ns_sum: 0,
-            demand_err_sum: 0.0,
-            demand_err_n: 0,
+            delivery_sink: instr.delivery,
+            epoch_probe: instr.epoch,
+            drop_sink: instr.drops,
+            want_deliveries,
+            want_demand_error,
+            track_buffers: instr.track_buffers,
+            delivery_scratch: Vec::new(),
             phases: EpochPhaseNs::default(),
             cfg,
         };
-        HybridSim {
+        Ok(HybridSim {
             state,
             sim: Simulation::new(),
-        }
+        })
+    }
+}
+
+/// The assembled simulation: configuration + workload + scheduling logic.
+pub struct HybridSim {
+    state: SimState,
+    sim: Simulation<Ev>,
+}
+
+impl HybridSim {
+    /// Starts a [`SimBuilder`] from a configuration.
+    pub fn builder(cfg: NodeConfig) -> SimBuilder {
+        SimBuilder::new(cfg)
+    }
+
+    /// Builds a testbed run with full-fidelity instrumentation.
+    ///
+    /// Thin compatibility shim over [`SimBuilder`] — prefer the builder,
+    /// which reports a typed [`BuildError`] instead of panicking.
+    ///
+    /// # Panics
+    /// Panics on any [`BuildError`] (invalid configuration, port-space
+    /// mismatch, out-of-range app endpoint).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SimBuilder (HybridSim::builder) — it returns a typed BuildError \
+                and accepts an Instrumentation bundle"
+    )]
+    pub fn new(
+        cfg: NodeConfig,
+        workload: Workload,
+        scheduler: Box<dyn Scheduler>,
+        estimator: Box<dyn DemandEstimator>,
+    ) -> Self {
+        SimBuilder::new(cfg)
+            .workload(workload)
+            .scheduler(scheduler)
+            .estimator(estimator)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs the testbed until `horizon` and returns the report.
@@ -474,8 +671,14 @@ impl HybridSim {
 
         let stats = self.sim.run_until(&mut self.state, horizon, Self::handle);
 
-        let st = self.state;
-        let fct_stats = |c: SizeClass| st.fct.stats(c);
+        let mut st = self.state;
+        debug_assert!(
+            st.delivery_scratch.is_empty(),
+            "every handler flushes its delivery batch"
+        );
+        let delivery = st.delivery_sink.finish();
+        let epoch = st.epoch_probe.finish();
+        let drops = st.drop_sink.finish();
         RunReport {
             scheduler: st.scheduler.name().to_string(),
             placement: st.cfg.placement.label().to_string(),
@@ -486,29 +689,21 @@ impl HybridSim {
             events: stats.events_processed,
             offered_bytes: st.offered_bytes,
             offered_flows: st.offered_flows,
-            completed_flows: st.fct.completed(),
+            completed_flows: delivery.completed_flows,
             delivered_ocs_bytes: st.delivered_ocs,
             delivered_eps_bytes: st.delivered_eps,
-            latency_interactive: st.latency_interactive,
-            latency_short: st.latency_short,
-            latency_bulk: st.latency_bulk,
-            voip_jitter_mean_ns: (!st.jitters.is_empty()).then(|| {
-                st.jitters.iter().map(|j| j.jitter_ns()).sum::<f64>() / st.jitters.len() as f64
-            }),
-            voip_jitter_max_ns: st
-                .jitters
-                .iter()
-                .map(|j| j.jitter_ns())
-                .fold(None, |acc: Option<f64>, x| {
-                    Some(acc.map_or(x, |a| a.max(x)))
-                }),
-            fct_mice: fct_stats(SizeClass::Mice),
-            fct_medium: fct_stats(SizeClass::Medium),
-            fct_elephant: fct_stats(SizeClass::Elephant),
-            fct_overall: st.fct.overall(),
+            latency_interactive: delivery.latency_interactive,
+            latency_short: delivery.latency_short,
+            latency_bulk: delivery.latency_bulk,
+            voip_jitter_mean_ns: delivery.voip_jitter_mean_ns,
+            voip_jitter_max_ns: delivery.voip_jitter_max_ns,
+            fct_mice: delivery.fct_mice,
+            fct_medium: delivery.fct_medium,
+            fct_elephant: delivery.fct_elephant,
+            fct_overall: delivery.fct_overall,
             peak_host_buffer: st.buffers.peak(Site::Host),
             peak_switch_buffer: st.buffers.peak(Site::Switch),
-            drops: st.drops,
+            drops,
             ocs: st.switching.ocs.stats(),
             eps: st.switching.eps.stats(),
             decisions: st.decisions,
@@ -517,9 +712,11 @@ impl HybridSim {
             } else {
                 st.decision_ns_sum as f64 / st.decisions as f64
             },
-            demand_error_mean: (st.demand_err_n > 0)
-                .then(|| st.demand_err_sum / st.demand_err_n as f64),
+            demand_error_mean: epoch.demand_error_mean,
             phases: st.phases,
+            timeseries: epoch.series,
+            measured_deliveries: st.want_deliveries,
+            measured_buffers: st.track_buffers,
         }
     }
 
@@ -583,7 +780,9 @@ impl HybridSim {
                     h.voq_total += a.pkt_bytes as u64;
                     h.voq_arrived[d] += a.pkt_bytes as u64;
                     h.voq_dirty[d] = true;
-                    st.buffers.on_enqueue(Site::Host, a.pkt_bytes as u64, now);
+                    if st.track_buffers {
+                        st.buffers.on_enqueue(Site::Host, a.pkt_bytes as u64, now);
+                    }
                 } else {
                     let h = &mut st.hosts[host];
                     st.host_pool.push(&mut h.q_inter, pkt);
@@ -600,17 +799,22 @@ impl HybridSim {
                     debug_assert!(st.is_hw, "slow mode gates bulk at hosts");
                     let bytes = pkt.bytes as u64;
                     match st.proc.enqueue(pkt) {
-                        Ok(()) => st.buffers.on_enqueue(Site::Switch, bytes, now),
-                        Err(_) => st.drops.voq_full += 1,
+                        Ok(()) => {
+                            if st.track_buffers {
+                                st.buffers.on_enqueue(Site::Switch, bytes, now);
+                            }
+                        }
+                        Err(_) => st.drop_sink.on_drop(DropCause::VoqFull, now),
                     }
                 } else {
                     let out = pkt.dst.index();
                     match st.switching.eps.enqueue(out, pkt.bytes as u64, now) {
                         Ok(dep) => {
                             let deliver = dep + st.cfg.host_link.propagation;
-                            st.record_delivery(&pkt, deliver, Via::Eps);
+                            st.record_delivery(&pkt, deliver, DeliveryPath::Eps);
+                            st.flush_deliveries();
                         }
-                        Err(()) => st.drops.eps_full += 1,
+                        Err(()) => st.drop_sink.on_drop(DropCause::EpsFull, now),
                     }
                 }
             }
@@ -647,20 +851,25 @@ impl HybridSim {
                     st.estimator
                         .estimate_into(now, st.cfg.epoch, &mut st.demand_scratch);
                 }
-                if st.estimator_is_mirror {
-                    // The estimate equals the ground truth by construction
-                    // (every occupancy change produced a request): the L1
-                    // error is identically zero, and the truth total is
-                    // available incrementally — skip both n² walks.
-                    let truth_total = if st.is_hw {
-                        st.proc.total_bytes()
-                    } else {
-                        st.hosts.iter().map(|h| h.voq_total).sum()
-                    };
-                    if truth_total > 0 {
-                        st.demand_err_n += 1;
-                    }
+                // Demand-error sampling. The ground-truth backlog (the
+                // EpochSample observable) is always available cheaply —
+                // incrementally in fast mode, an O(n) host sum in slow
+                // mode. The mirror's error is identically zero by
+                // construction (every occupancy change produced a
+                // request), and the non-mirror ground-truth snapshot +
+                // L1 pass (two n² walks) runs only when the epoch probe
+                // wants the sample — the lean profile declines it.
+                let truth_total: u64 = if st.is_hw {
+                    st.proc.total_bytes()
                 } else {
+                    st.hosts.iter().map(|h| h.voq_total).sum()
+                };
+                let mut demand_err_rel: Option<f64> = None;
+                if st.estimator_is_mirror {
+                    if truth_total > 0 {
+                        demand_err_rel = Some(0.0);
+                    }
+                } else if st.want_demand_error {
                     if st.is_hw {
                         st.proc.occupancy_into(&mut st.truth_scratch);
                     } else {
@@ -670,10 +879,10 @@ impl HybridSim {
                         Some(m) => m,
                         None => &st.demand_scratch,
                     };
-                    let (err_l1, truth_total) = estimate.error_vs(&st.truth_scratch);
+                    let (err_l1, tt) = estimate.error_vs(&st.truth_scratch);
+                    debug_assert_eq!(tt, truth_total, "snapshot disagrees with running total");
                     if truth_total > 0 {
-                        st.demand_err_sum += err_l1 as f64 / truth_total as f64;
-                        st.demand_err_n += 1;
+                        demand_err_rel = Some(err_l1 as f64 / truth_total as f64);
                     }
                 }
                 let ctx = ScheduleCtx {
@@ -702,6 +911,18 @@ impl HybridSim {
                     .decision_latency(st.cfg.n_ports, &mut st.rng);
                 st.decisions += 1;
                 st.decision_ns_sum += d.as_nanos() as u128;
+                st.epoch_probe.on_epoch(&EpochSample {
+                    // One sample per decision: `decisions` was just
+                    // incremented, so the zero-based epoch id is one
+                    // source of truth, not a second counter.
+                    epoch: st.decisions - 1,
+                    at: now,
+                    demand_err_rel,
+                    backlog_bytes: truth_total,
+                    decision_ns: d.as_nanos(),
+                    ocs_dark_ns: st.switching.ocs.stats().dark_time.as_nanos(),
+                    entries: sched.entries.len(),
+                });
                 if !sched.entries.is_empty() {
                     let sid = st.alloc_sched(sched);
                     q.schedule_at(now + d, Ev::ApplySchedule { sid });
@@ -776,16 +997,22 @@ impl HybridSim {
                             let bytes = pkt.bytes as u64;
                             let dep = cursor + st.line_tx.tx_time(bytes);
                             cursor = dep;
-                            st.release_scratch.push((dep.as_nanos(), bytes));
+                            if st.track_buffers {
+                                st.release_scratch.push((dep.as_nanos(), bytes));
+                            }
                             let deliver = dep + st.cfg.host_link.propagation;
-                            st.record_delivery(&pkt, deliver, Via::Ocs);
+                            st.record_delivery(&pkt, deliver, DeliveryPath::Ocs);
                         }
                     }
                     // All pairs drained the same slot: flush their
-                    // releases as one timestamp-coalesced batch.
-                    let mut releases = std::mem::take(&mut st.release_scratch);
-                    st.buffers.on_dequeue_at_batch(Site::Switch, &mut releases);
-                    st.release_scratch = releases;
+                    // releases as one timestamp-coalesced batch, and the
+                    // slot's deliveries as one sink batch.
+                    if st.track_buffers {
+                        let mut releases = std::mem::take(&mut st.release_scratch);
+                        st.buffers.on_dequeue_at_batch(Site::Switch, &mut releases);
+                        st.release_scratch = releases;
+                    }
+                    st.flush_deliveries();
                     st.grant_scratch = granted;
                     st.phases.apply += phase_t0.elapsed().as_nanos() as u64;
                 }
@@ -825,7 +1052,9 @@ impl HybridSim {
                     h.voq_bytes[dst] -= bytes;
                     h.voq_total -= bytes;
                     h.voq_dirty[dst] = true;
-                    st.buffers.on_dequeue_at(Site::Host, bytes, dep);
+                    if st.track_buffers {
+                        st.buffers.on_dequeue_at(Site::Host, bytes, dep);
+                    }
                     q.schedule_at(dep + link.propagation, Ev::OcsIn { pkt });
                 }
                 h.nic_busy_until = h.nic_busy_until.max(cursor);
@@ -846,12 +1075,13 @@ impl HybridSim {
                 match st.switching.ocs.transmit(i, j, bytes, now) {
                     Ok(()) => {
                         let deliver = now + st.cfg.host_link.propagation;
-                        st.record_delivery(&pkt, deliver, Via::Ocs);
+                        st.record_delivery(&pkt, deliver, DeliveryPath::Ocs);
+                        st.flush_deliveries();
                     }
                     Err(_) => {
                         // Dark window or re-assigned circuit: the light
                         // went nowhere useful.
-                        st.drops.sync_violation += 1;
+                        st.drop_sink.on_drop(DropCause::SyncViolation, now);
                     }
                 }
             }
@@ -868,6 +1098,22 @@ mod tests {
     use xds_net::PortNo;
     use xds_sim::BitRate;
     use xds_traffic::{CbrApp, FlowGenerator, FlowSizeDist, TrafficMatrix};
+
+    /// Test shorthand over [`SimBuilder`] (the positional shape the old
+    /// constructor had).
+    fn sim(
+        cfg: NodeConfig,
+        workload: Workload,
+        scheduler: Box<dyn Scheduler>,
+        estimator: Box<dyn DemandEstimator>,
+    ) -> HybridSim {
+        SimBuilder::new(cfg)
+            .workload(workload)
+            .scheduler(scheduler)
+            .estimator(estimator)
+            .build()
+            .expect("test sim must build")
+    }
 
     fn hw_cfg(n: usize) -> NodeConfig {
         NodeConfig::fast(
@@ -889,7 +1135,7 @@ mod tests {
 
     fn run_fast(n: usize, load: f64, ms: u64) -> RunReport {
         let cfg = hw_cfg(n);
-        HybridSim::new(
+        sim(
             cfg,
             flows(n, load, 7),
             Box::new(IslipScheduler::new(n, 3)),
@@ -931,7 +1177,7 @@ mod tests {
     fn eps_only_baseline_uses_no_circuits() {
         let n = 4;
         let cfg = hw_cfg(n);
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             flows(n, 0.2, 9),
             Box::new(EpsOnlyScheduler::new()),
@@ -957,7 +1203,7 @@ mod tests {
             a
         };
         let apps = vec![mk(0, 0, 1), mk(1, 2, 3)];
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             flows(n, 0.3, 11).with_apps(apps),
             Box::new(IslipScheduler::new(n, 3)),
@@ -993,7 +1239,7 @@ mod tests {
         if let Placement::Software { sync, .. } = &mut cfg.placement {
             *sync = xds_hw::SyncModel::perfect();
         }
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             flows(n, 0.3, 13),
             Box::new(HotspotScheduler::new(10_000)),
@@ -1027,7 +1273,7 @@ mod tests {
                 resync_interval: SimDuration::from_secs(1),
             };
         }
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             flows(n, 0.5, 17),
             Box::new(HotspotScheduler::new(10_000)),
@@ -1062,7 +1308,7 @@ mod tests {
                     resync_interval: SimDuration::from_secs(1),
                 };
             }
-            HybridSim::new(
+            sim(
                 cfg,
                 flows(n, 0.5, 17),
                 Box::new(HotspotScheduler::new(10_000)),
@@ -1100,7 +1346,7 @@ mod tests {
         let n = 4;
         let cfg = hw_cfg(n);
         let w = flows(n, 0.5, 19).with_flow_stop(SimTime::from_micros(100));
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             w,
             Box::new(IslipScheduler::new(n, 3)),
@@ -1138,7 +1384,7 @@ mod tests {
             SimRng::new(23),
         );
         let w = Workload::flows(gen).with_matrix_cycle(SimDuration::from_millis(1), vec![m2, m1]);
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             w,
             Box::new(IslipScheduler::new(n, 3)),
@@ -1159,7 +1405,7 @@ mod tests {
             cfg.voip_on_ocs = gated;
             let mut app = CbrApp::voip(0, PortNo(0), PortNo(2), SimTime::ZERO);
             app.interval = SimDuration::from_micros(200);
-            HybridSim::new(
+            sim(
                 cfg,
                 Workload::apps_only(vec![app]),
                 Box::new(IslipScheduler::new(n, 3)),
@@ -1196,7 +1442,7 @@ mod tests {
             *sync = xds_hw::SyncModel::perfect();
         }
         let w = flows(n, 0.2, 37).with_flow_stop(SimTime::from_millis(3));
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             w,
             Box::new(HotspotScheduler::new(10_000)),
@@ -1225,7 +1471,7 @@ mod tests {
             algo: HwAlgo::Tdma,
             grant_cycles: 0,
         });
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             flows(n, 0.3, 41),
             Box::new(IslipScheduler::new(n, 3)),
@@ -1241,14 +1487,147 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "workload port count mismatch")]
     fn mismatched_workload_rejected() {
-        let cfg = hw_cfg(4);
-        let _ = HybridSim::new(
-            cfg,
-            flows(8, 0.5, 1),
-            Box::new(IslipScheduler::new(4, 3)),
-            Box::new(MirrorEstimator::new(4)),
+        let err = SimBuilder::new(hw_cfg(4))
+            .workload(flows(8, 0.5, 1))
+            .scheduler(Box::new(IslipScheduler::new(4, 3)))
+            .build()
+            .err()
+            .expect("mismatched workload must be rejected");
+        assert_eq!(
+            err,
+            BuildError::PortSpaceMismatch {
+                workload_ports: 8,
+                switch_ports: 4
+            }
         );
+        assert!(err.to_string().contains("workload port count mismatch"));
+    }
+
+    #[test]
+    fn builder_reports_typed_errors() {
+        // Invalid configuration.
+        let mut bad = hw_cfg(4);
+        bad.epoch = SimDuration::ZERO;
+        let err = SimBuilder::new(bad)
+            .scheduler(Box::new(IslipScheduler::new(4, 3)))
+            .build()
+            .err()
+            .expect("invalid config must be rejected");
+        assert!(matches!(err, BuildError::InvalidConfig(_)), "{err:?}");
+        // Out-of-range app endpoint.
+        let app = CbrApp::voip(0, PortNo(0), PortNo(9), SimTime::ZERO);
+        let err = SimBuilder::new(hw_cfg(4))
+            .workload(Workload::apps_only(vec![app]))
+            .scheduler(Box::new(IslipScheduler::new(4, 3)))
+            .build()
+            .err()
+            .expect("out-of-range app must be rejected");
+        assert_eq!(
+            err,
+            BuildError::AppEndpointOutOfRange {
+                app: 0,
+                src: 0,
+                dst: 9,
+                switch_ports: 4
+            }
+        );
+        // Missing scheduler.
+        let err = SimBuilder::new(hw_cfg(4)).build().err().unwrap();
+        assert_eq!(err, BuildError::MissingScheduler);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_builds_and_panics_with_the_typed_message() {
+        // The shim is the compatibility path for external callers: same
+        // behavior, panic message now the typed error's Display.
+        let n = 4;
+        let r = HybridSim::new(
+            hw_cfg(n),
+            flows(n, 0.3, 7),
+            Box::new(IslipScheduler::new(n, 3)),
+            Box::new(MirrorEstimator::new(n)),
+        )
+        .run(SimTime::from_millis(1));
+        assert!(r.delivered_bytes() > 0);
+        let panic = std::panic::catch_unwind(|| {
+            let _ = HybridSim::new(
+                hw_cfg(4),
+                flows(8, 0.5, 1),
+                Box::new(IslipScheduler::new(4, 3)),
+                Box::new(MirrorEstimator::new(4)),
+            );
+        })
+        .unwrap_err();
+        let msg = panic.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("workload port count mismatch"), "{msg}");
+    }
+
+    #[test]
+    fn estimator_defaults_to_mirror() {
+        let n = 4;
+        let r = SimBuilder::new(hw_cfg(n))
+            .workload(flows(n, 0.4, 7))
+            .scheduler(Box::new(IslipScheduler::new(n, 3)))
+            .build()
+            .expect("builds without an explicit estimator")
+            .run(SimTime::from_millis(2));
+        // The mirror's error sample is identically zero once traffic flows.
+        assert_eq!(r.demand_error_mean, Some(0.0));
+    }
+
+    #[test]
+    fn lean_profile_matches_full_events_and_bytes_exactly() {
+        let run = |instr: Instrumentation| {
+            SimBuilder::new(hw_cfg(4))
+                .workload(flows(4, 0.5, 21))
+                .scheduler(Box::new(IslipScheduler::new(4, 3)))
+                .instrumentation(instr)
+                .build()
+                .expect("builds")
+                .run(SimTime::from_millis(5))
+        };
+        let full = run(Instrumentation::full());
+        let lean = run(Instrumentation::lean());
+        // Simulated behavior is profile-invariant…
+        assert_eq!(full.events, lean.events);
+        assert_eq!(full.delivered_ocs_bytes, lean.delivered_ocs_bytes);
+        assert_eq!(full.delivered_eps_bytes, lean.delivered_eps_bytes);
+        assert_eq!(full.offered_bytes, lean.offered_bytes);
+        assert_eq!(full.decisions, lean.decisions);
+        // …while the lean profile skips the observation work.
+        assert!(full.latency_bulk.count() > 0);
+        assert_eq!(lean.latency_bulk.count(), 0);
+        assert_eq!(lean.completed_flows, 0);
+        assert_eq!(lean.peak_switch_buffer, 0);
+        assert_eq!(lean.demand_error_mean, None);
+        assert!(full.peak_switch_buffer > 0);
+    }
+
+    #[test]
+    fn timeseries_profile_records_one_row_per_epoch() {
+        let r = SimBuilder::new(hw_cfg(4))
+            .workload(flows(4, 0.5, 23))
+            .scheduler(Box::new(IslipScheduler::new(4, 3)))
+            .instrumentation(Instrumentation::timeseries())
+            .build()
+            .expect("builds")
+            .run(SimTime::from_millis(3));
+        let series = r.timeseries.as_ref().expect("timeseries profile records");
+        assert_eq!(series.len() as u64, r.decisions, "one row per decision");
+        let rows = series.rows();
+        assert!(rows[0].duty_cycle.is_none(), "first row has no interval");
+        assert!(
+            rows.iter().skip(1).all(|row| row.duty_cycle.is_some()),
+            "every later row derives a duty cycle"
+        );
+        assert!(
+            rows.iter().any(|row| row.backlog_bytes > 0),
+            "backlog must be observed under load"
+        );
+        // Full fidelity rides along: the aggregate metrics are intact.
+        assert!(r.latency_bulk.count() > 0);
+        assert_eq!(r.demand_error_mean, Some(0.0), "mirror estimator");
     }
 }

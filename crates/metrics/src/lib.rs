@@ -32,4 +32,4 @@ pub use fct::{FctStats, FctTracker, SizeClass};
 pub use hist::LatencyHistogram;
 pub use jitter::{InterArrival, Rfc3550Jitter};
 pub use report::{fmt_bytes, fmt_f64, Table};
-pub use series::TimeSeries;
+pub use series::{EpochRow, EpochSeries, TimeSeries};

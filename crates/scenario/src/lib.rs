@@ -80,3 +80,4 @@ pub use spec::{
     AppMix, BuiltScenario, EstimatorKind, PlacementKind, ScenarioSpec, SchedulerKind, SwModelKind,
     SyncSpec, TrafficPattern,
 };
+pub use xds_core::instrument::InstrProfile;

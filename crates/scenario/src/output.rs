@@ -59,7 +59,11 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// The columns every row carries, in order: `(name, value)` pairs.
+/// The columns every row carries, in order: `(name, value)` pairs. Spec
+/// columns are derived here; every report-backed column comes from the
+/// canonical [`RunReport::metric_columns`] accessor layer (the same one
+/// `RunReport::summary_table` renders), so row emitters and summary
+/// tables cannot drift apart.
 fn row_fields(p: &PointResult) -> Vec<(&'static str, String)> {
     let s = &p.spec;
     let mut f: Vec<(&'static str, String)> = vec![
@@ -76,6 +80,7 @@ fn row_fields(p: &PointResult) -> Vec<(&'static str, String)> {
             "placement",
             format!("\"{}\"", json_escape(&s.placement.label())),
         ),
+        ("profile", format!("\"{}\"", s.profile.label())),
         ("n_ports", s.n_ports.to_string()),
         ("load", json_f64(s.load)),
         ("reconfig_ns", s.reconfig.as_nanos().to_string()),
@@ -94,63 +99,16 @@ fn row_fields(p: &PointResult) -> Vec<(&'static str, String)> {
         }
         Ok(r) => {
             f.push(("error", "null".into()));
-            f.push(("events", r.events.to_string()));
-            f.push(("offered_bytes", r.offered_bytes.to_string()));
-            f.push(("offered_flows", r.offered_flows.to_string()));
-            f.push(("completed_flows", r.completed_flows.to_string()));
-            f.push(("delivered_ocs_bytes", r.delivered_ocs_bytes.to_string()));
-            f.push(("delivered_eps_bytes", r.delivered_eps_bytes.to_string()));
-            f.push(("throughput_gbps", json_f64(r.throughput_gbps())));
-            f.push(("goodput", json_f64(r.goodput_fraction())));
-            f.push(("ocs_byte_share", json_f64(r.ocs_byte_share())));
-            f.push(("ocs_duty_cycle", json_f64(r.ocs_duty_cycle())));
-            f.push(("p50_bulk_ns", r.latency_bulk.p50().to_string()));
-            f.push(("p99_bulk_ns", r.latency_bulk.p99().to_string()));
-            f.push(("p50_inter_ns", r.latency_interactive.p50().to_string()));
-            f.push(("p99_inter_ns", r.latency_interactive.p99().to_string()));
-            f.push((
-                "jitter_mean_ns",
-                r.voip_jitter_mean_ns
-                    .map(json_f64)
-                    .unwrap_or_else(|| "null".into()),
-            ));
-            f.push((
-                "jitter_max_ns",
-                r.voip_jitter_max_ns
-                    .map(json_f64)
-                    .unwrap_or_else(|| "null".into()),
-            ));
-            f.push((
-                "fct_p99_ns",
-                r.fct_overall
-                    .as_ref()
-                    .map(|x| x.p99_ns.to_string())
-                    .unwrap_or_else(|| "null".into()),
-            ));
-            f.push(("drops_voq", r.drops.voq_full.to_string()));
-            f.push(("drops_eps", r.drops.eps_full.to_string()));
-            f.push(("drops_sync", r.drops.sync_violation.to_string()));
-            f.push(("peak_host_buffer", r.peak_host_buffer.to_string()));
-            f.push(("peak_switch_buffer", r.peak_switch_buffer.to_string()));
-            f.push(("ocs_reconfigurations", r.ocs.reconfigurations.to_string()));
-            f.push(("decisions", r.decisions.to_string()));
-            f.push((
-                "decision_latency_mean_ns",
-                json_f64(r.decision_latency_mean_ns),
-            ));
-            f.push((
-                "demand_error_mean",
-                r.demand_error_mean
-                    .map(json_f64)
-                    .unwrap_or_else(|| "null".into()),
-            ));
+            for (name, value) in r.metric_columns() {
+                f.push((name, value.json()));
+            }
         }
     }
     f
 }
 
 /// Every column any row may carry, for the CSV header.
-const CSV_COLUMNS: [&str; 41] = [
+const CSV_COLUMNS: [&str; 42] = [
     "scenario",
     "pattern",
     "sizes",
@@ -158,6 +116,7 @@ const CSV_COLUMNS: [&str; 41] = [
     "scheduler",
     "estimator",
     "placement",
+    "profile",
     "n_ports",
     "load",
     "reconfig_ns",
@@ -273,16 +232,27 @@ impl SweepResults {
         for p in &self.points {
             match &p.report {
                 Ok(r) => {
+                    // Cells come from the same accessor layer the
+                    // JSON/CSV rows use (materialized once per point);
+                    // only the formatting is local. Unmeasured
+                    // observables (lean profile) render as `-`.
+                    let cols = r.metric_columns();
+                    let m = |name: &str| RunReport::column(&cols, name).as_f64();
+                    let f = |name: &str, scale: f64, digits: usize| {
+                        m(name)
+                            .map(|v| format!("{:.*}", digits, v * scale))
+                            .unwrap_or_else(|| "-".into())
+                    };
                     t.row(vec![
                         p.spec.name.clone(),
                         p.spec.scheduler.label().to_string(),
                         p.spec.n_ports.to_string(),
                         format!("{:.2}", p.spec.load),
-                        format!("{:.2}", r.throughput_gbps()),
-                        format!("{:.3}", r.goodput_fraction()),
-                        format!("{:.1}", r.ocs_byte_share() * 100.0),
-                        format!("{:.1}", r.latency_bulk.p99() as f64 / 1e3),
-                        format!("{:.1}", r.latency_interactive.p99() as f64 / 1e3),
+                        f("throughput_gbps", 1.0, 2),
+                        f("goodput", 1.0, 3),
+                        f("ocs_byte_share", 100.0, 1),
+                        f("p99_bulk_ns", 1e-3, 1),
+                        f("p99_inter_ns", 1e-3, 1),
                         r.drops.total().to_string(),
                         "ok".into(),
                     ]);
@@ -318,6 +288,117 @@ impl SweepResults {
             return written;
         }
         for (ext, body) in [("json", self.to_json()), ("csv", self.to_csv())] {
+            let path = dir.join(format!("{name}.{ext}"));
+            match std::fs::write(&path, body) {
+                Ok(()) => written.push(path),
+                Err(e) => eprintln!("(could not save {}: {e})", path.display()),
+            }
+        }
+        written
+    }
+
+    /// Serializes every point's epoch-resolution telemetry (points run
+    /// under the `timeseries` instrumentation profile) as one flat JSON
+    /// array: one object per `(point, epoch)` with the spec identity
+    /// columns repeated, so the stream is directly plottable/joinable.
+    /// Points without a recorded series contribute no rows.
+    pub fn to_timeseries_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let mut first = true;
+        for (spec, r) in self.ok_reports() {
+            let Some(series) = &r.timeseries else {
+                continue;
+            };
+            for row in series.rows() {
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    out,
+                    "  {{\"scenario\": \"{}\", \"scheduler\": \"{}\", \"n_ports\": {}, \
+                     \"seed\": {}, \"epoch\": {}, \"t_ns\": {}, \"demand_err\": {}, \
+                     \"duty_cycle\": {}, \"backlog_bytes\": {}, \"decision_ns\": {}, \
+                     \"entries\": {}}}",
+                    json_escape(&spec.name),
+                    spec.scheduler.tag(),
+                    spec.n_ports,
+                    spec.seed,
+                    row.epoch,
+                    row.at.as_nanos(),
+                    row.demand_err_rel
+                        .map(json_f64)
+                        .unwrap_or_else(|| "null".into()),
+                    row.duty_cycle
+                        .map(json_f64)
+                        .unwrap_or_else(|| "null".into()),
+                    row.backlog_bytes,
+                    row.decision_ns,
+                    row.entries
+                );
+            }
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// CSV form of [`to_timeseries_json`](Self::to_timeseries_json):
+    /// fixed header, one line per `(point, epoch)`, absent values empty.
+    pub fn to_timeseries_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,scheduler,n_ports,seed,epoch,t_ns,demand_err,duty_cycle,\
+             backlog_bytes,decision_ns,entries\n",
+        );
+        for (spec, r) in self.ok_reports() {
+            let Some(series) = &r.timeseries else {
+                continue;
+            };
+            // Same quoting rule as `to_csv`: free-form point names may
+            // contain commas and must not shift the column positions.
+            let name = if spec.name.contains(',') {
+                format!("\"{}\"", spec.name)
+            } else {
+                spec.name.clone()
+            };
+            for row in series.rows() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{},{},{}",
+                    name,
+                    spec.scheduler.tag(),
+                    spec.n_ports,
+                    spec.seed,
+                    row.epoch,
+                    row.at.as_nanos(),
+                    row.demand_err_rel.map(json_f64).unwrap_or_default(),
+                    row.duty_cycle.map(json_f64).unwrap_or_default(),
+                    row.backlog_bytes,
+                    row.decision_ns,
+                    row.entries
+                );
+            }
+        }
+        out
+    }
+
+    /// Whether any point recorded an epoch-resolution series.
+    pub fn has_timeseries(&self) -> bool {
+        self.ok_reports().any(|(_, r)| r.timeseries.is_some())
+    }
+
+    /// Writes `results/<name>.timeseries.json` and `.csv` (best-effort,
+    /// like [`write_artifacts`](Self::write_artifacts)).
+    pub fn write_timeseries_artifacts(&self, name: &str) -> Vec<std::path::PathBuf> {
+        let dir = Path::new("results");
+        let mut written = Vec::new();
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("(could not create {}: {e})", dir.display());
+            return written;
+        }
+        for (ext, body) in [
+            ("timeseries.json", self.to_timeseries_json()),
+            ("timeseries.csv", self.to_timeseries_csv()),
+        ] {
             let path = dir.join(format!("{name}.{ext}"));
             match std::fs::write(&path, body) {
                 Ok(()) => written.push(path),
@@ -402,5 +483,60 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(0.5), "0.5");
+    }
+
+    #[test]
+    fn rows_carry_the_instrumentation_profile() {
+        let r = small_results();
+        assert!(r.to_json().contains("\"profile\": \"full\""));
+        assert!(r.to_csv().lines().next().unwrap().contains(",profile,"));
+        let lean = SweepExecutor::with_threads(1).run(vec![ScenarioSpec::new("l")
+            .with_ports(4)
+            .with_profile(crate::InstrProfile::Lean)
+            .with_duration(SimDuration::from_millis(1))]);
+        let json = lean.to_json();
+        assert!(json.contains("\"profile\": \"lean\""));
+        // Unmeasured observables are null, not a fake zero — a lean row
+        // must never read as "measured zero latency / zero buffering".
+        assert!(json.contains("\"p99_bulk_ns\": null"), "{json}");
+        assert!(json.contains("\"peak_switch_buffer\": null"), "{json}");
+        assert!(json.contains("\"completed_flows\": null"), "{json}");
+        // The unobserved aggregate table renders dashes, not panics.
+        let text = lean.summary_table("lean").render_text();
+        assert!(text.contains('-'), "{text}");
+    }
+
+    #[test]
+    fn timeseries_artifacts_stream_epoch_rows() {
+        let ts = SweepExecutor::with_threads(1).run(vec![ScenarioSpec::new("ts")
+            .with_ports(4)
+            .with_profile(crate::InstrProfile::TimeSeries)
+            .with_duration(SimDuration::from_millis(2))]);
+        assert!(ts.has_timeseries());
+        let json = ts.to_timeseries_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"epoch\": 0"), "{json}");
+        assert!(json.contains("\"duty_cycle\""));
+        assert!(json.contains("\"backlog_bytes\""));
+        let csv = ts.to_timeseries_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert!(lines.len() >= 2, "header plus at least one epoch row");
+        let header_cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), header_cols, "ragged row: {l}");
+        }
+        // Row count matches the recorded series exactly.
+        let rows: usize = ts
+            .ok_reports()
+            .filter_map(|(_, r)| r.timeseries.as_ref())
+            .map(|s| s.len())
+            .sum();
+        assert_eq!(lines.len() - 1, rows);
+        assert_eq!(json.matches("\"epoch\":").count(), rows);
+        // Full-profile sweeps produce empty streams, not errors.
+        let none = small_results();
+        assert!(!none.has_timeseries());
+        assert_eq!(none.to_timeseries_json().matches("\"epoch\":").count(), 0);
     }
 }

@@ -6,9 +6,10 @@ use xds_core::config::{NodeConfig, Placement};
 use xds_core::demand::{
     CountMinEstimator, DemandEstimator, EwmaEstimator, MirrorEstimator, WindowEstimator,
 };
+use xds_core::instrument::InstrProfile;
 use xds_core::node::Workload;
 use xds_core::report::RunReport;
-use xds_core::runtime::HybridSim;
+use xds_core::runtime::SimBuilder;
 use xds_core::sched::{
     BvnScheduler, EpsOnlyScheduler, GreedyLqfScheduler, HotspotScheduler, HungarianScheduler,
     IlqfScheduler, IslipScheduler, PimScheduler, RrmScheduler, Scheduler, SolsticeScheduler,
@@ -514,8 +515,8 @@ impl AppMix {
 }
 
 /// The runtime inputs a spec materializes into: configuration, workload,
-/// scheduler, estimator — exactly what [`xds_core::runtime::HybridSim::new`]
-/// consumes.
+/// scheduler, estimator — exactly what [`xds_core::runtime::SimBuilder`]
+/// consumes (the spec's instrumentation profile rides separately).
 pub type BuiltScenario = (
     NodeConfig,
     Workload,
@@ -567,6 +568,10 @@ pub struct ScenarioSpec {
     pub duration: SimDuration,
     /// Master seed: the root of every RNG stream this point uses.
     pub seed: u64,
+    /// Instrumentation profile: `full` (default, classic report),
+    /// `lean` (bench runs — identical events/bytes, no observation
+    /// cost) or `timeseries` (full + per-epoch telemetry).
+    pub profile: InstrProfile,
 }
 
 impl ScenarioSpec {
@@ -593,6 +598,7 @@ impl ScenarioSpec {
             voip_on_ocs: false,
             duration: SimDuration::from_millis(5),
             seed: 1,
+            profile: InstrProfile::Full,
         }
     }
 
@@ -701,6 +707,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the instrumentation profile. The profile never changes
+    /// simulated behavior — event counts and delivered bytes are
+    /// identical across profiles — only what gets observed.
+    pub fn with_profile(mut self, profile: InstrProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
     /// Renames the point (grids use this to tag axis values).
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -795,12 +809,18 @@ impl ScenarioSpec {
         Ok((cfg, workload, scheduler, estimator))
     }
 
-    /// Runs the point to completion and returns its report.
+    /// Runs the point to completion and returns its report, observed at
+    /// the spec's instrumentation [`profile`](Self::profile).
     pub fn run(&self) -> Result<RunReport, String> {
         let (cfg, workload, scheduler, estimator) = self.build()?;
-        let report =
-            HybridSim::new(cfg, workload, scheduler, estimator).run(SimTime::ZERO + self.duration);
-        Ok(report)
+        let sim = SimBuilder::new(cfg)
+            .workload(workload)
+            .scheduler(scheduler)
+            .estimator(estimator)
+            .instrumentation(self.profile.instrumentation())
+            .build()
+            .map_err(|e| format!("scenario {}: {e}", self.name))?;
+        Ok(sim.run(SimTime::ZERO + self.duration))
     }
 }
 

@@ -40,8 +40,14 @@ fn main() {
     let scheduler = Box::new(IslipScheduler::new(n, 3));
     let estimator = Box::new(MirrorEstimator::new(n));
 
-    // 4. Run and report.
-    let report = HybridSim::new(cfg, workload, scheduler, estimator).run(SimTime::from_millis(50));
+    // 4. Assemble (typed errors, no panics), run and report.
+    let report = SimBuilder::new(cfg)
+        .workload(workload)
+        .scheduler(scheduler)
+        .estimator(estimator)
+        .build()
+        .expect("valid testbed")
+        .run(SimTime::from_millis(50));
     println!();
     print!("{}", report.summary_table().render_text());
     println!(

@@ -21,7 +21,13 @@ fn run_one(n: usize, scheduler: Box<dyn Scheduler>, horizon: SimTime) -> RunRepo
         cfg.line_rate,
         SimRng::new(99),
     ));
-    HybridSim::new(cfg, workload, scheduler, Box::new(MirrorEstimator::new(n))).run(horizon)
+    SimBuilder::new(cfg)
+        .workload(workload)
+        .scheduler(scheduler)
+        .estimator(Box::new(MirrorEstimator::new(n)))
+        .build()
+        .expect("valid testbed")
+        .run(horizon)
 }
 
 fn main() {

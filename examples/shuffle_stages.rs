@@ -25,7 +25,12 @@ fn run(n: usize, stage_period: SimDuration, sched: Box<dyn Scheduler>, label: &s
         SimRng::new(17),
     );
     let w = Workload::flows(gen).with_matrix_cycle(stage_period, stages);
-    let r = HybridSim::new(cfg, w, sched, Box::new(MirrorEstimator::new(n)))
+    let r = SimBuilder::new(cfg)
+        .workload(w)
+        .scheduler(sched)
+        .estimator(Box::new(MirrorEstimator::new(n)))
+        .build()
+        .expect("valid testbed")
         .run(SimTime::from_millis(30));
     vec![
         label.to_string(),

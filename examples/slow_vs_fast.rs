@@ -42,13 +42,13 @@ fn main() {
         SimDuration::from_millis(1),
         SwSchedulerModel::kernel_driver(),
     );
-    let slow = HybridSim::new(
-        slow_cfg,
-        workload(n, 7),
-        Box::new(HotspotScheduler::new(100_000)),
-        Box::new(MirrorEstimator::new(n)),
-    )
-    .run(horizon);
+    let slow = SimBuilder::new(slow_cfg)
+        .workload(workload(n, 7))
+        .scheduler(Box::new(HotspotScheduler::new(100_000)))
+        .estimator(Box::new(MirrorEstimator::new(n)))
+        .build()
+        .expect("valid testbed")
+        .run(horizon);
 
     // Fast scheduling: hardware iSLIP with a 100 ns optical switch.
     let fast_cfg = NodeConfig::fast(
@@ -56,13 +56,13 @@ fn main() {
         SimDuration::from_nanos(100),
         HwSchedulerModel::netfpga_sume(HwAlgo::Islip { iterations: 3 }),
     );
-    let fast = HybridSim::new(
-        fast_cfg,
-        workload(n, 7),
-        Box::new(IslipScheduler::new(n, 3)),
-        Box::new(MirrorEstimator::new(n)),
-    )
-    .run(horizon);
+    let fast = SimBuilder::new(fast_cfg)
+        .workload(workload(n, 7))
+        .scheduler(Box::new(IslipScheduler::new(n, 3)))
+        .estimator(Box::new(MirrorEstimator::new(n)))
+        .build()
+        .expect("valid testbed")
+        .run(horizon);
 
     for (label, reconfig, r) in [
         ("slow/software", "1ms", &slow),

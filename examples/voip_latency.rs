@@ -90,8 +90,13 @@ fn main() {
     ];
 
     for (label, cfg, sched) in runs {
-        let r =
-            HybridSim::new(cfg, workload(n), sched, Box::new(MirrorEstimator::new(n))).run(horizon);
+        let r = SimBuilder::new(cfg)
+            .workload(workload(n))
+            .scheduler(sched)
+            .estimator(Box::new(MirrorEstimator::new(n)))
+            .build()
+            .expect("valid testbed")
+            .run(horizon);
         table.row(vec![
             label.to_string(),
             format!("{:.1}us", r.latency_interactive.p50() as f64 / 1e3),

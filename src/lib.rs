@@ -42,13 +42,13 @@
 //!     BitRate::GBPS_10,
 //!     SimRng::new(42),
 //! ));
-//! let report = HybridSim::new(
-//!     cfg,
-//!     workload,
-//!     Box::new(IslipScheduler::new(n, 3)),
-//!     Box::new(MirrorEstimator::new(n)),
-//! )
-//! .run(SimTime::from_millis(5));
+//! let report = SimBuilder::new(cfg)
+//!     .workload(workload)
+//!     .scheduler(Box::new(IslipScheduler::new(n, 3)))
+//!     .estimator(Box::new(MirrorEstimator::new(n)))
+//!     .build()
+//!     .expect("valid configuration")
+//!     .run(SimTime::from_millis(5));
 //! assert!(report.delivered_bytes() > 0);
 //! ```
 
@@ -71,9 +71,13 @@ pub mod prelude {
         CountMinEstimator, DemandEstimator, DemandMatrix, EwmaEstimator, MirrorEstimator,
         SchedRequest, WindowEstimator,
     };
+    pub use xds_core::instrument::{
+        DeliveryPath, DeliveryRecord, DeliverySink, DropCause, DropSink, EpochProbe, EpochSample,
+        InstrProfile, Instrumentation, SinkCtx,
+    };
     pub use xds_core::node::{MatrixCycle, Workload};
-    pub use xds_core::report::RunReport;
-    pub use xds_core::runtime::HybridSim;
+    pub use xds_core::report::{MetricValue, RunReport};
+    pub use xds_core::runtime::{BuildError, HybridSim, SimBuilder};
     pub use xds_core::sched::{
         BvnScheduler, EpsOnlyScheduler, GreedyLqfScheduler, HotspotScheduler, HungarianScheduler,
         IlqfScheduler, IslipScheduler, PimScheduler, RrmScheduler, Schedule, ScheduleCtx,
@@ -112,13 +116,13 @@ mod tests {
             BitRate::GBPS_10,
             SimRng::new(1),
         ));
-        let report = HybridSim::new(
-            cfg,
-            workload,
-            Box::new(IslipScheduler::new(n, 3)),
-            Box::new(MirrorEstimator::new(n)),
-        )
-        .run(SimTime::from_millis(1));
+        let report = SimBuilder::new(cfg)
+            .workload(workload)
+            .scheduler(Box::new(IslipScheduler::new(n, 3)))
+            .estimator(Box::new(MirrorEstimator::new(n)))
+            .build()
+            .expect("valid configuration")
+            .run(SimTime::from_millis(1));
         assert!(report.delivered_bytes() > 0);
     }
 }

@@ -19,7 +19,8 @@
 use std::path::{Path, PathBuf};
 
 use xds_scenario::{
-    library, PlacementKind, ScenarioSpec, SchedulerKind, SwModelKind, SyncSpec, TrafficPattern,
+    library, InstrProfile, PlacementKind, ScenarioSpec, SchedulerKind, SwModelKind, SyncSpec,
+    TrafficPattern,
 };
 use xds_sim::SimDuration;
 
@@ -109,5 +110,38 @@ fn golden_specs_are_self_deterministic() {
         let a = spec.run().expect("spec runs").trace_json();
         let b = spec.run().expect("spec runs").trace_json();
         assert_eq!(a, b, "{} is not deterministic", spec.name);
+    }
+}
+
+/// Instrumentation profiles must not perturb the simulation: on the
+/// golden scenarios, `lean` (no per-packet observation) and `timeseries`
+/// (full + epoch telemetry) must reproduce the full-fidelity run's
+/// event count and byte accounting exactly. (The bench subset gets the
+/// same check in `crates/bench/tests/instrument_equivalence.rs`.)
+#[test]
+fn golden_scenarios_are_profile_invariant() {
+    for spec in [fast_spec(), slow_spec()] {
+        let full = spec.clone().run().expect("full runs");
+        for profile in [InstrProfile::Lean, InstrProfile::TimeSeries] {
+            let other = spec
+                .clone()
+                .with_profile(profile)
+                .run()
+                .expect("profiled run");
+            let label = profile.label();
+            assert_eq!(full.events, other.events, "{}: {label}", spec.name);
+            assert_eq!(
+                (full.delivered_ocs_bytes, full.delivered_eps_bytes),
+                (other.delivered_ocs_bytes, other.delivered_eps_bytes),
+                "{}: {label}",
+                spec.name
+            );
+            assert_eq!(
+                full.drops.total(),
+                other.drops.total(),
+                "{}: {label}",
+                spec.name
+            );
+        }
     }
 }

@@ -5,6 +5,22 @@
 
 use xdsched::prelude::*;
 
+/// Test shorthand over `SimBuilder` (the positional shape the old
+/// constructor had).
+fn sim(
+    cfg: NodeConfig,
+    workload: Workload,
+    scheduler: Box<dyn Scheduler>,
+    estimator: Box<dyn DemandEstimator>,
+) -> HybridSim {
+    SimBuilder::new(cfg)
+        .workload(workload)
+        .scheduler(scheduler)
+        .estimator(estimator)
+        .build()
+        .expect("test sim must build")
+}
+
 fn fast_cfg(n: usize, reconfig_ns: u64) -> NodeConfig {
     NodeConfig::fast(
         n,
@@ -32,7 +48,7 @@ fn no_misrouting_ever_in_hardware_mode() {
         let cfg = fast_cfg(n, reconfig);
         // Enough horizon for several epochs even at millisecond switching.
         let horizon = SimTime::ZERO + cfg.epoch * 6 + SimDuration::from_millis(10);
-        let r = HybridSim::new(
+        let r = sim(
             cfg,
             uniform_flows(n, 0.5, 11, 150_000),
             Box::new(IslipScheduler::new(n, 3)),
@@ -51,7 +67,7 @@ fn byte_conservation_with_drainage() {
     // delivered (zero drops configured ⇒ zero loss).
     let n = 4;
     let w = uniform_flows(n, 0.4, 13, 150_000).with_flow_stop(SimTime::from_millis(1));
-    let r = HybridSim::new(
+    let r = sim(
         fast_cfg(n, 1_000),
         w,
         Box::new(IslipScheduler::new(n, 3)),
@@ -72,7 +88,7 @@ fn whole_stack_is_deterministic() {
     let run = || {
         let n = 8;
         let apps = vec![CbrApp::voip(0, PortNo(0), PortNo(4), SimTime::ZERO)];
-        HybridSim::new(
+        sim(
             fast_cfg(n, 5_000),
             uniform_flows(n, 0.6, 17, 80_000).with_apps(apps),
             Box::new(SolsticeScheduler::new(4)),
@@ -94,7 +110,7 @@ fn whole_stack_is_deterministic() {
 fn different_seeds_give_different_runs() {
     let run = |seed| {
         let n = 4;
-        HybridSim::new(
+        sim(
             fast_cfg(n, 1_000),
             uniform_flows(n, 0.5, seed, 150_000),
             Box::new(IslipScheduler::new(n, 3)),
@@ -111,7 +127,7 @@ fn different_seeds_give_different_runs() {
 fn short_flows_ride_the_eps_bulk_rides_the_ocs() {
     let n = 4;
     // 50 KB flows are below the default 100 KB bulk threshold → EPS.
-    let short = HybridSim::new(
+    let short = sim(
         fast_cfg(n, 1_000),
         uniform_flows(n, 0.05, 19, 50_000),
         Box::new(IslipScheduler::new(n, 3)),
@@ -122,7 +138,7 @@ fn short_flows_ride_the_eps_bulk_rides_the_ocs() {
     assert!(short.delivered_eps_bytes > 0);
 
     // 200 KB flows are bulk → OCS.
-    let bulk = HybridSim::new(
+    let bulk = sim(
         fast_cfg(n, 1_000),
         uniform_flows(n, 0.3, 19, 200_000),
         Box::new(IslipScheduler::new(n, 3)),
@@ -138,7 +154,7 @@ fn faster_switching_means_less_dark_time_same_workload() {
     let n = 8;
     let mut dark = Vec::new();
     for reconfig in [100u64, 100_000] {
-        let r = HybridSim::new(
+        let r = sim(
             fast_cfg(n, reconfig),
             uniform_flows(n, 0.5, 23, 150_000),
             Box::new(IslipScheduler::new(n, 3)),
@@ -159,7 +175,7 @@ fn epoch_cadence_matches_decisions() {
     let cfg = fast_cfg(n, 1_000);
     let epoch = cfg.epoch;
     let horizon = SimTime::from_millis(5);
-    let r = HybridSim::new(
+    let r = sim(
         cfg,
         uniform_flows(n, 0.3, 29, 150_000),
         Box::new(IslipScheduler::new(n, 3)),
@@ -189,7 +205,7 @@ fn all_estimators_run_the_full_stack() {
         )),
     ];
     for est in mk {
-        let r = HybridSim::new(
+        let r = sim(
             fast_cfg(n, 1_000),
             uniform_flows(n, 0.4, 31, 150_000),
             Box::new(GreedyLqfScheduler::new()),

@@ -4,6 +4,22 @@
 
 use xdsched::prelude::*;
 
+/// Test shorthand over `SimBuilder` (the positional shape the old
+/// constructor had).
+fn sim(
+    cfg: NodeConfig,
+    workload: Workload,
+    scheduler: Box<dyn Scheduler>,
+    estimator: Box<dyn DemandEstimator>,
+) -> HybridSim {
+    SimBuilder::new(cfg)
+        .workload(workload)
+        .scheduler(scheduler)
+        .estimator(estimator)
+        .build()
+        .expect("test sim must build")
+}
+
 fn cfg(n: usize) -> NodeConfig {
     NodeConfig::fast(
         n,
@@ -65,7 +81,7 @@ fn every_scheduler_survives_every_pattern() {
     for m in patterns {
         for s in all_schedulers(n) {
             let name = s.name();
-            let r = HybridSim::new(
+            let r = sim(
                 cfg(n),
                 workload(n, m.clone(), 0.2, 5),
                 s,
@@ -83,7 +99,7 @@ fn demand_aware_beats_tdma_on_skewed_traffic() {
     let n = 8;
     let matrix = TrafficMatrix::hotspot(n, 2, 0.7, 0);
     let run = |s: Box<dyn Scheduler>| {
-        HybridSim::new(
+        sim(
             cfg(n),
             workload(n, matrix.clone(), 0.35, 7),
             s,
@@ -112,7 +128,7 @@ fn demand_aware_beats_tdma_on_skewed_traffic() {
 fn hybrid_beats_eps_only_for_bulk_traffic() {
     let n = 8;
     let run = |s: Box<dyn Scheduler>| {
-        HybridSim::new(
+        sim(
             cfg(n),
             workload(n, TrafficMatrix::uniform(n), 0.4, 9),
             s,
@@ -142,7 +158,7 @@ fn multi_entry_schedulers_reconfigure_more_but_cover_more_pairs() {
     }
     let matrix = TrafficMatrix::from_weights(n, w).unwrap();
     let run = |s: Box<dyn Scheduler>| {
-        HybridSim::new(
+        sim(
             cfg(n),
             bulk_workload(n, matrix.clone(), 0.4, 11),
             s,
@@ -164,7 +180,7 @@ fn multi_entry_schedulers_reconfigure_more_but_cover_more_pairs() {
 fn permutation_traffic_is_the_ocs_best_case() {
     let n = 8;
     let run = |m: TrafficMatrix| {
-        HybridSim::new(
+        sim(
             cfg(n),
             bulk_workload(n, m, 0.5, 13),
             Box::new(HungarianScheduler::new()),

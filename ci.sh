@@ -53,6 +53,30 @@ grep -q '"epoch": 0' results/ci_timeseries.timeseries.json \
 grep -q '"duty_cycle"' results/ci_timeseries.timeseries.json \
     || { echo "ci.sh: timeseries rows lost the duty-cycle column"; exit 1; }
 
+echo "==> sweep trace (flight-recorder artifact must be valid Chrome-trace JSON)"
+cargo run --release -q -p xds-bench --bin sweep -- trace scale-stress-256 \
+    --duration-ms 1 --threads 1 --out ci_trace >/dev/null
+[ -s results/ci_trace.trace.json ] \
+    || { echo "ci.sh: trace artifact missing or empty"; exit 1; }
+grep -q '"traceEvents"' results/ci_trace.trace.json \
+    || { echo "ci.sh: trace artifact is not Chrome Trace Event Format"; exit 1; }
+grep -q '"ph": "X"' results/ci_trace.trace.json \
+    || { echo "ci.sh: trace artifact has no complete events"; exit 1; }
+for span in epoch estimate decompose apply probe grant_burst; do
+    grep -q "\"name\": \"$span\"" results/ci_trace.trace.json \
+        || { echo "ci.sh: trace artifact lost the $span span family"; exit 1; }
+done
+grep -q 'sched_probes' results/ci_trace.json \
+    || { echo "ci.sh: counters columns missing from traced sweep output"; exit 1; }
+
+echo "==> counters columns (--counters must add the registry to sweep output)"
+cargo run --release -q -p xds-bench --bin sweep -- run uniform \
+    --duration-ms 1 --threads 1 --counters --out ci_counters >/dev/null
+grep -q '"pool_allocs"' results/ci_counters.json \
+    || { echo "ci.sh: counters columns missing from sweep JSON"; exit 1; }
+head -1 results/ci_counters.csv | grep -q 'sched_memo_hits' \
+    || { echo "ci.sh: counters columns missing from sweep CSV header"; exit 1; }
+
 echo "==> sweep bench --smoke --baseline (the baseline-diff path must run)"
 # Diff a second smoke pass against the first: per-point and aggregate
 # speedup fields must be emitted (values hover around 1.0 — the check is

@@ -289,6 +289,9 @@ pub struct BaselinePoint {
 pub struct Baseline {
     /// Date of the baseline run.
     pub date: String,
+    /// Instrumentation profile the baseline ran under, when the artifact
+    /// recorded one (older hand-edited baselines may lack the line).
+    pub profile: Option<String>,
     /// Aggregate events/second of the baseline.
     pub total_events_per_sec: f64,
     /// Per-point measurements, in artifact order.
@@ -336,12 +339,15 @@ impl Baseline {
             Some(rest[..end].trim().trim_matches('"'))
         }
         let mut date = None;
+        let mut profile = None;
         let mut total = None;
         let mut per_point = Vec::new();
         for line in text.lines() {
             let t = line.trim();
             if t.starts_with("\"date\"") && date.is_none() {
                 date = field(t, "date").map(str::to_string);
+            } else if t.starts_with("\"profile\"") && profile.is_none() {
+                profile = field(t, "profile").map(str::to_string);
             } else if t.starts_with("{\"name\"") {
                 let name = field(t, "name")?.to_string();
                 let eps: f64 = field(t, "events_per_sec")?.parse().ok()?;
@@ -357,8 +363,27 @@ impl Baseline {
         }
         Some(Baseline {
             date: date?,
+            profile,
             total_events_per_sec: total?,
             per_point,
+        })
+    }
+
+    /// A one-line warning when the baseline's instrumentation profile
+    /// differs from the one the current run will use — the numbers stay
+    /// comparable on events/bytes (profile-invariant by contract) but
+    /// wall-clock carries the observation-cost delta, so the trajectory
+    /// diff should say so. `None` when the profiles agree or the
+    /// baseline artifact predates the `profile` field.
+    pub fn profile_mismatch_warning(&self, current: &str) -> Option<String> {
+        let base = self.profile.as_deref()?;
+        (base != current).then(|| {
+            format!(
+                "warning: baseline {} was measured under profile \"{base}\" but this run \
+                 uses \"{current}\" — wall-clock deltas include the instrumentation-cost \
+                 difference",
+                self.date
+            )
         })
     }
 }
@@ -644,6 +669,7 @@ mod tests {
         let json = run.to_json(None);
         let base = Baseline::parse(&json).expect("self-emitted JSON parses");
         assert_eq!(base.date, "2026-07-30");
+        assert_eq!(base.profile.as_deref(), Some("full"));
         assert_eq!(base.per_point.len(), 2);
         assert_eq!(base.point_events_per_sec("uniform/n16"), Some(2_000_000.0));
         assert!((base.total_events_per_sec - run.events_per_sec()).abs() < 1.0);
@@ -651,6 +677,41 @@ mod tests {
         let cmp = run.to_json(Some(&base));
         assert!(cmp.contains("\"speedup\": 1.00"), "{cmp}");
         assert!(cmp.contains("\"baseline\""));
+    }
+
+    #[test]
+    fn profile_mismatch_warns_once_and_agreement_stays_silent() {
+        let run = BenchRun {
+            date: "2026-07-30".into(),
+            mode: "full".into(),
+            repeats: 1,
+            profile: "full".into(),
+            points: vec![BenchPoint {
+                name: "uniform/n16".into(),
+                scheduler: "islip_i3".into(),
+                n_ports: 16,
+                duration: SimDuration::from_millis(20),
+                seed: 11,
+                events: 1_000,
+                wall_ns: 1_000_000,
+                delivered_bytes: 1,
+                phase_estimate_ns: 0,
+                phase_decompose_ns: 0,
+                phase_apply_ns: 0,
+            }],
+        };
+        let base = Baseline::parse(&run.to_json(None)).unwrap();
+        assert!(base.profile_mismatch_warning("full").is_none());
+        let warn = base.profile_mismatch_warning("lean").expect("must warn");
+        assert!(warn.contains("\"full\""), "{warn}");
+        assert!(warn.contains("\"lean\""), "{warn}");
+        assert!(warn.contains("2026-07-30"), "{warn}");
+        // Artifacts that predate the profile field stay silent: there is
+        // nothing trustworthy to compare against.
+        let stripped = run.to_json(None).replace("  \"profile\": \"full\",\n", "");
+        let old = Baseline::parse(&stripped).unwrap();
+        assert_eq!(old.profile, None);
+        assert!(old.profile_mismatch_warning("lean").is_none());
     }
 
     #[test]

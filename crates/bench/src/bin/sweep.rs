@@ -4,10 +4,11 @@
 //! sweep list
 //! sweep run <scenario>[,<scenario>…]|all [options]
 //! sweep timeseries <scenario>[,<scenario>…]|all [options]
+//! sweep trace <scenario>[,<scenario>…]|all [options]
 //! sweep bench [--smoke] [--baseline file.json] [--out file.json] [--date YYYY-MM-DD]
 //!             [--repeat N] [--profile full|lean]
 //!
-//! options (run / timeseries):
+//! options (run / timeseries / trace):
 //!   --ports n1,n2,…        port-count axis          (default: scenario's)
 //!   --loads l1,l2,…        offered-load axis        (default: scenario's)
 //!   --schedulers s1,s2,…   scheduler axis by name   (default: scenario's)
@@ -18,6 +19,8 @@
 //!   --out name             artifact basename        (default: sweep_<scenario>)
 //!   --profile p            instrumentation profile: full|lean|timeseries
 //!                          (run only; default full)
+//!   --trace                flight recorder on: save Chrome-trace JSON per point
+//!   --counters             append the deterministic internal-counter columns
 //! ```
 //!
 //! Every run prints the aggregate table and saves machine-readable
@@ -26,6 +29,18 @@
 //! additionally saved as `results/<out>.timeseries.{json,csv}` — one row
 //! per `(point, epoch)` with demand error, duty cycle and VOQ backlog.
 //! `sweep timeseries` is shorthand for `sweep run --profile timeseries`.
+//!
+//! With `--trace` (or the `sweep trace` shorthand, which also pins
+//! `--counters`), every point runs with the flight recorder on and its
+//! wall-clock span trace is saved as Chrome Trace Event Format JSON —
+//! `results/<out>.trace.json` for a single point, one
+//! `results/<out>.<point>.trace.json` per point otherwise — loadable in
+//! Perfetto (ui.perfetto.dev) or chrome://tracing. Tracing never changes
+//! simulated behavior; wall-clock data stays out of the deterministic
+//! row artifacts. `--counters` appends the [`xds_core::CounterSet`]
+//! column group (scheduler memoization, ladder-queue paths, packet-pool
+//! ledger, grant batching) to the JSON/CSV rows; those values are pure
+//! functions of the simulated event sequence and safe to pin.
 //!
 //! `sweep bench` runs the pinned perf-baseline subset (see
 //! [`xds_bench::bench`]) sequentially on one thread, prints wall-clock and
@@ -43,7 +58,7 @@
 
 use std::process::ExitCode;
 
-use xds_bench::emit_sweep;
+use xds_bench::emit_sweep_with;
 use xds_scenario::{library, InstrProfile, ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid};
 use xds_sim::SimDuration;
 
@@ -52,8 +67,9 @@ fn usage() -> ExitCode {
         "usage:\n  sweep list\n  sweep run <scenario>[,…]|all [--ports n,…] [--loads l,…]\n\
          \x20            [--schedulers s,…] [--seeds s,…] [--reconfigs-us r,…]\n\
          \x20            [--duration-ms d] [--threads t] [--out name]\n\
-         \x20            [--profile full|lean|timeseries]\n\
+         \x20            [--profile full|lean|timeseries] [--trace] [--counters]\n\
          \x20 sweep timeseries <scenario>[,…]|all [run options]\n\
+         \x20 sweep trace <scenario>[,…]|all [run options]\n\
          \x20 sweep bench [--smoke] [--baseline file.json] [--out file.json]\n\
          \x20            [--date YYYY-MM-DD] [--repeat N] [--profile full|lean]\n\
          scenarios: {}",
@@ -82,6 +98,8 @@ struct Options {
     threads: Option<usize>,
     out: Option<String>,
     profile: Option<InstrProfile>,
+    trace: bool,
+    counters: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -95,6 +113,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         threads: None,
         out: None,
         profile: None,
+        trace: false,
+        counters: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -129,6 +149,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--threads" => o.threads = Some(value()?.parse().map_err(|_| "bad --threads")?),
             "--out" => o.out = Some(value()?),
+            "--trace" => o.trace = true,
+            "--counters" => o.counters = true,
             "--profile" => {
                 let v = value()?;
                 o.profile = Some(
@@ -157,6 +179,9 @@ fn run(names: &str, opts: Options) -> Result<(), String> {
         }
         if let Some(p) = opts.profile {
             base = base.with_profile(p);
+        }
+        if opts.trace {
+            base = base.with_trace(true);
         }
         let mut grid = SweepGrid::new(base);
         if !opts.ports.is_empty() {
@@ -190,9 +215,19 @@ fn run(names: &str, opts: Options) -> Result<(), String> {
         .out
         .clone()
         .unwrap_or_else(|| format!("sweep_{}", names.join("_")));
-    emit_sweep(&out, &format!("sweep: {}", names.join(", ")), &results);
+    emit_sweep_with(
+        &out,
+        &format!("sweep: {}", names.join(", ")),
+        &results,
+        opts.counters,
+    );
     if results.has_timeseries() {
         for path in results.write_timeseries_artifacts(&out) {
+            println!("[saved {}]", path.display());
+        }
+    }
+    if results.has_traces() {
+        for path in results.write_trace_artifacts(&out) {
             println!("[saved {}]", path.display());
         }
     }
@@ -247,6 +282,11 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
         None => None,
         Some(p) => Some(xds_bench::bench::Baseline::load(p)?),
     };
+    if let Some(b) = &baseline {
+        if let Some(warn) = b.profile_mismatch_warning(profile.label()) {
+            eprintln!("{warn}");
+        }
+    }
     let mode = if smoke { "smoke" } else { "full" };
     let date = date.unwrap_or_else(xds_bench::bench::today_string);
     let specs = xds_bench::bench::catalogue(smoke);
@@ -343,6 +383,25 @@ fn main() -> ExitCode {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("sweep: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("trace") => {
+            // `sweep run --trace --counters`: the flight-recorder
+            // artifact plus pinnable counters is the whole point here.
+            let Some(names) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                return usage();
+            };
+            let parsed = parse_options(&args[2..]).map(|mut o| {
+                o.trace = true;
+                o.counters = true;
+                o
+            });
+            match parsed.and_then(|o| run(names, o)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("sweep trace: {e}");
                     ExitCode::FAILURE
                 }
             }

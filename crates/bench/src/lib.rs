@@ -63,8 +63,20 @@ pub fn emit(name: &str, table: &Table) {
 /// `results/<name>.{json,csv}` — the uniform artefact set of every
 /// scenario-driven experiment.
 pub fn emit_sweep(name: &str, title: &str, results: &xds_scenario::SweepResults) {
+    emit_sweep_with(name, title, results, false);
+}
+
+/// [`emit_sweep`] with the deterministic internal-counter column group
+/// optionally included in the JSON/CSV rows (the `--counters` flag of
+/// the `sweep` binary).
+pub fn emit_sweep_with(
+    name: &str,
+    title: &str,
+    results: &xds_scenario::SweepResults,
+    counters: bool,
+) {
     print!("{}", results.summary_table(title).render_text());
-    for path in results.write_artifacts(name) {
+    for path in results.write_artifacts_with(name, counters) {
         println!("[saved {}]", path.display());
     }
     println!();

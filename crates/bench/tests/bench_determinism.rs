@@ -64,6 +64,53 @@ fn bench_subset_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn counters_columns_are_byte_identical_across_thread_counts() {
+    // The internal-counters registry (scheduler memo/HK/probe tallies,
+    // ladder-queue spreads/spills, pool high-water marks, grant-burst
+    // shape) is simulation-domain only — a pure function of the seeded
+    // event sequence. Serialized with `--counters` it must therefore be
+    // byte-identical across sweep thread counts, same as the classic
+    // columns. A wall-clock value leaking into a counter shows up here.
+    let specs: Vec<ScenarioSpec> = subset().into_iter().filter(|s| s.n_ports <= 256).collect();
+    assert!(
+        specs.len() >= 4,
+        "filtered subset still spans the hot paths"
+    );
+    let reference = SweepExecutor::with_threads(1).run(specs.clone());
+    let ref_json = reference.to_json_with(true);
+    let ref_csv = reference.to_csv_with(true);
+    for name in xds_core::CounterSet::names() {
+        assert!(
+            ref_csv.lines().next().unwrap().contains(name),
+            "counters CSV header must carry {name}"
+        );
+    }
+    // At least one point must actually tick the scheduler counters —
+    // all-zero columns would make this test vacuous.
+    assert!(
+        reference
+            .points
+            .iter()
+            .filter_map(|p| p.report.as_ref().ok())
+            .any(|r| r.counters.pool_allocs > 0 && r.counters.grant_bursts > 0),
+        "counters never ticked across the whole subset"
+    );
+    for threads in [2usize, 8] {
+        let got = SweepExecutor::with_threads(threads).run(specs.clone());
+        assert_eq!(
+            got.to_json_with(true),
+            ref_json,
+            "counters JSON diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.to_csv_with(true),
+            ref_csv,
+            "counters CSV diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn scale_stress_trace_is_byte_identical_across_repeats() {
     // Repeatability of the full report serialization (deeper than the
     // sweep row): the scale point exercises the schedule slab, the

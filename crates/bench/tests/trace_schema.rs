@@ -1,0 +1,60 @@
+//! Flight-recorder schema round-trip: a traced end-to-end run must emit
+//! Chrome Trace Event Format JSON that our own hand-rolled validator
+//! (the same contract chrome://tracing and Perfetto parse) accepts, with
+//! every span family the recorder promises. The validator is strict —
+//! it re-parses the serialized string, not the in-memory events — so a
+//! writer bug (unescaped name, truncated object, non-numeric ts) fails
+//! here before anyone loads a broken artifact into a trace viewer.
+
+use xds_core::validate_chrome_trace;
+use xds_scenario::library;
+use xds_sim::SimDuration;
+
+#[test]
+fn traced_scale_stress_run_round_trips_through_the_validator() {
+    let report = library::scenario("scale-stress-256")
+        .expect("library entry")
+        .with_duration(SimDuration::from_micros(500))
+        .with_trace(true)
+        .run()
+        .expect("traced run completes");
+    let json = report
+        .chrome_trace
+        .as_deref()
+        .expect("trace requested, trace present");
+    let summary = validate_chrome_trace(json).expect("recorder output must validate");
+    assert!(summary.complete_events > 0, "trace must not be empty");
+    // The three epoch phases plus the parent span.
+    for name in ["epoch", "estimate", "decompose", "apply"] {
+        assert!(summary.names.contains(name), "missing span family {name}");
+    }
+    // Scheduler interior: the threshold probe always runs; matching is
+    // either a fresh Hopcroft-Karp pass or a memo hit per configuration.
+    assert!(summary.names.contains("probe"), "missing scheduler probes");
+    assert!(
+        summary.names.contains("match_hk") || summary.names.contains("match_memo"),
+        "missing matching spans: {:?}",
+        summary.names
+    );
+    // Slot-domain spans: grant bursts at activation.
+    assert!(summary.names.contains("grant_burst"), "missing slot spans");
+}
+
+#[test]
+fn validator_rejects_what_the_recorder_never_writes() {
+    // Round-trip means the validator is not a rubber stamp: mangled
+    // variants of a valid trace must be rejected with a reason.
+    let report = library::scenario("uniform")
+        .expect("library entry")
+        .with_ports(4)
+        .with_duration(SimDuration::from_millis(1))
+        .with_trace(true)
+        .run()
+        .expect("traced run completes");
+    let json = report.chrome_trace.expect("trace present");
+    validate_chrome_trace(&json).expect("pristine trace validates");
+    let truncated = &json[..json.len() / 2];
+    assert!(validate_chrome_trace(truncated).is_err(), "truncation");
+    let no_events = json.replacen("\"traceEvents\"", "\"otherEvents\"", 1);
+    assert!(validate_chrome_trace(&no_events).is_err(), "renamed array");
+}

@@ -40,6 +40,7 @@ pub mod report;
 pub mod runtime;
 pub mod sched;
 pub mod switching;
+pub mod trace;
 
 pub use config::{NodeConfig, Placement};
 pub use demand::{DemandEstimator, DemandMatrix, SchedRequest};
@@ -52,3 +53,5 @@ pub use pool::{PacketPool, PktFifo};
 pub use report::{MetricValue, RunReport};
 pub use runtime::{BuildError, HybridSim, SimBuilder};
 pub use sched::{Schedule, ScheduleCtx, ScheduleEntry, Scheduler};
+pub use trace::{validate_chrome_trace, SchedObs, SchedSpan, TraceRecorder, TraceSummary};
+pub use xds_metrics::CounterSet;

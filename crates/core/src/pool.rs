@@ -74,7 +74,7 @@ impl PktFifo {
 }
 
 /// The shared chunk slab plus its free list and conservation counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PacketPool {
     chunks: Vec<Chunk>,
     /// Free chunks form a FIFO through `next`.
@@ -82,6 +82,21 @@ pub struct PacketPool {
     free_tail: u32,
     free_chunks: usize,
     live_pkts: u64,
+    /// Always-on conservation accounting (plain u64 increments, kept in
+    /// release builds): `allocs - frees == live_pkts` is the leak
+    /// invariant [`check_conserved`](Self::check_conserved) enforces at
+    /// end of run, and the peaks feed the flight-recorder counter
+    /// registry.
+    allocs: u64,
+    frees: u64,
+    live_peak: u64,
+    chunk_growths: u64,
+}
+
+impl Default for PacketPool {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl PacketPool {
@@ -94,6 +109,10 @@ impl PacketPool {
             free_tail: NIL,
             free_chunks: 0,
             live_pkts: 0,
+            allocs: 0,
+            frees: 0,
+            live_peak: 0,
+            chunk_growths: 0,
         }
     }
 
@@ -115,6 +134,7 @@ impl PacketPool {
             c
         } else {
             assert!(self.chunks.len() < NIL as usize, "packet pool overflow");
+            self.chunk_growths += 1;
             self.chunks.push(Chunk {
                 pkts: [p; CHUNK_PKTS],
                 next: NIL,
@@ -157,6 +177,10 @@ impl PacketPool {
             f.tail_len = 1;
         }
         self.live_pkts += 1;
+        self.allocs += 1;
+        if self.live_pkts > self.live_peak {
+            self.live_peak = self.live_pkts;
+        }
     }
 
     /// The packet at the front of `f`, if any.
@@ -179,6 +203,7 @@ impl PacketPool {
         let p = self.chunks[head as usize].pkts[f.head_off as usize];
         f.head_off += 1;
         self.live_pkts -= 1;
+        self.frees += 1;
         let exhausted = if f.head == f.tail {
             f.head_off == f.tail_len
         } else {
@@ -229,6 +254,7 @@ impl PacketPool {
                 }
                 used += b;
                 self.live_pkts -= 1;
+                self.frees += 1;
                 out.push(pkt);
                 off += 1;
             }
@@ -263,6 +289,56 @@ impl PacketPool {
     /// Chunks currently reachable from some FIFO (not on the free list).
     pub fn chunks_in_use(&self) -> usize {
         self.chunks.len() - self.free_chunks
+    }
+
+    /// Packets ever pushed into this pool.
+    pub fn alloc_count(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Packets ever popped/drained out of this pool.
+    pub fn free_count(&self) -> u64 {
+        self.frees
+    }
+
+    /// High-water mark of simultaneously live packets.
+    pub fn live_peak(&self) -> u64 {
+        self.live_peak
+    }
+
+    /// Slab growth events (a chunk allocated because the free list was
+    /// empty).
+    pub fn chunk_growth_count(&self) -> u64 {
+        self.chunk_growths
+    }
+
+    /// The always-on end-of-run leak check: verifies the alloc/free
+    /// ledger balances against the live count, and that chunk occupancy
+    /// bounds hold. Unlike
+    /// [`debug_assert_conserved`](Self::debug_assert_conserved) this
+    /// runs (and fails) in release builds too — a leak must error the
+    /// run, not silently pass once debug assertions compile out. Returns
+    /// a one-line description of the first violated invariant.
+    pub fn check_conserved(&self) -> Result<(), String> {
+        if self.allocs.checked_sub(self.frees) != Some(self.live_pkts) {
+            return Err(format!(
+                "packet pool leak: {} allocs - {} frees != {} live packets",
+                self.allocs, self.frees, self.live_pkts
+            ));
+        }
+        let in_use = self.chunks_in_use() as u64;
+        if !(in_use <= self.live_pkts && self.live_pkts <= in_use * CHUNK_PKTS as u64) {
+            return Err(format!(
+                "packet pool occupancy violated: {} live packets across {in_use} in-use chunks",
+                self.live_pkts
+            ));
+        }
+        if self.live_pkts == 0 && in_use != 0 {
+            return Err(format!(
+                "packet pool leak: {in_use} chunks in use with zero live packets"
+            ));
+        }
+        Ok(())
     }
 
     /// Debug-asserts occupancy conservation: every in-use chunk holds
@@ -353,6 +429,38 @@ mod tests {
             assert_eq!(pool.pop(&mut b).unwrap().id.0, 100 + i);
         }
         pool.debug_assert_conserved();
+    }
+
+    #[test]
+    fn conservation_ledger_balances_and_catches_leaks() {
+        let mut pool = PacketPool::new();
+        let mut f = PktFifo::new();
+        pool.check_conserved().expect("empty pool conserves");
+        for i in 0..9 {
+            pool.push(&mut f, pkt(i, 100));
+        }
+        assert_eq!(pool.alloc_count(), 9);
+        assert_eq!(pool.live_peak(), 9);
+        assert_eq!(pool.chunk_growth_count(), 3, "9 packets = 3 fresh chunks");
+        pool.check_conserved().expect("mid-run ledger balances");
+        let mut out = Vec::new();
+        pool.drain_budget_into(&mut f, u64::MAX, &mut out);
+        assert_eq!(pool.free_count(), 9);
+        assert_eq!(pool.live_peak(), 9, "peak survives the drain");
+        pool.check_conserved().expect("drained pool conserves");
+        // Re-fill reuses chunks: growth count must not move.
+        for i in 0..9 {
+            pool.push(&mut f, pkt(i, 100));
+        }
+        assert_eq!(pool.chunk_growth_count(), 3);
+        assert_eq!(pool.live_peak(), 9);
+        // A cooked ledger is reported, not silently accepted.
+        let mut bad = PacketPool::new();
+        let mut g = PktFifo::new();
+        bad.push(&mut g, pkt(0, 10));
+        bad.frees = 1; // simulate a free the live count never saw
+        let err = bad.check_conserved().unwrap_err();
+        assert!(err.contains("leak"), "{err}");
     }
 
     #[test]

@@ -224,6 +224,24 @@ impl ProcessingLogic {
     pub fn pool_occupancy(&self) -> (u64, usize) {
         (self.pool.live_packets(), self.pool.chunks_in_use())
     }
+
+    /// The backing pool's always-on conservation ledger, harvested into
+    /// the run's counter registry: `(allocs, frees, live peak, chunk
+    /// growths)`.
+    pub fn pool_ledger(&self) -> (u64, u64, u64, u64) {
+        (
+            self.pool.alloc_count(),
+            self.pool.free_count(),
+            self.pool.live_peak(),
+            self.pool.chunk_growth_count(),
+        )
+    }
+
+    /// Release-mode conservation audit of the backing pool (see
+    /// [`PacketPool::check_conserved`]).
+    pub fn check_pool_conserved(&self) -> Result<(), String> {
+        self.pool.check_conserved()
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! rows (`xds_scenario::output`) derive their cells from, so the two can
 //! never disagree on what a column means.
 
-use xds_metrics::{EpochSeries, FctStats, LatencyHistogram, SizeClass, Table};
+use xds_metrics::{CounterSet, EpochSeries, FctStats, LatencyHistogram, SizeClass, Table};
 use xds_sim::SimDuration;
 use xds_switch::{EpsStats, OcsStats};
 
@@ -105,6 +105,23 @@ pub struct RunReport {
     /// from [`trace_json`](Self::trace_json) — the golden traces pin the
     /// classic aggregate bundle.
     pub timeseries: Option<EpochSeries>,
+
+    /// Deterministic internal counters (scheduler memoization, ladder-
+    /// queue structural paths, packet-pool conservation ledger, grant
+    /// batching): pure functions of the simulated event sequence, so
+    /// they are pinnable and thread-count-invariant. Deliberately **not**
+    /// part of [`trace_json`](Self::trace_json) — the golden traces pin
+    /// the classic aggregate bundle and must not churn when a counter is
+    /// added. Surfaced to sweep rows via
+    /// [`counter_columns`](Self::counter_columns).
+    pub counters: CounterSet,
+
+    /// Serialized Chrome Trace Event Format JSON from the flight
+    /// recorder, present only when the run was built with
+    /// `SimBuilder::trace(true)`. Wall-clock data — like
+    /// [`phases`](Self::phases), excluded from
+    /// [`trace_json`](Self::trace_json).
+    pub chrome_trace: Option<String>,
 
     /// Whether a delivery sink actually observed this run (false under
     /// the `lean` profile). When false, the latency/FCT fields above are
@@ -420,6 +437,19 @@ impl RunReport {
         ]
     }
 
+    /// The deterministic internal-counter columns, in [`CounterSet`]'s
+    /// canonical order. Kept separate from
+    /// [`metric_columns`](Self::metric_columns) so the classic sweep
+    /// row layout is unchanged unless a caller opts the counter group
+    /// in.
+    pub fn counter_columns(&self) -> Vec<(&'static str, MetricValue)> {
+        self.counters
+            .items()
+            .iter()
+            .map(|&(k, v)| (k, MetricValue::U64(v)))
+            .collect()
+    }
+
     /// Looks one canonical metric column up by name.
     pub fn metric(&self, name: &str) -> Option<MetricValue> {
         self.metric_columns()
@@ -546,6 +576,8 @@ mod tests {
             demand_error_mean: None,
             phases: EpochPhaseNs::default(),
             timeseries: None,
+            counters: CounterSet::default(),
+            chrome_trace: None,
             measured_deliveries: true,
             measured_buffers: true,
         }
@@ -587,6 +619,26 @@ mod tests {
         assert!(!t.is_empty());
         let text = t.render_text();
         assert!(text.contains("throughput"));
+    }
+
+    #[test]
+    fn counter_columns_mirror_the_counter_set_and_stay_out_of_goldens() {
+        let mut r = blank();
+        r.counters.sched_probes = 4;
+        r.counters.pool_allocs = 9;
+        let cols = r.counter_columns();
+        assert_eq!(cols.len(), CounterSet::LEN);
+        assert_eq!(cols[0].0, "sched_memo_hits");
+        assert_eq!(
+            RunReport::column(&cols, "sched_probes"),
+            MetricValue::U64(4)
+        );
+        // Counters and flight-recorder output stay out of the golden-
+        // trace serialization: adding one must not churn pinned traces.
+        r.chrome_trace = Some("{\"traceEvents\": []}".into());
+        let golden = r.trace_json();
+        assert!(!golden.contains("sched_probes"));
+        assert!(!golden.contains("traceEvents"));
     }
 
     #[test]

@@ -37,6 +37,8 @@ use crate::processing::ProcessingLogic;
 use crate::report::{EpochPhaseNs, RunReport};
 use crate::sched::{Schedule, ScheduleCtx, Scheduler};
 use crate::switching::SwitchingLogic;
+use crate::trace::TraceRecorder;
+use xds_metrics::CounterSet;
 
 /// Simulation events.
 ///
@@ -238,6 +240,17 @@ struct SimState {
     /// clock is read a handful of times per *epoch* (not per event), so
     /// the instrumentation is invisible next to the phases it measures.
     phases: EpochPhaseNs,
+
+    /// Deterministic internal counters, merged from the scheduler's
+    /// per-epoch observability deltas as the run goes and from the
+    /// event queue / packet pool ledgers at the end. Plain u64 adds,
+    /// always on.
+    counters: CounterSet,
+    /// The flight recorder, present only when the build requested
+    /// tracing. Span recording reuses the phase-accounting `Instant`s
+    /// the runtime reads anyway, so `None` means strictly zero extra
+    /// clock reads on the hot path.
+    trace: Option<TraceRecorder>,
 }
 
 impl SimState {
@@ -279,6 +292,7 @@ impl SimState {
     /// call per grant burst, not per packet) and resets the scratch.
     fn flush_deliveries(&mut self) {
         if !self.delivery_scratch.is_empty() {
+            self.counters.delivery_batches += 1;
             self.delivery_sink.on_batch(&self.delivery_scratch);
             self.delivery_scratch.clear();
         }
@@ -460,6 +474,7 @@ pub struct SimBuilder {
     scheduler: Option<Box<dyn Scheduler>>,
     estimator: Option<Box<dyn DemandEstimator>>,
     instr: Instrumentation,
+    trace: bool,
 }
 
 impl SimBuilder {
@@ -473,6 +488,7 @@ impl SimBuilder {
             scheduler: None,
             estimator: None,
             instr: Instrumentation::full(),
+            trace: false,
         }
     }
 
@@ -502,6 +518,19 @@ impl SimBuilder {
         self
     }
 
+    /// Enables the flight recorder (defaults to off). When on, the run
+    /// captures wall-clock spans for the epoch phases, scheduler
+    /// internals and slot grant bursts, and the report carries their
+    /// Chrome Trace Event JSON in
+    /// [`RunReport::chrome_trace`](crate::report::RunReport::chrome_trace).
+    /// When off, no recorder exists and the hot path performs no extra
+    /// clock reads or allocations — simulated behavior is identical
+    /// either way.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// Validates and assembles the simulation.
     pub fn build(self) -> Result<HybridSim, BuildError> {
         let SimBuilder {
@@ -510,6 +539,7 @@ impl SimBuilder {
             scheduler,
             estimator,
             mut instr,
+            trace,
         } = self;
         cfg.validate().map_err(BuildError::InvalidConfig)?;
         let n = cfg.n_ports;
@@ -531,7 +561,10 @@ impl SimBuilder {
                 });
             }
         }
-        let scheduler = scheduler.ok_or(BuildError::MissingScheduler)?;
+        let mut scheduler = scheduler.ok_or(BuildError::MissingScheduler)?;
+        if trace {
+            scheduler.set_trace(true);
+        }
         let estimator = estimator.unwrap_or_else(|| Box::new(MirrorEstimator::new(n)));
 
         let mut rng = SimRng::new(cfg.seed);
@@ -598,6 +631,8 @@ impl SimBuilder {
             track_buffers: instr.track_buffers,
             delivery_scratch: Vec::new(),
             phases: EpochPhaseNs::default(),
+            counters: CounterSet::default(),
+            trace: trace.then(TraceRecorder::new),
             cfg,
         };
         Ok(HybridSim {
@@ -676,6 +711,27 @@ impl HybridSim {
             st.delivery_scratch.is_empty(),
             "every handler flushes its delivery batch"
         );
+        // Fold the structural ledgers into the counter registry. The
+        // ladder queue and the two packet pools own their counts; the
+        // registry harvests them once, after the last event.
+        st.counters.queue_spreads = self.sim.queue.spread_count();
+        st.counters.queue_spills = self.sim.queue.spill_count();
+        st.counters.queue_direct_sorts = self.sim.queue.direct_sort_count();
+        let (p_allocs, p_frees, p_peak, p_growths) = st.proc.pool_ledger();
+        st.counters.pool_allocs = st.host_pool.alloc_count() + p_allocs;
+        st.counters.pool_frees = st.host_pool.free_count() + p_frees;
+        // Sum of per-pool high-water marks (the pools never trade
+        // packets, so the sum is a deterministic combined ceiling).
+        st.counters.pool_live_peak = st.host_pool.live_peak() + p_peak;
+        st.counters.pool_chunk_growths = st.host_pool.chunk_growth_count() + p_growths;
+        // End-of-run conservation audit, on in release builds too: a
+        // packet-pool leak is a runtime bug no report may paper over.
+        if let Err(e) = st.host_pool.check_conserved() {
+            panic!("end-of-run host pool audit failed: {e}");
+        }
+        if let Err(e) = st.proc.check_pool_conserved() {
+            panic!("end-of-run switch pool audit failed: {e}");
+        }
         let delivery = st.delivery_sink.finish();
         let epoch = st.epoch_probe.finish();
         let drops = st.drop_sink.finish();
@@ -715,6 +771,8 @@ impl HybridSim {
             demand_error_mean: epoch.demand_error_mean,
             phases: st.phases,
             timeseries: epoch.series,
+            counters: st.counters,
+            chrome_trace: st.trace.map(|t| t.to_chrome_json()),
             measured_deliveries: st.want_deliveries,
             measured_buffers: st.track_buffers,
         }
@@ -899,7 +957,45 @@ impl HybridSim {
                 let phase_t1 = std::time::Instant::now();
                 st.phases.estimate += phase_t1.duration_since(phase_t0).as_nanos() as u64;
                 let sched = st.scheduler.schedule(demand, &ctx);
-                st.phases.decompose += phase_t1.elapsed().as_nanos() as u64;
+                // This `Instant::now` was previously hidden inside
+                // `elapsed()`: naming it costs nothing and doubles as the
+                // decompose span's end when the recorder is on.
+                let phase_t2 = std::time::Instant::now();
+                st.phases.decompose += phase_t2.duration_since(phase_t1).as_nanos() as u64;
+                if let Some(obs) = st.scheduler.take_obs() {
+                    st.counters.sched_memo_hits += obs.memo_hits;
+                    st.counters.sched_hk_runs += obs.hk_runs;
+                    st.counters.sched_probes += obs.probes;
+                    st.counters.sched_worklist_peak =
+                        st.counters.sched_worklist_peak.max(obs.worklist_len);
+                    st.counters.sched_bucket_peak =
+                        st.counters.sched_bucket_peak.max(obs.buckets_len);
+                    if let Some(tr) = &mut st.trace {
+                        for s in &obs.spans {
+                            tr.span_between("sched", s.name, s.start, s.end, &[s.arg]);
+                        }
+                    }
+                }
+                if let Some(tr) = &mut st.trace {
+                    // The epoch span and its two phase children reuse the
+                    // phase-accounting instants read above — tracing adds
+                    // no clock reads here, on or off.
+                    tr.span_between(
+                        "epoch",
+                        "epoch",
+                        phase_t0,
+                        phase_t2,
+                        &[("epoch", st.decisions)],
+                    );
+                    tr.span_between("epoch", "estimate", phase_t0, phase_t1, &[]);
+                    tr.span_between(
+                        "epoch",
+                        "decompose",
+                        phase_t1,
+                        phase_t2,
+                        &[("entries", sched.entries.len() as u64)],
+                    );
+                }
                 debug_assert!(
                     sched.validate(&ctx, st.cfg.n_ports).is_ok(),
                     "{} produced an invalid schedule",
@@ -985,12 +1081,16 @@ impl HybridSim {
                         if granted.is_empty() {
                             continue;
                         }
+                        let burst_t0 = st.trace.is_some().then(std::time::Instant::now);
+                        let npkts = granted.len() as u64;
+                        st.counters.grant_bursts += 1;
+                        st.counters.grant_pkts_max = st.counters.grant_pkts_max.max(npkts);
                         // One circuit validation per burst (identical
                         // accounting to per-packet transmits).
                         let total: u64 = granted.iter().map(|p| p.bytes as u64).sum();
                         st.switching
                             .ocs
-                            .transmit_batch(i, j, total, granted.len() as u64, now)
+                            .transmit_batch(i, j, total, npkts, now)
                             .expect("granted circuit must be live");
                         let mut cursor = now;
                         for pkt in granted.drain(..) {
@@ -1003,6 +1103,15 @@ impl HybridSim {
                             let deliver = dep + st.cfg.host_link.propagation;
                             st.record_delivery(&pkt, deliver, DeliveryPath::Ocs);
                         }
+                        if let (Some(t0), Some(tr)) = (burst_t0, &mut st.trace) {
+                            tr.span_between(
+                                "slot",
+                                "grant_burst",
+                                t0,
+                                std::time::Instant::now(),
+                                &[("pkts", npkts)],
+                            );
+                        }
                     }
                     // All pairs drained the same slot: flush their
                     // releases as one timestamp-coalesced batch, and the
@@ -1014,7 +1123,19 @@ impl HybridSim {
                     }
                     st.flush_deliveries();
                     st.grant_scratch = granted;
-                    st.phases.apply += phase_t0.elapsed().as_nanos() as u64;
+                    let phase_t1 = std::time::Instant::now();
+                    st.phases.apply += phase_t1.duration_since(phase_t0).as_nanos() as u64;
+                    if let Some(tr) = &mut st.trace {
+                        // Reuses the apply-phase instants: the slot span
+                        // nests the grant-burst spans recorded above.
+                        tr.span_between(
+                            "epoch",
+                            "apply",
+                            phase_t0,
+                            phase_t1,
+                            &[("entry", idx as u64)],
+                        );
+                    }
                 }
                 if idx + 1 < sched.entries.len() {
                     st.scheds[sid] = Some(sched);
@@ -1603,6 +1724,49 @@ mod tests {
         assert_eq!(lean.peak_switch_buffer, 0);
         assert_eq!(lean.demand_error_mean, None);
         assert!(full.peak_switch_buffer > 0);
+    }
+
+    #[test]
+    fn counters_populate_and_tracing_defaults_to_off() {
+        let r = run_fast(4, 0.4, 5);
+        assert!(r.chrome_trace.is_none(), "tracing defaults to off");
+        assert!(r.counters.grant_bursts > 0, "bulk load grants bursts");
+        assert!(r.counters.grant_pkts_max > 0);
+        assert!(r.counters.delivery_batches > 0);
+        assert!(r.counters.pool_allocs > 0, "packets went through a pool");
+        assert!(r.counters.pool_frees <= r.counters.pool_allocs);
+        assert!(r.counters.pool_live_peak > 0);
+        // Counters are part of the run's deterministic identity.
+        let again = run_fast(4, 0.4, 5);
+        assert_eq!(r.counters, again.counters);
+    }
+
+    #[test]
+    fn flight_recorder_emits_a_valid_chrome_trace_without_perturbing_the_run() {
+        let traced = SimBuilder::new(hw_cfg(4))
+            .workload(flows(4, 0.4, 7))
+            .scheduler(Box::new(IslipScheduler::new(4, 3)))
+            .trace(true)
+            .build()
+            .expect("builds")
+            .run(SimTime::from_millis(3));
+        let json = traced.chrome_trace.as_ref().expect("recorder ran");
+        let summary = crate::trace::validate_chrome_trace(json).expect("valid Chrome trace");
+        assert!(summary.complete_events > 0);
+        for name in ["epoch", "estimate", "decompose", "apply", "grant_burst"] {
+            assert!(summary.names.contains(name), "missing span {name}");
+        }
+        // Simulated behavior and counters are trace-invariant.
+        let plain = SimBuilder::new(hw_cfg(4))
+            .workload(flows(4, 0.4, 7))
+            .scheduler(Box::new(IslipScheduler::new(4, 3)))
+            .build()
+            .expect("builds")
+            .run(SimTime::from_millis(3));
+        assert!(plain.chrome_trace.is_none());
+        assert_eq!(plain.events, traced.events);
+        assert_eq!(plain.delivered_ocs_bytes, traced.delivered_ocs_bytes);
+        assert_eq!(plain.counters, traced.counters);
     }
 
     #[test]

@@ -162,6 +162,24 @@ pub trait Scheduler: Send {
 
     /// Computes the schedule for one epoch.
     fn schedule(&mut self, demand: &DemandMatrix, ctx: &ScheduleCtx) -> Schedule;
+
+    /// Enables wall-clock span capture for subsequent
+    /// [`schedule`](Self::schedule) calls (the flight recorder is on).
+    /// Counters are
+    /// always accumulated; only span capture — which costs `Instant`
+    /// reads and allocation — is gated. Schedulers without internal
+    /// observability ignore this.
+    fn set_trace(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drains observability accumulated since the last call (per-epoch
+    /// counter deltas plus captured spans). The runtime calls this after
+    /// every `schedule()`; the default for schedulers with nothing to
+    /// report returns `None`, which costs nothing.
+    fn take_obs(&mut self) -> Option<crate::trace::SchedObs> {
+        None
+    }
 }
 
 /// Builds the boolean request matrix (who has demand) used by the

@@ -20,10 +20,13 @@
 //! schedule-for-schedule equal to the reference by a differential
 //! proptest (`tests/solstice_differential.rs`).
 
+use std::time::Instant;
+
 use xds_hw::HwAlgo;
 use xds_switch::Permutation;
 
 use crate::demand::DemandMatrix;
+use crate::trace::{SchedObs, SchedSpan};
 
 use super::matching::{hopcroft_karp, hopcroft_karp_csr, MatchingWorkspace};
 use super::{Schedule, ScheduleCtx, ScheduleEntry, Scheduler};
@@ -97,6 +100,12 @@ pub struct SolsticeScheduler {
     /// Per-entry-index matching memos from the previous epoch.
     memos: Vec<EntryMemo>,
     ws: MatchingWorkspace,
+    /// Flight-recorder channel, drained by the runtime via
+    /// [`Scheduler::take_obs`]. Counters are pure functions of the
+    /// demand sequence (deterministic, always maintained); spans carry
+    /// wall-clock instants and are captured only when `trace_on`.
+    obs: SchedObs,
+    trace_on: bool,
 }
 
 impl SolsticeScheduler {
@@ -112,6 +121,8 @@ impl SolsticeScheduler {
             probe: Vec::new(),
             memos: Vec::new(),
             ws: MatchingWorkspace::default(),
+            obs: SchedObs::default(),
+            trace_on: false,
         }
     }
 
@@ -189,14 +200,34 @@ impl SolsticeScheduler {
     /// the memoized matching when entry `e` saw the identical edge set
     /// last epoch.
     fn match_probe(&mut self, n: usize, e: usize) -> Permutation {
+        let t0 = self.trace_on.then(Instant::now);
+        let edges = self.ws.adj_targets.len() as u64;
         if let Some(m) = self.memos.get(e) {
             if let Some(perm) = &m.perm {
                 if m.offsets == self.ws.adj_offsets && m.targets == self.ws.adj_targets {
+                    self.obs.memo_hits += 1;
+                    if let Some(t0) = t0 {
+                        self.obs.spans.push(SchedSpan {
+                            name: "match_memo",
+                            start: t0,
+                            end: Instant::now(),
+                            arg: ("edges", edges),
+                        });
+                    }
                     return perm.clone();
                 }
             }
         }
         let perm = hopcroft_karp_csr(n, &mut self.ws);
+        self.obs.hk_runs += 1;
+        if let Some(t0) = t0 {
+            self.obs.spans.push(SchedSpan {
+                name: "match_hk",
+                start: t0,
+                end: Instant::now(),
+                arg: ("edges", edges),
+            });
+        }
         if self.memos.len() <= e {
             self.memos.resize_with(e + 1, EntryMemo::default);
         }
@@ -236,6 +267,13 @@ impl Scheduler for SolsticeScheduler {
             self.top = 0;
         }
         self.load_epoch(demand);
+        // Per-epoch load shape for the counter registry: entries loaded
+        // and populated value buckets (peak since the last drain — the
+        // runtime drains every epoch).
+        let worklist: usize = self.buckets.iter().map(Vec::len).sum();
+        let populated = self.buckets.iter().filter(|b| !b.is_empty()).count();
+        self.obs.worklist_len = self.obs.worklist_len.max(worklist as u64);
+        self.obs.buckets_len = self.obs.buckets_len.max(populated as u64);
 
         let mut entries: Vec<ScheduleEntry> = Vec::new();
         let budget = (self.max_perms as usize).min(ctx.max_entries);
@@ -265,6 +303,7 @@ impl Scheduler for SolsticeScheduler {
             self.probe.extend_from_slice(&self.buckets[k_top]);
             let mut k = k_top;
             let perm = loop {
+                let t0 = self.trace_on.then(Instant::now);
                 // Row-major edge order: the matching is identical to the
                 // one a dense `≥ t` predicate scan would produce.
                 self.probe.sort_unstable();
@@ -275,6 +314,15 @@ impl Scheduler for SolsticeScheduler {
                         .map(|&idx| (idx as usize / n, idx as usize % n)),
                 );
                 let m = self.match_probe(n, entries.len());
+                self.obs.probes += 1;
+                if let Some(t0) = t0 {
+                    self.obs.spans.push(SchedSpan {
+                        name: "probe",
+                        start: t0,
+                        end: Instant::now(),
+                        arg: ("cells", self.probe.len() as u64),
+                    });
+                }
                 if !m.is_empty() || k == 0 {
                     break m;
                 }
@@ -313,6 +361,17 @@ impl Scheduler for SolsticeScheduler {
             entries.push(ScheduleEntry { perm, slot });
         }
         Schedule { entries }
+    }
+
+    fn set_trace(&mut self, on: bool) {
+        self.trace_on = on;
+    }
+
+    fn take_obs(&mut self) -> Option<SchedObs> {
+        if self.obs.is_empty() {
+            return None;
+        }
+        Some(std::mem::take(&mut self.obs))
     }
 }
 
@@ -503,6 +562,32 @@ mod tests {
         assert_eq!(first, second, "memo replay drifted");
         let fresh = SolsticeScheduler::new(8).schedule(&d, &c);
         assert_eq!(first, fresh, "warm state drifted from cold state");
+    }
+
+    #[test]
+    fn observability_counts_probes_and_memo_replays() {
+        let c = ctx();
+        let mut s = SolsticeScheduler::new(4);
+        let mut d = DemandMatrix::zero(4);
+        d.set(0, 1, 64_000);
+        d.set(2, 3, 8_000);
+        let _ = s.schedule(&d, &c);
+        let first = s.take_obs().expect("first epoch reports");
+        assert!(first.hk_runs >= 1, "cold epoch must run the matcher");
+        assert_eq!(first.memo_hits, 0, "nothing to replay cold");
+        assert!(first.probes >= first.hk_runs + first.memo_hits);
+        assert_eq!(first.worklist_len, 2);
+        assert!(first.spans.is_empty(), "spans need set_trace(true)");
+        // Identical epoch: the memo replays, and tracing captures spans.
+        s.set_trace(true);
+        let _ = s.schedule(&d, &c);
+        let second = s.take_obs().expect("second epoch reports");
+        assert!(second.memo_hits >= 1, "steady demand must replay");
+        assert!(!second.spans.is_empty(), "tracing captures spans");
+        assert!(second.spans.iter().any(|sp| sp.name == "probe"));
+        assert!(second.spans.iter().any(|sp| sp.name == "match_memo"));
+        // Drained means drained.
+        assert!(s.take_obs().is_none());
     }
 
     #[test]

@@ -1,6 +1,98 @@
-//! Throughput and utilization accounting.
+//! Throughput and utilization accounting, plus the deterministic
+//! internal-counters registry ([`CounterSet`]).
 
 use xds_sim::{SimDuration, SimTime};
+
+/// The flight-recorder counter registry: one `u64` per internal
+/// mechanism the runtime wants to account for. Every counter is a pure
+/// function of the simulated event sequence — no wall-clock, no
+/// allocator state — so for a fixed spec the whole set is byte-identical
+/// across runs, hosts and sweep thread counts, and exact values can be
+/// pinned in tests.
+///
+/// The canonical name/value enumeration is [`CounterSet::items`]; it is
+/// the single source of truth for every serializer (sweep JSON/CSV
+/// columns, summary output), the same role `RunReport::metric_columns`
+/// plays for the headline metrics. Scheduler-specific counters
+/// (`sched_*`) stay zero for schedulers that do not implement the
+/// observability hooks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    /// Solstice matching-memo replays (epoch-identical CSR edge sets).
+    pub sched_memo_hits: u64,
+    /// Hopcroft–Karp executions (matching-memo misses).
+    pub sched_hk_runs: u64,
+    /// Threshold probes: adjacency builds attempted while halving the
+    /// admission threshold.
+    pub sched_probes: u64,
+    /// Largest per-epoch worklist (demand entries considered).
+    pub sched_worklist_peak: u64,
+    /// Largest per-epoch count of populated value buckets.
+    pub sched_bucket_peak: u64,
+    /// Ladder-queue dense buckets spread into deeper rungs.
+    pub queue_spreads: u64,
+    /// Ladder-queue bottom-run spills into a fresh rung (the burst
+    /// valve).
+    pub queue_spills: u64,
+    /// Ladder-queue sparse replenishes that bypassed bucketing.
+    pub queue_direct_sorts: u64,
+    /// Packets allocated from the shared pool.
+    pub pool_allocs: u64,
+    /// Packets returned to the shared pool.
+    pub pool_frees: u64,
+    /// High-water mark of live pooled packets.
+    pub pool_live_peak: u64,
+    /// Slab chunk allocations (pool capacity growth events).
+    pub pool_chunk_growths: u64,
+    /// Grant bursts executed (one per served port pair per slot).
+    pub grant_bursts: u64,
+    /// Largest single grant burst, in packets.
+    pub grant_pkts_max: u64,
+    /// Delivery batches flushed to sinks (at most one per slot).
+    pub delivery_batches: u64,
+}
+
+impl CounterSet {
+    /// Number of counters in the registry.
+    pub const LEN: usize = 15;
+
+    /// The canonical `(name, value)` enumeration, in stable order. Column
+    /// emitters and docs must derive from this list so names cannot
+    /// drift between serializers.
+    pub fn items(&self) -> [(&'static str, u64); Self::LEN] {
+        [
+            ("sched_memo_hits", self.sched_memo_hits),
+            ("sched_hk_runs", self.sched_hk_runs),
+            ("sched_probes", self.sched_probes),
+            ("sched_worklist_peak", self.sched_worklist_peak),
+            ("sched_bucket_peak", self.sched_bucket_peak),
+            ("queue_spreads", self.queue_spreads),
+            ("queue_spills", self.queue_spills),
+            ("queue_direct_sorts", self.queue_direct_sorts),
+            ("pool_allocs", self.pool_allocs),
+            ("pool_frees", self.pool_frees),
+            ("pool_live_peak", self.pool_live_peak),
+            ("pool_chunk_growths", self.pool_chunk_growths),
+            ("grant_bursts", self.grant_bursts),
+            ("grant_pkts_max", self.grant_pkts_max),
+            ("delivery_batches", self.delivery_batches),
+        ]
+    }
+
+    /// The counter names alone, in the same stable order as
+    /// [`items`](Self::items) (for CSV headers).
+    pub fn names() -> [&'static str; Self::LEN] {
+        Self::default().items().map(|(n, _)| n)
+    }
+
+    /// Looks a counter up by its canonical name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.items()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+}
 
 /// Byte counter with first/last timestamps; reports achieved rate.
 #[derive(Debug, Clone, Default)]
@@ -98,6 +190,26 @@ impl Utilization {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_set_enumeration_is_complete_and_stable() {
+        let mut c = CounterSet::default();
+        assert!(c.items().iter().all(|&(_, v)| v == 0));
+        c.sched_memo_hits = 3;
+        c.delivery_batches = 9;
+        assert_eq!(c.get("sched_memo_hits"), Some(3));
+        assert_eq!(c.get("delivery_batches"), Some(9));
+        assert_eq!(c.get("not_a_counter"), None);
+        let names = CounterSet::names();
+        assert_eq!(names.len(), CounterSet::LEN);
+        // Names are unique and stable-ordered (first/last pinned).
+        let mut sorted = names.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), CounterSet::LEN);
+        assert_eq!(names[0], "sched_memo_hits");
+        assert_eq!(names[CounterSet::LEN - 1], "delivery_batches");
+    }
 
     #[test]
     fn throughput_rates() {

@@ -11,6 +11,8 @@
 //! * [`FctTracker`] — flow-completion-time tracking with mice / medium /
 //!   elephant size classes;
 //! * [`Throughput`] / [`Utilization`] — byte counters and busy-time ratios;
+//! * [`CounterSet`] — the deterministic internal-counters registry the
+//!   runtime's flight recorder reports through;
 //! * [`TimeSeries`] — decimating series for occupancy-over-time plots;
 //! * [`Table`] — the text/Markdown/CSV renderer used by every bench binary
 //!   so the regenerated "figures" are directly comparable.
@@ -26,7 +28,7 @@ pub mod jitter;
 pub mod report;
 pub mod series;
 
-pub use counters::{Throughput, Utilization};
+pub use counters::{CounterSet, Throughput, Utilization};
 pub use fasthash::{FastHashBuilder, FastHashMap, FastHasher};
 pub use fct::{FctStats, FctTracker, SizeClass};
 pub use hist::LatencyHistogram;

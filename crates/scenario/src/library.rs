@@ -14,7 +14,7 @@ use xds_traffic::FlowSizeDist;
 use crate::spec::{AppMix, ScenarioSpec, SchedulerKind, TrafficPattern};
 
 /// Every name [`scenario`] recognizes, in catalogue order.
-pub const ALL: [&str; 13] = [
+pub const ALL: [&str; 14] = [
     "uniform",
     "permutation",
     "hotspot",
@@ -26,6 +26,7 @@ pub const ALL: [&str; 13] = [
     "skewed-zipf",
     "churn",
     "scale-stress",
+    "scale-stress-256",
     "scale-stress-512",
     "scale-stress-1024",
 ];
@@ -121,6 +122,16 @@ pub fn scenario(name: &str) -> Option<ScenarioSpec> {
             // and ladder event queue at the sizes they were built for.
             // The horizon is short — per-epoch scheduling is O(n²)-ish —
             // and sweepable up when a study needs more.
+            // The 256-port middle rung, derived like the larger sizes.
+            // This is the flight-recorder reference point: small enough
+            // that a traced run stays interactive, large enough that the
+            // Solstice probe/HK/memo spans carry real work.
+            "scale-stress-256" => scenario("scale-stress")
+                .expect("base entry exists")
+                .with_name("scale-stress-256")
+                .with_ports(256)
+                .with_duration(SimDuration::from_millis(1)),
+
             "scale-stress-512" => scenario("scale-stress")
                 .expect("base entry exists")
                 .with_name("scale-stress-512")

@@ -63,8 +63,10 @@ fn json_f64(v: f64) -> String {
 /// columns are derived here; every report-backed column comes from the
 /// canonical [`RunReport::metric_columns`] accessor layer (the same one
 /// `RunReport::summary_table` renders), so row emitters and summary
-/// tables cannot drift apart.
-fn row_fields(p: &PointResult) -> Vec<(&'static str, String)> {
+/// tables cannot drift apart. The deterministic internal-counter group
+/// (`RunReport::counter_columns`) is appended only when `counters` is
+/// set — the classic row layout is a compatibility surface.
+fn row_fields(p: &PointResult, counters: bool) -> Vec<(&'static str, String)> {
     let s = &p.spec;
     let mut f: Vec<(&'static str, String)> = vec![
         ("scenario", format!("\"{}\"", json_escape(&s.name))),
@@ -101,6 +103,11 @@ fn row_fields(p: &PointResult) -> Vec<(&'static str, String)> {
             f.push(("error", "null".into()));
             for (name, value) in r.metric_columns() {
                 f.push((name, value.json()));
+            }
+            if counters {
+                for (name, value) in r.counter_columns() {
+                    f.push((name, value.json()));
+                }
             }
         }
     }
@@ -153,13 +160,34 @@ const CSV_COLUMNS: [&str; 42] = [
     "ok",
 ];
 
+/// The CSV header: the fixed classic columns, with the counter group
+/// spliced in just before the trailing `ok` flag when opted in.
+fn csv_header(counters: bool) -> Vec<&'static str> {
+    let mut cols: Vec<&'static str> = CSV_COLUMNS.to_vec();
+    if counters {
+        let at = cols.len() - 1; // before "ok"
+        for (i, name) in xds_core::CounterSet::names().into_iter().enumerate() {
+            cols.insert(at + i, name);
+        }
+    }
+    cols
+}
+
 impl SweepResults {
-    /// Serializes every point as one JSON array of flat objects.
+    /// Serializes every point as one JSON array of flat objects
+    /// (classic column set — [`to_json_with`](Self::to_json_with) opts
+    /// the counter group in).
     pub fn to_json(&self) -> String {
+        self.to_json_with(false)
+    }
+
+    /// [`to_json`](Self::to_json), optionally appending the
+    /// deterministic internal-counter columns to every successful row.
+    pub fn to_json_with(&self, counters: bool) -> String {
         let mut out = String::from("[\n");
         for (i, p) in self.points.iter().enumerate() {
             out.push_str("  {");
-            for (j, (k, v)) in row_fields(p).iter().enumerate() {
+            for (j, (k, v)) in row_fields(p, counters).iter().enumerate() {
                 if j > 0 {
                     out.push_str(", ");
                 }
@@ -176,14 +204,22 @@ impl SweepResults {
     }
 
     /// Serializes every point as CSV with a fixed header (missing fields
-    /// are empty cells).
+    /// are empty cells; [`to_csv_with`](Self::to_csv_with) opts the
+    /// counter group in).
     pub fn to_csv(&self) -> String {
+        self.to_csv_with(false)
+    }
+
+    /// [`to_csv`](Self::to_csv), optionally splicing the deterministic
+    /// internal-counter columns in before the trailing `ok` flag.
+    pub fn to_csv_with(&self, counters: bool) -> String {
+        let header = csv_header(counters);
         let mut out = String::new();
-        out.push_str(&CSV_COLUMNS.join(","));
+        out.push_str(&header.join(","));
         out.push('\n');
         for p in &self.points {
-            let fields = row_fields(p);
-            let cells: Vec<String> = CSV_COLUMNS
+            let fields = row_fields(p, counters);
+            let cells: Vec<String> = header
                 .iter()
                 .map(|col| {
                     if *col == "ok" {
@@ -281,13 +317,22 @@ impl SweepResults {
     /// failures are reported on stderr, the return lists what was
     /// written).
     pub fn write_artifacts(&self, name: &str) -> Vec<std::path::PathBuf> {
+        self.write_artifacts_with(name, false)
+    }
+
+    /// [`write_artifacts`](Self::write_artifacts), optionally including
+    /// the deterministic internal-counter column group in both files.
+    pub fn write_artifacts_with(&self, name: &str, counters: bool) -> Vec<std::path::PathBuf> {
         let dir = Path::new("results");
         let mut written = Vec::new();
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("(could not create {}: {e})", dir.display());
             return written;
         }
-        for (ext, body) in [("json", self.to_json()), ("csv", self.to_csv())] {
+        for (ext, body) in [
+            ("json", self.to_json_with(counters)),
+            ("csv", self.to_csv_with(counters)),
+        ] {
             let path = dir.join(format!("{name}.{ext}"));
             match std::fs::write(&path, body) {
                 Ok(()) => written.push(path),
@@ -408,6 +453,47 @@ impl SweepResults {
         written
     }
 
+    /// Whether any point carried flight-recorder output (points run with
+    /// `ScenarioSpec::with_trace(true)`).
+    pub fn has_traces(&self) -> bool {
+        self.ok_reports().any(|(_, r)| r.chrome_trace.is_some())
+    }
+
+    /// Writes each traced point's Chrome Trace Event JSON (best-effort,
+    /// like [`write_artifacts`](Self::write_artifacts)): a single traced
+    /// point lands in `results/<name>.trace.json`, several in
+    /// `results/<name>.<point>.trace.json` each. Load the files in
+    /// Perfetto or chrome://tracing.
+    pub fn write_trace_artifacts(&self, name: &str) -> Vec<std::path::PathBuf> {
+        let traced: Vec<(&ScenarioSpec, &str)> = self
+            .ok_reports()
+            .filter_map(|(s, r)| r.chrome_trace.as_deref().map(|t| (s, t)))
+            .collect();
+        let mut written = Vec::new();
+        if traced.is_empty() {
+            return written;
+        }
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("(could not create {}: {e})", dir.display());
+            return written;
+        }
+        let solo = traced.len() == 1;
+        for (spec, json) in traced {
+            let file = if solo {
+                format!("{name}.trace.json")
+            } else {
+                format!("{name}.{}.trace.json", spec.name)
+            };
+            let path = dir.join(file);
+            match std::fs::write(&path, json) {
+                Ok(()) => written.push(path),
+                Err(e) => eprintln!("(could not save {}: {e})", path.display()),
+            }
+        }
+        written
+    }
+
     /// The successful reports, in grid order, paired with their specs.
     pub fn ok_reports(&self) -> impl Iterator<Item = (&ScenarioSpec, &RunReport)> {
         self.points
@@ -504,6 +590,41 @@ mod tests {
         // The unobserved aggregate table renders dashes, not panics.
         let text = lean.summary_table("lean").render_text();
         assert!(text.contains('-'), "{text}");
+    }
+
+    #[test]
+    fn counter_columns_are_opt_in_and_keep_rows_rectangular() {
+        let r = small_results();
+        // The classic layout is untouched by default.
+        assert!(!r.to_json().contains("\"sched_probes\""));
+        assert!(!r.to_csv().lines().next().unwrap().contains("pool_allocs"));
+        // Opted in: JSON rows carry the group, CSV splices it before
+        // the trailing `ok` flag, and rows stay rectangular even for
+        // errored points (empty counter cells).
+        let json = r.to_json_with(true);
+        assert!(json.contains("\"sched_probes\":"), "{json}");
+        assert!(json.contains("\"pool_allocs\":"));
+        let csv = r.to_csv_with(true);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        let header: Vec<&str> = lines[0].split(',').collect();
+        assert_eq!(header.last(), Some(&"ok"));
+        assert!(header.contains(&"queue_spills"));
+        let header_cols = header.len();
+        assert_eq!(
+            header_cols,
+            CSV_COLUMNS.len() + xds_core::CounterSet::LEN,
+            "counter group widens the header by exactly its size"
+        );
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), header_cols, "ragged row: {l}");
+        }
+        // Trace artifacts exist only for traced points.
+        assert!(!r.has_traces());
+        let traced = SweepExecutor::with_threads(1).run(vec![ScenarioSpec::new("tr")
+            .with_ports(4)
+            .with_trace(true)
+            .with_duration(SimDuration::from_millis(1))]);
+        assert!(traced.has_traces());
     }
 
     #[test]

@@ -572,6 +572,11 @@ pub struct ScenarioSpec {
     /// `lean` (bench runs — identical events/bytes, no observation
     /// cost) or `timeseries` (full + per-epoch telemetry).
     pub profile: InstrProfile,
+    /// Flight-recorder tracing: when `true` the run captures wall-clock
+    /// spans (epoch phases, scheduler internals, grant bursts) and the
+    /// report carries their Chrome Trace Event JSON. Off by default;
+    /// never changes simulated behavior or the deterministic counters.
+    pub trace: bool,
 }
 
 impl ScenarioSpec {
@@ -599,6 +604,7 @@ impl ScenarioSpec {
             duration: SimDuration::from_millis(5),
             seed: 1,
             profile: InstrProfile::Full,
+            trace: false,
         }
     }
 
@@ -715,6 +721,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Enables the flight recorder for this point (see
+    /// [`trace`](Self::trace)).
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// Renames the point (grids use this to tag axis values).
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -818,6 +831,7 @@ impl ScenarioSpec {
             .scheduler(scheduler)
             .estimator(estimator)
             .instrumentation(self.profile.instrumentation())
+            .trace(self.trace)
             .build()
             .map_err(|e| format!("scenario {}: {e}", self.name))?;
         Ok(sim.run(SimTime::ZERO + self.duration))
@@ -849,6 +863,23 @@ mod tests {
         assert_eq!(a.events, b.events);
         let c = spec.with_seed(99).run().unwrap();
         assert_ne!(a.events, c.events, "different seed, different run");
+    }
+
+    #[test]
+    fn traced_spec_carries_a_chrome_trace_and_identical_counters() {
+        let base = ScenarioSpec::new("t")
+            .with_ports(4)
+            .with_scheduler(SchedulerKind::Solstice { perms: 4 })
+            .with_duration(SimDuration::from_millis(2));
+        let plain = base.clone().run().unwrap();
+        let traced = base.with_trace(true).run().unwrap();
+        assert!(plain.chrome_trace.is_none());
+        let json = traced.chrome_trace.as_ref().expect("recorder ran");
+        xds_core::validate_chrome_trace(json).expect("valid Chrome trace");
+        // The recorder observes; it must not perturb.
+        assert_eq!(plain.events, traced.events);
+        assert_eq!(plain.counters, traced.counters);
+        assert!(traced.counters.sched_probes > 0, "solstice probes counted");
     }
 
     #[test]

@@ -171,6 +171,13 @@ pub struct EventQueue<E> {
     seq: u64,
     now: SimTime,
     scheduled_total: u64,
+    /// Structural-path counters (see the accessors below): cheap enough
+    /// to maintain unconditionally, deterministic for a fixed event
+    /// sequence, and the only visibility into which ladder paths a
+    /// workload actually exercises.
+    spreads: u64,
+    spills: u64,
+    direct_sorts: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -192,6 +199,9 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
+            spreads: 0,
+            spills: 0,
+            direct_sorts: 0,
         }
     }
 
@@ -300,6 +310,26 @@ impl<E> EventQueue<E> {
         self.scheduled_total
     }
 
+    /// Dense buckets spread into deeper rungs (the recursive-subdivision
+    /// path in `replenish`). A workload that never spreads fits each
+    /// frontier bucket in one short sort.
+    pub fn spread_count(&self) -> u64 {
+        self.spreads
+    }
+
+    /// Oversized bottom runs spilled back into a fresh deepest rung (the
+    /// valve that guards against O(n²) merge-inserts under a far
+    /// `bottom_limit`).
+    pub fn spill_count(&self) -> u64 {
+        self.spills
+    }
+
+    /// Sparse replenishes that sorted the overflow straight into `bottom`
+    /// without building a rung (the slow-mode idle path).
+    pub fn direct_sort_count(&self) -> u64 {
+        self.direct_sorts
+    }
+
     /// Drops all pending events without advancing the clock.
     pub fn clear(&mut self) {
         self.bottom.clear();
@@ -335,6 +365,7 @@ impl<E> EventQueue<E> {
                     // Sparse population: one sorted run, no rung. A later
                     // dense burst under the raised `bottom_limit` is
                     // handled by the spill valve.
+                    self.direct_sorts += 1;
                     let mut batch = std::mem::take(&mut self.overflow);
                     batch.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
                     self.bottom_limit = batch[0].time.as_nanos().saturating_add(1);
@@ -372,6 +403,7 @@ impl<E> EventQueue<E> {
                 let events = std::mem::take(&mut r.buckets[cur]);
                 let width = (r.width - 1) / SUB_BUCKETS as u64 + 1;
                 let nbuckets = ((r.width - 1) / width + 1) as usize;
+                self.spreads += 1;
                 self.push_rung(bucket_start, width, nbuckets, bucket_end);
                 let rung = &mut self.rungs[self.depth - 1];
                 for ev in events {
@@ -416,6 +448,7 @@ impl<E> EventQueue<E> {
         let span = end - start;
         let width = (span - 1) / SUB_BUCKETS as u64 + 1;
         let nbuckets = ((span - 1) / width + 1) as usize;
+        self.spills += 1;
         self.push_rung(start, width, nbuckets, end);
         let rung = self.depth - 1;
         for ev in self.bottom.drain(..cut) {
@@ -747,6 +780,43 @@ mod tests {
             q.schedule_after(SimDuration::from_nanos(1), ());
         });
         assert_eq!(stats.events_processed, 100);
+    }
+
+    /// The structural-path counters observe the paths the dedicated
+    /// ordering tests force: a dense burst under a far `bottom_limit`
+    /// spills, a sparse drain direct-sorts, a same-instant flood spreads
+    /// (then falls back to a direct sort of width-1 buckets).
+    #[test]
+    fn structural_counters_track_ladder_paths() {
+        let mut q = EventQueue::new();
+        assert_eq!(
+            (q.spread_count(), q.spill_count(), q.direct_sort_count()),
+            (0, 0, 0)
+        );
+        // Spill: dense ascending burst while a lone timer holds
+        // `bottom_limit` a millisecond out.
+        q.schedule_at(SimTime::from_millis(1), u64::MAX);
+        for i in 0..4 * SPILL_THRESHOLD as u64 {
+            q.schedule_at(SimTime::from_nanos(500 + i * 3), i);
+        }
+        while q.pop().is_some() {}
+        assert!(q.spill_count() >= 1, "dense burst must trip the valve");
+        // Direct sort: a drained ladder with a tiny overflow population.
+        let spills = q.spill_count();
+        q.schedule_at(SimTime::from_millis(2), 1);
+        q.schedule_at(SimTime::from_millis(3), 2);
+        q.pop();
+        assert!(q.direct_sort_count() >= 1, "sparse replenish direct-sorts");
+        while q.pop().is_some() {}
+        // Spread: an overflow rebuild whose buckets exceed the threshold.
+        let n = 4 * SPREAD_THRESHOLD as u64;
+        q.schedule_at(SimTime::from_millis(4), u64::MAX);
+        for i in 0..n {
+            q.schedule_at(SimTime::from_millis(10) + SimDuration::from_nanos(i / 8), i);
+        }
+        while q.pop().is_some() {}
+        assert!(q.spread_count() >= 1, "dense bucket must spread");
+        assert_eq!(q.spill_count(), spills, "no further spills expected");
     }
 
     #[test]

@@ -96,6 +96,47 @@ fn golden_fast_mode_trace_is_byte_identical() {
     check_golden(fast_spec(), "fast_websearch.json");
 }
 
+/// The internal-counters registry on the fast golden point, pinned
+/// **exactly**: every counter is a pure function of the seeded event
+/// sequence, so a one-count drift in memo hits or pool churn is a
+/// behavior change, not noise. Counters live outside `trace_json()`
+/// (like the wall-clock phase split), so they get their own snapshot
+/// instead of riding in the trace goldens.
+#[test]
+fn golden_fast_mode_counters_are_pinned_exactly() {
+    let report = fast_spec().run().expect("golden spec must run");
+    let mut got = String::new();
+    for (name, value) in report.counters.items() {
+        got.push_str(&format!("{name} {value}\n"));
+    }
+    let path = golden_dir().join("fast_websearch.counters.txt");
+    if std::env::var_os("XDS_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &got).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with XDS_UPDATE_GOLDEN=1 to capture",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "golden counters {} drifted — a deterministic internal tally moved. \
+         If the change is intentional, regenerate with XDS_UPDATE_GOLDEN=1 \
+         and commit the diff.",
+        path.display()
+    );
+    // The snapshot must not be vacuous: the fast path ticks the pool,
+    // the grant machinery and the scheduler on this scenario.
+    assert!(report.counters.pool_allocs > 0);
+    assert!(report.counters.grant_bursts > 0);
+    assert!(report.counters.delivery_batches > 0);
+}
+
 #[test]
 fn golden_slow_mode_trace_is_byte_identical() {
     check_golden(slow_spec(), "slow_hotspot.json");

@@ -26,12 +26,29 @@ grep -q '"name": "scale-stress/n512"' results/bench_smoke_ci.json \
     || { echo "ci.sh: smoke subset lost the 512-port scale point"; exit 1; }
 grep -q '"name": "scale-stress/n1024"' results/bench_smoke_ci.json \
     || { echo "ci.sh: smoke subset lost the kilofabric scale point"; exit 1; }
+grep -q '"name": "scale-stress/n2048"' results/bench_smoke_ci.json \
+    || { echo "ci.sh: smoke subset lost the 2048-port sharded scale point"; exit 1; }
 grep -q '"phase_decompose_ns"' results/bench_smoke_ci.json \
     || { echo "ci.sh: per-phase epoch timings missing from bench artifact"; exit 1; }
 grep -q '"phase_estimate_ns"' results/bench_smoke_ci.json \
     || { echo "ci.sh: per-phase epoch timings missing from bench artifact"; exit 1; }
 grep -q '"profile": "lean"' results/bench_smoke_ci.json \
     || { echo "ci.sh: bench artifact must record the lean instrumentation profile"; exit 1; }
+
+echo "==> sweep bench --smoke --shards 2 (sharded core: events/bytes are shard-count-invariant)"
+# Force every smoke point onto 2 shards (the catalogue default runs the
+# kilofabric rungs at K=n and the rest at K=1): the simulated behavior —
+# event and delivered-byte counts per point — must not move at all.
+cargo run --release -q -p xds-bench --bin sweep -- bench --smoke --shards 2 \
+    --out results/bench_smoke_ci_sh2.json
+for field in events delivered_bytes; do
+    ref=$(grep -o "\"$field\": [0-9]*" results/bench_smoke_ci.json)
+    sh2=$(grep -o "\"$field\": [0-9]*" results/bench_smoke_ci_sh2.json)
+    [ -n "$ref" ] \
+        || { echo "ci.sh: smoke artifact lost its $field fields"; exit 1; }
+    [ "$ref" = "$sh2" ] \
+        || { echo "ci.sh: $field diverged between the default and --shards 2 smoke runs"; exit 1; }
+done
 
 echo "==> instrumentation profiles (lean/full event counts must agree on one point)"
 cargo run --release -q -p xds-bench --bin sweep -- run uniform \

@@ -6,7 +6,7 @@
 //! sweep timeseries <scenario>[,<scenario>…]|all [options]
 //! sweep trace <scenario>[,<scenario>…]|all [options]
 //! sweep bench [--smoke] [--baseline file.json] [--out file.json] [--date YYYY-MM-DD]
-//!             [--repeat N] [--profile full|lean]
+//!             [--repeat N] [--profile full|lean] [--shards k]
 //!
 //! options (run / timeseries / trace):
 //!   --ports n1,n2,…        port-count axis          (default: scenario's)
@@ -14,6 +14,7 @@
 //!   --schedulers s1,s2,…   scheduler axis by name   (default: scenario's)
 //!   --seeds s1,s2,…        seed axis (replicas)     (default: scenario's)
 //!   --reconfigs-us r1,…    switching-time axis, µs  (default: scenario's)
+//!   --shards k1,k2,…       shard-count axis         (default: scenario's)
 //!   --duration-ms d        horizon per point        (default: scenario's)
 //!   --threads t            worker threads           (default: all cores)
 //!   --out name             artifact basename        (default: sweep_<scenario>)
@@ -42,9 +43,17 @@
 //! ledger, grant batching) to the JSON/CSV rows; those values are pure
 //! functions of the simulated event sequence and safe to pin.
 //!
+//! The `--shards` axis selects the port-group shard count of the
+//! parallel simulation core. Events, delivered bytes and behavioral
+//! counters are invariant in it by the core's determinism contract —
+//! sweeping it compares execution cost, never results.
+//!
 //! `sweep bench` runs the pinned perf-baseline subset (see
 //! [`xds_bench::bench`]) sequentially on one thread, prints wall-clock and
 //! events/sec per point, and writes `BENCH_<date>.json`; with
+//! `--shards k`, every point of the subset is forced to `k` shards
+//! (point names are unchanged, and events/bytes are shard-invariant, so
+//! the artifact still matches historical baselines point-for-point); with
 //! `--baseline`, per-point and aggregate speedups against a previous
 //! artifact are embedded. `--repeat N` runs every point N times and keeps
 //! the fastest (the documented measurement method on a noisy host; the
@@ -66,12 +75,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sweep list\n  sweep run <scenario>[,…]|all [--ports n,…] [--loads l,…]\n\
          \x20            [--schedulers s,…] [--seeds s,…] [--reconfigs-us r,…]\n\
-         \x20            [--duration-ms d] [--threads t] [--out name]\n\
+         \x20            [--shards k,…] [--duration-ms d] [--threads t] [--out name]\n\
          \x20            [--profile full|lean|timeseries] [--trace] [--counters]\n\
          \x20 sweep timeseries <scenario>[,…]|all [run options]\n\
          \x20 sweep trace <scenario>[,…]|all [run options]\n\
          \x20 sweep bench [--smoke] [--baseline file.json] [--out file.json]\n\
          \x20            [--date YYYY-MM-DD] [--repeat N] [--profile full|lean]\n\
+         \x20            [--shards k]\n\
          scenarios: {}",
         library::all_names().join(", ")
     );
@@ -94,6 +104,7 @@ struct Options {
     schedulers: Vec<SchedulerKind>,
     seeds: Vec<u64>,
     reconfigs: Vec<SimDuration>,
+    shards: Vec<usize>,
     duration: Option<SimDuration>,
     threads: Option<usize>,
     out: Option<String>,
@@ -109,6 +120,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         schedulers: Vec::new(),
         seeds: Vec::new(),
         reconfigs: Vec::new(),
+        shards: Vec::new(),
         duration: None,
         threads: None,
         out: None,
@@ -127,6 +139,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--ports" => o.ports = parse_list(&value()?)?,
             "--loads" => o.loads = parse_list(&value()?)?,
             "--seeds" => o.seeds = parse_list(&value()?)?,
+            "--shards" => o.shards = parse_list(&value()?)?,
             "--reconfigs-us" => {
                 o.reconfigs = parse_list::<u64>(&value()?)?
                     .into_iter()
@@ -199,6 +212,9 @@ fn run(names: &str, opts: Options) -> Result<(), String> {
         if !opts.reconfigs.is_empty() {
             grid = grid.reconfigs(opts.reconfigs.clone());
         }
+        if !opts.shards.is_empty() {
+            grid = grid.shards(opts.shards.clone());
+        }
         specs.extend(grid.specs());
     }
     let executor = match opts.threads {
@@ -246,6 +262,7 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     let mut date: Option<String> = None;
     let mut repeat: u32 = 1;
     let mut profile = InstrProfile::Lean;
+    let mut shards: Option<usize> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -272,6 +289,15 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
                     _ => return Err(format!("bad --profile {v:?} (bench takes full|lean)")),
                 }
             }
+            "--shards" => {
+                shards = Some(
+                    value()?
+                        .parse()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or("bad --shards (need an integer >= 1)")?,
+                )
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -289,12 +315,22 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     }
     let mode = if smoke { "smoke" } else { "full" };
     let date = date.unwrap_or_else(xds_bench::bench::today_string);
-    let specs = xds_bench::bench::catalogue(smoke);
+    let mut specs = xds_bench::bench::catalogue(smoke);
+    // Forcing the shard count never changes events or delivered bytes
+    // (the sharded core's determinism contract), so point names stay
+    // untouched and the artifact remains baseline-comparable.
+    if let Some(k) = shards {
+        specs = specs.into_iter().map(|s| s.with_shards(k)).collect();
+    }
     println!(
         "sweep bench: {} pinned point(s), mode={mode}, fastest-of-{repeat}, \
-         profile={}, sequential single-thread\n",
+         profile={}{}, sequential single-thread\n",
         specs.len(),
-        profile.label()
+        profile.label(),
+        match shards {
+            Some(k) => format!(", shards={k}"),
+            None => String::new(),
+        }
     );
     let run = xds_bench::bench::run_bench(specs, mode, date.clone(), repeat, profile, |p| {
         println!(
@@ -352,22 +388,42 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Formats one catalogue line per scenario name, resolving each through
+/// the library. A name that fails to resolve — catalogue drift, or a
+/// hand-edited invocation listing a scenario that no longer exists — is
+/// a one-line user error (same style as `Baseline::load`), not a panic.
+fn list_lines<'a>(names: impl IntoIterator<Item = &'a str>) -> Result<Vec<String>, String> {
+    names
+        .into_iter()
+        .map(|name| {
+            let spec = library::scenario(name)
+                .ok_or_else(|| format!("unknown scenario {name:?} (see `sweep list`)"))?;
+            Ok(format!(
+                "{name:<12} pattern={:<14} sizes={:<10} sched={:<10} apps={}",
+                spec.pattern.label(),
+                spec.sizes.label(),
+                spec.scheduler.label(),
+                spec.apps.label(),
+            ))
+        })
+        .collect()
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("list") => {
-            for name in library::all_names() {
-                let spec = library::scenario(name).expect("catalogue is closed");
-                println!(
-                    "{name:<12} pattern={:<14} sizes={:<10} sched={:<10} apps={}",
-                    spec.pattern.label(),
-                    spec.sizes.label(),
-                    spec.scheduler.label(),
-                    spec.apps.label(),
-                );
+        Some("list") => match list_lines(library::all_names()) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+                ExitCode::SUCCESS
             }
-            ExitCode::SUCCESS
-        }
+            Err(e) => {
+                eprintln!("sweep list: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Some("bench") => match run_bench_cmd(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -432,5 +488,28 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_resolves_the_whole_catalogue() {
+        let lines = list_lines(library::all_names()).expect("every catalogue name must resolve");
+        assert_eq!(lines.len(), library::all_names().len());
+        assert!(lines.iter().all(|l| l.contains("pattern=")));
+    }
+
+    #[test]
+    fn list_reports_a_one_line_error_for_unknown_names() {
+        let err = list_lines(["uniform", "no-such-scenario"])
+            .expect_err("a vanished scenario name must not panic");
+        assert!(
+            err.contains("unknown scenario \"no-such-scenario\""),
+            "error must name the missing entry: {err}"
+        );
+        assert!(!err.contains('\n'), "one-line user error: {err}");
     }
 }

@@ -31,12 +31,19 @@ fn subset() -> Vec<ScenarioSpec> {
 #[test]
 fn bench_subset_is_byte_identical_across_thread_counts() {
     let specs = subset();
-    for ports in [128, 256, 512, 1024] {
+    for ports in [128, 256, 512, 1024, 2048] {
         assert!(
             specs.iter().any(|s| s.n_ports == ports),
             "subset must include the scale-stress point at {ports} ports"
         );
     }
+    // The largest rungs run on the sharded core inside sweep worker
+    // threads — shard windows nested under sweep parallelism must stay
+    // under the same byte-identical contract as everything else.
+    assert!(
+        specs.iter().any(|s| s.shards > 1),
+        "subset must exercise the sharded core"
+    );
     // The non-mirror estimator points (ground-truth snapshot + L1 epoch
     // path) are under the same determinism contract.
     for name in ["uniform-ewma/n16", "uniform-countmin/n16"] {

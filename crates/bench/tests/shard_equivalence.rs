@@ -1,0 +1,181 @@
+//! Shard-count invariance of the parallel simulation core: every pinned
+//! bench-subset point must produce **byte-identical** serialized output
+//! whether it runs on the classic single-queue core (`shards = 1`) or on
+//! 2 or 4 port-group shards, and arbitrary (non-contiguous) port→shard
+//! assignments must reproduce the golden `fast_websearch` snapshot
+//! byte-for-byte.
+//!
+//! This is the integration-level face of the determinism contract stated
+//! in `xds_core::runtime::shard`: sharding decides *how* the simulation
+//! executes (per-shard event queues, VOQ banks and packet pools, windowed
+//! between coordinator events), never *what* it computes. Events,
+//! delivered bytes, drops, latency distributions and the behavioral
+//! counters are invariant in the shard count and in the shape of the
+//! shard map; only the structural ledgers (ladder-queue and pool
+//! internals) may differ, because K shards own K queues and K pools.
+
+use proptest::prelude::*;
+use xds_bench::bench;
+use xds_core::{ShardMap, SimBuilder};
+use xds_scenario::{library, ScenarioSpec};
+use xds_sim::{SimDuration, SimTime};
+
+/// Counters that are shard-count-invariant by contract: pure functions
+/// of the scheduler/grant/delivery event sequence, which the sharded
+/// core reproduces exactly. The structural ledgers (`queue_*`, `pool_*`)
+/// are excluded — they describe the executor's own data structures, of
+/// which a K-shard run legitimately has K.
+const BEHAVIORAL_COUNTERS: [&str; 8] = [
+    "sched_memo_hits",
+    "sched_hk_runs",
+    "sched_probes",
+    "sched_worklist_peak",
+    "sched_bucket_peak",
+    "grant_bursts",
+    "grant_pkts_max",
+    "delivery_batches",
+];
+
+/// The bench subset at test-friendly horizons (pinned seeds and shapes
+/// untouched), with the shard count stripped back to 1 so each point's
+/// classic-core run is the reference the sharded runs are held to.
+fn subset() -> Vec<ScenarioSpec> {
+    bench::catalogue(true)
+        .into_iter()
+        .map(|s| {
+            let d = if s.n_ports >= 1024 {
+                SimDuration::from_micros(100)
+            } else if s.n_ports >= 128 {
+                SimDuration::from_micros(300)
+            } else {
+                return s.with_shards(1);
+            };
+            s.with_duration(d).with_shards(1)
+        })
+        .collect()
+}
+
+#[test]
+fn bench_subset_is_byte_identical_across_shard_counts() {
+    for spec in subset() {
+        let reference = spec.run().expect("classic core runs");
+        let ref_json = reference.trace_json();
+        for k in [2usize, 4] {
+            let got = spec
+                .clone()
+                .with_shards(k)
+                .run()
+                .unwrap_or_else(|e| panic!("{} at {k} shards: {e}", spec.name));
+            assert_eq!(
+                got.trace_json(),
+                ref_json,
+                "{} diverged from the classic core at {k} shards",
+                spec.name
+            );
+            for name in BEHAVIORAL_COUNTERS {
+                let pick = |r: &xds_core::RunReport| {
+                    r.counters
+                        .items()
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|&(_, v)| v)
+                };
+                assert_eq!(
+                    pick(&got),
+                    pick(&reference),
+                    "{}: counter {name} moved at {k} shards",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+/// The golden fast-mode point, exactly as `tests/golden_trace.rs` pins
+/// it: the `websearch` catalogue entry, seed 42, 3 ms.
+fn golden_fast_spec() -> ScenarioSpec {
+    library::scenario("websearch")
+        .expect("catalogue entry")
+        .with_name("golden-fast")
+        .with_seed(42)
+        .with_duration(SimDuration::from_millis(3))
+}
+
+fn golden_file(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display()))
+}
+
+/// Runs the golden spec on an explicit (possibly scattered) shard map,
+/// through the same builder path `ScenarioSpec::run` uses.
+fn run_golden_with_map(map: ShardMap) -> xds_core::RunReport {
+    let spec = golden_fast_spec();
+    let (cfg, workload, scheduler, estimator) = spec.build().expect("golden spec builds");
+    SimBuilder::new(cfg)
+        .workload(workload)
+        .scheduler(scheduler)
+        .estimator(estimator)
+        .instrumentation(spec.profile.instrumentation())
+        .shard_map(map)
+        .build()
+        .expect("golden sim builds")
+        .run(SimTime::ZERO + spec.duration)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arbitrary port→shard assignments — scattered, unbalanced, with
+    /// any shard count the raw draw induces — reproduce the committed
+    /// golden `fast_websearch` trace byte-for-byte, and its pinned
+    /// behavioral counters exactly. The shard map is an execution
+    /// detail; the golden files don't know it exists.
+    #[test]
+    fn random_shard_maps_reproduce_the_golden_websearch_point(
+        raw in proptest::collection::vec(0usize..4, 8)
+    ) {
+        // Compress the raw draw to a dense 0..k relabeling (preserving
+        // first-appearance order) so it is a valid assignment; the
+        // relabeling keeps whatever scatter the draw produced.
+        let mut labels: Vec<usize> = Vec::new();
+        let assign: Vec<usize> = raw
+            .iter()
+            .map(|&r| {
+                if let Some(pos) = labels.iter().position(|&l| l == r) {
+                    pos
+                } else {
+                    labels.push(r);
+                    labels.len() - 1
+                }
+            })
+            .collect();
+        let map = ShardMap::from_assignment(assign.clone())
+            .unwrap_or_else(|e| panic!("compressed assignment {assign:?} invalid: {e}"));
+        let report = run_golden_with_map(map);
+        prop_assert_eq!(
+            report.trace_json(),
+            golden_file("fast_websearch.json"),
+            "shard map {:?} drifted from the golden trace",
+            assign
+        );
+        let golden_counters = golden_file("fast_websearch.counters.txt");
+        for name in BEHAVIORAL_COUNTERS {
+            let want = golden_counters
+                .lines()
+                .find_map(|l| l.strip_prefix(&format!("{name} ")))
+                .unwrap_or_else(|| panic!("golden counters lack {name}"))
+                .to_string();
+            let have = report
+                .counters
+                .items()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, v)| v.to_string())
+                .unwrap_or_else(|| panic!("report lacks counter {name}"));
+            prop_assert_eq!(have, want, "counter {} moved under map {:?}", name, assign);
+        }
+    }
+}

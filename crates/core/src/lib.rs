@@ -51,7 +51,7 @@ pub use instrument::{
 pub use node::{MatrixCycle, Workload};
 pub use pool::{PacketPool, PktFifo};
 pub use report::{MetricValue, RunReport};
-pub use runtime::{BuildError, HybridSim, SimBuilder};
+pub use runtime::{BuildError, HybridSim, ShardExec, ShardMap, SimBuilder};
 pub use sched::{Schedule, ScheduleCtx, ScheduleEntry, Scheduler};
 pub use trace::{validate_chrome_trace, SchedObs, SchedSpan, TraceRecorder, TraceSummary};
 pub use xds_metrics::CounterSet;

@@ -57,6 +57,12 @@ pub struct ProcessingLogic {
     total_queued: u64,
     drops: u64,
     dropped_bytes: u64,
+    /// Row-windowed banks (sharded cores): the sorted global source rows
+    /// this bank owns (`rows[local] = global`) and the inverse map
+    /// (`row_of[global] = local`, `u32::MAX` for rows owned elsewhere).
+    /// `None` means the bank covers all `n` rows (the classic layout)
+    /// and indexes without the extra lookup.
+    rows: Option<(Vec<u32>, Vec<u32>)>,
 }
 
 impl ProcessingLogic {
@@ -73,6 +79,41 @@ impl ProcessingLogic {
             total_queued: 0,
             drops: 0,
             dropped_bytes: 0,
+            rows: None,
+        }
+    }
+
+    /// Creates a bank owning only the given *source rows* of an `n × n`
+    /// fabric — a shard's slice of the VOQ matrix. Storage is
+    /// `rows.len() × n` instead of `n²`, so K shards of an n-port fabric
+    /// together use the classic footprint while each stays cache-compact.
+    /// `rows` is sorted internally, so request order (ascending global
+    /// `(src, dst)`) is preserved regardless of input order; an empty
+    /// `rows` yields an inert bank (every accessor returns zeroes).
+    ///
+    /// # Panics
+    /// Panics if a row index repeats or is out of range.
+    pub fn with_rows(n: usize, voq_capacity: u64, mut rows: Vec<usize>) -> Self {
+        assert!(n >= 2, "need at least 2 ports");
+        assert!(voq_capacity > 0, "queue capacity must be positive");
+        rows.sort_unstable();
+        let mut row_of = vec![u32::MAX; n];
+        for (local, &global) in rows.iter().enumerate() {
+            assert!(global < n, "row {global} out of range for {n} ports");
+            assert!(row_of[global] == u32::MAX, "row {global} owned twice");
+            row_of[global] = local as u32;
+        }
+        let nlocal = rows.len();
+        ProcessingLogic {
+            n,
+            voq_capacity,
+            pool: PacketPool::new(),
+            pairs: (0..nlocal * n).map(|_| PairState::default()).collect(),
+            dirty_list: Vec::new(),
+            total_queued: 0,
+            drops: 0,
+            dropped_bytes: 0,
+            rows: Some((rows.iter().map(|&r| r as u32).collect(), row_of)),
         }
     }
 
@@ -83,7 +124,28 @@ impl ProcessingLogic {
 
     fn idx(&self, src: usize, dst: usize) -> usize {
         debug_assert!(src < self.n && dst < self.n);
-        src * self.n + dst
+        let row = match &self.rows {
+            None => src,
+            Some((_, row_of)) => {
+                let local = row_of[src];
+                // A foreign row maps to u32::MAX and lands far outside
+                // `pairs`, so the slice bounds check still catches it.
+                debug_assert!(local != u32::MAX, "source row {src} not owned by this bank");
+                local as usize
+            }
+        };
+        row * self.n + dst
+    }
+
+    /// Maps a local pair index back to its global `(src, dst)`.
+    #[inline]
+    fn pair_of(&self, idx: usize) -> (usize, usize) {
+        let (row, dst) = (idx / self.n, idx % self.n);
+        let src = match &self.rows {
+            None => row,
+            Some((rows, _)) => rows[row] as usize,
+        };
+        (src, dst)
     }
 
     #[inline]
@@ -142,8 +204,27 @@ impl ProcessingLogic {
     /// Writes the true occupancy into a caller-owned matrix, overwriting
     /// every cell (the allocation-free form the epoch loop uses). The
     /// occupancy is maintained incrementally, so this is a flat copy.
+    ///
+    /// # Panics
+    /// Panics on a row-windowed bank (it cannot overwrite rows it does
+    /// not own) — use [`occupancy_rows_into`](Self::occupancy_rows_into).
     pub fn occupancy_into(&self, out: &mut DemandMatrix) {
+        assert!(
+            self.rows.is_none(),
+            "row-windowed bank: use occupancy_rows_into"
+        );
         out.fill_from(self.pairs.iter().map(|p| p.queued));
+    }
+
+    /// Writes the occupancy of the rows this bank owns into `out`,
+    /// overwriting every cell of those rows and leaving the rest alone.
+    /// A set of shards whose row windows partition the fabric covers the
+    /// whole matrix exactly once, reproducing [`occupancy_into`].
+    pub fn occupancy_rows_into(&self, out: &mut DemandMatrix) {
+        for (idx, p) in self.pairs.iter().enumerate() {
+            let (src, dst) = self.pair_of(idx);
+            out.set(src, dst, p.queued);
+        }
     }
 
     /// Drains the dirty set into scheduling requests — what the paper's
@@ -167,9 +248,10 @@ impl ProcessingLogic {
             let idx = self.dirty_list[k] as usize;
             debug_assert!(self.pairs[idx].dirty);
             self.pairs[idx].dirty = false;
+            let (src, dst) = self.pair_of(idx);
             out.push(SchedRequest {
-                src: idx / self.n,
-                dst: idx % self.n,
+                src,
+                dst,
                 queued_bytes: self.pairs[idx].queued,
                 arrived_bytes_total: self.pairs[idx].arrived_total,
                 at: now,
@@ -340,6 +422,61 @@ mod tests {
         let got = p.dequeue_upto(0, 1, u64::MAX);
         assert_eq!(got.len(), 1);
         assert_eq!(p.pool_occupancy(), (0, 0));
+    }
+
+    #[test]
+    fn row_windowed_bank_matches_the_dense_bank_on_its_rows() {
+        // One dense 4-port bank vs two row-windowed shards covering
+        // {0, 3} and {1, 2}: identical requests after a (src, dst) merge,
+        // identical totals, identical occupancy when unioned.
+        let mut dense = ProcessingLogic::new(4, 10_000);
+        let mut a = ProcessingLogic::with_rows(4, 10_000, vec![3, 0]); // sorted internally
+        let mut b = ProcessingLogic::with_rows(4, 10_000, vec![1, 2]);
+        let feed = [
+            (1u64, 0usize, 2usize, 700u32),
+            (2, 3, 1, 500),
+            (3, 1, 0, 300),
+            (4, 0, 1, 200),
+        ];
+        for &(id, s, d, bytes) in &feed {
+            dense.enqueue(pkt(id, s, d, bytes)).unwrap();
+            let shard = if s == 0 || s == 3 { &mut a } else { &mut b };
+            shard.enqueue(pkt(id, s, d, bytes)).unwrap();
+        }
+        assert_eq!(a.total_bytes() + b.total_bytes(), dense.total_bytes());
+        let want = dense.take_requests(SimTime::ZERO);
+        let mut got = a.take_requests(SimTime::ZERO);
+        got.extend(b.take_requests(SimTime::ZERO));
+        got.sort_unstable_by_key(|r| (r.src, r.dst));
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(
+                (g.src, g.dst, g.queued_bytes),
+                (w.src, w.dst, w.queued_bytes)
+            );
+        }
+        let mut union = DemandMatrix::zero(4);
+        a.occupancy_rows_into(&mut union);
+        b.occupancy_rows_into(&mut union);
+        let full = dense.occupancy();
+        for s in 0..4 {
+            for d in 0..4 {
+                assert_eq!(union.get(s, d), full.get(s, d), "cell ({s},{d})");
+            }
+        }
+        // Dequeue through the shard keeps pool conservation local.
+        assert_eq!(a.dequeue_upto(0, 2, u64::MAX).len(), 1);
+        a.check_pool_conserved().unwrap();
+    }
+
+    #[test]
+    fn empty_row_window_is_inert() {
+        let p = ProcessingLogic::with_rows(4, 10_000, Vec::new());
+        assert_eq!(p.total_bytes(), 0);
+        assert_eq!(p.pool_ledger(), (0, 0, 0, 0));
+        let mut m = DemandMatrix::zero(4);
+        p.occupancy_rows_into(&mut m);
+        assert_eq!(m.total(), 0);
     }
 
     #[test]

@@ -40,6 +40,13 @@ use crate::switching::SwitchingLogic;
 use crate::trace::TraceRecorder;
 use xds_metrics::CounterSet;
 
+/// The sharded parallel core (child module: its coordinator replays the
+/// classic handlers over shard-held state, so it shares this module's
+/// private types).
+#[path = "shard.rs"]
+mod shard;
+pub use shard::{ShardExec, ShardMap};
+
 /// Simulation events.
 ///
 /// Deliberately **not** `Clone`: nothing on the hot path may copy an
@@ -475,6 +482,9 @@ pub struct SimBuilder {
     estimator: Option<Box<dyn DemandEstimator>>,
     instr: Instrumentation,
     trace: bool,
+    shards: usize,
+    shard_map: Option<ShardMap>,
+    shard_exec: ShardExec,
 }
 
 impl SimBuilder {
@@ -489,7 +499,36 @@ impl SimBuilder {
             estimator: None,
             instr: Instrumentation::full(),
             trace: false,
+            shards: 1,
+            shard_map: None,
+            shard_exec: ShardExec::Auto,
         }
+    }
+
+    /// Splits the fabric into `k` contiguous port-group shards (defaults
+    /// to 1 — the classic single-queue core, bit-for-bit unchanged).
+    /// `k > 1` runs the sharded core, which reproduces the classic
+    /// core's events, bytes and behavioral counters exactly (see
+    /// [`crate::runtime::ShardMap`] and the shard module docs for the
+    /// determinism contract).
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
+        self
+    }
+
+    /// Supplies an explicit port→shard assignment instead of the
+    /// contiguous default split (overrides [`shards`](Self::shards)).
+    pub fn shard_map(mut self, map: ShardMap) -> Self {
+        self.shard_map = Some(map);
+        self
+    }
+
+    /// How shard windows execute (defaults to [`ShardExec::Auto`]:
+    /// worker threads when the machine has more than one CPU, inline
+    /// otherwise). Results are identical in every mode.
+    pub fn shard_execution(mut self, exec: ShardExec) -> Self {
+        self.shard_exec = exec;
+        self
     }
 
     /// Sets the workload (background flows + interactive apps).
@@ -540,9 +579,24 @@ impl SimBuilder {
             estimator,
             mut instr,
             trace,
+            shards,
+            shard_map,
+            shard_exec,
         } = self;
         cfg.validate().map_err(BuildError::InvalidConfig)?;
         let n = cfg.n_ports;
+        let shard_map = match shard_map {
+            Some(m) => {
+                if m.ports() != n {
+                    return Err(BuildError::InvalidConfig(format!(
+                        "shard map covers {} ports, switch has {n}",
+                        m.ports()
+                    )));
+                }
+                (m.k() > 1).then_some(m)
+            }
+            None => (shards > 1).then(|| ShardMap::contiguous(n, shards)),
+        };
         if let Some(g) = &workload.flows {
             if g.matrix().n() != n {
                 return Err(BuildError::PortSpaceMismatch {
@@ -587,7 +641,15 @@ impl SimBuilder {
         let want_demand_error = instr.epoch.wants_demand_error();
         let estimator_is_mirror = estimator.mirrors_occupancy();
         let state = SimState {
-            proc: ProcessingLogic::new(n, cfg.voq_capacity),
+            // A sharded run keeps its VOQ rows in per-shard banks; the
+            // builder's full-fabric bank would be dead weight (n² pair
+            // states — ~200 MB at 2048 ports), so it gets an inert
+            // zero-row husk instead.
+            proc: if shard_map.is_some() {
+                ProcessingLogic::with_rows(n, cfg.voq_capacity, Vec::new())
+            } else {
+                ProcessingLogic::new(n, cfg.voq_capacity)
+            },
             switching: SwitchingLogic::new(n, cfg.reconfig, cfg.eps_rate, cfg.eps_buffer),
             buffers: BufferTracker::new(),
             horizon: SimTime::MAX,
@@ -638,6 +700,8 @@ impl SimBuilder {
         Ok(HybridSim {
             state,
             sim: Simulation::new(),
+            shard_map,
+            shard_exec,
         })
     }
 }
@@ -646,6 +710,10 @@ impl SimBuilder {
 pub struct HybridSim {
     state: SimState,
     sim: Simulation<Ev>,
+    /// `Some` iff the build asked for more than one shard: `run`
+    /// dispatches to the sharded core.
+    shard_map: Option<ShardMap>,
+    shard_exec: ShardExec,
 }
 
 impl HybridSim {
@@ -654,35 +722,11 @@ impl HybridSim {
         SimBuilder::new(cfg)
     }
 
-    /// Builds a testbed run with full-fidelity instrumentation.
-    ///
-    /// Thin compatibility shim over [`SimBuilder`] — prefer the builder,
-    /// which reports a typed [`BuildError`] instead of panicking.
-    ///
-    /// # Panics
-    /// Panics on any [`BuildError`] (invalid configuration, port-space
-    /// mismatch, out-of-range app endpoint).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SimBuilder (HybridSim::builder) — it returns a typed BuildError \
-                and accepts an Instrumentation bundle"
-    )]
-    pub fn new(
-        cfg: NodeConfig,
-        workload: Workload,
-        scheduler: Box<dyn Scheduler>,
-        estimator: Box<dyn DemandEstimator>,
-    ) -> Self {
-        SimBuilder::new(cfg)
-            .workload(workload)
-            .scheduler(scheduler)
-            .estimator(estimator)
-            .build()
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
     /// Runs the testbed until `horizon` and returns the report.
     pub fn run(mut self, horizon: SimTime) -> RunReport {
+        if let Some(map) = self.shard_map.take() {
+            return shard::run_sharded(self, horizon, map);
+        }
         self.state.horizon = horizon;
         let q = &mut self.sim.queue;
         // Seed: first flow…
@@ -704,13 +748,11 @@ impl HybridSim {
         // …and the scheduler cadence.
         q.schedule_at(SimTime::ZERO, Ev::EpochStart);
 
-        let stats = self.sim.run_until(&mut self.state, horizon, Self::handle);
+        let stats = self
+            .sim
+            .run_until(&mut self.state, horizon, SimState::handle);
 
         let mut st = self.state;
-        debug_assert!(
-            st.delivery_scratch.is_empty(),
-            "every handler flushes its delivery batch"
-        );
         // Fold the structural ledgers into the counter registry. The
         // ladder queue and the two packet pools own their counts; the
         // registry harvests them once, after the last event.
@@ -724,6 +766,20 @@ impl HybridSim {
         // packets, so the sum is a deterministic combined ceiling).
         st.counters.pool_live_peak = st.host_pool.live_peak() + p_peak;
         st.counters.pool_chunk_growths = st.host_pool.chunk_growth_count() + p_growths;
+        st.into_report(stats.events_processed, stats.end_time, horizon)
+    }
+}
+
+impl SimState {
+    /// Final audits + report assembly, shared by the classic and the
+    /// sharded core (callers fold queue/pool ledgers into `counters`
+    /// first — the two cores harvest different structures).
+    fn into_report(self, events: u64, end_time: SimTime, horizon: SimTime) -> RunReport {
+        let mut st = self;
+        debug_assert!(
+            st.delivery_scratch.is_empty(),
+            "every handler flushes its delivery batch"
+        );
         // End-of-run conservation audit, on in release builds too: a
         // packet-pool leak is a runtime bug no report may paper over.
         if let Err(e) = st.host_pool.check_conserved() {
@@ -738,11 +794,10 @@ impl HybridSim {
         RunReport {
             scheduler: st.scheduler.name().to_string(),
             placement: st.cfg.placement.label().to_string(),
-            horizon: stats
-                .end_time
+            horizon: end_time
                 .saturating_since(SimTime::ZERO)
                 .max(horizon.saturating_since(SimTime::ZERO)),
-            events: stats.events_processed,
+            events,
             offered_bytes: st.offered_bytes,
             offered_flows: st.offered_flows,
             completed_flows: delivery.completed_flows,
@@ -1659,30 +1714,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_builds_and_panics_with_the_typed_message() {
-        // The shim is the compatibility path for external callers: same
-        // behavior, panic message now the typed error's Display.
+    fn builder_happy_path_builds_and_runs() {
+        // The canonical construction path (typed errors covered above):
+        // explicit estimator, default instrumentation, traffic flows.
         let n = 4;
-        let r = HybridSim::new(
-            hw_cfg(n),
-            flows(n, 0.3, 7),
-            Box::new(IslipScheduler::new(n, 3)),
-            Box::new(MirrorEstimator::new(n)),
-        )
-        .run(SimTime::from_millis(1));
+        let r = SimBuilder::new(hw_cfg(n))
+            .workload(flows(n, 0.3, 7))
+            .scheduler(Box::new(IslipScheduler::new(n, 3)))
+            .estimator(Box::new(MirrorEstimator::new(n)))
+            .build()
+            .expect("valid spec must build")
+            .run(SimTime::from_millis(1));
         assert!(r.delivered_bytes() > 0);
-        let panic = std::panic::catch_unwind(|| {
-            let _ = HybridSim::new(
-                hw_cfg(4),
-                flows(8, 0.5, 1),
-                Box::new(IslipScheduler::new(4, 3)),
-                Box::new(MirrorEstimator::new(4)),
-            );
-        })
-        .unwrap_err();
-        let msg = panic.downcast_ref::<String>().expect("string panic");
-        assert!(msg.contains("workload port count mismatch"), "{msg}");
     }
 
     #[test]
@@ -1793,5 +1836,215 @@ mod tests {
         // Full fidelity rides along: the aggregate metrics are intact.
         assert!(r.latency_bulk.count() > 0);
         assert_eq!(r.demand_error_mean, Some(0.0), "mirror estimator");
+    }
+
+    /// Asserts the sharded determinism contract between two reports:
+    /// identical behavior (events, bytes, flows, decisions, drops,
+    /// switch stats, latency/FCT observables) and identical values for
+    /// every counter that is not a per-shard structural ledger.
+    fn assert_shard_equiv(want: &RunReport, got: &RunReport, label: &str) {
+        assert_eq!(want.events, got.events, "{label}: events");
+        assert_eq!(want.offered_bytes, got.offered_bytes, "{label}: offered");
+        assert_eq!(want.offered_flows, got.offered_flows, "{label}: flows");
+        assert_eq!(
+            want.completed_flows, got.completed_flows,
+            "{label}: completed"
+        );
+        assert_eq!(
+            want.delivered_ocs_bytes, got.delivered_ocs_bytes,
+            "{label}: ocs bytes"
+        );
+        assert_eq!(
+            want.delivered_eps_bytes, got.delivered_eps_bytes,
+            "{label}: eps bytes"
+        );
+        assert_eq!(want.decisions, got.decisions, "{label}: decisions");
+        assert_eq!(want.drops, got.drops, "{label}: drops");
+        assert_eq!(want.ocs, got.ocs, "{label}: ocs stats");
+        assert_eq!(want.eps, got.eps, "{label}: eps stats");
+        assert_eq!(
+            want.peak_host_buffer, got.peak_host_buffer,
+            "{label}: host peak"
+        );
+        assert_eq!(
+            want.peak_switch_buffer, got.peak_switch_buffer,
+            "{label}: switch peak"
+        );
+        assert_eq!(want.horizon, got.horizon, "{label}: horizon");
+        for h in [
+            (&want.latency_bulk, &got.latency_bulk, "bulk"),
+            (&want.latency_short, &got.latency_short, "short"),
+            (&want.latency_interactive, &got.latency_interactive, "inter"),
+        ] {
+            assert_eq!(h.0.count(), h.1.count(), "{label}: {} count", h.2);
+            assert_eq!(h.0.p99(), h.1.p99(), "{label}: {} p99", h.2);
+        }
+        assert_eq!(
+            want.voip_jitter_mean_ns, got.voip_jitter_mean_ns,
+            "{label}: jitter"
+        );
+        // Behavioral counters are K-invariant; the structural ledgers
+        // (queue_*, pool_*) are per-(K, seed) deterministic but differ.
+        for name in [
+            "sched_memo_hits",
+            "sched_hk_runs",
+            "sched_probes",
+            "sched_worklist_peak",
+            "sched_bucket_peak",
+            "grant_bursts",
+            "grant_pkts_max",
+            "delivery_batches",
+        ] {
+            assert_eq!(
+                want.counters.get(name),
+                got.counters.get(name),
+                "{label}: counter {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_fast_mode_reproduces_the_classic_core() {
+        let n = 8;
+        let mk = || {
+            SimBuilder::new(hw_cfg(n))
+                .workload(flows(n, 0.4, 7))
+                .scheduler(Box::new(IslipScheduler::new(n, 3)))
+                .estimator(Box::new(MirrorEstimator::new(n)))
+        };
+        let classic = mk().build().unwrap().run(SimTime::from_millis(3));
+        assert!(classic.delivered_ocs_bytes > 0);
+        for k in [2, 4, 8] {
+            let sharded = mk().shards(k).build().unwrap().run(SimTime::from_millis(3));
+            assert_shard_equiv(&classic, &sharded, &format!("k={k}"));
+        }
+    }
+
+    #[test]
+    fn sharded_slow_mode_reproduces_the_classic_core() {
+        let n = 4;
+        let mk = || {
+            let mut cfg = NodeConfig::slow(
+                n,
+                SimDuration::from_micros(50),
+                SwSchedulerModel::tuned_userspace(),
+            );
+            cfg.epoch = SimDuration::from_millis(1);
+            cfg.seed = 5;
+            if let Placement::Software { sync, .. } = &mut cfg.placement {
+                *sync = xds_hw::SyncModel {
+                    skew_bound: SimDuration::from_micros(40),
+                    drift_ppb: 0,
+                    resync_interval: SimDuration::from_secs(1),
+                };
+            }
+            SimBuilder::new(cfg)
+                .workload(flows(n, 0.5, 17))
+                .scheduler(Box::new(HotspotScheduler::new(10_000)))
+                .estimator(Box::new(MirrorEstimator::new(n)))
+        };
+        let classic = mk().build().unwrap().run(SimTime::from_millis(20));
+        assert!(
+            classic.drops.sync_violation > 0,
+            "exercise the violation path"
+        );
+        for k in [2, 4] {
+            let sharded = mk()
+                .shards(k)
+                .build()
+                .unwrap()
+                .run(SimTime::from_millis(20));
+            assert_shard_equiv(&classic, &sharded, &format!("slow k={k}"));
+        }
+    }
+
+    #[test]
+    fn sharded_with_apps_reproduces_the_classic_core() {
+        let n = 4;
+        let mk = || {
+            let mk_app = |id, s, d| {
+                let mut a = CbrApp::voip(id, PortNo(s), PortNo(d), SimTime::ZERO);
+                a.interval = SimDuration::from_micros(500);
+                a
+            };
+            SimBuilder::new(hw_cfg(n))
+                .workload(flows(n, 0.3, 11).with_apps(vec![mk_app(0, 0, 1), mk_app(1, 2, 3)]))
+                .scheduler(Box::new(IslipScheduler::new(n, 3)))
+                .estimator(Box::new(MirrorEstimator::new(n)))
+        };
+        let classic = mk().build().unwrap().run(SimTime::from_millis(10));
+        assert!(classic.latency_interactive.count() > 0, "apps flowed");
+        let sharded = mk()
+            .shards(2)
+            .build()
+            .unwrap()
+            .run(SimTime::from_millis(10));
+        assert_shard_equiv(&classic, &sharded, "apps k=2");
+    }
+
+    #[test]
+    fn shard_executor_modes_are_equivalent() {
+        // Threads vs inline must be byte-identical (shards share nothing
+        // within a window) — this exercises the concurrent path even on
+        // a single-CPU machine.
+        let n = 8;
+        let mk = |exec| {
+            SimBuilder::new(hw_cfg(n))
+                .workload(flows(n, 0.4, 7))
+                .scheduler(Box::new(IslipScheduler::new(n, 3)))
+                .shards(4)
+                .shard_execution(exec)
+                .build()
+                .unwrap()
+                .run(SimTime::from_millis(3))
+        };
+        let inline = mk(ShardExec::Inline);
+        let threads = mk(ShardExec::Threads);
+        assert_eq!(inline.events, threads.events);
+        assert_eq!(inline.delivered_ocs_bytes, threads.delivered_ocs_bytes);
+        assert_eq!(inline.delivered_eps_bytes, threads.delivered_eps_bytes);
+        assert_eq!(inline.counters, threads.counters, "full counter registry");
+    }
+
+    #[test]
+    fn arbitrary_shard_maps_preserve_behavior() {
+        let n = 8;
+        let mk = || {
+            SimBuilder::new(hw_cfg(n))
+                .workload(flows(n, 0.4, 7))
+                .scheduler(Box::new(IslipScheduler::new(n, 3)))
+        };
+        let classic = mk().build().unwrap().run(SimTime::from_millis(3));
+        // A deliberately lopsided, non-contiguous assignment.
+        let map = ShardMap::from_assignment(vec![1, 0, 2, 0, 1, 0, 2, 0]).unwrap();
+        let sharded = mk()
+            .shard_map(map)
+            .build()
+            .unwrap()
+            .run(SimTime::from_millis(3));
+        assert_shard_equiv(&classic, &sharded, "scattered map");
+    }
+
+    #[test]
+    fn shard_map_validates_density_and_port_space() {
+        assert!(ShardMap::from_assignment(vec![0, 2]).is_err(), "hole at 1");
+        assert!(ShardMap::from_assignment(Vec::new()).is_err());
+        let m = ShardMap::contiguous(8, 3);
+        assert_eq!(m.k(), 3);
+        let mut counts = vec![0usize; 3];
+        for p in 0..8 {
+            counts[m.shard_of(p)] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        assert!(
+            counts.iter().all(|&c| c >= 2),
+            "near-equal split: {counts:?}"
+        );
+        // A map sized for the wrong fabric is a typed build error.
+        let built = SimBuilder::new(hw_cfg(4))
+            .scheduler(Box::new(IslipScheduler::new(4, 3)))
+            .shard_map(ShardMap::contiguous(8, 2))
+            .build();
+        assert!(matches!(built.err(), Some(BuildError::InvalidConfig(_))));
     }
 }

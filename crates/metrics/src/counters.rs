@@ -3,6 +3,21 @@
 
 use xds_sim::{SimDuration, SimTime};
 
+/// How a counter combines when two registries covering disjoint parts
+/// of one run (per-shard banks, per-pool ledgers) are folded together.
+///
+/// Merging everything as a sum is wrong for high-water marks: summing
+/// `pool_live_peak` across shards would report a combined peak no single
+/// pool ever reached. Each counter therefore declares its kind, and
+/// [`CounterSet::merge`] dispatches on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterKind {
+    /// A tally: events across disjoint sources add.
+    Sum,
+    /// A high-water mark: the combined value is the largest observed.
+    Max,
+}
+
 /// The flight-recorder counter registry: one `u64` per internal
 /// mechanism the runtime wants to account for. Every counter is a pure
 /// function of the simulated event sequence — no wall-clock, no
@@ -91,6 +106,59 @@ impl CounterSet {
             .iter()
             .find(|(n, _)| *n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// Each counter's merge kind, aligned with [`items`](Self::items):
+    /// the `*_peak` counters and `grant_pkts_max` are high-water marks,
+    /// everything else is a tally.
+    pub fn kinds() -> [(&'static str, CounterKind); Self::LEN] {
+        use CounterKind::{Max, Sum};
+        [
+            ("sched_memo_hits", Sum),
+            ("sched_hk_runs", Sum),
+            ("sched_probes", Sum),
+            ("sched_worklist_peak", Max),
+            ("sched_bucket_peak", Max),
+            ("queue_spreads", Sum),
+            ("queue_spills", Sum),
+            ("queue_direct_sorts", Sum),
+            ("pool_allocs", Sum),
+            ("pool_frees", Sum),
+            ("pool_live_peak", Max),
+            ("pool_chunk_growths", Sum),
+            ("grant_bursts", Sum),
+            ("grant_pkts_max", Max),
+            ("delivery_batches", Sum),
+        ]
+    }
+
+    /// A counter's merge kind by canonical name.
+    pub fn kind_of(name: &str) -> Option<CounterKind> {
+        Self::kinds()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, k)| k)
+    }
+
+    /// Folds another registry into this one with per-counter semantics:
+    /// tallies add, high-water marks take the max (see
+    /// [`kinds`](Self::kinds)). The default set is the merge identity.
+    pub fn merge(&mut self, other: &CounterSet) {
+        self.sched_memo_hits += other.sched_memo_hits;
+        self.sched_hk_runs += other.sched_hk_runs;
+        self.sched_probes += other.sched_probes;
+        self.sched_worklist_peak = self.sched_worklist_peak.max(other.sched_worklist_peak);
+        self.sched_bucket_peak = self.sched_bucket_peak.max(other.sched_bucket_peak);
+        self.queue_spreads += other.queue_spreads;
+        self.queue_spills += other.queue_spills;
+        self.queue_direct_sorts += other.queue_direct_sorts;
+        self.pool_allocs += other.pool_allocs;
+        self.pool_frees += other.pool_frees;
+        self.pool_live_peak = self.pool_live_peak.max(other.pool_live_peak);
+        self.pool_chunk_growths += other.pool_chunk_growths;
+        self.grant_bursts += other.grant_bursts;
+        self.grant_pkts_max = self.grant_pkts_max.max(other.grant_pkts_max);
+        self.delivery_batches += other.delivery_batches;
     }
 }
 
@@ -209,6 +277,110 @@ mod tests {
         assert_eq!(sorted.len(), CounterSet::LEN);
         assert_eq!(names[0], "sched_memo_hits");
         assert_eq!(names[CounterSet::LEN - 1], "delivery_batches");
+    }
+
+    #[test]
+    fn kinds_cover_every_counter_in_items_order() {
+        let names = CounterSet::names();
+        let kinds = CounterSet::kinds();
+        assert_eq!(kinds.len(), CounterSet::LEN);
+        for (i, (n, _)) in kinds.iter().enumerate() {
+            assert_eq!(*n, names[i], "kind table drifted from items order");
+        }
+        // Exactly the documented high-water marks merge by max.
+        let maxes: Vec<_> = kinds
+            .iter()
+            .filter(|(_, k)| *k == CounterKind::Max)
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(
+            maxes,
+            [
+                "sched_worklist_peak",
+                "sched_bucket_peak",
+                "pool_live_peak",
+                "grant_pkts_max"
+            ]
+        );
+        assert_eq!(CounterSet::kind_of("pool_allocs"), Some(CounterKind::Sum));
+        assert_eq!(
+            CounterSet::kind_of("grant_pkts_max"),
+            Some(CounterKind::Max)
+        );
+        assert_eq!(CounterSet::kind_of("not_a_counter"), None);
+    }
+
+    #[test]
+    fn merge_sums_tallies_and_maxes_peaks() {
+        let mut a = CounterSet {
+            sched_memo_hits: 3,
+            sched_worklist_peak: 10,
+            pool_allocs: 100,
+            pool_live_peak: 40,
+            grant_pkts_max: 7,
+            ..CounterSet::default()
+        };
+        let b = CounterSet {
+            sched_memo_hits: 4,
+            sched_worklist_peak: 6,
+            pool_allocs: 50,
+            pool_live_peak: 90,
+            grant_pkts_max: 7,
+            delivery_batches: 2,
+            ..CounterSet::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sched_memo_hits, 7, "tallies add");
+        assert_eq!(a.pool_allocs, 150, "tallies add");
+        assert_eq!(a.delivery_batches, 2);
+        assert_eq!(a.sched_worklist_peak, 10, "peaks take the max");
+        assert_eq!(a.pool_live_peak, 90, "peaks take the max");
+        assert_eq!(a.grant_pkts_max, 7, "equal peaks stay put");
+    }
+
+    #[test]
+    fn merge_identity_and_field_coverage() {
+        // Merging the default set changes nothing (identity)…
+        let mut probe = CounterSet::default();
+        for (i, _) in (0..CounterSet::LEN).enumerate() {
+            // Give every field a distinct non-zero value via items order.
+            let v = (i as u64 + 1) * 3;
+            probe = set_by_index(probe, i, v);
+        }
+        let before = probe;
+        probe.merge(&CounterSet::default());
+        assert_eq!(probe, before, "default is the merge identity");
+        // …and merging a set into the default reproduces it exactly —
+        // together these pin that `merge` touches every field (a field
+        // skipped by the hand-written merge would stay zero here).
+        let mut zero = CounterSet::default();
+        zero.merge(&before);
+        assert_eq!(zero, before, "merge into default must copy all fields");
+    }
+
+    /// Sets the `i`-th counter (items order) to `v` — test helper that
+    /// keeps `merge_identity_and_field_coverage` exhaustive without
+    /// naming all fields twice.
+    fn set_by_index(mut c: CounterSet, i: usize, v: u64) -> CounterSet {
+        match i {
+            0 => c.sched_memo_hits = v,
+            1 => c.sched_hk_runs = v,
+            2 => c.sched_probes = v,
+            3 => c.sched_worklist_peak = v,
+            4 => c.sched_bucket_peak = v,
+            5 => c.queue_spreads = v,
+            6 => c.queue_spills = v,
+            7 => c.queue_direct_sorts = v,
+            8 => c.pool_allocs = v,
+            9 => c.pool_frees = v,
+            10 => c.pool_live_peak = v,
+            11 => c.pool_chunk_growths = v,
+            12 => c.grant_bursts = v,
+            13 => c.grant_pkts_max = v,
+            14 => c.delivery_batches = v,
+            _ => unreachable!(),
+        }
+        c
     }
 
     #[test]

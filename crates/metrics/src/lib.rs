@@ -28,7 +28,7 @@ pub mod jitter;
 pub mod report;
 pub mod series;
 
-pub use counters::{CounterSet, Throughput, Utilization};
+pub use counters::{CounterKind, CounterSet, Throughput, Utilization};
 pub use fasthash::{FastHashBuilder, FastHashMap, FastHasher};
 pub use fct::{FctStats, FctTracker, SizeClass};
 pub use hist::LatencyHistogram;

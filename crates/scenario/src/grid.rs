@@ -31,6 +31,7 @@ pub struct SweepGrid {
     sizes: Vec<FlowSizeDist>,
     bulk_thresholds: Vec<u64>,
     seeds: Vec<u64>,
+    shards: Vec<usize>,
 }
 
 impl SweepGrid {
@@ -51,6 +52,7 @@ impl SweepGrid {
             sizes: Vec::new(),
             bulk_thresholds: Vec::new(),
             seeds: Vec::new(),
+            shards: Vec::new(),
         }
     }
 
@@ -132,12 +134,20 @@ impl SweepGrid {
         self
     }
 
+    /// Sweeps the port-group shard count of the parallel core. Results
+    /// are invariant in this axis by construction; sweeping it compares
+    /// execution cost, not behavior.
+    pub fn shards(mut self, shards: Vec<usize>) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// The base spec the axes are applied to.
     pub fn base(&self) -> &ScenarioSpec {
         &self.base
     }
 
-    fn axis_lens(&self) -> [usize; 13] {
+    fn axis_lens(&self) -> [usize; 14] {
         [
             self.loads.len().max(1),
             self.ports.len().max(1),
@@ -152,6 +162,7 @@ impl SweepGrid {
             self.sizes.len().max(1),
             self.bulk_thresholds.len().max(1),
             self.seeds.len().max(1),
+            self.shards.len().max(1),
         ]
     }
 
@@ -176,7 +187,7 @@ impl SweepGrid {
         for flat in 0..total {
             // Decompose `flat` into per-axis indices, last axis fastest.
             let mut rem = flat;
-            let mut idx = [0usize; 13];
+            let mut idx = [0usize; 14];
             for a in (0..lens.len()).rev() {
                 idx[a] = rem % lens[a];
                 rem /= lens[a];
@@ -240,6 +251,10 @@ impl SweepGrid {
                 spec.seed = v;
                 tag(format!("s{v}"), self.seeds.len() > 1, &mut tags);
             }
+            if let Some(&v) = self.shards.get(idx[13]) {
+                spec.shards = v.max(1);
+                tag(format!("sh{v}"), self.shards.len() > 1, &mut tags);
+            }
             if !tags.is_empty() {
                 spec.name = format!("{}/{}", spec.name, tags.join("/"));
             }
@@ -296,6 +311,22 @@ mod tests {
         assert_eq!(names, vec!["b/load0.25", "b/load0.75"]);
         let specs = g.specs();
         assert!(specs.iter().all(|s| s.n_ports == 4));
+    }
+
+    #[test]
+    fn shards_axis_sweeps_and_tags() {
+        let g = SweepGrid::new(ScenarioSpec::new("b")).shards(vec![1, 2, 4]);
+        let specs = g.specs();
+        assert_eq!(specs.len(), 3);
+        let got: Vec<(usize, String)> = specs.into_iter().map(|s| (s.shards, s.name)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, "b/sh1".to_string()),
+                (2, "b/sh2".to_string()),
+                (4, "b/sh4".to_string()),
+            ]
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use xds_traffic::FlowSizeDist;
 use crate::spec::{AppMix, ScenarioSpec, SchedulerKind, TrafficPattern};
 
 /// Every name [`scenario`] recognizes, in catalogue order.
-pub const ALL: [&str; 14] = [
+pub const ALL: [&str; 15] = [
     "uniform",
     "permutation",
     "hotspot",
@@ -29,6 +29,7 @@ pub const ALL: [&str; 14] = [
     "scale-stress-256",
     "scale-stress-512",
     "scale-stress-1024",
+    "scale-stress-2048",
 ];
 
 /// Every name the library recognizes, in catalogue order.
@@ -140,12 +141,30 @@ pub fn scenario(name: &str) -> Option<ScenarioSpec> {
 
             // Kilofabric stress: 1024 ports — the largest configuration
             // the pooled data structures are sized for (a million VOQ
-            // headers, slab schedules, no per-packet allocation).
+            // headers, slab schedules, no per-packet allocation). Like
+            // the 2048 rung it defaults to one shard per source port,
+            // the fastest single-CPU layout measured (~1.5x the classic
+            // core); `--shards 1` recovers the classic single-queue run.
             "scale-stress-1024" => scenario("scale-stress")
                 .expect("base entry exists")
                 .with_name("scale-stress-1024")
                 .with_ports(1024)
+                .with_shards(1024)
                 .with_duration(SimDuration::from_micros(500)),
+
+            // Two-kilofabric stress: 2048 ports, practical only on the
+            // sharded core — a dense per-fabric VOQ bank would be ~4M
+            // pairs (~200 MB), so the entry defaults to one shard per
+            // source port: each window drains one L2-resident VOQ row
+            // instead of streaming the whole bank, the fastest single-CPU
+            // configuration measured. Results are invariant in the shard
+            // count; the default only picks the execution layout.
+            "scale-stress-2048" => scenario("scale-stress")
+                .expect("base entry exists")
+                .with_name("scale-stress-2048")
+                .with_ports(2048)
+                .with_shards(2048)
+                .with_duration(SimDuration::from_micros(250)),
 
             // Adversarial demand churn: the hotspot jumps every millisecond,
             // stressing demand estimation and reconfiguration agility.

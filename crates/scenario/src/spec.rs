@@ -568,6 +568,10 @@ pub struct ScenarioSpec {
     pub duration: SimDuration,
     /// Master seed: the root of every RNG stream this point uses.
     pub seed: u64,
+    /// Port-group shard count for the parallel simulation core (1 = the
+    /// classic single-queue core; `k > 1` reproduces it exactly — see
+    /// the shard module's determinism contract).
+    pub shards: usize,
     /// Instrumentation profile: `full` (default, classic report),
     /// `lean` (bench runs — identical events/bytes, no observation
     /// cost) or `timeseries` (full + per-epoch telemetry).
@@ -603,6 +607,7 @@ impl ScenarioSpec {
             voip_on_ocs: false,
             duration: SimDuration::from_millis(5),
             seed: 1,
+            shards: 1,
             profile: InstrProfile::Full,
             trace: false,
         }
@@ -710,6 +715,15 @@ impl ScenarioSpec {
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the shard count of the parallel simulation core (floored at
+    /// 1). Sharding never changes results — events, delivered bytes and
+    /// behavioral counters are invariant in `k` — only how the run
+    /// executes.
+    pub fn with_shards(mut self, k: usize) -> Self {
+        self.shards = k.max(1);
         self
     }
 
@@ -832,6 +846,7 @@ impl ScenarioSpec {
             .estimator(estimator)
             .instrumentation(self.profile.instrumentation())
             .trace(self.trace)
+            .shards(self.shards)
             .build()
             .map_err(|e| format!("scenario {}: {e}", self.name))?;
         Ok(sim.run(SimTime::ZERO + self.duration))

@@ -10,6 +10,21 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> xlint (workspace determinism-contract static analysis)"
+# Zero unwaived findings, and the waiver count is pinned: a new inline
+# `// xlint: allow(...)` waiver anywhere in the tree requires an
+# explicit diff of the expected number below.
+XLINT_EXPECTED_WAIVERS=20
+xlint_out=$(cargo run -q -p xds-lint -- --stats) || {
+    printf '%s\n' "$xlint_out"
+    echo "ci.sh: xlint found determinism-contract violations"
+    exit 1
+}
+printf '%s\n' "$xlint_out"
+xlint_waivers=$(printf '%s\n' "$xlint_out" | sed -n 's/^waivers: \([0-9][0-9]*\)$/\1/p')
+[ "$xlint_waivers" = "$XLINT_EXPECTED_WAIVERS" ] \
+    || { echo "ci.sh: xlint waiver count ${xlint_waivers:-?} != expected $XLINT_EXPECTED_WAIVERS (new waivers need an explicit diff here)"; exit 1; }
+
 echo "==> cargo build --release"
 cargo build --release
 

@@ -13,7 +13,6 @@
 //!   experiment starts from, so results are comparable across binaries;
 //! * [`emit`] — uniform stdout + CSV emission.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;

@@ -439,7 +439,10 @@ mod tests {
     /// The tracked support must hold every non-zero cell (superset
     /// invariant) under every sparse write path.
     fn assert_support_covers(m: &DemandMatrix) {
-        let support: std::collections::HashSet<u32> =
+        // BTreeSet: a failure message that walks the set prints cells
+        // in index order on every run, and the determinism contract
+        // bans random-state hash collections in core outright.
+        let support: std::collections::BTreeSet<u32> =
             m.support().expect("tracked").iter().copied().collect();
         for (idx, &v) in m.as_slice().iter().enumerate() {
             if v > 0 {

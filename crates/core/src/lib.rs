@@ -27,7 +27,6 @@
 //! Solstice-style greedy, c-Through-style hotspot, plus TDMA and EPS-only
 //! baselines.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

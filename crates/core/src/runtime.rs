@@ -933,6 +933,7 @@ impl SimState {
             }
 
             Ev::EpochStart => {
+                // xlint: allow(wall-clock) — epoch phase-timing split (RunReport::phases): host-time observability, excluded from golden serialization
                 let phase_t0 = std::time::Instant::now();
                 // Pool-boundary audit, once per epoch: every chunk in the
                 // host pool is on the free list or reachable from exactly
@@ -1009,12 +1010,14 @@ impl SimState {
                     Some(m) => m,
                     None => &st.demand_scratch,
                 };
+                // xlint: allow(wall-clock) — phase-timing block boundary (estimate → decompose), never serialized into goldens
                 let phase_t1 = std::time::Instant::now();
                 st.phases.estimate += phase_t1.duration_since(phase_t0).as_nanos() as u64;
                 let sched = st.scheduler.schedule(demand, &ctx);
                 // This `Instant::now` was previously hidden inside
                 // `elapsed()`: naming it costs nothing and doubles as the
                 // decompose span's end when the recorder is on.
+                // xlint: allow(wall-clock) — phase-timing block boundary (decompose end), never serialized into goldens
                 let phase_t2 = std::time::Instant::now();
                 st.phases.decompose += phase_t2.duration_since(phase_t1).as_nanos() as u64;
                 if let Some(obs) = st.scheduler.take_obs() {
@@ -1125,6 +1128,7 @@ impl SimState {
                 let entry = &sched.entries[idx];
                 let slot_end = now + entry.slot;
                 if st.is_hw {
+                    // xlint: allow(wall-clock) — apply phase-timing block start (RunReport::phases), excluded from golden serialization
                     let phase_t0 = std::time::Instant::now();
                     // Processing logic executes grants: budgeted dequeue,
                     // packets serialized at line rate onto the circuit.
@@ -1136,6 +1140,7 @@ impl SimState {
                         if granted.is_empty() {
                             continue;
                         }
+                        // xlint: allow(wall-clock) — flight-recorder grant-burst span start, gated on trace; wall-clock stays out of goldens
                         let burst_t0 = st.trace.is_some().then(std::time::Instant::now);
                         let npkts = granted.len() as u64;
                         st.counters.grant_bursts += 1;
@@ -1163,6 +1168,7 @@ impl SimState {
                                 "slot",
                                 "grant_burst",
                                 t0,
+                                // xlint: allow(wall-clock) — flight-recorder span end, trace-gated
                                 std::time::Instant::now(),
                                 &[("pkts", npkts)],
                             );
@@ -1178,6 +1184,7 @@ impl SimState {
                     }
                     st.flush_deliveries();
                     st.grant_scratch = granted;
+                    // xlint: allow(wall-clock) — apply phase-timing block end (RunReport::phases), excluded from golden serialization
                     let phase_t1 = std::time::Instant::now();
                     st.phases.apply += phase_t1.duration_since(phase_t0).as_nanos() as u64;
                     if let Some(tr) = &mut st.trace {

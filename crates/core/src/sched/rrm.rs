@@ -141,7 +141,9 @@ mod tests {
         }
         let winners: Vec<Option<usize>> =
             (0..6).map(|_| s.matching(&requests).input_of(0)).collect();
-        let distinct: std::collections::HashSet<_> = winners.iter().flatten().collect();
+        // BTreeSet, per the determinism contract: no randomly seeded
+        // hash collections in core, test code included.
+        let distinct: std::collections::BTreeSet<_> = winners.iter().flatten().collect();
         assert!(distinct.len() >= 2, "service should rotate: {winners:?}");
     }
 }

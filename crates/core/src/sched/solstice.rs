@@ -200,6 +200,7 @@ impl SolsticeScheduler {
     /// the memoized matching when entry `e` saw the identical edge set
     /// last epoch.
     fn match_probe(&mut self, n: usize, e: usize) -> Permutation {
+        // xlint: allow(wall-clock) — flight-recorder matching-span start, gated on trace_on; wall-clock never reaches the simulation domain
         let t0 = self.trace_on.then(Instant::now);
         let edges = self.ws.adj_targets.len() as u64;
         if let Some(m) = self.memos.get(e) {
@@ -210,6 +211,7 @@ impl SolsticeScheduler {
                         self.obs.spans.push(SchedSpan {
                             name: "match_memo",
                             start: t0,
+                            // xlint: allow(wall-clock) — flight-recorder span end, trace-gated
                             end: Instant::now(),
                             arg: ("edges", edges),
                         });
@@ -224,6 +226,7 @@ impl SolsticeScheduler {
             self.obs.spans.push(SchedSpan {
                 name: "match_hk",
                 start: t0,
+                // xlint: allow(wall-clock) — flight-recorder span end, trace-gated
                 end: Instant::now(),
                 arg: ("edges", edges),
             });
@@ -303,6 +306,7 @@ impl Scheduler for SolsticeScheduler {
             self.probe.extend_from_slice(&self.buckets[k_top]);
             let mut k = k_top;
             let perm = loop {
+                // xlint: allow(wall-clock) — flight-recorder probe-span start, gated on trace_on
                 let t0 = self.trace_on.then(Instant::now);
                 // Row-major edge order: the matching is identical to the
                 // one a dense `≥ t` predicate scan would produce.
@@ -319,6 +323,7 @@ impl Scheduler for SolsticeScheduler {
                     self.obs.spans.push(SchedSpan {
                         name: "probe",
                         start: t0,
+                        // xlint: allow(wall-clock) — flight-recorder span end, trace-gated
                         end: Instant::now(),
                         arg: ("cells", self.probe.len() as u64),
                     });

@@ -811,6 +811,7 @@ fn handle_coord(
         }
 
         Ev::EpochStart => {
+            // xlint: allow(wall-clock) — epoch phase-timing split (RunReport::phases): host-time observability, excluded from golden serialization
             let phase_t0 = std::time::Instant::now();
             for s in shards.iter() {
                 s.pool.debug_assert_conserved();
@@ -902,9 +903,11 @@ fn handle_coord(
                 Some(m) => m,
                 None => &st.demand_scratch,
             };
+            // xlint: allow(wall-clock) — phase-timing block boundary (estimate → decompose), never serialized into goldens
             let phase_t1 = std::time::Instant::now();
             st.phases.estimate += phase_t1.duration_since(phase_t0).as_nanos() as u64;
             let sched = st.scheduler.schedule(demand, &ctx);
+            // xlint: allow(wall-clock) — phase-timing block boundary (decompose end), never serialized into goldens
             let phase_t2 = std::time::Instant::now();
             st.phases.decompose += phase_t2.duration_since(phase_t1).as_nanos() as u64;
             if let Some(obs) = st.scheduler.take_obs() {
@@ -1005,6 +1008,7 @@ fn handle_coord(
             let entry = &sched.entries[idx];
             let slot_end = now + entry.slot;
             if st.is_hw {
+                // xlint: allow(wall-clock) — apply phase-timing block start (RunReport::phases), excluded from golden serialization
                 let phase_t0 = std::time::Instant::now();
                 let budget = st.cfg.line_rate.bytes_in(entry.slot);
                 let mut granted = std::mem::take(&mut st.grant_scratch);
@@ -1016,6 +1020,7 @@ fn handle_coord(
                     if granted.is_empty() {
                         continue;
                     }
+                    // xlint: allow(wall-clock) — flight-recorder grant-burst span start, gated on trace; wall-clock stays out of goldens
                     let burst_t0 = st.trace.is_some().then(std::time::Instant::now);
                     let npkts = granted.len() as u64;
                     st.counters.grant_bursts += 1;
@@ -1041,6 +1046,7 @@ fn handle_coord(
                             "slot",
                             "grant_burst",
                             t0,
+                            // xlint: allow(wall-clock) — flight-recorder span end, trace-gated
                             std::time::Instant::now(),
                             &[("pkts", npkts)],
                         );
@@ -1053,6 +1059,7 @@ fn handle_coord(
                 }
                 st.flush_deliveries();
                 st.grant_scratch = granted;
+                // xlint: allow(wall-clock) — apply phase-timing block end (RunReport::phases), excluded from golden serialization
                 let phase_t1 = std::time::Instant::now();
                 st.phases.apply += phase_t1.duration_since(phase_t0).as_nanos() as u64;
                 if let Some(tr) = &mut st.trace {

@@ -1,0 +1,336 @@
+//! Comment/string-stripping lexer and waiver extractor.
+//!
+//! `xlint` works on a *cleaned* view of each source file: every comment
+//! and every string/char-literal body is replaced by spaces (one space
+//! per character, newlines preserved), so line numbers in findings are
+//! exact and a rule needle like `Instant::now` can never match prose, a
+//! doc comment or a test's expected-output string. The stripper is a
+//! small hand-rolled scanner — no `syn`, consistent with the
+//! vendored-subset build policy — that understands the token classes
+//! that matter for not mis-lexing real Rust: line comments, nested block
+//! comments, plain/byte strings with escapes, raw strings with `#`
+//! fences, char literals, and lifetimes (which look like unterminated
+//! char literals and must *not* swallow the rest of the file).
+//!
+//! While stripping, the lexer records every determinism-contract
+//! **waiver** comment it sees:
+//!
+//! ```text
+//! // xlint: allow(<rule>) — <justification>
+//! ```
+//!
+//! A waiver suppresses findings of `<rule>` on its own line and on the
+//! line directly below (so it can sit above a wrapped expression). It
+//! must be a plain `//` comment — doc comments never enact waivers, so
+//! documentation (like this) can quote the syntax freely. The
+//! justification is mandatory and the rule engine errors on waivers
+//! that match nothing — see [`crate::rules`].
+
+/// One parsed `xlint: allow(...)` waiver comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// 1-based source line the waiver comment sits on.
+    pub line: usize,
+    /// Rule name inside `allow(...)` (not validated here).
+    pub rule: String,
+    /// Free-text justification after the `—`/`--` separator; empty when
+    /// the author omitted it (the rule engine reports that as an error).
+    pub justification: String,
+    /// Whether the comment parsed as well-formed waiver syntax. A
+    /// comment that mentions `xlint:` but cannot be parsed is reported
+    /// instead of silently ignored — a typo must not disable a rule.
+    pub well_formed: bool,
+}
+
+/// A source file with comments and literal bodies blanked out, plus the
+/// waivers its comments carried.
+#[derive(Debug)]
+pub struct Cleaned {
+    /// Same length and line structure as the input; comment and literal
+    /// characters replaced by spaces.
+    pub text: String,
+    /// Every `xlint:` comment found, in source order.
+    pub waivers: Vec<Waiver>,
+}
+
+/// Strips comments and string/char-literal bodies from `source`.
+pub fn clean(source: &str) -> Cleaned {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut waivers = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes `c` to the cleaned output, blanked unless it is a newline.
+    fn blank(out: &mut String, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. `///` docs): capture its text for
+                // waiver parsing, blank it in the output.
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    blank(&mut out, chars[i]);
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                // Waivers are plain `//` comments only: doc comments
+                // (`///`, `//!`) describe code — rule documentation
+                // must be able to quote the syntax without enacting it.
+                let is_doc = comment.starts_with("///") || comment.starts_with("//!");
+                if !is_doc {
+                    if let Some(w) = parse_waiver(&comment, line) {
+                        waivers.push(w);
+                    }
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        blank(&mut out, '/');
+                        blank(&mut out, '*');
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        blank(&mut out, '*');
+                        blank(&mut out, '/');
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        blank(&mut out, chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // String literal. Look back over `#` fences for a raw
+                // prefix (`r"`, `r#"`, `br#"`, …): raw strings have no
+                // escapes and close on `"` + the same number of `#`s.
+                let mut hashes = 0usize;
+                let mut j = i;
+                while j > 0 && chars[j - 1] == '#' {
+                    hashes += 1;
+                    j -= 1;
+                }
+                let raw = j > 0 && (chars[j - 1] == 'r');
+                out.push('"');
+                i += 1;
+                if raw {
+                    while i < chars.len() {
+                        if chars[i] == '"'
+                            && chars[i + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes
+                        {
+                            out.push('"');
+                            i += 1;
+                            break;
+                        }
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        blank(&mut out, chars[i]);
+                        i += 1;
+                    }
+                } else {
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => {
+                                blank(&mut out, '\\');
+                                i += 1;
+                                if i < chars.len() {
+                                    if chars[i] == '\n' {
+                                        line += 1;
+                                    }
+                                    blank(&mut out, chars[i]);
+                                    i += 1;
+                                }
+                            }
+                            '"' => {
+                                out.push('"');
+                                i += 1;
+                                break;
+                            }
+                            ch => {
+                                if ch == '\n' {
+                                    line += 1;
+                                }
+                                blank(&mut out, ch);
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\x'`-style and `'c'` are
+                // literals; `'ident` (no closing quote right after one
+                // char) is a lifetime and passes through untouched.
+                if chars.get(i + 1) == Some(&'\\') {
+                    out.push('\'');
+                    i += 1; // past '
+                    blank(&mut out, '\\');
+                    i += 1; // past backslash
+                    while i < chars.len() && chars[i] != '\'' {
+                        blank(&mut out, chars[i]);
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                    out.push('\'');
+                    blank(&mut out, chars[i + 1]);
+                    out.push('\'');
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            '\n' => {
+                line += 1;
+                out.push('\n');
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    Cleaned { text: out, waivers }
+}
+
+/// Parses one line-comment's text as a waiver, if it mentions `xlint:`.
+///
+/// Returns `None` for ordinary comments. A comment that *does* say
+/// `xlint:` always yields a [`Waiver`]; malformed syntax is flagged via
+/// `well_formed = false` so the rule engine can report it.
+fn parse_waiver(comment: &str, line: usize) -> Option<Waiver> {
+    let at = comment.find("xlint:")?;
+    let rest = comment[at + "xlint:".len()..].trim_start();
+    let malformed = |_: ()| Waiver {
+        line,
+        rule: String::new(),
+        justification: String::new(),
+        well_formed: false,
+    };
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return Some(malformed(()));
+    };
+    let Some(close) = body.find(')') else {
+        return Some(malformed(()));
+    };
+    let rule = body[..close].trim().to_string();
+    if rule.is_empty() {
+        return Some(malformed(()));
+    }
+    // Justification: everything after the closing paren, minus the
+    // customary `—` / `--` / `-` separator.
+    let mut just = body[close + 1..].trim_start();
+    for sep in ["—", "--", "-"] {
+        if let Some(j) = just.strip_prefix(sep) {
+            just = j;
+            break;
+        }
+    }
+    Some(Waiver {
+        line,
+        rule,
+        justification: just.trim().to_string(),
+        well_formed: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = \"Instant::now\"; // Instant::now in prose\nlet b = 1;\n";
+        let c = clean(src);
+        assert!(!c.text.contains("Instant::now"));
+        assert!(c.text.contains("let a = \""));
+        assert!(c.text.contains("let b = 1;"));
+        assert_eq!(c.text.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* outer /* HashMap */ still comment */ code\nlet r = r#\"std::thread \"quoted\"\"#;\n";
+        let c = clean(src);
+        assert!(!c.text.contains("HashMap"));
+        assert!(!c.text.contains("std::thread"));
+        assert!(c.text.contains("code"));
+        assert!(c.text.contains("let r = r#\""));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'y' }\n";
+        let c = clean(src);
+        assert!(c.text.contains("<'a>"));
+        assert!(c.text.contains("&'a str"));
+        assert!(!c.text.contains("'y'"));
+        let esc = clean("let c = '\\n'; let l: &'static str = \"\";\n");
+        assert!(esc.text.contains("'static"));
+        assert!(!esc.text.contains("\\n"));
+    }
+
+    #[test]
+    fn waiver_parses_with_each_separator() {
+        for sep in ["—", "--", "-"] {
+            let src = format!("x(); // xlint: allow(wall-clock) {sep} phase timing\n");
+            let c = clean(&src);
+            assert_eq!(c.waivers.len(), 1, "sep {sep:?}");
+            let w = &c.waivers[0];
+            assert!(w.well_formed);
+            assert_eq!(w.line, 1);
+            assert_eq!(w.rule, "wall-clock");
+            assert_eq!(w.justification, "phase timing");
+        }
+    }
+
+    #[test]
+    fn waiver_without_justification_is_empty_not_dropped() {
+        let c = clean("// xlint: allow(random-state)\n");
+        assert_eq!(c.waivers.len(), 1);
+        assert!(c.waivers[0].well_formed);
+        assert!(c.waivers[0].justification.is_empty());
+    }
+
+    #[test]
+    fn malformed_waiver_is_flagged() {
+        let c = clean("// xlint: alow(wall-clock) — typo\n");
+        assert_eq!(c.waivers.len(), 1);
+        assert!(!c.waivers[0].well_formed);
+    }
+
+    #[test]
+    fn waiver_line_numbers_track_multiline_constructs() {
+        let src =
+            "let s = \"line\none\";\n/* block\ncomment */\n// xlint: allow(thread-spawn) — here\n";
+        let c = clean(src);
+        assert_eq!(c.waivers.len(), 1);
+        assert_eq!(c.waivers[0].line, 5);
+    }
+}

@@ -1,0 +1,165 @@
+//! # xds-lint — the workspace determinism-contract static-analysis pass
+//!
+//! Everything this reproduction measures rests on one contract: the
+//! simulation domain is a pure function of the scenario spec and seed.
+//! Golden traces, K-shard byte-equivalence, thread-count-invariant
+//! sweeps and pinnable counters are only meaningful because nothing
+//! nondeterministic — wall-clock reads, randomly seeded hashing,
+//! unordered iteration, stray threads — leaks into it. The dynamic
+//! enforcement (golden-trace diffs, shard-equivalence suites) catches a
+//! violation only *after* it costs a debugging session; `xlint` rejects
+//! it at review time, before any simulation runs.
+//!
+//! The pass is deliberately dependency-free (a comment/string-stripping
+//! lexer plus a line/token rule engine — no `syn`, consistent with the
+//! vendored-subset build policy) and runs three ways: as the `xlint`
+//! binary (one finding per line, `file:line` first), as the
+//! `self_clean` integration test so plain `cargo test` catches
+//! violations, and as a named `ci.sh` gate step that additionally pins
+//! the waiver count.
+//!
+//! ## Rules
+//!
+//! | rule | forbids | allowed in |
+//! |---|---|---|
+//! | `wall-clock` | `Instant::now`, `SystemTime` | `crates/core/src/trace.rs`, `crates/bench/` |
+//! | `random-state` | std `HashMap`/`HashSet` tokens | nowhere (use `FastHashBuilder`/`BTreeMap`) |
+//! | `thread-spawn` | `std::thread` | `shard.rs` window executor, `SweepExecutor` |
+//! | `unsafe-header` | crates without `forbid(unsafe_code)` | n/a (workspace lint table or literal header) |
+//! | `golden-serialization` | `phases`/`chrome_trace`/`phase_*_ns` in `trace_json` bodies | n/a |
+//!
+//! Site-level exceptions are inline waivers —
+//! `// xlint: allow(<rule>) — <justification>` — covering their own
+//! line and the next. A waiver without a justification, or one that
+//! matches nothing, is itself an error, so the exception list can never
+//! rot. The full policy (allowlists, scan roots, crate list) lives in
+//! [`config`] — changing it is a reviewable diff.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::Finding;
+
+/// Outcome of a whole-workspace scan.
+#[derive(Debug)]
+pub struct Scan {
+    /// All surviving findings, in canonical (path, line, rule) order.
+    pub findings: Vec<Finding>,
+    /// `.rs` files scanned by the source rules.
+    pub files: usize,
+    /// Well-formed waivers across the workspace — the number `ci.sh`
+    /// pins, so growing the exception list requires an explicit diff.
+    pub waivers: usize,
+}
+
+/// The workspace root this crate was built in, for the binary and the
+/// self-clean test (`crates/lint` → two levels up).
+pub fn default_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Runs every rule over the workspace at `root`.
+pub fn scan_workspace(root: &Path) -> io::Result<Scan> {
+    let mut findings = Vec::new();
+    let mut files = 0usize;
+    let mut waivers = 0usize;
+
+    for rel in collect_sources(root)? {
+        let source = read(&root.join(&rel))?;
+        let rep = rules::check_source(&rel, &source);
+        files += 1;
+        waivers += rep.waivers;
+        findings.extend(rep.findings);
+    }
+
+    let root_manifest = read(&root.join("Cargo.toml"))?;
+    for dir in config::CRATE_DIRS {
+        let manifest = read(&root.join(dir).join("Cargo.toml"))?;
+        let crate_root = fs::read_to_string(root.join(dir).join("src/lib.rs")).unwrap_or_default();
+        findings.extend(rules::check_unsafe_header(
+            dir,
+            &manifest,
+            &crate_root,
+            &root_manifest,
+        ));
+    }
+
+    report::sort(&mut findings);
+    Ok(Scan {
+        findings,
+        files,
+        waivers,
+    })
+}
+
+/// `fs::read_to_string` with the failing path named in the error — a
+/// bare ENOENT is useless when the policy expects 13 crate manifests.
+fn read(path: &Path) -> io::Result<String> {
+    fs::read_to_string(path)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+}
+
+/// Every scannable `.rs` path under the configured roots,
+/// repo-relative, sorted for deterministic reports.
+fn collect_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for dir in config::SCAN_DIRS {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            walk(root, &abs, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = path
+            .strip_prefix(root)
+            .expect("walk stays under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        if config::skipped(&rel) || config::skipped(&format!("{rel}/")) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_skips_fixtures_vendor_and_target() {
+        let root = default_root();
+        let sources = collect_sources(&root).expect("workspace readable");
+        assert!(sources.iter().any(|p| p == "crates/core/src/runtime.rs"));
+        assert!(sources.iter().any(|p| p == "crates/lint/src/lib.rs"));
+        assert!(!sources.iter().any(|p| p.starts_with("vendor/")));
+        assert!(!sources.iter().any(|p| p.starts_with("target/")));
+        assert!(!sources.iter().any(|p| p.contains("tests/fixtures/")));
+        let mut sorted = sources.clone();
+        sorted.sort();
+        assert_eq!(sources, sorted, "deterministic scan order");
+    }
+}

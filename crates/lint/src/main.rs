@@ -1,0 +1,60 @@
+//! `xlint` — the workspace determinism-contract checker.
+//!
+//! ```text
+//! xlint [--root DIR] [--stats]
+//! ```
+//!
+//! Prints one `file:line: rule: message` finding per line and exits
+//! non-zero when any survive. `--stats` appends machine-greppable
+//! `files scanned:` / `waivers:` / `findings:` lines; `ci.sh` pins the
+//! waiver count against a checked-in expected number.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut stats = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stats" => stats = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("xlint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "xlint: unknown argument `{other}` (usage: xlint [--root DIR] [--stats])"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(xds_lint::default_root);
+
+    let scan = match xds_lint::scan_workspace(&root) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("xlint: scanning {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &scan.findings {
+        println!("{f}");
+    }
+    if stats {
+        println!("files scanned: {}", scan.files);
+        println!("waivers: {}", scan.waivers);
+        println!("findings: {}", scan.findings.len());
+    }
+    if scan.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

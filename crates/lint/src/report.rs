@@ -1,0 +1,54 @@
+//! Finding type and the one-line reporter format.
+
+use std::fmt;
+
+/// One determinism-contract violation (or waiver-hygiene error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule that fired (`wall-clock`, …, or `waiver` for hygiene errors).
+    pub rule: &'static str,
+    /// Human-readable description, including the offending token.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    /// `file:line: rule: message` — one line, `file:line` first so
+    /// terminals and editors link it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts findings into the canonical report order: path, then line,
+/// then rule — byte-identical output for identical inputs.
+pub fn sort(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_editor_linkable() {
+        let f = Finding {
+            path: "crates/core/src/runtime.rs".into(),
+            line: 42,
+            rule: "wall-clock",
+            message: "`Instant::now`: host clock read".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/core/src/runtime.rs:42: wall-clock: `Instant::now`: host clock read"
+        );
+    }
+}

@@ -1,0 +1,375 @@
+//! The rule engine: per-line token rules over cleaned source, the
+//! golden-serialization scope scanner, waiver application, and the
+//! manifest-level `unsafe-header` check.
+
+use crate::config;
+use crate::lexer::{self, Waiver};
+use crate::report::Finding;
+
+/// Rule names, as they appear in findings and `allow(...)` waivers.
+pub const RULES: &[&str] = &[
+    "wall-clock",
+    "random-state",
+    "thread-spawn",
+    "unsafe-header",
+    "golden-serialization",
+];
+
+/// A needle-based rule: flag identifier-boundary occurrences of any
+/// needle, outside the allowlisted modules.
+struct TokenRule {
+    name: &'static str,
+    needles: &'static [&'static str],
+    allow: &'static [&'static str],
+    message: &'static str,
+}
+
+const TOKEN_RULES: &[TokenRule] = &[
+    TokenRule {
+        name: "wall-clock",
+        needles: &["Instant::now", "SystemTime"],
+        allow: config::WALL_CLOCK_ALLOW,
+        message: "host clock read in the simulation domain",
+    },
+    TokenRule {
+        name: "random-state",
+        needles: &["HashMap", "HashSet"],
+        allow: config::RANDOM_STATE_ALLOW,
+        message: "randomly seeded hash collection (use FastHashBuilder or BTreeMap/BTreeSet)",
+    },
+    TokenRule {
+        name: "thread-spawn",
+        needles: &["std::thread"],
+        allow: config::THREAD_SPAWN_ALLOW,
+        message: "thread use outside the shard window executor / SweepExecutor",
+    },
+];
+
+/// Result of linting one source file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Surviving (unwaived) findings, plus any waiver-hygiene errors.
+    pub findings: Vec<Finding>,
+    /// Well-formed waivers the file carries (used or not).
+    pub waivers: usize,
+}
+
+/// Lints one `.rs` source. `rel` is the repo-relative path used both
+/// for allowlist matching and in findings.
+pub fn check_source(rel: &str, source: &str) -> FileReport {
+    let cleaned = lexer::clean(source);
+    let lines: Vec<&str> = cleaned.text.lines().collect();
+    let mut raw = Vec::new();
+
+    for rule in TOKEN_RULES {
+        if config::allowed(rel, rule.allow) {
+            continue;
+        }
+        for (idx, line) in lines.iter().enumerate() {
+            for needle in rule.needles {
+                if has_token(line, needle) {
+                    raw.push(Finding {
+                        path: rel.to_string(),
+                        line: idx + 1,
+                        rule: rule.name,
+                        message: format!("`{needle}`: {}", rule.message),
+                    });
+                }
+            }
+        }
+    }
+
+    for range in golden_scopes(&lines) {
+        let end = range.1.min(lines.len().saturating_sub(1));
+        for (idx, line) in lines.iter().enumerate().take(end + 1).skip(range.0) {
+            for needle in config::GOLDEN_FORBIDDEN {
+                if has_token(line, needle) {
+                    raw.push(Finding {
+                        path: rel.to_string(),
+                        line: idx + 1,
+                        rule: "golden-serialization",
+                        message: format!(
+                            "wall-clock-derived `{needle}` inside a golden-serialization body"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    apply_waivers(rel, raw, &cleaned.waivers)
+}
+
+/// Applies the file's waivers to its raw findings: a finding is
+/// suppressed by a same-rule waiver on its own line or the line above.
+/// Waiver hygiene violations (malformed syntax, unknown rule, missing
+/// justification, waiver matching nothing) become findings themselves,
+/// so the exception list can never rot.
+fn apply_waivers(rel: &str, raw: Vec<Finding>, waivers: &[Waiver]) -> FileReport {
+    let mut findings = Vec::new();
+    let mut used = vec![false; waivers.len()];
+    let mut well_formed = 0usize;
+
+    for (wi, w) in waivers.iter().enumerate() {
+        if !w.well_formed {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: w.line,
+                rule: "waiver",
+                message: "malformed waiver (expected `// xlint: allow(<rule>) — <justification>`)"
+                    .to_string(),
+            });
+            used[wi] = true; // already reported; don't double-report as unused
+            continue;
+        }
+        well_formed += 1;
+        if !RULES.contains(&w.rule.as_str()) {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: w.line,
+                rule: "waiver",
+                message: format!("waiver names unknown rule `{}`", w.rule),
+            });
+            used[wi] = true;
+            continue;
+        }
+        if w.justification.is_empty() {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: w.line,
+                rule: "waiver",
+                message: format!("waiver for `{}` has no justification", w.rule),
+            });
+            // Justification-less waivers still suppress: the error above
+            // is the actionable finding, not the site it covers.
+        }
+    }
+
+    for f in raw {
+        let hit = waivers.iter().position(|w| {
+            w.well_formed && w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line)
+        });
+        match hit {
+            Some(wi) => used[wi] = true,
+            None => findings.push(f),
+        }
+    }
+
+    for (wi, w) in waivers.iter().enumerate() {
+        if !used[wi] {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: w.line,
+                rule: "waiver",
+                message: format!(
+                    "waiver for `{}` matches no finding (stale — remove it)",
+                    w.rule
+                ),
+            });
+        }
+    }
+
+    crate::report::sort(&mut findings);
+    FileReport {
+        findings,
+        waivers: well_formed,
+    }
+}
+
+/// True when `line` contains `needle` at identifier boundaries (the
+/// characters on both sides, if any, are not `[A-Za-z0-9_]`), so
+/// `HashMap` never matches inside `FastHashMap`.
+fn has_token(line: &str, needle: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(at) = line[from..].find(needle) {
+        let start = from + at;
+        let end = start + needle.len();
+        let ok_left = start == 0 || !is_ident(bytes[start - 1]);
+        let ok_right = end == bytes.len() || !is_ident(bytes[end]);
+        if ok_left && ok_right {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+/// 0-based inclusive line ranges of every golden-serialization function
+/// body (`fn <name>` for each configured name) in the cleaned lines.
+fn golden_scopes(lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut scopes = Vec::new();
+    for name in config::GOLDEN_FNS {
+        for (idx, line) in lines.iter().enumerate() {
+            let Some(at) = line.find("fn ") else { continue };
+            let after = line[at + 3..].trim_start();
+            if !(after.starts_with(name)
+                && after[name.len()..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_'))
+            {
+                continue;
+            }
+            // Brace-match from the signature to the end of the body.
+            let mut depth = 0i32;
+            let mut entered = false;
+            'outer: for (j, body_line) in lines.iter().enumerate().skip(idx) {
+                for c in body_line.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            entered = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if entered && depth == 0 {
+                                scopes.push((idx, j));
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    scopes
+}
+
+/// The `unsafe-header` rule for one crate: `dir` is the crate directory
+/// (repo-relative, for findings), `manifest` its `Cargo.toml` text,
+/// `crate_root` its `src/lib.rs` text (empty when absent), and
+/// `root_manifest` the workspace root `Cargo.toml`. The crate passes
+/// when it adopts the workspace lint table (and that table forbids
+/// `unsafe_code`) or when its crate root carries the literal header.
+pub fn check_unsafe_header(
+    dir: &str,
+    manifest: &str,
+    crate_root: &str,
+    root_manifest: &str,
+) -> Option<Finding> {
+    let header = lexer::clean(crate_root)
+        .text
+        .contains("#![forbid(unsafe_code)]");
+    let adopts = toml_section_has(manifest, "lints", "workspace = true");
+    let workspace_forbids = toml_section_has(
+        root_manifest,
+        "workspace.lints.rust",
+        "unsafe_code = \"forbid\"",
+    );
+    if header || (adopts && workspace_forbids) {
+        return None;
+    }
+    let message = if adopts {
+        "crate adopts [lints] workspace = true but the workspace table does not forbid unsafe_code"
+    } else {
+        "crate root lacks #![forbid(unsafe_code)] and the manifest does not adopt the \
+         workspace lint table"
+    };
+    Some(Finding {
+        path: format!("{}/Cargo.toml", dir.trim_end_matches('/')),
+        line: 1,
+        rule: "unsafe-header",
+        message: message.to_string(),
+    })
+}
+
+/// Minimal TOML scan: does `[section]` contain the exact (trimmed)
+/// `key_value` line before the next section header? Comments are
+/// stripped; quoting/whitespace beyond `trim` is not normalized — the
+/// policy controls both sides of the comparison.
+fn toml_section_has(toml: &str, section: &str, key_value: &str) -> bool {
+    let mut in_section = false;
+    for line in toml.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with('[') && line.ends_with(']') {
+            in_section = line[1..line.len() - 1].trim() == section;
+            continue;
+        }
+        if in_section && line == key_value {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_boundaries_exclude_fasthash_aliases() {
+        assert!(has_token("use std::collections::HashMap;", "HashMap"));
+        assert!(has_token("let m: HashMap<u64, u32> = x;", "HashMap"));
+        assert!(!has_token("let m: FastHashMap<u64, u32> = x;", "HashMap"));
+        assert!(!has_token("struct HashMapLike;", "HashMap"));
+        assert!(has_token("std::thread::spawn(f)", "std::thread"));
+    }
+
+    #[test]
+    fn golden_scope_spans_the_function_body_only() {
+        let src = "fn other() { phases(); }\nfn trace_json(&self) -> String {\n    let x = 1;\n    x.to_string()\n}\nfn after() { chrome_trace(); }\n";
+        let lines: Vec<&str> = src.lines().collect();
+        let scopes = golden_scopes(&lines);
+        assert_eq!(scopes, vec![(1, 4)]);
+    }
+
+    #[test]
+    fn golden_rule_fires_inside_trace_json() {
+        let src = "impl R {\n    pub fn trace_json(&self) -> String {\n        format!(\"{}\", self.phases.estimate)\n    }\n}\n";
+        let rep = check_source("crates/x/src/report.rs", src);
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].rule, "golden-serialization");
+        assert_eq!(rep.findings[0].line, 3);
+    }
+
+    #[test]
+    fn waiver_suppresses_same_or_next_line_only() {
+        let src = "// xlint: allow(wall-clock) — measured outside the sim domain\nlet t = Instant::now();\nlet u = Instant::now();\n";
+        let rep = check_source("crates/x/src/a.rs", src);
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].line, 3);
+        assert_eq!(rep.waivers, 1);
+    }
+
+    #[test]
+    fn unused_and_unjustified_waivers_are_errors() {
+        let stale = check_source(
+            "crates/x/src/a.rs",
+            "// xlint: allow(wall-clock) — nothing here\n",
+        );
+        assert_eq!(stale.findings.len(), 1);
+        assert!(stale.findings[0].message.contains("matches no finding"));
+
+        let bare = check_source(
+            "crates/x/src/a.rs",
+            "let t = Instant::now(); // xlint: allow(wall-clock)\n",
+        );
+        assert_eq!(bare.findings.len(), 1);
+        assert!(bare.findings[0].message.contains("no justification"));
+
+        let unknown = check_source("crates/x/src/a.rs", "// xlint: allow(no-such-rule) — x\n");
+        assert_eq!(unknown.findings.len(), 1);
+        assert!(unknown.findings[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unsafe_header_accepts_either_mechanism() {
+        let root = "[workspace.lints.rust]\nunsafe_code = \"forbid\"\n";
+        assert!(
+            check_unsafe_header("c", "[package]\n", "#![forbid(unsafe_code)]\n", root).is_none()
+        );
+        assert!(
+            check_unsafe_header("c", "[package]\n[lints]\nworkspace = true\n", "", root).is_none()
+        );
+        let f = check_unsafe_header("c", "[package]\n", "//! docs\n", root).unwrap();
+        assert_eq!(f.rule, "unsafe-header");
+        assert_eq!(f.path, "c/Cargo.toml");
+        // Adoption without a forbidding workspace table is still a finding.
+        assert!(
+            check_unsafe_header("c", "[lints]\nworkspace = true\n", "", "[workspace]\n").is_some()
+        );
+    }
+}

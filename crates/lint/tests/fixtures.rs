@@ -1,0 +1,107 @@
+//! Pins `xlint`'s rule engine against the fixture corpus: for every
+//! rule, at least one violating and one waived variant, with findings
+//! matched exactly (rule + line), so a rule that silently stops firing
+//! — or starts over-firing — fails here before it costs a golden-trace
+//! debugging session.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xds_lint::rules;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Runs the source rules on one fixture under a neutral (never
+/// allowlisted) repo-relative path and returns `(rule, line)` pairs.
+fn check(name: &str) -> Vec<(&'static str, usize)> {
+    let source = fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
+    let rel = format!("crates/fixture/src/{name}");
+    rules::check_source(&rel, &source)
+        .findings
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn wall_clock_violating_and_waived() {
+    assert_eq!(
+        check("wall_clock_violation.rs"),
+        vec![("wall-clock", 6), ("wall-clock", 10)]
+    );
+    assert_eq!(check("wall_clock_waived.rs"), vec![]);
+}
+
+#[test]
+fn random_state_violating_and_waived() {
+    assert_eq!(
+        check("random_state_violation.rs"),
+        vec![
+            ("random-state", 5),
+            ("random-state", 8),
+            ("random-state", 9)
+        ]
+    );
+    assert_eq!(check("random_state_waived.rs"), vec![]);
+}
+
+#[test]
+fn thread_spawn_violating_and_waived() {
+    assert_eq!(
+        check("thread_spawn_violation.rs"),
+        vec![("thread-spawn", 6), ("thread-spawn", 9)]
+    );
+    assert_eq!(check("thread_spawn_waived.rs"), vec![]);
+}
+
+#[test]
+fn golden_serialization_violating_and_waived() {
+    assert_eq!(
+        check("golden_serialization_violation.rs"),
+        vec![("golden-serialization", 9), ("golden-serialization", 10)]
+    );
+    assert_eq!(check("golden_serialization_waived.rs"), vec![]);
+}
+
+#[test]
+fn waiver_hygiene_is_enforced() {
+    // A bare waiver suppresses its site but is itself the finding.
+    assert_eq!(check("waiver_no_justification.rs"), vec![("waiver", 6)]);
+    // Stale and unknown-rule waivers are findings too.
+    assert_eq!(check("waiver_stale.rs"), vec![("waiver", 5), ("waiver", 8)]);
+}
+
+#[test]
+fn allowlisted_modules_are_exempt() {
+    // The same violating source, relocated into an allowlisted module,
+    // is clean: the flight recorder may read the clock.
+    let source =
+        fs::read_to_string(fixture_dir().join("wall_clock_violation.rs")).expect("fixture");
+    let rep = rules::check_source("crates/core/src/trace.rs", &source);
+    assert_eq!(rep.findings, vec![]);
+    let rep = rules::check_source("crates/bench/src/bench.rs", &source);
+    assert_eq!(rep.findings, vec![]);
+}
+
+#[test]
+fn unsafe_header_variants() {
+    let root_manifest = "[workspace.lints.rust]\nunsafe_code = \"forbid\"\n";
+    let case = |variant: &str| {
+        let dir = fixture_dir().join("unsafe_header").join(variant);
+        let manifest = fs::read_to_string(dir.join("Cargo.toml")).expect("manifest");
+        let lib = fs::read_to_string(dir.join("src/lib.rs")).expect("lib.rs");
+        rules::check_unsafe_header(
+            &format!("crates/lint/tests/fixtures/unsafe_header/{variant}"),
+            &manifest,
+            &lib,
+            root_manifest,
+        )
+    };
+    let finding = case("violating").expect("must fire");
+    assert_eq!(finding.rule, "unsafe-header");
+    assert!(finding.path.ends_with("violating/Cargo.toml"));
+    assert!(case("adopting").is_none());
+    assert!(case("header").is_none());
+}

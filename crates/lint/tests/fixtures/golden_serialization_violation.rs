@@ -1,0 +1,17 @@
+//! Fixture: wall-clock-derived fields inside a golden-serialization
+//! body. Lines 9 and 10 are findings; the helper mentioning `phases`
+//! outside `trace_json` (lines 15–17) is not.
+
+pub struct R;
+
+impl R {
+    pub fn trace_json(&self) -> String {
+        let mut out = format!("{}", self.phases.estimate);
+        out.push_str(&self.chrome_trace.clone().unwrap_or_default());
+        out
+    }
+}
+
+pub fn phases_elsewhere_is_fine(phases: u64) -> u64 {
+    phases + 1
+}

@@ -1,0 +1,12 @@
+//! Fixture: randomly seeded std hash collections. The import on line 5
+//! and the uses on lines 8 and 9 are findings; the `FastHashMap` on
+//! line 10 is not (token boundaries exclude it).
+
+use std::collections::HashMap;
+
+pub fn build() {
+    let a: HashMap<u64, u64> = HashMap::new();
+    let b = std::collections::HashSet::<u32>::new();
+    let c: FastHashMap<u64, u64> = FastHashMap::default();
+    let _ = (a, b, c);
+}

@@ -1,0 +1,5 @@
+//! Fixture: a deliberate std-`HashMap` use behind a justified waiver
+//! (the `FastHashMap`-alias-definition pattern). Zero findings.
+
+// xlint: allow(random-state) — fixture: hasher pinned to a deterministic builder on this very line
+pub type PinnedMap<K, V> = std::collections::HashMap<K, V, DetBuilder>;

@@ -1,0 +1,13 @@
+//! Fixture: `std::thread` outside the shard window executor and the
+//! `SweepExecutor`. The spawn on line 6 and the import on line 9 are
+//! findings; `std::thread` in this prose is not.
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}
+
+use std::thread;
+
+pub fn reaches_threads_through_the_import() {
+    let _ = thread::available_parallelism();
+}

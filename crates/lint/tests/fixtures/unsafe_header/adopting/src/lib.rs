@@ -1,0 +1,1 @@
+//! Fixture crate root relying on the workspace lint table.

@@ -1,0 +1,2 @@
+//! Fixture crate root carrying the literal header.
+#![forbid(unsafe_code)]

@@ -1,0 +1,2 @@
+//! Fixture crate root without an unsafe_code forbid.
+//! A comment saying #![forbid(unsafe_code)] must not count.

@@ -1,0 +1,8 @@
+//! Fixture: a waiver with no justification. The clock read itself is
+//! suppressed, but the bare waiver on line 6 is a finding — the
+//! exception list must explain itself.
+
+pub fn stamp() -> std::time::Instant {
+    // xlint: allow(wall-clock)
+    std::time::Instant::now()
+}

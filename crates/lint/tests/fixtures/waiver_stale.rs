@@ -1,0 +1,9 @@
+//! Fixture: a justified waiver that matches nothing (line 5) and a
+//! waiver naming a rule that does not exist (line 8). Both are
+//! findings — stale exceptions rot the allowlist.
+
+// xlint: allow(thread-spawn) — nothing on the next line spawns anything
+pub fn innocuous() {}
+
+// xlint: allow(warp-core-breach) — no such rule
+pub fn also_innocuous() {}

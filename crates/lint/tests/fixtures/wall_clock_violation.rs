@@ -1,0 +1,12 @@
+//! Fixture: unwaived host-clock reads in simulation-domain code.
+//! `Instant::now` in prose like this must NOT count — only the reads
+//! on lines 6 and 10 are findings.
+
+pub fn epoch_stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn wall_seconds() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}

@@ -1,0 +1,12 @@
+//! Fixture: the same clock reads, each carrying a justified waiver —
+//! one on its own line, one on the line above. Zero findings.
+
+pub fn epoch_stamp() -> std::time::Instant {
+    std::time::Instant::now() // xlint: allow(wall-clock) — fixture: span capture outside the sim domain
+}
+
+pub fn wall_seconds() -> u64 {
+    // xlint: allow(wall-clock) — fixture: artifact date stamp, never enters a golden
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}

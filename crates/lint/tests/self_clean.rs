@@ -1,0 +1,34 @@
+//! The live workspace must lint clean: zero unwaived findings, every
+//! waiver justified and load-bearing. This is the `cargo test` face of
+//! the `xlint` gate — `ci.sh` additionally runs the binary and pins
+//! the waiver count.
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = xds_lint::default_root();
+    let scan = xds_lint::scan_workspace(&root).expect("workspace sources readable");
+    assert!(
+        scan.findings.is_empty(),
+        "xlint found determinism-contract violations:\n{}",
+        scan.findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity on scan coverage: the workspace is ~120 files; a scanner
+    // that silently skipped a tree would pass the empty-findings assert
+    // while checking nothing.
+    assert!(
+        scan.files > 100,
+        "suspiciously few files scanned ({}) — did a scan root move?",
+        scan.files
+    );
+    // Waivers exist (the phase-timing blocks carry them) and every one
+    // is justified and matches a finding — enforced as findings above,
+    // so here we only pin that the mechanism is exercised.
+    assert!(
+        scan.waivers > 0,
+        "expected the checked-in waivers to be seen"
+    );
+}

@@ -63,6 +63,7 @@ impl Hasher for FastHasher {
 pub type FastHashBuilder = BuildHasherDefault<FastHasher>;
 
 /// A `HashMap` keyed with [`FastHasher`].
+// xlint: allow(random-state) — this alias pins the hasher to the deterministic FastHashBuilder; it is how the workspace avoids std's randomly seeded default
 pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastHashBuilder>;
 
 #[cfg(test)]

@@ -6,15 +6,17 @@
 //! the EPS. The tracker tallies completion times per size class using the
 //! customary data-center boundaries.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use xds_sim::SimTime;
 
 use crate::fasthash::FastHashMap;
 use crate::hist::LatencyHistogram;
 
-/// Conventional data-center flow size classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Conventional data-center flow size classes. Ordered smallest to
+/// largest (the [`SizeClass::ALL`] order), so ordered maps keyed by
+/// class iterate in size order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SizeClass {
     /// Flows below 100 KB — latency-sensitive "mice".
     Mice,
@@ -88,7 +90,12 @@ pub struct FctTracker {
     free_slots: Vec<u32>,
     /// `(flow id, slot)` of the most recently credited open flow.
     last: Option<(u64, u32)>,
-    done: HashMap<SizeClass, LatencyHistogram>,
+    /// Per-class completion histograms. A `BTreeMap`, not a hash map:
+    /// [`FctTracker::overall`] folds `values()` into one merged
+    /// histogram, so iteration order is observable — it must be the
+    /// fixed class order, never a hasher's. (Three keys; probed once
+    /// per *completion*, not per packet, so tree lookups cost nothing.)
+    done: BTreeMap<SizeClass, LatencyHistogram>,
     completed: u64,
     delivered_bytes: u64,
 }

@@ -17,7 +17,6 @@
 //! * [`Table`] — the text/Markdown/CSV renderer used by every bench binary
 //!   so the regenerated "figures" are directly comparable.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counters;

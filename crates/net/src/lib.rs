@@ -15,7 +15,6 @@
 //! * [`types`] — port numbers, traffic classes and protocol identifiers
 //!   shared across the workspace.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod classify;

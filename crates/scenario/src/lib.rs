@@ -64,7 +64,6 @@
 //! builder can express is sweepable via [`SweepGrid`] with zero extra
 //! plumbing.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exec;

@@ -26,7 +26,6 @@
 //! simulation, which the Tokio documentation itself calls out as the case
 //! where an async runtime adds nothing — so there is none here.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;

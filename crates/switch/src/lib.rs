@@ -16,7 +16,6 @@
 //!   placement site (host vs switch), which is exactly the y-axis of
 //!   Figure 1.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;

@@ -19,7 +19,6 @@
 //!
 //! All generators are deterministic functions of a [`xds_sim::SimRng`].
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;

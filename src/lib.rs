@@ -52,7 +52,6 @@
 //! assert!(report.delivered_bytes() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use xds_core as core;

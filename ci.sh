@@ -14,7 +14,7 @@ echo "==> xlint (workspace determinism-contract static analysis)"
 # Zero unwaived findings, and the waiver count is pinned: a new inline
 # `// xlint: allow(...)` waiver anywhere in the tree requires an
 # explicit diff of the expected number below.
-XLINT_EXPECTED_WAIVERS=20
+XLINT_EXPECTED_WAIVERS=22
 xlint_out=$(cargo run -q -p xds-lint -- --stats) || {
     printf '%s\n' "$xlint_out"
     echo "ci.sh: xlint found determinism-contract violations"
@@ -108,6 +108,30 @@ grep -q '"pool_allocs"' results/ci_counters.json \
     || { echo "ci.sh: counters columns missing from sweep JSON"; exit 1; }
 head -1 results/ci_counters.csv | grep -q 'sched_memo_hits' \
     || { echo "ci.sh: counters columns missing from sweep CSV header"; exit 1; }
+
+echo "==> fault injection (a faulted smoke point must visibly degrade, gracefully)"
+# The watchdog flag rides along so the guarded-runner path is the one
+# CI exercises; 600 s is a liveness bound, not a measurement.
+cargo run --release -q -p xds-bench --bin sweep -- run fault-storm \
+    --duration-ms 2 --threads 1 --counters --point-timeout 600 \
+    --out ci_faults >/dev/null
+grep -q '"faults": "link+misfire+stall"' results/ci_faults.json \
+    || { echo "ci.sh: fault-storm row lost its fault-plan tag"; exit 1; }
+grep -o '"fault_events_injected": [0-9]*' results/ci_faults.json | grep -qv ': 0$' \
+    || { echo "ci.sh: fault-storm injected no faults"; exit 1; }
+grep -o '"fault_degraded_ns": [0-9]*' results/ci_faults.json | grep -qv ': 0$' \
+    || { echo "ci.sh: fault-storm registered no degraded time"; exit 1; }
+head -1 results/ci_faults.csv | grep -q 'fault_failover_bytes' \
+    || { echo "ci.sh: degraded-mode columns missing from sweep CSV header"; exit 1; }
+# Zero-cost-off: a spec with no fault plan must report the axis as
+# "none" with every fault tally at exactly zero — the fault machinery
+# may not perturb (or even touch) an unfaulted run. Byte-identity of
+# the unfaulted goldens themselves is pinned by `cargo test` above.
+grep -q '"faults": "none"' results/ci_counters.json \
+    || { echo "ci.sh: unfaulted sweep rows lost the faults=none column"; exit 1; }
+if grep -o '"fault_events_injected": [0-9]*' results/ci_counters.json | grep -qv ': 0$'; then
+    echo "ci.sh: an unfaulted run reported injected faults"; exit 1
+fi
 
 echo "==> sweep bench --smoke --baseline (the baseline-diff path must run)"
 # Diff a second smoke pass against the first: per-point and aggregate

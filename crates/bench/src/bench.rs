@@ -503,6 +503,14 @@ pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
             } else {
                 SimDuration::from_millis(1)
             }),
+        // Every fault family at once (link flaps, OCS misfires, scheduler
+        // stalls) over the websearch mix: keeps the failover/degradation
+        // machinery on the perf trajectory and pins its determinism.
+        library::scenario("fault-storm")
+            .expect("catalogue entry")
+            .with_ports(16)
+            .with_seed(22)
+            .with_duration(ms(20, 1)),
     ];
     for s in &mut specs {
         let named = format!("{}/n{}", s.name, s.n_ports);
@@ -523,12 +531,19 @@ pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
 /// events, delivered bytes — is identical across profiles, so lean
 /// artifacts stay comparable to historical full-fidelity baselines while
 /// excluding observation cost from the measurement).
+///
+/// `point_timeout` is a wall-clock watchdog per point (repeat): a point
+/// that overruns it aborts the whole bench with an error naming the
+/// point, instead of hanging a CI lane forever. Points run through the
+/// sweep engine's guarded runner ([`xds_scenario::run_point_guarded`]),
+/// so a panicking point also surfaces as a named error, not a crash.
 pub fn run_bench(
     specs: Vec<ScenarioSpec>,
     mode: &str,
     date: String,
     repeats: u32,
     profile: InstrProfile,
+    point_timeout: Option<std::time::Duration>,
     mut progress: impl FnMut(&BenchPoint),
 ) -> Result<BenchRun, String> {
     let repeats = repeats.max(1);
@@ -538,8 +553,7 @@ pub fn run_bench(
         let mut best: Option<BenchPoint> = None;
         for _ in 0..repeats {
             let t0 = Instant::now();
-            let report = spec
-                .run()
+            let report = xds_scenario::run_point_guarded(&spec, point_timeout)
                 .map_err(|e| format!("bench point {}: {e}", spec.name))?;
             let wall_ns = t0.elapsed().as_nanos();
             let p = BenchPoint {
@@ -640,6 +654,14 @@ mod tests {
         // + L1 epoch path on the trajectory.
         assert!(names.contains(&"uniform-ewma/n16"));
         assert!(names.contains(&"uniform-countmin/n16"));
+        // The fault-storm point keeps the failover machinery on the
+        // trajectory, with an actually-armed plan.
+        assert!(names.contains(&"fault-storm/n16"));
+        let storm = full.iter().find(|s| s.name == "fault-storm/n16").unwrap();
+        assert!(
+            storm.faults.as_ref().is_some_and(|p| p.is_active()),
+            "fault-storm must arm a fault plan"
+        );
         let full = catalogue(false);
         for s in &full {
             let mirror = s.estimator == xds_scenario::EstimatorKind::Mirror;
@@ -900,6 +922,7 @@ mod tests {
             "2026-01-01".into(),
             1,
             InstrProfile::Lean,
+            None,
             |_| {},
         )
         .unwrap();

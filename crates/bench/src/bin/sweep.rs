@@ -6,7 +6,7 @@
 //! sweep timeseries <scenario>[,<scenario>…]|all [options]
 //! sweep trace <scenario>[,<scenario>…]|all [options]
 //! sweep bench [--smoke] [--baseline file.json] [--out file.json] [--date YYYY-MM-DD]
-//!             [--repeat N] [--profile full|lean] [--shards k]
+//!             [--repeat N] [--profile full|lean] [--shards k] [--point-timeout secs]
 //!
 //! options (run / timeseries / trace):
 //!   --ports n1,n2,…        port-count axis          (default: scenario's)
@@ -22,6 +22,8 @@
 //!                          (run only; default full)
 //!   --trace                flight recorder on: save Chrome-trace JSON per point
 //!   --counters             append the deterministic internal-counter columns
+//!   --point-timeout secs   wall-clock watchdog per point: an overrunning
+//!                          point becomes an error row, the sweep continues
 //! ```
 //!
 //! Every run prints the aggregate table and saves machine-readable
@@ -48,6 +50,14 @@
 //! counters are invariant in it by the core's determinism contract —
 //! sweeping it compares execution cost, never results.
 //!
+//! `--point-timeout` arms a wall-clock watchdog around every point (the
+//! sweep engine's guarded runner): a point that overruns the budget is
+//! recorded as an error row naming the point and the limit, and the rest
+//! of the sweep proceeds. A panicking point is likewise isolated into an
+//! error row even without a timeout. The watchdog is harness-side only —
+//! it never reaches into simulated time, so points that finish within
+//! budget produce byte-identical artifacts with or without the flag.
+//!
 //! `sweep bench` runs the pinned perf-baseline subset (see
 //! [`xds_bench::bench`]) sequentially on one thread, prints wall-clock and
 //! events/sec per point, and writes `BENCH_<date>.json`; with
@@ -57,7 +67,10 @@
 //! `--baseline`, per-point and aggregate speedups against a previous
 //! artifact are embedded. `--repeat N` runs every point N times and keeps
 //! the fastest (the documented measurement method on a noisy host; the
-//! artifact records `repeats`). Bench points default to the `lean`
+//! artifact records `repeats`); with `--point-timeout`, a bench point
+//! that overruns the per-point wall-clock budget aborts the bench with
+//! an error naming it (bench artifacts must be complete to be
+//! baseline-comparable, so there is no partial-artifact mode). Bench points default to the `lean`
 //! instrumentation profile — events and delivered bytes are identical to
 //! `full` (enforced by the instrument-equivalence test), so the artifact
 //! stays comparable to historical baselines while excluding observation
@@ -77,11 +90,12 @@ fn usage() -> ExitCode {
          \x20            [--schedulers s,…] [--seeds s,…] [--reconfigs-us r,…]\n\
          \x20            [--shards k,…] [--duration-ms d] [--threads t] [--out name]\n\
          \x20            [--profile full|lean|timeseries] [--trace] [--counters]\n\
+         \x20            [--point-timeout secs]\n\
          \x20 sweep timeseries <scenario>[,…]|all [run options]\n\
          \x20 sweep trace <scenario>[,…]|all [run options]\n\
          \x20 sweep bench [--smoke] [--baseline file.json] [--out file.json]\n\
          \x20            [--date YYYY-MM-DD] [--repeat N] [--profile full|lean]\n\
-         \x20            [--shards k]\n\
+         \x20            [--shards k] [--point-timeout secs]\n\
          scenarios: {}",
         library::all_names().join(", ")
     );
@@ -111,6 +125,15 @@ struct Options {
     profile: Option<InstrProfile>,
     trace: bool,
     counters: bool,
+    point_timeout: Option<std::time::Duration>,
+}
+
+fn parse_point_timeout(v: &str) -> Result<std::time::Duration, String> {
+    v.parse::<u64>()
+        .ok()
+        .filter(|&s| s >= 1)
+        .map(std::time::Duration::from_secs)
+        .ok_or_else(|| "bad --point-timeout (need an integer number of seconds >= 1)".into())
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -127,6 +150,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         profile: None,
         trace: false,
         counters: false,
+        point_timeout: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -164,6 +188,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--out" => o.out = Some(value()?),
             "--trace" => o.trace = true,
             "--counters" => o.counters = true,
+            "--point-timeout" => o.point_timeout = Some(parse_point_timeout(&value()?)?),
             "--profile" => {
                 let v = value()?;
                 o.profile = Some(
@@ -220,7 +245,8 @@ fn run(names: &str, opts: Options) -> Result<(), String> {
     let executor = match opts.threads {
         Some(t) => SweepExecutor::with_threads(t),
         None => SweepExecutor::new(),
-    };
+    }
+    .with_point_timeout(opts.point_timeout);
     println!(
         "sweep: {} point(s) across {} thread(s)\n",
         specs.len(),
@@ -263,6 +289,7 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     let mut repeat: u32 = 1;
     let mut profile = InstrProfile::Lean;
     let mut shards: Option<usize> = None;
+    let mut point_timeout: Option<std::time::Duration> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
@@ -298,6 +325,7 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
                         .ok_or("bad --shards (need an integer >= 1)")?,
                 )
             }
+            "--point-timeout" => point_timeout = Some(parse_point_timeout(&value()?)?),
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -332,15 +360,23 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
-    let run = xds_bench::bench::run_bench(specs, mode, date.clone(), repeat, profile, |p| {
-        println!(
-            "  {:<20} {:>10} events {:>9.1} ms {:>12.0} ev/s",
-            p.name,
-            p.events,
-            p.wall_ns as f64 / 1e6,
-            p.events_per_sec()
-        );
-    })?;
+    let run = xds_bench::bench::run_bench(
+        specs,
+        mode,
+        date.clone(),
+        repeat,
+        profile,
+        point_timeout,
+        |p| {
+            println!(
+                "  {:<20} {:>10} events {:>9.1} ms {:>12.0} ev/s",
+                p.name,
+                p.events,
+                p.wall_ns as f64 / 1e6,
+                p.events_per_sec()
+            );
+        },
+    )?;
     println!(
         "\n  total: {} events in {:.1} ms = {:.0} events/sec",
         run.total_events(),

@@ -52,12 +52,36 @@ fn bench_subset_is_byte_identical_across_thread_counts() {
             "subset must include {name}"
         );
     }
+    // The fault-storm point keeps failover (link flaps, misfires,
+    // stalls) under the same byte-identity contract: fault events are
+    // coordinator-side draws from a dedicated RNG fork, so they must
+    // land identically regardless of sweep parallelism.
+    assert!(
+        specs.iter().any(
+            |s| s.name == "fault-storm/n16" && s.faults.as_ref().is_some_and(|p| p.is_active())
+        ),
+        "subset must include the armed fault-storm point"
+    );
     let reference = SweepExecutor::with_threads(1).run(specs.clone());
     let ref_json = reference.to_json();
     let ref_csv = reference.to_csv();
     assert!(
         reference.points.iter().all(|p| p.report.is_ok()),
         "every bench point must run"
+    );
+    let storm = reference
+        .points
+        .iter()
+        .find(|p| p.spec.name == "fault-storm/n16")
+        .and_then(|p| p.report.as_ref().ok())
+        .expect("fault-storm point runs");
+    assert!(
+        storm.counters.fault_events_injected > 0,
+        "the storm plan must actually inject faults"
+    );
+    assert!(
+        storm.fault_degraded_ns > 0,
+        "injected link faults must register degraded time"
     );
     for threads in [2usize, 8] {
         let got = SweepExecutor::with_threads(threads).run(specs.clone());

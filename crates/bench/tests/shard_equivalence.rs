@@ -25,7 +25,7 @@ use xds_sim::{SimDuration, SimTime};
 /// core reproduces exactly. The structural ledgers (`queue_*`, `pool_*`)
 /// are excluded — they describe the executor's own data structures, of
 /// which a K-shard run legitimately has K.
-const BEHAVIORAL_COUNTERS: [&str; 8] = [
+const BEHAVIORAL_COUNTERS: [&str; 15] = [
     "sched_memo_hits",
     "sched_hk_runs",
     "sched_probes",
@@ -34,6 +34,13 @@ const BEHAVIORAL_COUNTERS: [&str; 8] = [
     "grant_bursts",
     "grant_pkts_max",
     "delivery_batches",
+    "fault_events_injected",
+    "fault_degraded_ns_max",
+    "fault_failover_bytes",
+    "drop_voq_full",
+    "drop_eps_full",
+    "drop_sync_violation",
+    "drop_link_dark",
 ];
 
 /// The bench subset at test-friendly horizons (pinned seeds and shapes
@@ -89,6 +96,76 @@ fn bench_subset_is_byte_identical_across_shard_counts() {
             }
         }
     }
+}
+
+#[test]
+fn faulted_point_reproduces_on_sharded_cores_and_scattered_maps() {
+    // Fault injection (link flaps, OCS misfires, scheduler stalls) is
+    // coordinator-side and drawn from a dedicated RNG fork, so the
+    // faulted trajectory — including every divert, dark-link drop and
+    // degraded interval — must be invariant in the shard count *and* in
+    // the shape of the port→shard map.
+    let spec = library::scenario("fault-storm")
+        .expect("catalogue entry")
+        .with_ports(8)
+        .with_duration(SimDuration::from_millis(2))
+        .with_shards(1);
+    let reference = spec.run().expect("classic core runs");
+    assert!(
+        reference.counters.fault_events_injected > 0,
+        "the storm plan must actually inject faults"
+    );
+    assert!(
+        reference.fault_degraded_ns > 0,
+        "injected link faults must register degraded time"
+    );
+    let ref_json = reference.trace_json();
+    for k in [2usize, 4] {
+        let got = spec
+            .clone()
+            .with_shards(k)
+            .run()
+            .unwrap_or_else(|e| panic!("faulted run at {k} shards: {e}"));
+        assert_eq!(
+            got.trace_json(),
+            ref_json,
+            "faulted run diverged from the classic core at {k} shards"
+        );
+        assert_eq!(got.fault_degraded_ns, reference.fault_degraded_ns);
+        assert_eq!(got.fault_failover_bytes, reference.fault_failover_bytes);
+        for (name, v) in got.counters.items() {
+            let want = reference
+                .counters
+                .items()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, w)| w);
+            if BEHAVIORAL_COUNTERS.contains(&name) {
+                assert_eq!(Some(v), want, "counter {name} moved at {k} shards");
+            }
+        }
+    }
+    // A scattered, unbalanced port→shard assignment goes through the
+    // same builder path and must not perturb the faulted trajectory.
+    let map = ShardMap::from_assignment(vec![0, 1, 2, 0, 1, 2, 0, 1]).expect("valid map");
+    let (cfg, workload, scheduler, estimator) = spec.build().expect("faulted spec builds");
+    let got = SimBuilder::new(cfg)
+        .workload(workload)
+        .scheduler(scheduler)
+        .estimator(estimator)
+        .instrumentation(spec.profile.instrumentation())
+        .faults(spec.faults.clone())
+        .shard_map(map)
+        .build()
+        .expect("faulted sim builds")
+        .run(SimTime::ZERO + spec.duration);
+    assert_eq!(
+        got.trace_json(),
+        ref_json,
+        "faulted run diverged under a scattered shard map"
+    );
+    assert_eq!(got.fault_degraded_ns, reference.fault_degraded_ns);
+    assert_eq!(got.fault_failover_bytes, reference.fault_failover_bytes);
 }
 
 /// The golden fast-mode point, exactly as `tests/golden_trace.rs` pins

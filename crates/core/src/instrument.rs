@@ -78,6 +78,9 @@ pub enum DropCause {
     /// Slow-mode synchronization failure: the packet hit a dark or
     /// re-assigned circuit.
     SyncViolation,
+    /// The packet hit a fault-injected dark link (see
+    /// [`crate::fault::FaultPlan`]).
+    LinkDark,
 }
 
 /// Sizing context handed to sinks when the simulation is assembled.
@@ -439,6 +442,7 @@ impl DropSink for CountingDropSink {
             DropCause::VoqFull => self.drops.voq_full += 1,
             DropCause::EpsFull => self.drops.eps_full += 1,
             DropCause::SyncViolation => self.drops.sync_violation += 1,
+            DropCause::LinkDark => self.drops.link_dark += 1,
         }
     }
 

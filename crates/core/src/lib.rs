@@ -31,6 +31,7 @@
 
 pub mod config;
 pub mod demand;
+pub mod fault;
 pub mod instrument;
 pub mod node;
 pub mod pool;
@@ -43,6 +44,7 @@ pub mod trace;
 
 pub use config::{NodeConfig, Placement};
 pub use demand::{DemandEstimator, DemandMatrix, SchedRequest};
+pub use fault::{FaultPlan, LinkFaultSpec, MisfireSpec, StallSpec};
 pub use instrument::{
     DeliveryPath, DeliveryRecord, DeliverySink, DropCause, DropSink, EpochProbe, EpochSample,
     InstrProfile, Instrumentation, SinkCtx,

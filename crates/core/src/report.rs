@@ -21,12 +21,15 @@ pub struct DropStats {
     /// Packets that hit a dark or re-assigned circuit (slow mode
     /// synchronization failures).
     pub sync_violation: u64,
+    /// Packets that hit a fault-injected dark link (see
+    /// [`crate::fault::FaultPlan`]).
+    pub link_dark: u64,
 }
 
 impl DropStats {
     /// Total drops.
     pub fn total(&self) -> u64 {
-        self.voq_full + self.eps_full + self.sync_violation
+        self.voq_full + self.eps_full + self.sync_violation + self.link_dark
     }
 }
 
@@ -91,6 +94,15 @@ pub struct RunReport {
     pub decision_latency_mean_ns: f64,
     /// Mean relative L1 demand-estimation error (E6), if sampled.
     pub demand_error_mean: Option<f64>,
+
+    /// Simulated nanoseconds the fabric spent in degraded mode (at
+    /// least one port dark to injected faults). Zero when no fault plan
+    /// was armed.
+    pub fault_degraded_ns: u64,
+    /// Bytes diverted from granted OCS bursts onto the EPS slow path
+    /// because the circuit was faulted or stale. Zero when no fault
+    /// plan was armed.
+    pub fault_failover_bytes: u64,
 
     /// Wall-clock split of the per-epoch scheduling path (host time, not
     /// simulated time — which phase of the epoch loop the simulator
@@ -425,6 +437,7 @@ impl RunReport {
             ("drops_voq", V::U64(self.drops.voq_full)),
             ("drops_eps", V::U64(self.drops.eps_full)),
             ("drops_sync", V::U64(self.drops.sync_violation)),
+            ("drops_link_dark", V::U64(self.drops.link_dark)),
             ("peak_host_buffer", buf(self.peak_host_buffer)),
             ("peak_switch_buffer", buf(self.peak_switch_buffer)),
             ("ocs_reconfigurations", V::U64(self.ocs.reconfigurations)),
@@ -434,6 +447,8 @@ impl RunReport {
                 V::F64(self.decision_latency_mean_ns),
             ),
             ("demand_error_mean", V::OptF64(self.demand_error_mean)),
+            ("fault_degraded_ns", V::U64(self.fault_degraded_ns)),
+            ("fault_failover_bytes", V::U64(self.fault_failover_bytes)),
         ]
     }
 
@@ -574,6 +589,8 @@ mod tests {
             decisions: 0,
             decision_latency_mean_ns: 0.0,
             demand_error_mean: None,
+            fault_degraded_ns: 0,
+            fault_failover_bytes: 0,
             phases: EpochPhaseNs::default(),
             timeseries: None,
             counters: CounterSet::default(),

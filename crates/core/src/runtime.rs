@@ -27,6 +27,7 @@ use xds_traffic::{packet_sizes, FlowSpec};
 
 use crate::config::{NodeConfig, Placement};
 use crate::demand::{DemandEstimator, DemandMatrix, MirrorEstimator, SchedRequest};
+use crate::fault::{FaultPlan, FaultState, SlotFault};
 use crate::instrument::{
     DeliveryPath, DeliveryRecord, DeliverySink, DropCause, DropSink, EpochProbe, EpochSample,
     Instrumentation, SinkCtx, APP_FLOW_BASE,
@@ -87,6 +88,11 @@ enum Ev {
     OcsIn { pkt: Packet },
     /// Rotate the workload's traffic matrix (E6's moving hotspot).
     RotateMatrix { idx: usize },
+    /// A link-fault arrival from the armed [`FaultPlan`]: draw a victim
+    /// port, mark it dark, chain the next arrival.
+    LinkFault,
+    /// A previously failed port repairs.
+    LinkRepair { port: usize },
 }
 
 /// Per-host state. Field order is deliberate: the pump path (once per
@@ -180,6 +186,13 @@ struct SimState {
     switching: SwitchingLogic,
     buffers: BufferTracker,
     rng: SimRng,
+
+    /// Fault-injection state, present only when the build armed a
+    /// [`FaultPlan`] with at least one simulation-domain family. `None`
+    /// means strictly zero cost: no RNG fork at build, no draws, no
+    /// extra events — the no-fault event sequence is byte-identical to
+    /// a build that predates the fault subsystem.
+    faults: Option<FaultState>,
 
     /// Whether the estimator provably mirrors true occupancy (resolved
     /// once at construction): the epoch loop then skips the ground-truth
@@ -485,6 +498,7 @@ pub struct SimBuilder {
     shards: usize,
     shard_map: Option<ShardMap>,
     shard_exec: ShardExec,
+    faults: Option<FaultPlan>,
 }
 
 impl SimBuilder {
@@ -502,7 +516,16 @@ impl SimBuilder {
             shards: 1,
             shard_map: None,
             shard_exec: ShardExec::Auto,
+            faults: None,
         }
+    }
+
+    /// Arms a fault-injection plan (defaults to none). An inactive plan
+    /// (no family armed) is treated exactly like no plan: the build
+    /// forks no fault RNG and the event sequence is unchanged.
+    pub fn faults(mut self, plan: Option<FaultPlan>) -> Self {
+        self.faults = plan;
+        self
     }
 
     /// Splits the fabric into `k` contiguous port-group shards (defaults
@@ -582,6 +605,7 @@ impl SimBuilder {
             shards,
             shard_map,
             shard_exec,
+            faults,
         } = self;
         cfg.validate().map_err(BuildError::InvalidConfig)?;
         let n = cfg.n_ports;
@@ -633,6 +657,18 @@ impl SimBuilder {
                 h.clock_offset_ns = sync.sample_offset_ns(&mut sync_rng);
             }
         }
+        if let Some(p) = &faults {
+            if p.harness_panic {
+                // Chaos knob for sweep-harness isolation tests: a
+                // deliberate, deterministic panic inside the build path.
+                panic!("deliberate fault-plan harness panic (FaultPlan::with_harness_panic)");
+            }
+        }
+        // The fault RNG forks only when a plan is armed, so the no-fault
+        // RNG streams (and therefore every golden trace) are untouched.
+        let faults = faults
+            .filter(|p| p.is_active())
+            .map(|p| FaultState::new(p, rng.fork(), n));
         instr.delivery.bind(&SinkCtx {
             n_ports: n,
             n_apps: workload.apps.len(),
@@ -665,6 +701,7 @@ impl SimBuilder {
             hosts,
             host_pool: PacketPool::new(),
             rng,
+            faults,
             estimator_is_mirror,
             scheds: Vec::new(),
             free_scheds: Vec::new(),
@@ -747,6 +784,12 @@ impl HybridSim {
         }
         // …and the scheduler cadence.
         q.schedule_at(SimTime::ZERO, Ev::EpochStart);
+        // …and the fault chain, when a plan is armed.
+        if let Some(fs) = &mut self.state.faults {
+            if let Some(at) = fs.first_fault_at() {
+                q.schedule_at(at, Ev::LinkFault);
+            }
+        }
 
         let stats = self
             .sim
@@ -791,6 +834,19 @@ impl SimState {
         let delivery = st.delivery_sink.finish();
         let epoch = st.epoch_probe.finish();
         let drops = st.drop_sink.finish();
+        // Close a still-open degraded interval at the run boundary and
+        // harvest the fault/drop ledgers into the counter registry (the
+        // per-cause tallies ride `--counters` output this way).
+        let fault_degraded_ns = match &mut st.faults {
+            Some(fs) => fs.finalize_degraded_ns(end_time.max(horizon)),
+            None => 0,
+        };
+        st.counters.fault_degraded_ns_max =
+            st.counters.fault_degraded_ns_max.max(fault_degraded_ns);
+        st.counters.drop_voq_full = drops.voq_full;
+        st.counters.drop_eps_full = drops.eps_full;
+        st.counters.drop_sync_violation = drops.sync_violation;
+        st.counters.drop_link_dark = drops.link_dark;
         RunReport {
             scheduler: st.scheduler.name().to_string(),
             placement: st.cfg.placement.label().to_string(),
@@ -824,6 +880,8 @@ impl SimState {
                 st.decision_ns_sum as f64 / st.decisions as f64
             },
             demand_error_mean: epoch.demand_error_mean,
+            fault_degraded_ns,
+            fault_failover_bytes: st.counters.fault_failover_bytes,
             phases: st.phases,
             timeseries: epoch.series,
             counters: st.counters,
@@ -1010,6 +1068,13 @@ impl SimState {
                     Some(m) => m,
                     None => &st.demand_scratch,
                 };
+                // Graceful degradation: while ports are dark to injected
+                // faults, the scheduler sees their rows/columns zeroed —
+                // it never plans circuits through a dead link.
+                let demand = match &mut st.faults {
+                    Some(fs) if fs.n_failed > 0 => fs.mask_demand(demand),
+                    _ => demand,
+                };
                 // xlint: allow(wall-clock) — phase-timing block boundary (estimate → decompose), never serialized into goldens
                 let phase_t1 = std::time::Instant::now();
                 st.phases.estimate += phase_t1.duration_since(phase_t0).as_nanos() as u64;
@@ -1059,10 +1124,18 @@ impl SimState {
                     "{} produced an invalid schedule",
                     st.scheduler.name()
                 );
-                let d = st
+                let mut d = st
                     .cfg
                     .placement
                     .decision_latency(st.cfg.n_ports, &mut st.rng);
+                // Scheduler stall: the decision arrives k epochs late and
+                // the fabric coasts on the previous schedule meanwhile.
+                if let Some(fs) = &mut st.faults {
+                    if let Some(extra) = fs.draw_stall(st.cfg.epoch) {
+                        d += extra;
+                        st.counters.fault_events_injected += 1;
+                    }
+                }
                 st.decisions += 1;
                 st.decision_ns_sum += d.as_nanos() as u128;
                 st.epoch_probe.on_epoch(&EpochSample {
@@ -1092,10 +1165,32 @@ impl SimState {
             }
 
             Ev::SlotConfigure { sid, idx } => {
+                // Reconfiguration misfire: the configure may apply late
+                // (the dark window stretches) or not at all (the stale
+                // permutation stays up for the whole slot).
+                let slot_fault = match &mut st.faults {
+                    Some(fs) => fs.draw_misfire(),
+                    None => SlotFault::None,
+                };
+                if slot_fault != SlotFault::None {
+                    st.counters.fault_events_injected += 1;
+                }
+                if slot_fault == SlotFault::Stale {
+                    st.faults
+                        .as_mut()
+                        .expect("stale draw implies a plan")
+                        .mark_stale(sid, idx);
+                }
                 let entry = &st.scheds[sid].as_ref().expect("schedule slot live").entries[idx];
-                let active_at = st.switching.configure(&entry.perm, now);
+                let active_at = match slot_fault {
+                    SlotFault::None => st.switching.configure(&entry.perm, now),
+                    SlotFault::Late(extra) => st.switching.configure(&entry.perm, now + extra),
+                    // No configure happened: the slot "activates" on the
+                    // nominal timeline, against the stale permutation.
+                    SlotFault::Stale => now + st.cfg.reconfig,
+                };
                 let slot_end = active_at + entry.slot;
-                if !st.is_hw {
+                if !st.is_hw && slot_fault != SlotFault::Stale {
                     // Grants travel the control channel to the hosts. The
                     // advertised window is shrunk by the guard band on
                     // both edges so a host whose clock is wrong by up to
@@ -1127,6 +1222,12 @@ impl SimState {
                 let sched = st.scheds[sid].take().expect("schedule slot live");
                 let entry = &sched.entries[idx];
                 let slot_end = now + entry.slot;
+                // A stale slot's configure never applied: every granted
+                // pair fails over. A faulted pair fails over alone.
+                let stale = match &mut st.faults {
+                    Some(fs) => fs.take_stale(sid, idx),
+                    None => false,
+                };
                 if st.is_hw {
                     // xlint: allow(wall-clock) — apply phase-timing block start (RunReport::phases), excluded from golden serialization
                     let phase_t0 = std::time::Instant::now();
@@ -1138,6 +1239,38 @@ impl SimState {
                         granted.clear();
                         st.proc.dequeue_upto_into(i, j, budget, &mut granted);
                         if granted.is_empty() {
+                            continue;
+                        }
+                        // With faults armed, stall-delayed schedules can
+                        // overlap: a later schedule's configure may have
+                        // darkened or re-aimed the fabric mid-slot, so the
+                        // fault path probes the circuit where the clean
+                        // path may assert it.
+                        let diverted = stale
+                            || st.faults.as_ref().is_some_and(|fs| fs.pair_failed(i, j))
+                            || (st.faults.is_some()
+                                && st.switching.ocs.output_for(i, now) != Some(j));
+                        if diverted {
+                            // Graceful degradation: the granted burst
+                            // cannot ride the circuit (dark link or stale
+                            // permutation) — divert it onto the EPS slow
+                            // path packet by packet instead of losing it.
+                            for pkt in granted.drain(..) {
+                                let bytes = pkt.bytes as u64;
+                                if st.track_buffers {
+                                    // The bytes leave the VOQ now either
+                                    // way (EPS keeps its own ledger).
+                                    st.release_scratch.push((now.as_nanos(), bytes));
+                                }
+                                match st.switching.eps.enqueue(j, bytes, now) {
+                                    Ok(dep) => {
+                                        st.counters.fault_failover_bytes += bytes;
+                                        let deliver = dep + st.cfg.host_link.propagation;
+                                        st.record_delivery(&pkt, deliver, DeliveryPath::Eps);
+                                    }
+                                    Err(()) => st.drop_sink.on_drop(DropCause::EpsFull, now),
+                                }
+                            }
                             continue;
                         }
                         // xlint: allow(wall-clock) — flight-recorder grant-burst span start, gated on trace; wall-clock stays out of goldens
@@ -1255,6 +1388,12 @@ impl SimState {
 
             Ev::OcsIn { pkt } => {
                 let (i, j, bytes) = (pkt.src.index(), pkt.dst.index(), pkt.bytes as u64);
+                if st.faults.as_ref().is_some_and(|fs| fs.pair_failed(i, j)) {
+                    // The link died while the packet was in flight: the
+                    // light went into a dark fiber.
+                    st.drop_sink.on_drop(DropCause::LinkDark, now);
+                    return;
+                }
                 match st.switching.ocs.transmit(i, j, bytes, now) {
                     Ok(()) => {
                         let deliver = now + st.cfg.host_link.propagation;
@@ -1267,6 +1406,27 @@ impl SimState {
                         st.drop_sink.on_drop(DropCause::SyncViolation, now);
                     }
                 }
+            }
+
+            Ev::LinkFault => {
+                let fs = st.faults.as_mut().expect("LinkFault implies a plan");
+                let (port, repair_at, next) = fs.on_link_fault(now);
+                if let Some(at) = repair_at {
+                    st.counters.fault_events_injected += 1;
+                    q.schedule_at(at, Ev::LinkRepair { port });
+                }
+                if let Some(at) = next {
+                    if at <= st.horizon {
+                        q.schedule_at(at, Ev::LinkFault);
+                    }
+                }
+            }
+
+            Ev::LinkRepair { port } => {
+                st.faults
+                    .as_mut()
+                    .expect("LinkRepair implies a plan")
+                    .on_link_repair(port, now);
             }
         }
     }

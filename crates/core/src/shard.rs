@@ -544,6 +544,14 @@ pub(super) fn run_sharded(sim: HybridSim, horizon: SimTime, map: ShardMap) -> Ru
         );
     }
     cq.schedule_at(SimTime::ZERO, (SimTime::ZERO, Ev::EpochStart));
+    // Fault chain, exactly as the classic path seeds it. Fault events
+    // are coordinator events, so every draw happens at a barrier in the
+    // same order regardless of the shard map.
+    if let Some(fs) = &mut state.faults {
+        if let Some(at) = fs.first_fault_at() {
+            cq.schedule_at(at, (SimTime::ZERO, Ev::LinkFault));
+        }
+    }
 
     let mut coord_pops: u64 = 0;
     let mut end_time = SimTime::ZERO;
@@ -739,6 +747,13 @@ fn replay_ships(
             }
             ShipKind::OcsArrival(pkt) => {
                 let (i, j, bytes) = (pkt.src.index(), pkt.dst.index(), pkt.bytes as u64);
+                if st.faults.as_ref().is_some_and(|fs| fs.pair_failed(i, j)) {
+                    // Mirrors the classic `Ev::OcsIn` fault check: fault
+                    // flags only change at coordinator events, so the
+                    // state seen here equals what K = 1 saw at `t`.
+                    st.drop_sink.on_drop(DropCause::LinkDark, t);
+                    continue;
+                }
                 match st.switching.ocs.transmit(i, j, bytes, t) {
                     Ok(()) => {
                         let deliver = t + st.cfg.host_link.propagation;
@@ -903,6 +918,12 @@ fn handle_coord(
                 Some(m) => m,
                 None => &st.demand_scratch,
             };
+            // Mirrors the classic handler: dark ports are masked out of
+            // the demand the scheduler sees.
+            let demand = match &mut st.faults {
+                Some(fs) if fs.n_failed > 0 => fs.mask_demand(demand),
+                _ => demand,
+            };
             // xlint: allow(wall-clock) — phase-timing block boundary (estimate → decompose), never serialized into goldens
             let phase_t1 = std::time::Instant::now();
             st.phases.estimate += phase_t1.duration_since(phase_t0).as_nanos() as u64;
@@ -945,10 +966,16 @@ fn handle_coord(
                 "{} produced an invalid schedule",
                 st.scheduler.name()
             );
-            let d = st
+            let mut d = st
                 .cfg
                 .placement
                 .decision_latency(st.cfg.n_ports, &mut st.rng);
+            if let Some(fs) = &mut st.faults {
+                if let Some(extra) = fs.draw_stall(st.cfg.epoch) {
+                    d += extra;
+                    st.counters.fault_events_injected += 1;
+                }
+            }
             st.decisions += 1;
             st.decision_ns_sum += d.as_nanos() as u128;
             st.epoch_probe.on_epoch(&EpochSample {
@@ -975,10 +1002,27 @@ fn handle_coord(
         }
 
         Ev::SlotConfigure { sid, idx } => {
+            let slot_fault = match &mut st.faults {
+                Some(fs) => fs.draw_misfire(),
+                None => SlotFault::None,
+            };
+            if slot_fault != SlotFault::None {
+                st.counters.fault_events_injected += 1;
+            }
+            if slot_fault == SlotFault::Stale {
+                st.faults
+                    .as_mut()
+                    .expect("stale draw implies a plan")
+                    .mark_stale(sid, idx);
+            }
             let entry = &st.scheds[sid].as_ref().expect("schedule slot live").entries[idx];
-            let active_at = st.switching.configure(&entry.perm, now);
+            let active_at = match slot_fault {
+                SlotFault::None => st.switching.configure(&entry.perm, now),
+                SlotFault::Late(extra) => st.switching.configure(&entry.perm, now + extra),
+                SlotFault::Stale => now + st.cfg.reconfig,
+            };
             let slot_end = active_at + entry.slot;
-            if !st.is_hw {
+            if !st.is_hw && slot_fault != SlotFault::Stale {
                 let g = st.cfg.guard;
                 let gs = active_at + g;
                 let ge = SimTime::from_nanos(slot_end.as_nanos().saturating_sub(g.as_nanos()));
@@ -1007,6 +1051,10 @@ fn handle_coord(
             let sched = st.scheds[sid].take().expect("schedule slot live");
             let entry = &sched.entries[idx];
             let slot_end = now + entry.slot;
+            let stale = match &mut st.faults {
+                Some(fs) => fs.take_stale(sid, idx),
+                None => false,
+            };
             if st.is_hw {
                 // xlint: allow(wall-clock) — apply phase-timing block start (RunReport::phases), excluded from golden serialization
                 let phase_t0 = std::time::Instant::now();
@@ -1018,6 +1066,31 @@ fn handle_coord(
                         .proc
                         .dequeue_upto_into(i, j, budget, &mut granted);
                     if granted.is_empty() {
+                        continue;
+                    }
+                    // Same circuit probe as the classic core: overlapping
+                    // stall-delayed schedules may have darkened or
+                    // re-aimed the fabric mid-slot.
+                    let diverted = stale
+                        || st.faults.as_ref().is_some_and(|fs| fs.pair_failed(i, j))
+                        || (st.faults.is_some() && st.switching.ocs.output_for(i, now) != Some(j));
+                    if diverted {
+                        // Mirrors the classic failover: the burst rides
+                        // the EPS instead of the faulted/stale circuit.
+                        for pkt in granted.drain(..) {
+                            let bytes = pkt.bytes as u64;
+                            if st.track_buffers {
+                                st.release_scratch.push((now.as_nanos(), bytes));
+                            }
+                            match st.switching.eps.enqueue(j, bytes, now) {
+                                Ok(dep) => {
+                                    st.counters.fault_failover_bytes += bytes;
+                                    let deliver = dep + st.cfg.host_link.propagation;
+                                    st.record_delivery(&pkt, deliver, DeliveryPath::Eps);
+                                }
+                                Err(()) => st.drop_sink.on_drop(DropCause::EpsFull, now),
+                            }
+                        }
                         continue;
                     }
                     // xlint: allow(wall-clock) — flight-recorder grant-burst span start, gated on trace; wall-clock stays out of goldens
@@ -1088,6 +1161,27 @@ fn handle_coord(
                     q.schedule_at(next, (now, Ev::RotateMatrix { idx: idx + 1 }));
                 }
             }
+        }
+
+        Ev::LinkFault => {
+            let fs = st.faults.as_mut().expect("LinkFault implies a plan");
+            let (port, repair_at, next) = fs.on_link_fault(now);
+            if let Some(at) = repair_at {
+                st.counters.fault_events_injected += 1;
+                q.schedule_at(at, (now, Ev::LinkRepair { port }));
+            }
+            if let Some(at) = next {
+                if at <= st.horizon {
+                    q.schedule_at(at, (now, Ev::LinkFault));
+                }
+            }
+        }
+
+        Ev::LinkRepair { port } => {
+            st.faults
+                .as_mut()
+                .expect("LinkRepair implies a plan")
+                .on_link_repair(port, now);
         }
 
         // Shard-local events never land on the coordinator queue.

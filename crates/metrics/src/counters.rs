@@ -65,11 +65,29 @@ pub struct CounterSet {
     pub grant_pkts_max: u64,
     /// Delivery batches flushed to sinks (at most one per slot).
     pub delivery_batches: u64,
+    /// Fault events injected by the fault plan (link failures, misfires,
+    /// stalls) — zero whenever no plan is armed.
+    pub fault_events_injected: u64,
+    /// High-water mark of accumulated degraded-mode time, in simulated
+    /// nanoseconds (time with at least one OCS port dark to faults).
+    pub fault_degraded_ns_max: u64,
+    /// Bytes diverted from a granted OCS burst onto the EPS slow path
+    /// because the circuit was faulted or stale.
+    pub fault_failover_bytes: u64,
+    /// Packets dropped because a VOQ was full.
+    pub drop_voq_full: u64,
+    /// Packets dropped because the EPS queue was full.
+    pub drop_eps_full: u64,
+    /// Packets dropped because they arrived at a dark or misconfigured
+    /// OCS input (sync violation).
+    pub drop_sync_violation: u64,
+    /// Packets dropped because a fault-injected link was dark.
+    pub drop_link_dark: u64,
 }
 
 impl CounterSet {
     /// Number of counters in the registry.
-    pub const LEN: usize = 15;
+    pub const LEN: usize = 22;
 
     /// The canonical `(name, value)` enumeration, in stable order. Column
     /// emitters and docs must derive from this list so names cannot
@@ -91,6 +109,13 @@ impl CounterSet {
             ("grant_bursts", self.grant_bursts),
             ("grant_pkts_max", self.grant_pkts_max),
             ("delivery_batches", self.delivery_batches),
+            ("fault_events_injected", self.fault_events_injected),
+            ("fault_degraded_ns_max", self.fault_degraded_ns_max),
+            ("fault_failover_bytes", self.fault_failover_bytes),
+            ("drop_voq_full", self.drop_voq_full),
+            ("drop_eps_full", self.drop_eps_full),
+            ("drop_sync_violation", self.drop_sync_violation),
+            ("drop_link_dark", self.drop_link_dark),
         ]
     }
 
@@ -129,6 +154,13 @@ impl CounterSet {
             ("grant_bursts", Sum),
             ("grant_pkts_max", Max),
             ("delivery_batches", Sum),
+            ("fault_events_injected", Sum),
+            ("fault_degraded_ns_max", Max),
+            ("fault_failover_bytes", Sum),
+            ("drop_voq_full", Sum),
+            ("drop_eps_full", Sum),
+            ("drop_sync_violation", Sum),
+            ("drop_link_dark", Sum),
         ]
     }
 
@@ -159,6 +191,13 @@ impl CounterSet {
         self.grant_bursts += other.grant_bursts;
         self.grant_pkts_max = self.grant_pkts_max.max(other.grant_pkts_max);
         self.delivery_batches += other.delivery_batches;
+        self.fault_events_injected += other.fault_events_injected;
+        self.fault_degraded_ns_max = self.fault_degraded_ns_max.max(other.fault_degraded_ns_max);
+        self.fault_failover_bytes += other.fault_failover_bytes;
+        self.drop_voq_full += other.drop_voq_full;
+        self.drop_eps_full += other.drop_eps_full;
+        self.drop_sync_violation += other.drop_sync_violation;
+        self.drop_link_dark += other.drop_link_dark;
     }
 }
 
@@ -276,7 +315,7 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), CounterSet::LEN);
         assert_eq!(names[0], "sched_memo_hits");
-        assert_eq!(names[CounterSet::LEN - 1], "delivery_batches");
+        assert_eq!(names[CounterSet::LEN - 1], "drop_link_dark");
     }
 
     #[test]
@@ -299,7 +338,8 @@ mod tests {
                 "sched_worklist_peak",
                 "sched_bucket_peak",
                 "pool_live_peak",
-                "grant_pkts_max"
+                "grant_pkts_max",
+                "fault_degraded_ns_max"
             ]
         );
         assert_eq!(CounterSet::kind_of("pool_allocs"), Some(CounterKind::Sum));
@@ -378,6 +418,13 @@ mod tests {
             12 => c.grant_bursts = v,
             13 => c.grant_pkts_max = v,
             14 => c.delivery_batches = v,
+            15 => c.fault_events_injected = v,
+            16 => c.fault_degraded_ns_max = v,
+            17 => c.fault_failover_bytes = v,
+            18 => c.drop_voq_full = v,
+            19 => c.drop_eps_full = v,
+            20 => c.drop_sync_violation = v,
+            21 => c.drop_link_dark = v,
             _ => unreachable!(),
         }
         c

@@ -10,6 +10,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+use xds_core::report::RunReport;
 
 use crate::output::{PointResult, SweepResults};
 use crate::spec::ScenarioSpec;
@@ -77,16 +80,92 @@ fn default_threads() -> usize {
         .unwrap_or(4)
 }
 
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Runs one point with panic isolation and an optional wall-clock budget.
+///
+/// A panic anywhere inside the point (spec materialization, the runtime,
+/// report assembly) is caught and converted into a per-point error, so a
+/// sweep containing a pathological corner still completes and reports the
+/// corner as such. With a timeout set, the point runs on a watchdog
+/// thread: if the wall-clock budget elapses first, the point is reported
+/// as timed out and its worker thread is abandoned (it keeps the CPU
+/// until it finishes, but its result is discarded). The timeout gates
+/// only *whether* a result is accepted — a point that completes in time
+/// returns exactly what an unwatched run would have, so fixed-seed sweeps
+/// stay byte-identical.
+pub fn run_point_guarded(
+    spec: &ScenarioSpec,
+    timeout: Option<Duration>,
+) -> Result<RunReport, String> {
+    let name = spec.name.clone();
+    let run = {
+        let spec = spec.clone();
+        let name = name.clone();
+        move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| spec.run())).unwrap_or_else(
+                |p| Err(format!("scenario {name}: panicked: {}", panic_message(&*p))),
+            )
+        }
+    };
+    let Some(limit) = timeout else {
+        return run();
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name(format!("point-{name}"))
+        .spawn(move || {
+            let _ = tx.send(run());
+        });
+    if let Err(e) = spawned {
+        return Err(format!("scenario {name}: watchdog spawn failed: {e}"));
+    }
+    // xlint: allow(wall-clock) — watchdog deadline is harness wall time; it gates result acceptance, never simulated behavior
+    let deadline = std::time::Instant::now() + limit;
+    loop {
+        // xlint: allow(wall-clock) — remaining watchdog budget against the same harness-side deadline
+        let left = deadline.saturating_duration_since(std::time::Instant::now());
+        if left.is_zero() {
+            // One last grace poll: a result that beat the deadline wins
+            // even if this thread was scheduled late.
+            if let Ok(r) = rx.try_recv() {
+                return r;
+            }
+            return Err(format!(
+                "scenario {name}: exceeded point timeout of {}s; worker abandoned",
+                limit.as_secs_f64()
+            ));
+        }
+        match rx.recv_timeout(left) {
+            Ok(r) => return r,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                return Err(format!("scenario {name}: worker vanished without a result"));
+            }
+        }
+    }
+}
+
 /// Runs batches of [`ScenarioSpec`] points across worker threads.
 #[derive(Debug, Clone)]
 pub struct SweepExecutor {
     threads: usize,
+    point_timeout: Option<Duration>,
 }
 
 impl Default for SweepExecutor {
     fn default() -> Self {
         SweepExecutor {
             threads: default_threads(),
+            point_timeout: None,
         }
     }
 }
@@ -101,7 +180,16 @@ impl SweepExecutor {
     pub fn with_threads(threads: usize) -> Self {
         SweepExecutor {
             threads: threads.max(1),
+            point_timeout: None,
         }
+    }
+
+    /// Sets a wall-clock budget per point (`None` = unbounded, the
+    /// default). A point that overruns becomes an error row; see
+    /// [`run_point_guarded`] for the exact semantics.
+    pub fn with_point_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.point_timeout = timeout;
+        self
     }
 
     /// The worker count this executor will use.
@@ -112,10 +200,13 @@ impl SweepExecutor {
     /// Runs every point and returns results in input order. Invalid specs
     /// produce per-point errors, never a panic — a sweep that wanders into
     /// an inadmissible corner (e.g. epoch ≤ reconfiguration) still
-    /// completes and reports the corner as such.
+    /// completes and reports the corner as such. Panicking points are
+    /// isolated the same way, and points overrunning the executor's
+    /// [`point timeout`](Self::with_point_timeout) become error rows.
     pub fn run(&self, specs: Vec<ScenarioSpec>) -> SweepResults {
-        let points = parallel_map_threads(specs, self.threads, |spec| {
-            let report = spec.run();
+        let timeout = self.point_timeout;
+        let points = parallel_map_threads(specs, self.threads, move |spec| {
+            let report = run_point_guarded(&spec, timeout);
             PointResult { spec, report }
         });
         SweepResults { points }
@@ -167,5 +258,50 @@ mod tests {
         let results = SweepExecutor::with_threads(2).run(specs);
         assert!(results.points[0].report.is_ok());
         assert!(results.points[1].report.is_err());
+    }
+
+    #[test]
+    fn panicking_point_becomes_an_error_row_not_a_crashed_sweep() {
+        let specs = vec![
+            ScenarioSpec::new("ok")
+                .with_ports(4)
+                .with_duration(SimDuration::from_millis(1)),
+            // Deliberately panics deep inside SimBuilder::build — past
+            // every Err-returning validation layer.
+            ScenarioSpec::new("boom")
+                .with_ports(4)
+                .with_faults(xds_core::FaultPlan::none().with_harness_panic()),
+        ];
+        let results = SweepExecutor::with_threads(2).run(specs);
+        assert!(results.points[0].report.is_ok());
+        let err = results.points[1].report.as_ref().unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert!(err.contains("harness panic"), "{err}");
+        // The error row serializes like any other failed point.
+        assert!(results.to_csv().lines().nth(2).unwrap().ends_with(",0"));
+    }
+
+    #[test]
+    fn point_timeout_turns_an_overrunning_point_into_an_error_row() {
+        // A 2048-port sharded point takes far longer than a nanosecond.
+        let slow = ScenarioSpec::new("slow")
+            .with_ports(256)
+            .with_duration(SimDuration::from_millis(50));
+        let results = SweepExecutor::with_threads(1)
+            .with_point_timeout(Some(std::time::Duration::from_nanos(1)))
+            .run(vec![slow]);
+        let err = results.points[0].report.as_ref().unwrap_err();
+        assert!(err.contains("point timeout"), "{err}");
+        // A generous budget accepts the result unchanged.
+        let spec = ScenarioSpec::new("fast")
+            .with_ports(4)
+            .with_duration(SimDuration::from_millis(1));
+        let unwatched = spec.clone().run().unwrap();
+        let watched = SweepExecutor::with_threads(1)
+            .with_point_timeout(Some(std::time::Duration::from_secs(600)))
+            .run(vec![spec]);
+        let r = watched.points[0].report.as_ref().unwrap();
+        assert_eq!(r.events, unwatched.events);
+        assert_eq!(r.counters, unwatched.counters);
     }
 }

@@ -9,6 +9,7 @@
 //! the base seed, mixed per-point by the executor's deterministic stream
 //! derivation.
 
+use xds_core::fault::FaultPlan;
 use xds_sim::SimDuration;
 use xds_traffic::FlowSizeDist;
 
@@ -32,6 +33,7 @@ pub struct SweepGrid {
     bulk_thresholds: Vec<u64>,
     seeds: Vec<u64>,
     shards: Vec<usize>,
+    faults: Vec<FaultPlan>,
 }
 
 impl SweepGrid {
@@ -53,6 +55,7 @@ impl SweepGrid {
             bulk_thresholds: Vec::new(),
             seeds: Vec::new(),
             shards: Vec::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -142,12 +145,19 @@ impl SweepGrid {
         self
     }
 
+    /// Sweeps the deterministic fault plan (use [`FaultPlan::none`] as
+    /// the baseline cell of a degradation study).
+    pub fn faults(mut self, faults: Vec<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The base spec the axes are applied to.
     pub fn base(&self) -> &ScenarioSpec {
         &self.base
     }
 
-    fn axis_lens(&self) -> [usize; 14] {
+    fn axis_lens(&self) -> [usize; 15] {
         [
             self.loads.len().max(1),
             self.ports.len().max(1),
@@ -163,6 +173,7 @@ impl SweepGrid {
             self.bulk_thresholds.len().max(1),
             self.seeds.len().max(1),
             self.shards.len().max(1),
+            self.faults.len().max(1),
         ]
     }
 
@@ -187,7 +198,7 @@ impl SweepGrid {
         for flat in 0..total {
             // Decompose `flat` into per-axis indices, last axis fastest.
             let mut rem = flat;
-            let mut idx = [0usize; 14];
+            let mut idx = [0usize; 15];
             for a in (0..lens.len()).rev() {
                 idx[a] = rem % lens[a];
                 rem /= lens[a];
@@ -254,6 +265,10 @@ impl SweepGrid {
             if let Some(&v) = self.shards.get(idx[13]) {
                 spec.shards = v.max(1);
                 tag(format!("sh{v}"), self.shards.len() > 1, &mut tags);
+            }
+            if let Some(v) = self.faults.get(idx[14]) {
+                spec.faults = Some(v.clone());
+                tag(format!("f{}", v.label()), self.faults.len() > 1, &mut tags);
             }
             if !tags.is_empty() {
                 spec.name = format!("{}/{}", spec.name, tags.join("/"));
@@ -327,6 +342,18 @@ mod tests {
                 (4, "b/sh4".to_string()),
             ]
         );
+    }
+
+    #[test]
+    fn faults_axis_sweeps_and_tags() {
+        let g = SweepGrid::new(ScenarioSpec::new("b"))
+            .faults(vec![FaultPlan::none(), FaultPlan::storm()]);
+        let specs = g.specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "b/fnone");
+        assert_eq!(specs[0].faults, Some(FaultPlan::none()));
+        assert_eq!(specs[1].name, "b/flink+misfire+stall");
+        assert_eq!(specs[1].faults, Some(FaultPlan::storm()));
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod library;
 pub mod output;
 pub mod spec;
 
-pub use exec::{parallel_map, SweepExecutor};
+pub use exec::{parallel_map, run_point_guarded, SweepExecutor};
 pub use grid::SweepGrid;
 pub use output::{PointResult, SweepResults};
 pub use spec::{
@@ -80,3 +80,4 @@ pub use spec::{
     SyncSpec, TrafficPattern,
 };
 pub use xds_core::instrument::InstrProfile;
+pub use xds_core::{FaultPlan, LinkFaultSpec, MisfireSpec, StallSpec};

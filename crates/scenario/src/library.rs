@@ -8,13 +8,14 @@
 //! study. To add a scenario, add an arm to [`scenario`] and its name to
 //! [`ALL`].
 
+use xds_core::fault::FaultPlan;
 use xds_sim::SimDuration;
 use xds_traffic::FlowSizeDist;
 
 use crate::spec::{AppMix, ScenarioSpec, SchedulerKind, TrafficPattern};
 
 /// Every name [`scenario`] recognizes, in catalogue order.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 17] = [
     "uniform",
     "permutation",
     "hotspot",
@@ -30,6 +31,8 @@ pub const ALL: [&str; 15] = [
     "scale-stress-512",
     "scale-stress-1024",
     "scale-stress-2048",
+    "fault-storm",
+    "flaky-links",
 ];
 
 /// Every name the library recognizes, in catalogue order.
@@ -165,6 +168,23 @@ pub fn scenario(name: &str) -> Option<ScenarioSpec> {
                 .with_ports(2048)
                 .with_shards(2048)
                 .with_duration(SimDuration::from_micros(250)),
+
+            // The websearch mix under every fault family at once — link
+            // flaps, OCS misfires, scheduler stalls. The degraded-mode
+            // reference point: failover and drop counters must be nonzero
+            // and the run must stay deterministic across cores.
+            "fault-storm" => scenario("websearch")
+                .expect("base entry exists")
+                .with_name("fault-storm")
+                .with_faults(FaultPlan::storm()),
+
+            // Uniform traffic over links that fail and repair on a slow
+            // cycle: isolates the link-failover path from misfire/stall
+            // effects.
+            "flaky-links" => scenario("uniform")
+                .expect("base entry exists")
+                .with_name("flaky-links")
+                .with_faults(FaultPlan::flaky_links()),
 
             // Adversarial demand churn: the hotspot jumps every millisecond,
             // stressing demand estimation and reconfiguration agility.

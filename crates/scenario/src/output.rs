@@ -94,6 +94,15 @@ fn row_fields(p: &PointResult, counters: bool) -> Vec<(&'static str, String)> {
         ),
         ("duration_ns", s.duration.as_nanos().to_string()),
         ("seed", s.seed.to_string()),
+        (
+            "faults",
+            format!(
+                "\"{}\"",
+                s.faults
+                    .as_ref()
+                    .map_or_else(|| "none".into(), |p| p.label())
+            ),
+        ),
     ];
     match &p.report {
         Err(e) => {
@@ -115,7 +124,7 @@ fn row_fields(p: &PointResult, counters: bool) -> Vec<(&'static str, String)> {
 }
 
 /// Every column any row may carry, for the CSV header.
-const CSV_COLUMNS: [&str; 42] = [
+const CSV_COLUMNS: [&str; 46] = [
     "scenario",
     "pattern",
     "sizes",
@@ -130,6 +139,7 @@ const CSV_COLUMNS: [&str; 42] = [
     "epoch_ns",
     "duration_ns",
     "seed",
+    "faults",
     "error",
     "events",
     "offered_bytes",
@@ -151,12 +161,15 @@ const CSV_COLUMNS: [&str; 42] = [
     "drops_voq",
     "drops_eps",
     "drops_sync",
+    "drops_link_dark",
     "peak_host_buffer",
     "peak_switch_buffer",
     "ocs_reconfigurations",
     "decisions",
     "decision_latency_mean_ns",
     "demand_error_mean",
+    "fault_degraded_ns",
+    "fault_failover_bytes",
     "ok",
 ];
 

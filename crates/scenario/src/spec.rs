@@ -6,6 +6,7 @@ use xds_core::config::{NodeConfig, Placement};
 use xds_core::demand::{
     CountMinEstimator, DemandEstimator, EwmaEstimator, MirrorEstimator, WindowEstimator,
 };
+use xds_core::fault::FaultPlan;
 use xds_core::instrument::InstrProfile;
 use xds_core::node::Workload;
 use xds_core::report::RunReport;
@@ -581,6 +582,10 @@ pub struct ScenarioSpec {
     /// report carries their Chrome Trace Event JSON. Off by default;
     /// never changes simulated behavior or the deterministic counters.
     pub trace: bool,
+    /// Deterministic fault plan: link failures, OCS misfires, scheduler
+    /// stalls. `None` (the default) leaves every RNG stream and golden
+    /// artifact byte-identical to a fault-free build.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ScenarioSpec {
@@ -610,6 +615,7 @@ impl ScenarioSpec {
             shards: 1,
             profile: InstrProfile::Full,
             trace: false,
+            faults: None,
         }
     }
 
@@ -742,6 +748,13 @@ impl ScenarioSpec {
         self
     }
 
+    /// Arms a deterministic fault plan (see [`faults`](Self::faults)).
+    /// An inactive plan ([`FaultPlan::none`]) is treated as unset.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Renames the point (grids use this to tag axis values).
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -846,6 +859,7 @@ impl ScenarioSpec {
             .estimator(estimator)
             .instrumentation(self.profile.instrumentation())
             .trace(self.trace)
+            .faults(self.faults.clone())
             .shards(self.shards)
             .build()
             .map_err(|e| format!("scenario {}: {e}", self.name))?;
@@ -895,6 +909,31 @@ mod tests {
         assert_eq!(plain.events, traced.events);
         assert_eq!(plain.counters, traced.counters);
         assert!(traced.counters.sched_probes > 0, "solstice probes counted");
+    }
+
+    #[test]
+    fn faulted_spec_degrades_deterministically_and_unset_plan_is_free() {
+        let spec = ScenarioSpec::new("f")
+            .with_ports(8)
+            .with_faults(FaultPlan::storm())
+            .with_duration(SimDuration::from_millis(2));
+        let a = spec.clone().run().unwrap();
+        let b = spec.clone().run().unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.counters, b.counters);
+        assert!(a.counters.fault_events_injected > 0, "storm must inject");
+        assert!(a.fault_degraded_ns > 0, "link flaps must open intervals");
+        // An explicitly-inactive plan leaves the run byte-identical to a
+        // fault-free build: no RNG fork, no masking, no new draws.
+        let base = ScenarioSpec::new("f")
+            .with_ports(8)
+            .with_duration(SimDuration::from_millis(2));
+        let plain = base.clone().run().unwrap();
+        let off = base.with_faults(FaultPlan::none()).run().unwrap();
+        assert_eq!(plain.events, off.events);
+        assert_eq!(plain.counters, off.counters);
+        assert_eq!(off.fault_degraded_ns, 0);
+        assert_eq!(off.counters.fault_events_injected, 0);
     }
 
     #[test]

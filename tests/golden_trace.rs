@@ -65,6 +65,20 @@ fn slow_spec() -> ScenarioSpec {
         .with_duration(SimDuration::from_millis(12))
 }
 
+/// The fault-storm golden point: the `fault-storm` catalogue entry —
+/// the websearch mix with every fault family armed (link flaps, OCS
+/// misfires, scheduler stalls) — pinned to seed 42 at 8 ports. Pins the
+/// entire degraded trajectory: fault draws, EPS failover, dark-link
+/// drops and the degraded-time ledger.
+fn fault_storm_spec() -> ScenarioSpec {
+    library::scenario("fault-storm")
+        .expect("catalogue entry")
+        .with_name("golden-fault-storm")
+        .with_ports(8)
+        .with_seed(42)
+        .with_duration(SimDuration::from_millis(2))
+}
+
 fn check_golden(spec: ScenarioSpec, file: &str) {
     let report = spec.run().expect("golden spec must run");
     let got = report.trace_json();
@@ -91,6 +105,32 @@ fn check_golden(spec: ScenarioSpec, file: &str) {
     );
 }
 
+/// Snapshot-compare a counters dump (`{name} {value}` per line), with
+/// the same `XDS_UPDATE_GOLDEN=1` regeneration path as the traces.
+fn check_golden_counters(got: &str, file: &str) {
+    let path = golden_dir().join(file);
+    if std::env::var_os("XDS_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, got).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with XDS_UPDATE_GOLDEN=1 to capture",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "golden counters {} drifted — a deterministic internal tally moved. \
+         If the change is intentional, regenerate with XDS_UPDATE_GOLDEN=1 \
+         and commit the diff.",
+        path.display()
+    );
+}
+
 #[test]
 fn golden_fast_mode_trace_is_byte_identical() {
     check_golden(fast_spec(), "fast_websearch.json");
@@ -109,32 +149,35 @@ fn golden_fast_mode_counters_are_pinned_exactly() {
     for (name, value) in report.counters.items() {
         got.push_str(&format!("{name} {value}\n"));
     }
-    let path = golden_dir().join("fast_websearch.counters.txt");
-    if std::env::var_os("XDS_UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
-        std::fs::write(&path, &got).expect("write golden");
-        eprintln!("updated {}", path.display());
-        return;
-    }
-    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden snapshot {} ({e}); run with XDS_UPDATE_GOLDEN=1 to capture",
-            path.display()
-        )
-    });
-    assert_eq!(
-        got,
-        want,
-        "golden counters {} drifted — a deterministic internal tally moved. \
-         If the change is intentional, regenerate with XDS_UPDATE_GOLDEN=1 \
-         and commit the diff.",
-        path.display()
-    );
     // The snapshot must not be vacuous: the fast path ticks the pool,
     // the grant machinery and the scheduler on this scenario.
     assert!(report.counters.pool_allocs > 0);
     assert!(report.counters.grant_bursts > 0);
     assert!(report.counters.delivery_batches > 0);
+    check_golden_counters(&got, "fast_websearch.counters.txt");
+}
+
+/// The degraded trajectory under the full fault storm, pinned exactly:
+/// fault injections are seeded coordinator-side draws, so the number of
+/// injected events, the bytes failed over to the EPS and the dark-link
+/// drop tally are as deterministic as the scheduler counters — any
+/// drift means the fault machinery's draw order or failover behavior
+/// changed.
+#[test]
+fn golden_fault_storm_counters_are_pinned_exactly() {
+    let report = fault_storm_spec().run().expect("golden spec must run");
+    let mut got = String::new();
+    for (name, value) in report.counters.items() {
+        got.push_str(&format!("{name} {value}\n"));
+    }
+    // Non-vacuous: the storm must visibly inject and visibly degrade.
+    assert!(report.counters.fault_events_injected > 0);
+    assert!(report.fault_degraded_ns > 0);
+    assert!(
+        report.fault_failover_bytes > 0 || report.counters.drop_link_dark > 0,
+        "degradation must be observable as failover bytes or dark-link drops"
+    );
+    check_golden_counters(&got, "fault_storm.counters.txt");
 }
 
 #[test]
@@ -147,7 +190,7 @@ fn golden_slow_mode_trace_is_byte_identical() {
 /// require identical serializations within the same process.
 #[test]
 fn golden_specs_are_self_deterministic() {
-    for spec in [fast_spec(), slow_spec()] {
+    for spec in [fast_spec(), slow_spec(), fault_storm_spec()] {
         let a = spec.run().expect("spec runs").trace_json();
         let b = spec.run().expect("spec runs").trace_json();
         assert_eq!(a, b, "{} is not deterministic", spec.name);

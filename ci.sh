@@ -133,6 +133,46 @@ if grep -o '"fault_events_injected": [0-9]*' results/ci_counters.json | grep -qv
     echo "ci.sh: an unfaulted run reported injected faults"; exit 1
 fi
 
+echo "==> fidelity axis (estimate rows must ride the same artifact schema)"
+cargo run --release -q -p xds-bench --bin sweep -- run uniform \
+    --duration-ms 1 --threads 2 --fidelity exact,estimate \
+    --out ci_fidelity >/dev/null
+grep -q '"fidelity": "exact"' results/ci_fidelity.json \
+    || { echo "ci.sh: exact rows lost the fidelity column"; exit 1; }
+grep -q '"fidelity": "estimate"' results/ci_fidelity.json \
+    || { echo "ci.sh: estimate rows missing from the fidelity sweep"; exit 1; }
+head -1 results/ci_fidelity.csv | grep -q ',fidelity,' \
+    || { echo "ci.sh: fidelity column missing from sweep CSV header"; exit 1; }
+
+echo "==> sweep validate-estimates --smoke (estimate-tier error envelope)"
+cargo run --release -q -p xds-bench --bin sweep -- validate-estimates --smoke \
+    --out validate_ci --point-timeout 600
+[ -s results/validate_ci.validation.json ] \
+    || { echo "ci.sh: validation artifact missing or empty"; exit 1; }
+grep -q '"schema": "xds-validate-v1"' results/validate_ci.validation.json \
+    || { echo "ci.sh: validation artifact is not xds-validate-v1"; exit 1; }
+# Coverage: every pinned catalogue point (the names the smoke bench just
+# emitted) must have a validation row.
+names=$(grep -o '"name": "[^"]*"' results/bench_smoke_ci.json | sed 's/"name": "//;s/"$//' | sort -u)
+[ -n "$names" ] || { echo "ci.sh: could not enumerate catalogue names"; exit 1; }
+for n in $names; do
+    grep -q "\"name\": \"$n\"" results/validate_ci.validation.json \
+        || { echo "ci.sh: validation artifact lost catalogue point $n"; exit 1; }
+done
+# The envelope must be recorded and finite (smoke horizons are too short
+# to gate its magnitude; the full-catalogue envelope is the contract).
+grep -q '"err_p95"' results/validate_ci.validation.json \
+    || { echo "ci.sh: error percentiles missing from validation artifact"; exit 1; }
+if grep -E '"err_(p50|p95|max)": *(inf|-inf|NaN)' -q results/validate_ci.validation.json; then
+    echo "ci.sh: smoke error envelope is not finite"; exit 1
+fi
+grep -q '"min_kilofabric_speedup"' results/validate_ci.validation.json \
+    || { echo "ci.sh: kilofabric speedup missing from validation artifact"; exit 1; }
+[ -s results/validate_ci.validation.csv ] \
+    || { echo "ci.sh: validation CSV missing or empty"; exit 1; }
+head -1 results/validate_ci.validation.csv | grep -q '^scenario,n_ports,metric,' \
+    || { echo "ci.sh: validation CSV header drifted"; exit 1; }
+
 echo "==> sweep bench --smoke --baseline (the baseline-diff path must run)"
 # Diff a second smoke pass against the first: per-point and aggregate
 # speedup fields must be emitted (values hover around 1.0 — the check is

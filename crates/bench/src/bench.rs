@@ -42,8 +42,8 @@
 use std::time::Instant;
 
 use xds_scenario::{
-    library, EstimatorKind, InstrProfile, PlacementKind, ScenarioSpec, SwModelKind, SyncSpec,
-    TrafficPattern,
+    library, EstimatorKind, Fidelity, InstrProfile, PlacementKind, ScenarioSpec, SwModelKind,
+    SyncSpec, TrafficPattern,
 };
 use xds_sim::SimDuration;
 
@@ -101,6 +101,11 @@ pub struct BenchRun {
     /// default: the quantity under test is the simulation, not the
     /// observation; events/bytes are profile-invariant by contract).
     pub profile: String,
+    /// Fidelity tier the points ran at (`exact` is the default; an
+    /// estimate-tier bench measures the estimator's cost, and its
+    /// numbers must never be diffed against an exact baseline — see
+    /// [`Baseline::fidelity_mismatch_warning`]).
+    pub fidelity: String,
     /// Per-point measurements, in catalogue order.
     pub points: Vec<BenchPoint>,
 }
@@ -184,6 +189,7 @@ impl BenchRun {
         let _ = writeln!(o, "  \"mode\": \"{}\",", self.mode);
         let _ = writeln!(o, "  \"repeats\": {},", self.repeats);
         let _ = writeln!(o, "  \"profile\": \"{}\",", self.profile);
+        let _ = writeln!(o, "  \"fidelity\": \"{}\",", self.fidelity);
         o.push_str("  \"points\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             let _ = write!(
@@ -300,6 +306,10 @@ pub struct Baseline {
     /// Instrumentation profile the baseline ran under, when the artifact
     /// recorded one (older hand-edited baselines may lack the line).
     pub profile: Option<String>,
+    /// Fidelity tier the baseline ran at, when the artifact recorded
+    /// one (artifacts predating the fidelity axis lack the line and
+    /// were all exact by construction).
+    pub fidelity: Option<String>,
     /// Aggregate events/second of the baseline.
     pub total_events_per_sec: f64,
     /// Per-point measurements, in artifact order.
@@ -348,6 +358,7 @@ impl Baseline {
         }
         let mut date = None;
         let mut profile = None;
+        let mut fidelity = None;
         let mut total = None;
         let mut per_point = Vec::new();
         for line in text.lines() {
@@ -356,6 +367,8 @@ impl Baseline {
                 date = field(t, "date").map(str::to_string);
             } else if t.starts_with("\"profile\"") && profile.is_none() {
                 profile = field(t, "profile").map(str::to_string);
+            } else if t.starts_with("\"fidelity\"") && fidelity.is_none() {
+                fidelity = field(t, "fidelity").map(str::to_string);
             } else if t.starts_with("{\"name\"") {
                 let name = field(t, "name")?.to_string();
                 let eps: f64 = field(t, "events_per_sec")?.parse().ok()?;
@@ -372,6 +385,7 @@ impl Baseline {
         Some(Baseline {
             date: date?,
             profile,
+            fidelity,
             total_events_per_sec: total?,
             per_point,
         })
@@ -390,6 +404,25 @@ impl Baseline {
                 "warning: baseline {} was measured under profile \"{base}\" but this run \
                  uses \"{current}\" — wall-clock deltas include the instrumentation-cost \
                  difference",
+                self.date
+            )
+        })
+    }
+
+    /// A one-line warning when the baseline's fidelity tier differs
+    /// from the one the current run will use. Unlike the profile case
+    /// this mismatch is *not* events/bytes-comparable — an estimate-tier
+    /// run doesn't process the exact event stream at all, so a cross-tier
+    /// speedup would measure the wrong thing entirely. Artifacts that
+    /// predate the `fidelity` field were all exact by construction, so
+    /// a missing line is treated as `"exact"`, not as unknowable.
+    pub fn fidelity_mismatch_warning(&self, current: &str) -> Option<String> {
+        let base = self.fidelity.as_deref().unwrap_or("exact");
+        (base != current).then(|| {
+            format!(
+                "warning: baseline {} was measured at fidelity \"{base}\" but this run \
+                 uses \"{current}\" — the tiers simulate different things, so speedups \
+                 against this baseline are not a perf trajectory",
                 self.date
             )
         })
@@ -537,19 +570,27 @@ pub fn catalogue(smoke: bool) -> Vec<ScenarioSpec> {
 /// point, instead of hanging a CI lane forever. Points run through the
 /// sweep engine's guarded runner ([`xds_scenario::run_point_guarded`]),
 /// so a panicking point also surfaces as a named error, not a crash.
+///
+/// `fidelity` selects the tier every point runs at ([`Fidelity::Exact`]
+/// is the default and the only tier whose artifacts belong on the perf
+/// trajectory; an estimate-tier bench measures the estimator itself,
+/// and the artifact records the tier so [`Baseline`] comparisons can
+/// warn on a cross-tier diff).
+#[allow(clippy::too_many_arguments)]
 pub fn run_bench(
     specs: Vec<ScenarioSpec>,
     mode: &str,
     date: String,
     repeats: u32,
     profile: InstrProfile,
+    fidelity: Fidelity,
     point_timeout: Option<std::time::Duration>,
     mut progress: impl FnMut(&BenchPoint),
 ) -> Result<BenchRun, String> {
     let repeats = repeats.max(1);
     let mut points = Vec::with_capacity(specs.len());
     for spec in specs {
-        let spec = spec.with_profile(profile);
+        let spec = spec.with_profile(profile).with_fidelity(fidelity);
         let mut best: Option<BenchPoint> = None;
         for _ in 0..repeats {
             let t0 = Instant::now();
@@ -594,6 +635,7 @@ pub fn run_bench(
         mode: mode.to_string(),
         repeats,
         profile: profile.label().to_string(),
+        fidelity: fidelity.label().to_string(),
         points,
     })
 }
@@ -689,6 +731,7 @@ mod tests {
             mode: "full".into(),
             repeats: 1,
             profile: "full".into(),
+            fidelity: "exact".into(),
             points: vec![
                 BenchPoint {
                     name: "uniform/n16".into(),
@@ -722,6 +765,7 @@ mod tests {
         let base = Baseline::parse(&json).expect("self-emitted JSON parses");
         assert_eq!(base.date, "2026-07-30");
         assert_eq!(base.profile.as_deref(), Some("full"));
+        assert_eq!(base.fidelity.as_deref(), Some("exact"));
         assert_eq!(base.per_point.len(), 2);
         assert_eq!(base.point_events_per_sec("uniform/n16"), Some(2_000_000.0));
         assert!((base.total_events_per_sec - run.events_per_sec()).abs() < 1.0);
@@ -738,6 +782,7 @@ mod tests {
             mode: "full".into(),
             repeats: 1,
             profile: "full".into(),
+            fidelity: "exact".into(),
             points: vec![BenchPoint {
                 name: "uniform/n16".into(),
                 scheduler: "islip_i3".into(),
@@ -767,6 +812,36 @@ mod tests {
     }
 
     #[test]
+    fn fidelity_mismatch_warns_and_old_artifacts_count_as_exact() {
+        let run = BenchRun {
+            date: "2026-08-08".into(),
+            mode: "full".into(),
+            repeats: 1,
+            profile: "lean".into(),
+            fidelity: "exact".into(),
+            points: Vec::new(),
+        };
+        let base = Baseline::parse(&run.to_json(None)).unwrap();
+        assert!(base.fidelity_mismatch_warning("exact").is_none());
+        let warn = base
+            .fidelity_mismatch_warning("estimate")
+            .expect("must warn");
+        assert!(warn.contains("\"exact\""), "{warn}");
+        assert!(warn.contains("\"estimate\""), "{warn}");
+        assert!(warn.contains("2026-08-08"), "{warn}");
+        // Pre-fidelity artifacts were all exact by construction: an
+        // estimate-tier run against one must still warn, and an exact
+        // run must stay silent.
+        let stripped = run
+            .to_json(None)
+            .replace("  \"fidelity\": \"exact\",\n", "");
+        let old = Baseline::parse(&stripped).unwrap();
+        assert_eq!(old.fidelity, None);
+        assert!(old.fidelity_mismatch_warning("exact").is_none());
+        assert!(old.fidelity_mismatch_warning("estimate").is_some());
+    }
+
+    #[test]
     fn missing_baseline_is_a_clear_error_not_a_panic() {
         let err = Baseline::load("/no/such/dir/BENCH_x.json").unwrap_err();
         assert!(
@@ -790,6 +865,7 @@ mod tests {
             mode: "full".into(),
             repeats: 1,
             profile: "full".into(),
+            fidelity: "exact".into(),
             points: vec![BenchPoint {
                 name: "uniform/n16".into(),
                 scheduler: "islip_i3".into(),
@@ -842,6 +918,7 @@ mod tests {
             mode: "full".into(),
             repeats: 1,
             profile: "full".into(),
+            fidelity: "exact".into(),
             points: vec![mk("a", 1_000_000, 1_000_000_000)],
         };
         let base = Baseline::parse(&old.to_json(None)).unwrap();
@@ -852,6 +929,7 @@ mod tests {
             mode: "full".into(),
             repeats: 1,
             profile: "full".into(),
+            fidelity: "exact".into(),
             points: vec![
                 mk("a", 1_000_000, 500_000_000),
                 mk("b-new", 50_000_000, 1_000_000_000),
@@ -873,6 +951,7 @@ mod tests {
             mode: "full".into(),
             repeats: 1,
             profile: "full".into(),
+            fidelity: "exact".into(),
             points: vec![
                 mk("a", 1_000_000, 1_000_000_000),
                 mk("slow", 1_000_000, 9_000_000_000),
@@ -884,6 +963,7 @@ mod tests {
             mode: "full".into(),
             repeats: 1,
             profile: "full".into(),
+            fidelity: "exact".into(),
             points: vec![mk("a", 1_000_000, 1_000_000_000)],
         };
         let m2 = new2.matched_speedup(&base2);
@@ -899,6 +979,7 @@ mod tests {
             mode: "full".into(),
             repeats: 1,
             profile: "full".into(),
+            fidelity: "exact".into(),
             points: vec![mk("z", 1, 1_000)],
         };
         assert!(stranger.matched_speedup(&base2).speedup().is_none());
@@ -922,6 +1003,7 @@ mod tests {
             "2026-01-01".into(),
             1,
             InstrProfile::Lean,
+            Fidelity::Exact,
             None,
             |_| {},
         )

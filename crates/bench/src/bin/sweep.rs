@@ -6,7 +6,9 @@
 //! sweep timeseries <scenario>[,<scenario>…]|all [options]
 //! sweep trace <scenario>[,<scenario>…]|all [options]
 //! sweep bench [--smoke] [--baseline file.json] [--out file.json] [--date YYYY-MM-DD]
-//!             [--repeat N] [--profile full|lean] [--shards k] [--point-timeout secs]
+//!             [--repeat N] [--profile full|lean] [--fidelity exact|estimate]
+//!             [--shards k] [--point-timeout secs]
+//! sweep validate-estimates [--smoke] [--out name] [--point-timeout secs]
 //!
 //! options (run / timeseries / trace):
 //!   --ports n1,n2,…        port-count axis          (default: scenario's)
@@ -15,6 +17,7 @@
 //!   --seeds s1,s2,…        seed axis (replicas)     (default: scenario's)
 //!   --reconfigs-us r1,…    switching-time axis, µs  (default: scenario's)
 //!   --shards k1,k2,…       shard-count axis         (default: scenario's)
+//!   --fidelity f1,f2,…     fidelity-tier axis: exact|estimate (default: exact)
 //!   --duration-ms d        horizon per point        (default: scenario's)
 //!   --threads t            worker threads           (default: all cores)
 //!   --out name             artifact basename        (default: sweep_<scenario>)
@@ -77,25 +80,43 @@
 //! cost from the measurement; the artifact records `profile`. `--smoke`
 //! is the CI liveness mode: ~20× shorter horizons, output under
 //! `results/`.
+//!
+//! The `--fidelity` axis selects the simulation tier per point: `exact`
+//! (the event-driven core, the default everywhere) or `estimate` (the
+//! decomposed per-link fast tier in `xds-estimate`). Estimate rows are
+//! column-compatible with exact rows and every artifact carries a
+//! `fidelity` column, so mixed-tier sweeps stay joinable. `sweep bench
+//! --fidelity estimate` benches the estimator itself; the artifact
+//! records the tier and baseline diffs warn across tiers.
+//!
+//! `sweep validate-estimates` is the estimate tier's contract check: it
+//! runs the pinned bench catalogue at both tiers sequentially, prints
+//! per-scenario error envelopes and speedups, and writes
+//! `results/<out>.validation.{json,csv}` (see [`xds_bench::validate`]).
+//! `--smoke` shrinks horizons exactly like `sweep bench --smoke`.
 
 use std::process::ExitCode;
 
 use xds_bench::emit_sweep_with;
-use xds_scenario::{library, InstrProfile, ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid};
+use xds_scenario::{
+    library, Fidelity, InstrProfile, ScenarioSpec, SchedulerKind, SweepExecutor, SweepGrid,
+};
 use xds_sim::SimDuration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sweep list\n  sweep run <scenario>[,…]|all [--ports n,…] [--loads l,…]\n\
          \x20            [--schedulers s,…] [--seeds s,…] [--reconfigs-us r,…]\n\
-         \x20            [--shards k,…] [--duration-ms d] [--threads t] [--out name]\n\
+         \x20            [--shards k,…] [--fidelity f,…] [--duration-ms d]\n\
+         \x20            [--threads t] [--out name]\n\
          \x20            [--profile full|lean|timeseries] [--trace] [--counters]\n\
          \x20            [--point-timeout secs]\n\
          \x20 sweep timeseries <scenario>[,…]|all [run options]\n\
          \x20 sweep trace <scenario>[,…]|all [run options]\n\
          \x20 sweep bench [--smoke] [--baseline file.json] [--out file.json]\n\
          \x20            [--date YYYY-MM-DD] [--repeat N] [--profile full|lean]\n\
-         \x20            [--shards k] [--point-timeout secs]\n\
+         \x20            [--fidelity exact|estimate] [--shards k] [--point-timeout secs]\n\
+         \x20 sweep validate-estimates [--smoke] [--out name] [--point-timeout secs]\n\
          scenarios: {}",
         library::all_names().join(", ")
     );
@@ -119,6 +140,7 @@ struct Options {
     seeds: Vec<u64>,
     reconfigs: Vec<SimDuration>,
     shards: Vec<usize>,
+    fidelities: Vec<Fidelity>,
     duration: Option<SimDuration>,
     threads: Option<usize>,
     out: Option<String>,
@@ -144,6 +166,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seeds: Vec::new(),
         reconfigs: Vec::new(),
         shards: Vec::new(),
+        fidelities: Vec::new(),
         duration: None,
         threads: None,
         out: None,
@@ -169,6 +192,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .into_iter()
                     .map(SimDuration::from_micros)
                     .collect()
+            }
+            "--fidelity" => {
+                o.fidelities = value()?
+                    .split(',')
+                    .map(|n| {
+                        Fidelity::from_name(n.trim())
+                            .ok_or_else(|| format!("unknown fidelity {n:?} (exact|estimate)"))
+                    })
+                    .collect::<Result<_, _>>()?
             }
             "--schedulers" => {
                 o.schedulers = value()?
@@ -240,6 +272,9 @@ fn run(names: &str, opts: Options) -> Result<(), String> {
         if !opts.shards.is_empty() {
             grid = grid.shards(opts.shards.clone());
         }
+        if !opts.fidelities.is_empty() {
+            grid = grid.fidelities(opts.fidelities.clone());
+        }
         specs.extend(grid.specs());
     }
     let executor = match opts.threads {
@@ -288,6 +323,7 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     let mut date: Option<String> = None;
     let mut repeat: u32 = 1;
     let mut profile = InstrProfile::Lean;
+    let mut fidelity = Fidelity::Exact;
     let mut shards: Option<usize> = None;
     let mut point_timeout: Option<std::time::Duration> = None;
     let mut it = args.iter();
@@ -316,6 +352,11 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
                     _ => return Err(format!("bad --profile {v:?} (bench takes full|lean)")),
                 }
             }
+            "--fidelity" => {
+                let v = value()?;
+                fidelity = Fidelity::from_name(&v)
+                    .ok_or_else(|| format!("bad --fidelity {v:?} (exact|estimate)"))?
+            }
             "--shards" => {
                 shards = Some(
                     value()?
@@ -340,6 +381,9 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
         if let Some(warn) = b.profile_mismatch_warning(profile.label()) {
             eprintln!("{warn}");
         }
+        if let Some(warn) = b.fidelity_mismatch_warning(fidelity.label()) {
+            eprintln!("{warn}");
+        }
     }
     let mode = if smoke { "smoke" } else { "full" };
     let date = date.unwrap_or_else(xds_bench::bench::today_string);
@@ -352,9 +396,10 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     }
     println!(
         "sweep bench: {} pinned point(s), mode={mode}, fastest-of-{repeat}, \
-         profile={}{}, sequential single-thread\n",
+         profile={}, fidelity={}{}, sequential single-thread\n",
         specs.len(),
         profile.label(),
+        fidelity.label(),
         match shards {
             Some(k) => format!(", shards={k}"),
             None => String::new(),
@@ -366,6 +411,7 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
         date.clone(),
         repeat,
         profile,
+        fidelity,
         point_timeout,
         |p| {
             println!(
@@ -424,6 +470,72 @@ fn run_bench_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn run_validate_cmd(args: &[String]) -> Result<(), String> {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut point_timeout: Option<std::time::Duration> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(value()?),
+            "--point-timeout" => point_timeout = Some(parse_point_timeout(&value()?)?),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let mode = if smoke { "smoke" } else { "full" };
+    let specs = xds_bench::bench::catalogue(smoke);
+    println!(
+        "sweep validate-estimates: {} catalogue point(s), mode={mode}, \
+         exact vs estimate, sequential single-thread\n",
+        specs.len()
+    );
+    let run = xds_bench::validate::run_validation(
+        specs,
+        mode,
+        xds_bench::bench::today_string(),
+        point_timeout,
+        |r| {
+            let errs = r.err_values();
+            println!(
+                "  {:<22} exact {:>9.1} ms  est {:>8.2} ms  speedup {:>7.1}x  \
+                 err p50 {:.4} p95 {:.4} max {:.4}",
+                r.name,
+                r.exact_wall_ns as f64 / 1e6,
+                r.est_wall_ns as f64 / 1e6,
+                r.speedup(),
+                xds_metrics::percentile_of(&errs, 0.50),
+                xds_metrics::percentile_of(&errs, 0.95),
+                xds_metrics::percentile_of(&errs, 1.0),
+            );
+        },
+    )?;
+    let all = run.all_errors();
+    println!(
+        "\n  envelope over {} comparison(s): err p50 {:.4} p95 {:.4} max {:.4}",
+        all.len(),
+        xds_metrics::percentile_of(&all, 0.50),
+        xds_metrics::percentile_of(&all, 0.95),
+        xds_metrics::percentile_of(&all, 1.0),
+    );
+    if let Some(s) = run.min_kilofabric_speedup() {
+        println!("  minimum kilofabric speedup: {s:.1}x");
+    }
+    let base = out.unwrap_or_else(|| format!("validate_{mode}"));
+    std::fs::create_dir_all("results").map_err(|e| format!("mkdir results: {e}"))?;
+    for (ext, body) in [("json", run.to_json()), ("csv", run.to_csv())] {
+        let path = format!("results/{base}.validation.{ext}");
+        std::fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("[saved {path}]");
+    }
+    Ok(())
+}
+
 /// Formats one catalogue line per scenario name, resolving each through
 /// the library. A name that fails to resolve — catalogue drift, or a
 /// hand-edited invocation listing a scenario that no longer exists — is
@@ -435,11 +547,16 @@ fn list_lines<'a>(names: impl IntoIterator<Item = &'a str>) -> Result<Vec<String
             let spec = library::scenario(name)
                 .ok_or_else(|| format!("unknown scenario {name:?} (see `sweep list`)"))?;
             Ok(format!(
-                "{name:<12} pattern={:<14} sizes={:<10} sched={:<10} apps={}",
+                "{name:<18} ports={:<5} pattern={:<14} sizes={:<10} sched={:<10} apps={:<10} faults={}",
+                spec.n_ports,
                 spec.pattern.label(),
                 spec.sizes.label(),
                 spec.scheduler.label(),
                 spec.apps.label(),
+                spec.faults
+                    .as_ref()
+                    .map(xds_core::FaultPlan::label)
+                    .unwrap_or_else(|| "none".into()),
             ))
         })
         .collect()
@@ -464,6 +581,13 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("sweep bench: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("validate-estimates") => match run_validate_cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("sweep validate-estimates: {e}");
                 ExitCode::FAILURE
             }
         },
@@ -535,7 +659,22 @@ mod tests {
     fn list_resolves_the_whole_catalogue() {
         let lines = list_lines(library::all_names()).expect("every catalogue name must resolve");
         assert_eq!(lines.len(), library::all_names().len());
-        assert!(lines.iter().all(|l| l.contains("pattern=")));
+        for l in &lines {
+            for col in ["ports=", "pattern=", "sizes=", "sched=", "apps=", "faults="] {
+                assert!(l.contains(col), "list line lost its {col} column: {l}");
+            }
+        }
+        // Faulted entries show their plan; clean ones read as none.
+        let storm = lines
+            .iter()
+            .find(|l| l.starts_with("fault-storm"))
+            .expect("fault-storm is in the catalogue");
+        assert!(storm.contains("faults=link+misfire+stall"), "{storm}");
+        let uniform = lines
+            .iter()
+            .find(|l| l.starts_with("uniform "))
+            .expect("uniform is in the catalogue");
+        assert!(uniform.contains("faults=none"), "{uniform}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod validate;
 
 use std::path::Path;
 

@@ -1,0 +1,402 @@
+//! The estimate-tier error envelope: `sweep validate-estimates`.
+//!
+//! The exact core's contract is its golden traces; the estimate tier's
+//! contract is a **tested error envelope**. This module runs the pinned
+//! bench catalogue (see [`crate::bench::catalogue`]) at both fidelity
+//! tiers, compares the canonical metric columns point by point, and
+//! emits `results/<out>.validation.{json,csv}`:
+//!
+//! * the JSON artifact (`xds-validate-v1`, line-oriented like the bench
+//!   format) carries one row per scenario — wall-clock for both tiers,
+//!   the speedup, and the p50/p95/max relative error across the
+//!   validated metrics — plus per-metric error percentiles across the
+//!   whole catalogue and an aggregate block (overall envelope, minimum
+//!   speedup on the kilofabric rungs);
+//! * the CSV carries the full detail: one row per `(scenario, metric)`
+//!   with both values and the relative error, so regressions in a
+//!   single estimator model are attributable from the artifact alone.
+//!
+//! Wall-clock timing here is harness-side measurement of the two tiers
+//! (the same role `Instant` plays in [`crate::bench`]); it never feeds
+//! back into either simulation, so the metric columns — and therefore
+//! every error number — are deterministic for fixed seeds.
+
+use std::time::Instant;
+
+use xds_metrics::{percentile_of, relative_error};
+use xds_scenario::{Fidelity, ScenarioSpec};
+
+/// The metric columns the envelope is measured over: the headline
+/// delivery/latency numbers a sweep consumer would actually plot.
+/// Observation-gated columns that are absent on a point (e.g. no FCT
+/// because no flow completed) are skipped for that point, never counted
+/// as zero-error.
+pub const VALIDATED_METRICS: [&str; 10] = [
+    "delivered_ocs_bytes",
+    "delivered_eps_bytes",
+    "throughput_gbps",
+    "goodput",
+    "ocs_byte_share",
+    "ocs_duty_cycle",
+    "p50_bulk_ns",
+    "p99_bulk_ns",
+    "p99_inter_ns",
+    "fct_p99_ns",
+];
+
+/// Port count from which a point counts as a "kilofabric rung" for the
+/// minimum-speedup aggregate.
+pub const KILOFABRIC_PORTS: usize = 1024;
+
+/// One metric compared across the two tiers on one scenario.
+#[derive(Debug, Clone)]
+pub struct MetricError {
+    /// Canonical metric column name.
+    pub metric: &'static str,
+    /// The exact tier's value.
+    pub exact: f64,
+    /// The estimate tier's value.
+    pub estimate: f64,
+    /// `|estimate - exact| / max(|exact|, |estimate|, 1)` (see
+    /// [`xds_metrics::relative_error`]).
+    pub rel_err: f64,
+}
+
+/// One catalogue scenario validated at both tiers.
+#[derive(Debug, Clone)]
+pub struct ValidationRow {
+    /// Point name (`<scenario>/n<ports>`).
+    pub name: String,
+    /// Fabric port count.
+    pub n_ports: usize,
+    /// Wall-clock nanoseconds the exact tier took.
+    pub exact_wall_ns: u128,
+    /// Wall-clock nanoseconds the estimate tier took.
+    pub est_wall_ns: u128,
+    /// Per-metric comparisons (metrics absent on either tier skipped).
+    pub errors: Vec<MetricError>,
+}
+
+impl ValidationRow {
+    /// Exact-tier wall-clock over estimate-tier wall-clock.
+    pub fn speedup(&self) -> f64 {
+        if self.est_wall_ns == 0 {
+            return 0.0;
+        }
+        self.exact_wall_ns as f64 / self.est_wall_ns as f64
+    }
+
+    /// The row's relative errors as a plain vector.
+    pub fn err_values(&self) -> Vec<f64> {
+        self.errors.iter().map(|e| e.rel_err).collect()
+    }
+}
+
+/// A completed two-tier validation run.
+#[derive(Debug, Clone)]
+pub struct ValidationRun {
+    /// ISO date the run was taken (`YYYY-MM-DD`).
+    pub date: String,
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// Per-scenario rows, in catalogue order.
+    pub rows: Vec<ValidationRow>,
+}
+
+impl ValidationRun {
+    /// Every relative error in the run, across all rows and metrics.
+    pub fn all_errors(&self) -> Vec<f64> {
+        self.rows.iter().flat_map(|r| r.err_values()).collect()
+    }
+
+    /// All relative errors recorded for one metric, across scenarios.
+    pub fn metric_errors(&self, metric: &str) -> Vec<f64> {
+        self.rows
+            .iter()
+            .flat_map(|r| r.errors.iter())
+            .filter(|e| e.metric == metric)
+            .map(|e| e.rel_err)
+            .collect()
+    }
+
+    /// The smallest exact/estimate speedup among the kilofabric rungs
+    /// (`n_ports >= 1024`), or `None` when the run has none (smoke
+    /// horizons still include them; a filtered custom run may not).
+    pub fn min_kilofabric_speedup(&self) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.n_ports >= KILOFABRIC_PORTS)
+            .map(ValidationRow::speedup)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite speedups"))
+    }
+
+    /// Serializes the run as the line-oriented
+    /// `results/<out>.validation.json` artifact.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"schema\": \"xds-validate-v1\",");
+        let _ = writeln!(o, "  \"date\": \"{}\",", self.date);
+        let _ = writeln!(o, "  \"mode\": \"{}\",", self.mode);
+        o.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let errs = r.err_values();
+            let _ = write!(
+                o,
+                "    {{\"name\": \"{}\", \"n_ports\": {}, \"metrics\": {}, \
+                 \"exact_wall_ns\": {}, \"est_wall_ns\": {}, \"speedup\": {:.2}, \
+                 \"err_p50\": {:.6}, \"err_p95\": {:.6}, \"err_max\": {:.6}}}",
+                r.name,
+                r.n_ports,
+                errs.len(),
+                r.exact_wall_ns,
+                r.est_wall_ns,
+                r.speedup(),
+                percentile_of(&errs, 0.50),
+                percentile_of(&errs, 0.95),
+                percentile_of(&errs, 1.0),
+            );
+            o.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        o.push_str("  ],\n  \"metrics\": [\n");
+        for (i, m) in VALIDATED_METRICS.iter().enumerate() {
+            let errs = self.metric_errors(m);
+            let _ = write!(
+                o,
+                "    {{\"metric\": \"{m}\", \"points\": {}, \"err_p50\": {:.6}, \
+                 \"err_p95\": {:.6}, \"err_max\": {:.6}}}",
+                errs.len(),
+                percentile_of(&errs, 0.50),
+                percentile_of(&errs, 0.95),
+                percentile_of(&errs, 1.0),
+            );
+            o.push_str(if i + 1 < VALIDATED_METRICS.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let all = self.all_errors();
+        let _ = write!(
+            o,
+            "  ],\n  \"aggregate\": {{\"rows\": {}, \"comparisons\": {}, \
+             \"err_p50\": {:.6}, \"err_p95\": {:.6}, \"err_max\": {:.6}",
+            self.rows.len(),
+            all.len(),
+            percentile_of(&all, 0.50),
+            percentile_of(&all, 0.95),
+            percentile_of(&all, 1.0),
+        );
+        if let Some(s) = self.min_kilofabric_speedup() {
+            let _ = write!(o, ", \"min_kilofabric_speedup\": {s:.2}");
+        }
+        o.push_str("}\n}\n");
+        o
+    }
+
+    /// Serializes the full per-metric detail as the
+    /// `results/<out>.validation.csv` artifact.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut o = String::from(
+            "scenario,n_ports,metric,exact,estimate,rel_err,exact_wall_ns,est_wall_ns,speedup\n",
+        );
+        for r in &self.rows {
+            for e in &r.errors {
+                let _ = writeln!(
+                    o,
+                    "{},{},{},{},{},{:.6},{},{},{:.2}",
+                    r.name,
+                    r.n_ports,
+                    e.metric,
+                    e.exact,
+                    e.estimate,
+                    e.rel_err,
+                    r.exact_wall_ns,
+                    r.est_wall_ns,
+                    r.speedup(),
+                );
+            }
+        }
+        o
+    }
+}
+
+/// Compares one spec's two tiers: runs it exactly and as an estimate
+/// (timing both), then diffs the validated metric columns. Columns
+/// absent on either side (observation-gated and unmeasured on that
+/// point) are skipped rather than scored.
+///
+/// The estimate tier is timed as the better of two back-to-back runs:
+/// its wall-clock is milliseconds where the exact tier's is hundreds,
+/// so a single scheduling hiccup would otherwise dominate the recorded
+/// speedup. The second run doubles as a point-level determinism check —
+/// both runs must produce bit-identical metric columns.
+pub fn validate_point(
+    spec: &ScenarioSpec,
+    point_timeout: Option<std::time::Duration>,
+) -> Result<ValidationRow, String> {
+    let exact_spec = spec.clone().with_fidelity(Fidelity::Exact);
+    let est_spec = spec.clone().with_fidelity(Fidelity::Estimate);
+    let t0 = Instant::now();
+    let exact = xds_scenario::run_point_guarded(&exact_spec, point_timeout)
+        .map_err(|e| format!("validate point {} (exact): {e}", spec.name))?;
+    let exact_wall_ns = t0.elapsed().as_nanos();
+    let t1 = Instant::now();
+    let est = xds_scenario::run_point_guarded(&est_spec, point_timeout)
+        .map_err(|e| format!("validate point {} (estimate): {e}", spec.name))?;
+    let mut est_wall_ns = t1.elapsed().as_nanos();
+    let t2 = Instant::now();
+    let est_rerun = xds_scenario::run_point_guarded(&est_spec, point_timeout)
+        .map_err(|e| format!("validate point {} (estimate rerun): {e}", spec.name))?;
+    est_wall_ns = est_wall_ns.min(t2.elapsed().as_nanos());
+    for metric in VALIDATED_METRICS {
+        let a = est.metric(metric).and_then(|v| v.as_f64());
+        let b = est_rerun.metric(metric).and_then(|v| v.as_f64());
+        if a.map(f64::to_bits) != b.map(f64::to_bits) {
+            return Err(format!(
+                "validate point {}: estimate tier not deterministic on {metric} ({a:?} vs {b:?})",
+                spec.name
+            ));
+        }
+    }
+    let mut errors = Vec::new();
+    for metric in VALIDATED_METRICS {
+        let (Some(x), Some(e)) = (
+            exact.metric(metric).and_then(|v| v.as_f64()),
+            est.metric(metric).and_then(|v| v.as_f64()),
+        ) else {
+            continue;
+        };
+        errors.push(MetricError {
+            metric,
+            exact: x,
+            estimate: e,
+            rel_err: relative_error(e, x),
+        });
+    }
+    Ok(ValidationRow {
+        name: spec.name.clone(),
+        n_ports: spec.n_ports,
+        exact_wall_ns,
+        est_wall_ns,
+        errors,
+    })
+}
+
+/// Runs every spec at both tiers sequentially, in order; `progress` is
+/// called with each completed row. Sequential single-thread execution
+/// keeps the wall-clock comparison honest (the speedup under test is
+/// one tier against the other, not sweep parallelism).
+pub fn run_validation(
+    specs: Vec<ScenarioSpec>,
+    mode: &str,
+    date: String,
+    point_timeout: Option<std::time::Duration>,
+    mut progress: impl FnMut(&ValidationRow),
+) -> Result<ValidationRun, String> {
+    let mut rows = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let row = validate_point(&spec, point_timeout)?;
+        progress(&row);
+        rows.push(row);
+    }
+    Ok(ValidationRun {
+        date,
+        mode: mode.to_string(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xds_sim::SimDuration;
+
+    fn tiny_specs() -> Vec<ScenarioSpec> {
+        ["uniform", "hotspot"]
+            .iter()
+            .map(|n| {
+                xds_scenario::library::scenario(n)
+                    .expect("known name")
+                    .with_ports(8)
+                    .with_seed(7)
+                    .with_duration(SimDuration::from_millis(1))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn validation_rows_cover_metrics_and_serialize() {
+        let run = run_validation(tiny_specs(), "smoke", "2026-01-01".into(), None, |_| {}).unwrap();
+        assert_eq!(run.rows.len(), 2);
+        for r in &run.rows {
+            assert!(
+                r.errors.len() >= 6,
+                "{}: too few comparable metrics ({})",
+                r.name,
+                r.errors.len()
+            );
+            for e in &r.errors {
+                assert!(e.rel_err.is_finite(), "{}/{} not finite", r.name, e.metric);
+            }
+        }
+        let json = run.to_json();
+        assert!(json.contains("\"schema\": \"xds-validate-v1\""));
+        assert!(json.contains("\"err_p95\""));
+        assert!(json.contains("\"aggregate\""));
+        // No kilofabric rung in the tiny subset: the aggregate must not
+        // invent a speedup for it.
+        assert!(!json.contains("min_kilofabric_speedup"));
+        let csv = run.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "scenario,n_ports,metric,exact,estimate,rel_err,exact_wall_ns,est_wall_ns,speedup"
+        );
+        let width = header.split(',').count();
+        assert!(csv.lines().count() > 2);
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), width, "ragged: {line}");
+        }
+    }
+
+    #[test]
+    fn error_numbers_are_deterministic_across_runs() {
+        // Wall-clock differs run to run; the metric comparisons must not.
+        let a = run_validation(tiny_specs(), "smoke", "2026-01-01".into(), None, |_| {}).unwrap();
+        let b = run_validation(tiny_specs(), "smoke", "2026-01-01".into(), None, |_| {}).unwrap();
+        for (ra, rb) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(ra.name, rb.name);
+            assert_eq!(ra.errors.len(), rb.errors.len());
+            for (ea, eb) in ra.errors.iter().zip(&rb.errors) {
+                assert_eq!(ea.metric, eb.metric);
+                assert_eq!(ea.exact.to_bits(), eb.exact.to_bits());
+                assert_eq!(ea.estimate.to_bits(), eb.estimate.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn kilofabric_minimum_tracks_the_slowest_large_rung() {
+        let row = |name: &str, n: usize, exact: u128, est: u128| ValidationRow {
+            name: name.into(),
+            n_ports: n,
+            exact_wall_ns: exact,
+            est_wall_ns: est,
+            errors: Vec::new(),
+        };
+        let run = ValidationRun {
+            date: "2026-01-01".into(),
+            mode: "full".into(),
+            rows: vec![
+                row("small/n16", 16, 1_000, 10),       // 100x, but not kilofabric
+                row("big/n1024", 1024, 40_000, 1_000), // 40x
+                row("big/n2048", 2048, 30_000, 2_000), // 15x <- minimum
+            ],
+        };
+        let min = run.min_kilofabric_speedup().unwrap();
+        assert!((min - 15.0).abs() < 1e-9, "{min}");
+        assert!(run.to_json().contains("\"min_kilofabric_speedup\": 15.00"));
+    }
+}

@@ -135,6 +135,7 @@ fn bench_runs_lean_by_default_and_records_the_profile() {
         "2026-01-01".into(),
         1,
         InstrProfile::Lean,
+        xds_scenario::Fidelity::Exact,
         None,
         |_| {},
     )

@@ -1,0 +1,83 @@
+//! The estimate tier's contract, end to end: the validation harness
+//! covers whatever subset it is given, its error envelope is finite,
+//! and estimate-tier sweeps honor the same thread-count determinism
+//! the exact tier is held to (`bench_determinism`-style coverage).
+
+use xds_bench::bench::catalogue;
+use xds_bench::validate::{run_validation, VALIDATED_METRICS};
+use xds_scenario::{Fidelity, ScenarioSpec, SweepExecutor};
+
+/// The small catalogue points: enough to exercise every code path in
+/// the harness while keeping the exact-tier runs test-sized (the full
+/// catalogue — kilofabric rungs included — runs in CI via
+/// `sweep validate-estimates --smoke` on the release binary).
+fn small_subset() -> Vec<ScenarioSpec> {
+    let specs: Vec<ScenarioSpec> = catalogue(true)
+        .into_iter()
+        .filter(|s| s.n_ports <= 16)
+        .collect();
+    assert!(specs.len() >= 4, "smoke catalogue lost its 16-port points");
+    specs
+}
+
+#[test]
+fn validation_covers_every_given_point_with_finite_errors() {
+    let specs = small_subset();
+    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    let run = run_validation(specs, "smoke", "2026-01-01".into(), None, |_| {}).unwrap();
+    assert_eq!(run.rows.len(), names.len());
+    let json = run.to_json();
+    let csv = run.to_csv();
+    for name in &names {
+        assert!(
+            run.rows.iter().any(|r| &r.name == name),
+            "row missing for {name}"
+        );
+        assert!(
+            json.contains(&format!("\"name\": \"{name}\"")),
+            "{name} not in JSON"
+        );
+        assert!(csv.contains(&format!("{name},")), "{name} not in CSV");
+    }
+    for r in &run.rows {
+        assert!(!r.errors.is_empty(), "{}: nothing compared", r.name);
+        for e in &r.errors {
+            assert!(
+                e.rel_err.is_finite(),
+                "{}/{}: error not finite ({} vs {})",
+                r.name,
+                e.metric,
+                e.estimate,
+                e.exact
+            );
+            assert!(
+                VALIDATED_METRICS.contains(&e.metric),
+                "unexpected metric {}",
+                e.metric
+            );
+        }
+    }
+    // The faulted point must be covered too: mini-sim path, not just
+    // the closed-form one.
+    assert!(
+        run.rows.iter().any(|r| r.name.starts_with("fault-storm")),
+        "the faulted catalogue point must be validated"
+    );
+}
+
+#[test]
+fn estimate_tier_sweep_is_thread_count_invariant_on_catalogue_points() {
+    let specs: Vec<ScenarioSpec> = small_subset()
+        .into_iter()
+        .map(|s| s.with_fidelity(Fidelity::Estimate))
+        .collect();
+    let a = SweepExecutor::with_threads(1).run(specs.clone());
+    let b = SweepExecutor::with_threads(2).run(specs.clone());
+    let c = SweepExecutor::with_threads(8).run(specs);
+    assert!(a.points.iter().all(|p| p.report.is_ok()));
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(b.to_json(), c.to_json());
+    assert_eq!(a.to_csv(), c.to_csv());
+    // Estimate rows declare their tier in the artifacts.
+    assert!(a.to_json().contains("\"fidelity\": \"estimate\""));
+}

@@ -42,6 +42,15 @@ impl Placement {
         }
     }
 
+    /// Analytic mean decision latency (no sampling — for closed-form
+    /// models and tables).
+    pub fn mean_decision_latency(&self, n_ports: usize) -> SimDuration {
+        match self {
+            Placement::Hardware(m) => m.mean_decision_latency(n_ports),
+            Placement::Software { timing, .. } => timing.mean_decision_latency(n_ports),
+        }
+    }
+
     /// Label for tables.
     pub fn label(&self) -> &'static str {
         match self {

@@ -219,6 +219,55 @@ impl MetricValue {
 }
 
 impl RunReport {
+    /// An all-zero report skeleton for the given identity: every counter
+    /// zero, every histogram empty, every optional absent, observation
+    /// flags set to "measured". The exact runtime fills its bundle
+    /// incrementally; synthetic producers (the `xds-estimate` fidelity
+    /// tier, test fixtures) start from this skeleton so adding a report
+    /// field breaks exactly one constructor.
+    pub fn skeleton(
+        scheduler: impl Into<String>,
+        placement: impl Into<String>,
+        horizon: SimDuration,
+    ) -> RunReport {
+        RunReport {
+            scheduler: scheduler.into(),
+            placement: placement.into(),
+            horizon,
+            events: 0,
+            offered_bytes: 0,
+            offered_flows: 0,
+            completed_flows: 0,
+            delivered_ocs_bytes: 0,
+            delivered_eps_bytes: 0,
+            latency_interactive: LatencyHistogram::new(),
+            latency_short: LatencyHistogram::new(),
+            latency_bulk: LatencyHistogram::new(),
+            voip_jitter_mean_ns: None,
+            voip_jitter_max_ns: None,
+            fct_mice: None,
+            fct_medium: None,
+            fct_elephant: None,
+            fct_overall: None,
+            peak_host_buffer: 0,
+            peak_switch_buffer: 0,
+            drops: DropStats::default(),
+            ocs: OcsStats::default(),
+            eps: EpsStats::default(),
+            decisions: 0,
+            decision_latency_mean_ns: 0.0,
+            demand_error_mean: None,
+            fault_degraded_ns: 0,
+            fault_failover_bytes: 0,
+            phases: EpochPhaseNs::default(),
+            timeseries: None,
+            counters: CounterSet::default(),
+            chrome_trace: None,
+            measured_deliveries: true,
+            measured_buffers: true,
+        }
+    }
+
     /// Total delivered bytes.
     pub fn delivered_bytes(&self) -> u64 {
         self.delivered_ocs_bytes + self.delivered_eps_bytes
@@ -562,42 +611,7 @@ mod tests {
     use super::*;
 
     fn blank() -> RunReport {
-        RunReport {
-            scheduler: "test".into(),
-            placement: "hardware".into(),
-            horizon: SimDuration::from_millis(1),
-            events: 0,
-            offered_bytes: 0,
-            offered_flows: 0,
-            completed_flows: 0,
-            delivered_ocs_bytes: 0,
-            delivered_eps_bytes: 0,
-            latency_interactive: LatencyHistogram::new(),
-            latency_short: LatencyHistogram::new(),
-            latency_bulk: LatencyHistogram::new(),
-            voip_jitter_mean_ns: None,
-            voip_jitter_max_ns: None,
-            fct_mice: None,
-            fct_medium: None,
-            fct_elephant: None,
-            fct_overall: None,
-            peak_host_buffer: 0,
-            peak_switch_buffer: 0,
-            drops: DropStats::default(),
-            ocs: OcsStats::default(),
-            eps: EpsStats::default(),
-            decisions: 0,
-            decision_latency_mean_ns: 0.0,
-            demand_error_mean: None,
-            fault_degraded_ns: 0,
-            fault_failover_bytes: 0,
-            phases: EpochPhaseNs::default(),
-            timeseries: None,
-            counters: CounterSet::default(),
-            chrome_trace: None,
-            measured_deliveries: true,
-            measured_buffers: true,
-        }
+        RunReport::skeleton("test", "hardware", SimDuration::from_millis(1))
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Deterministic flow-size profiling: the per-class demand shares every
+//! mini-problem needs, sampled once per point from a seeded stream.
+//!
+//! The exact simulator learns these shares implicitly, one sampled flow
+//! at a time. The estimate tier needs them up front — how many bytes
+//! ride the EPS (below the bulk threshold) vs the OCS, and how each
+//! [`SizeClass`] splits by count and by bytes — so it draws a fixed
+//! number of sizes from the same distribution family and summarizes.
+//! The draw count is a constant and the RNG is a fork of the point's
+//! seed, so the profile is a pure function of `(spec, seed)`.
+
+use xds_metrics::SizeClass;
+use xds_sim::SimRng;
+use xds_traffic::FlowSizeDist;
+
+/// Samples drawn per profile. Enough that empirical CDFs (websearch,
+/// datamining) stabilize their byte shares; cheap enough to be noise in
+/// a point's cost.
+const PROFILE_SAMPLES: usize = 4096;
+
+/// Per-[`SizeClass`] demand summary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassProfile {
+    /// Fraction of flows in this class.
+    pub count_share: f64,
+    /// Fraction of bytes in this class.
+    pub byte_share: f64,
+    /// Mean flow size within the class (bytes); 0 when empty.
+    pub mean_bytes: f64,
+}
+
+/// The sampled size-distribution summary of one scenario point.
+#[derive(Debug, Clone)]
+pub struct SizeProfile {
+    /// Analytic mean flow size (bytes) — the same number the exact
+    /// tier's flow generator derives its arrival rate from, so both
+    /// tiers agree on offered flows by construction.
+    pub mean_bytes: f64,
+    /// Fraction of background bytes below the bulk threshold (EPS path).
+    pub eps_byte_share: f64,
+    /// Per-class splits, indexed by [`SizeClass::ALL`] order.
+    pub class: [ClassProfile; 3],
+}
+
+impl SizeProfile {
+    /// Profiles `sizes` against `bulk_threshold` with draws from `rng`.
+    pub fn sample(sizes: &FlowSizeDist, bulk_threshold: u64, rng: &mut SimRng) -> SizeProfile {
+        let mut count = [0u64; 3];
+        let mut bytes = [0f64; 3];
+        let mut eps_bytes = 0f64;
+        let mut total_bytes = 0f64;
+        for _ in 0..PROFILE_SAMPLES {
+            let b = sizes.sample_bytes(rng);
+            let c = class_index(SizeClass::of(b));
+            count[c] += 1;
+            bytes[c] += b as f64;
+            total_bytes += b as f64;
+            if b < bulk_threshold {
+                eps_bytes += b as f64;
+            }
+        }
+        let mut class = [ClassProfile::default(); 3];
+        for c in 0..3 {
+            class[c] = ClassProfile {
+                count_share: count[c] as f64 / PROFILE_SAMPLES as f64,
+                byte_share: if total_bytes > 0.0 {
+                    bytes[c] / total_bytes
+                } else {
+                    0.0
+                },
+                mean_bytes: if count[c] > 0 {
+                    bytes[c] / count[c] as f64
+                } else {
+                    0.0
+                },
+            };
+        }
+        SizeProfile {
+            mean_bytes: sizes.mean_bytes().max(1.0),
+            eps_byte_share: if total_bytes > 0.0 {
+                eps_bytes / total_bytes
+            } else {
+                0.0
+            },
+            class,
+        }
+    }
+
+    /// The class summary for `class`.
+    pub fn of(&self, class: SizeClass) -> &ClassProfile {
+        &self.class[class_index(class)]
+    }
+}
+
+pub(crate) fn class_index(class: SizeClass) -> usize {
+    match class {
+        SizeClass::Mice => 0,
+        SizeClass::Medium => 1,
+        SizeClass::Elephant => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_sizes_collapse_to_one_class() {
+        let mut rng = SimRng::new(7);
+        let p = SizeProfile::sample(&FlowSizeDist::Fixed(150_000), 100_000, &mut rng);
+        // 150 kB flows: all medium, all above the bulk threshold.
+        assert!((p.of(SizeClass::Medium).count_share - 1.0).abs() < 1e-12);
+        assert_eq!(p.eps_byte_share, 0.0);
+        assert_eq!(p.mean_bytes, 150_000.0);
+    }
+
+    #[test]
+    fn profile_is_a_pure_function_of_the_seed() {
+        let a = SizeProfile::sample(&FlowSizeDist::WebSearch, 100_000, &mut SimRng::new(3));
+        let b = SizeProfile::sample(&FlowSizeDist::WebSearch, 100_000, &mut SimRng::new(3));
+        assert_eq!(a.eps_byte_share, b.eps_byte_share);
+        assert_eq!(
+            a.of(SizeClass::Mice).byte_share,
+            b.of(SizeClass::Mice).byte_share
+        );
+        let c = SizeProfile::sample(&FlowSizeDist::WebSearch, 100_000, &mut SimRng::new(4));
+        assert_ne!(a.eps_byte_share, c.eps_byte_share, "seed moves the draw");
+    }
+
+    #[test]
+    fn websearch_mixes_classes_and_shares_sum_to_one() {
+        let p = SizeProfile::sample(&FlowSizeDist::WebSearch, 100_000, &mut SimRng::new(11));
+        let counts: f64 = p.class.iter().map(|c| c.count_share).sum();
+        let bytes: f64 = p.class.iter().map(|c| c.byte_share).sum();
+        assert!((counts - 1.0).abs() < 1e-9);
+        assert!((bytes - 1.0).abs() < 1e-9);
+        assert!(
+            p.of(SizeClass::Mice).count_share > 0.0,
+            "websearch has mice"
+        );
+        assert!(p.eps_byte_share > 0.0 && p.eps_byte_share < 1.0);
+    }
+}

@@ -77,6 +77,7 @@ pub const CRATE_DIRS: &[&str] = &[
     "crates/hw",
     "crates/metrics",
     "crates/core",
+    "crates/estimate",
     "crates/scenario",
     "crates/bench",
     "crates/lint",

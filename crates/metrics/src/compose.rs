@@ -1,0 +1,161 @@
+//! Percentile-composition helpers for the fast-estimate fidelity tier.
+//!
+//! The estimate tier (`xds-estimate`) never observes individual packets;
+//! it derives *distribution parameters* per mini-problem (a mean wait, a
+//! base latency, a packet count) and needs to fold those into the same
+//! [`LatencyHistogram`]s the exact simulator fills one packet at a time.
+//! These helpers do that composition deterministically: an exponential
+//! waiting-time ladder is written into the histogram at fixed quantile
+//! knots, weighted by each knot's probability mass, so merged per-link
+//! estimates read back through `quantile()` like a measured population.
+//!
+//! The same module carries the error arithmetic the `sweep
+//! validate-estimates` harness uses to compare the two tiers, so the
+//! definition of "relative error" lives in exactly one place.
+
+use crate::hist::LatencyHistogram;
+
+/// The quantile knots a synthesized waiting-time distribution is written
+/// at, with the probability mass each knot carries (the gap down to the
+/// previous knot). Chosen to bracket the percentiles the report reads
+/// back (p50/p90/p99/p999) so composition error stays within the
+/// histogram's own bucket error.
+pub const QUANTILE_KNOTS: [(f64, f64); 7] = [
+    (0.25, 0.25),
+    (0.50, 0.25),
+    (0.75, 0.25),
+    (0.90, 0.15),
+    (0.97, 0.07),
+    (0.995, 0.025),
+    (0.9995, 0.005),
+];
+
+/// The `q`-quantile of an exponential waiting time with the given mean:
+/// `W(q) = -mean · ln(1 - q)` (M/M/1 waiting-time shape; the estimate
+/// tier's stand-in for per-packet queueing variability).
+pub fn exp_wait_quantile(mean_wait_ns: f64, q: f64) -> f64 {
+    let positive = mean_wait_ns.is_finite() && mean_wait_ns > 0.0;
+    if !positive || !(0.0..1.0).contains(&q) {
+        return 0.0;
+    }
+    -mean_wait_ns * (1.0 - q).ln()
+}
+
+/// Writes `count` synthetic samples of `base_ns + Exp(mean_wait_ns)`
+/// into `hist` at the fixed [`QUANTILE_KNOTS`]: each knot records the
+/// knot's latency value with its probability mass of the population.
+/// Deterministic — no RNG — so composed histograms are byte-stable.
+pub fn record_wait_population(
+    hist: &mut LatencyHistogram,
+    base_ns: u64,
+    mean_wait_ns: f64,
+    count: u64,
+) {
+    if count == 0 {
+        return;
+    }
+    let mut recorded = 0u64;
+    for (i, &(q, mass)) in QUANTILE_KNOTS.iter().enumerate() {
+        let value = base_ns + exp_wait_quantile(mean_wait_ns, q).round() as u64;
+        // Integer-split the population across knots; the last knot takes
+        // the rounding remainder so the total count is exact.
+        let n = if i + 1 == QUANTILE_KNOTS.len() {
+            count - recorded
+        } else {
+            ((count as f64) * mass).round() as u64
+        };
+        let n = n.min(count - recorded);
+        recorded += n;
+        hist.record_n(value.max(1), n);
+    }
+}
+
+/// The `q`-percentile (0 ≤ q ≤ 1) of a small sample, by sorting a copy —
+/// the validation harness's per-scenario error summarizer. Returns 0.0
+/// on an empty sample.
+pub fn percentile_of(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let idx = ((v.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    v[idx]
+}
+
+/// Symmetric relative error of an estimate against an exact value:
+/// `|est - exact| / max(|exact|, |est|, 1.0)`. Symmetry bounds the
+/// result at 1.0-ish even when the exact value is zero (a flow-sampling
+/// accident the mean-field estimate cannot predict), and the 1.0 floor
+/// keeps near-zero pairs from exploding. Always finite for finite
+/// inputs — the validation artifact's error envelope must never carry
+/// a NaN.
+pub fn relative_error(estimate: f64, exact: f64) -> f64 {
+    if !estimate.is_finite() || !exact.is_finite() {
+        return f64::MAX;
+    }
+    (estimate - exact).abs() / exact.abs().max(estimate.abs()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knot_masses_sum_to_one() {
+        let total: f64 = QUANTILE_KNOTS.iter().map(|&(_, m)| m).sum();
+        assert!((total - 1.0).abs() < 1e-12, "masses sum to {total}");
+    }
+
+    #[test]
+    fn exp_quantiles_are_monotone_and_scale_with_mean() {
+        let m = 1000.0;
+        assert!(exp_wait_quantile(m, 0.5) < exp_wait_quantile(m, 0.99));
+        let double = exp_wait_quantile(2.0 * m, 0.9);
+        assert!((double - 2.0 * exp_wait_quantile(m, 0.9)).abs() < 1e-9);
+        assert_eq!(exp_wait_quantile(0.0, 0.9), 0.0);
+        assert_eq!(exp_wait_quantile(m, 1.0), 0.0, "q=1 is out of domain");
+    }
+
+    #[test]
+    fn recorded_population_preserves_count_and_orders_percentiles() {
+        let mut h = LatencyHistogram::new();
+        record_wait_population(&mut h, 5_000, 2_000.0, 10_001);
+        assert_eq!(h.count(), 10_001, "integer split must be exact");
+        assert!(h.p50() >= 5_000, "base latency is a floor");
+        assert!(h.p99() > h.p50(), "tail must spread above the median");
+        // Zero count is a no-op.
+        let mut empty = LatencyHistogram::new();
+        record_wait_population(&mut empty, 5_000, 2_000.0, 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn composition_is_deterministic() {
+        let build = || {
+            let mut h = LatencyHistogram::new();
+            for link in 0..32u64 {
+                record_wait_population(&mut h, 1_200 + link, 500.0 * link as f64, 997);
+            }
+            (h.count(), h.p50(), h.p99(), h.mean())
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn percentiles_and_errors_are_finite_and_sane() {
+        let v = [0.5, 0.1, 0.9, 0.3];
+        assert_eq!(percentile_of(&v, 0.0), 0.1);
+        assert_eq!(percentile_of(&v, 1.0), 0.9);
+        assert_eq!(percentile_of(&[], 0.5), 0.0);
+        assert!((relative_error(110.0, 100.0) - 10.0 / 110.0).abs() < 1e-12);
+        // Small exact values hit the floor instead of exploding.
+        assert!((relative_error(0.2, 0.1) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(5.0, 5.0), 0.0);
+        // Symmetry: a zero exact value cannot blow the envelope up.
+        assert!(relative_error(4.2e6, 0.0) <= 1.0);
+    }
+}

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod counters;
 pub mod fasthash;
 pub mod fct;
@@ -27,6 +28,9 @@ pub mod jitter;
 pub mod report;
 pub mod series;
 
+pub use compose::{
+    exp_wait_quantile, percentile_of, record_wait_population, relative_error, QUANTILE_KNOTS,
+};
 pub use counters::{CounterKind, CounterSet, Throughput, Utilization};
 pub use fasthash::{FastHashBuilder, FastHashMap, FastHasher};
 pub use fct::{FctStats, FctTracker, SizeClass};

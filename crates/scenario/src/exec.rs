@@ -248,6 +248,28 @@ mod tests {
     }
 
     #[test]
+    fn estimate_tier_is_byte_identical_across_thread_counts() {
+        // The estimate tier must honor the same contract as the exact
+        // tier: per-point streams fork off the spec seed on one thread,
+        // so sweep artifacts cannot depend on worker count.
+        let specs: Vec<ScenarioSpec> = (0..6)
+            .map(|i| {
+                ScenarioSpec::new(format!("e{i}"))
+                    .with_ports(8)
+                    .with_seed(i as u64 + 1)
+                    .with_fidelity(crate::Fidelity::Estimate)
+                    .with_duration(SimDuration::from_millis(1))
+            })
+            .collect();
+        let a = SweepExecutor::with_threads(1).run(specs.clone());
+        let b = SweepExecutor::with_threads(2).run(specs.clone());
+        let c = SweepExecutor::with_threads(8).run(specs);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(b.to_json(), c.to_json());
+        assert_eq!(a.to_csv(), c.to_csv());
+    }
+
+    #[test]
     fn invalid_point_reports_error_without_sinking_the_sweep() {
         let specs = vec![
             ScenarioSpec::new("ok")

@@ -13,7 +13,9 @@ use xds_core::fault::FaultPlan;
 use xds_sim::SimDuration;
 use xds_traffic::FlowSizeDist;
 
-use crate::spec::{EstimatorKind, PlacementKind, ScenarioSpec, SchedulerKind, TrafficPattern};
+use crate::spec::{
+    EstimatorKind, Fidelity, PlacementKind, ScenarioSpec, SchedulerKind, TrafficPattern,
+};
 
 /// A declarative sweep: base point × axes.
 #[derive(Debug, Clone)]
@@ -34,6 +36,7 @@ pub struct SweepGrid {
     seeds: Vec<u64>,
     shards: Vec<usize>,
     faults: Vec<FaultPlan>,
+    fidelities: Vec<Fidelity>,
 }
 
 impl SweepGrid {
@@ -56,6 +59,7 @@ impl SweepGrid {
             seeds: Vec::new(),
             shards: Vec::new(),
             faults: Vec::new(),
+            fidelities: Vec::new(),
         }
     }
 
@@ -152,12 +156,19 @@ impl SweepGrid {
         self
     }
 
+    /// Sweeps the fidelity tier (run points exact, estimated, or both
+    /// side by side — the `validate-estimates` harness's grid shape).
+    pub fn fidelities(mut self, fidelities: Vec<Fidelity>) -> Self {
+        self.fidelities = fidelities;
+        self
+    }
+
     /// The base spec the axes are applied to.
     pub fn base(&self) -> &ScenarioSpec {
         &self.base
     }
 
-    fn axis_lens(&self) -> [usize; 15] {
+    fn axis_lens(&self) -> [usize; 16] {
         [
             self.loads.len().max(1),
             self.ports.len().max(1),
@@ -174,6 +185,7 @@ impl SweepGrid {
             self.seeds.len().max(1),
             self.shards.len().max(1),
             self.faults.len().max(1),
+            self.fidelities.len().max(1),
         ]
     }
 
@@ -198,7 +210,7 @@ impl SweepGrid {
         for flat in 0..total {
             // Decompose `flat` into per-axis indices, last axis fastest.
             let mut rem = flat;
-            let mut idx = [0usize; 15];
+            let mut idx = [0usize; 16];
             for a in (0..lens.len()).rev() {
                 idx[a] = rem % lens[a];
                 rem /= lens[a];
@@ -269,6 +281,10 @@ impl SweepGrid {
             if let Some(v) = self.faults.get(idx[14]) {
                 spec.faults = Some(v.clone());
                 tag(format!("f{}", v.label()), self.faults.len() > 1, &mut tags);
+            }
+            if let Some(&v) = self.fidelities.get(idx[15]) {
+                spec.fidelity = v;
+                tag(v.tag().to_string(), self.fidelities.len() > 1, &mut tags);
             }
             if !tags.is_empty() {
                 spec.name = format!("{}/{}", spec.name, tags.join("/"));
@@ -354,6 +370,24 @@ mod tests {
         assert_eq!(specs[0].faults, Some(FaultPlan::none()));
         assert_eq!(specs[1].name, "b/flink+misfire+stall");
         assert_eq!(specs[1].faults, Some(FaultPlan::storm()));
+    }
+
+    #[test]
+    fn fidelity_axis_sweeps_and_tags() {
+        let g = SweepGrid::new(ScenarioSpec::new("b"))
+            .fidelities(vec![Fidelity::Exact, Fidelity::Estimate]);
+        let specs = g.specs();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "b/exact");
+        assert_eq!(specs[0].fidelity, Fidelity::Exact);
+        assert_eq!(specs[1].name, "b/est");
+        assert_eq!(specs[1].fidelity, Fidelity::Estimate);
+        // Singleton axis: applied but untagged.
+        let single = SweepGrid::new(ScenarioSpec::new("b"))
+            .fidelities(vec![Fidelity::Estimate])
+            .specs();
+        assert_eq!(single[0].name, "b");
+        assert_eq!(single[0].fidelity, Fidelity::Estimate);
     }
 
     #[test]

@@ -76,8 +76,8 @@ pub use exec::{parallel_map, run_point_guarded, SweepExecutor};
 pub use grid::SweepGrid;
 pub use output::{PointResult, SweepResults};
 pub use spec::{
-    AppMix, BuiltScenario, EstimatorKind, PlacementKind, ScenarioSpec, SchedulerKind, SwModelKind,
-    SyncSpec, TrafficPattern,
+    AppMix, BuiltScenario, EstimatorKind, Fidelity, PlacementKind, ScenarioSpec, SchedulerKind,
+    SwModelKind, SyncSpec, TrafficPattern,
 };
 pub use xds_core::instrument::InstrProfile;
 pub use xds_core::{FaultPlan, LinkFaultSpec, MisfireSpec, StallSpec};

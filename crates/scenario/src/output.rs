@@ -83,6 +83,7 @@ fn row_fields(p: &PointResult, counters: bool) -> Vec<(&'static str, String)> {
             format!("\"{}\"", json_escape(&s.placement.label())),
         ),
         ("profile", format!("\"{}\"", s.profile.label())),
+        ("fidelity", format!("\"{}\"", s.fidelity.label())),
         ("n_ports", s.n_ports.to_string()),
         ("load", json_f64(s.load)),
         ("reconfig_ns", s.reconfig.as_nanos().to_string()),
@@ -124,7 +125,7 @@ fn row_fields(p: &PointResult, counters: bool) -> Vec<(&'static str, String)> {
 }
 
 /// Every column any row may carry, for the CSV header.
-const CSV_COLUMNS: [&str; 46] = [
+const CSV_COLUMNS: [&str; 47] = [
     "scenario",
     "pattern",
     "sizes",
@@ -133,6 +134,7 @@ const CSV_COLUMNS: [&str; 46] = [
     "estimator",
     "placement",
     "profile",
+    "fidelity",
     "n_ports",
     "load",
     "reconfig_ns",
@@ -603,6 +605,29 @@ mod tests {
         // The unobserved aggregate table renders dashes, not panics.
         let text = lean.summary_table("lean").render_text();
         assert!(text.contains('-'), "{text}");
+    }
+
+    #[test]
+    fn rows_carry_the_fidelity_tier() {
+        let r = small_results();
+        assert!(r.to_json().contains("\"fidelity\": \"exact\""));
+        assert!(r.to_csv().lines().next().unwrap().contains(",fidelity,"));
+        let est = SweepExecutor::with_threads(1).run(vec![ScenarioSpec::new("e")
+            .with_ports(4)
+            .with_fidelity(crate::Fidelity::Estimate)
+            .with_duration(SimDuration::from_millis(1))]);
+        let json = est.to_json();
+        assert!(json.contains("\"fidelity\": \"estimate\""), "{json}");
+        assert!(
+            json.contains("\"error\": null"),
+            "estimate tier ran: {json}"
+        );
+        // Estimate rows stay rectangular under the exact-tier header.
+        let csv = est.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        let header_cols = lines[0].split(',').count();
+        assert_eq!(lines[1].split(',').count(), header_cols);
+        assert!(lines[1].ends_with(",1"), "estimate point ok: {}", lines[1]);
     }
 
     #[test]

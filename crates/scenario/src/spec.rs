@@ -16,10 +16,54 @@ use xds_core::sched::{
     IlqfScheduler, IslipScheduler, PimScheduler, RrmScheduler, Scheduler, SolsticeScheduler,
     TdmaScheduler, WavefrontScheduler,
 };
+use xds_estimate::EstimateProblem;
 use xds_hw::{ClockDomain, HwAlgo, HwSchedulerModel, SwSchedulerModel, SyncModel};
 use xds_net::PortNo;
 use xds_sim::{SimDuration, SimRng, SimTime};
 use xds_traffic::{CbrApp, FlowGenerator, FlowSizeDist, TrafficMatrix};
+
+/// The fidelity tier a point is evaluated at: the exact event-driven
+/// simulator, or the decomposed fast estimator (`xds-estimate`). A
+/// second axis of every sweep — same spec, same seed, same columns,
+/// different cost/accuracy trade. `sweep validate-estimates` quantifies
+/// the gap per metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fidelity {
+    /// Full event-driven simulation (the default).
+    #[default]
+    Exact,
+    /// Decomposed per-link queueing estimate: orders of magnitude
+    /// cheaper, approximate.
+    Estimate,
+}
+
+impl Fidelity {
+    /// Column value for result rows ("exact" / "estimate").
+    pub fn label(self) -> &'static str {
+        match self {
+            Fidelity::Exact => "exact",
+            Fidelity::Estimate => "estimate",
+        }
+    }
+
+    /// Short tag for grid point names ("exact" / "est").
+    pub fn tag(self) -> &'static str {
+        match self {
+            Fidelity::Exact => "exact",
+            Fidelity::Estimate => "est",
+        }
+    }
+
+    /// Looks a tier up by name — the CLI entry point (`--fidelity`).
+    /// Accepts both the column label and the grid tag.
+    pub fn from_name(name: &str) -> Option<Fidelity> {
+        match name {
+            "exact" => Some(Fidelity::Exact),
+            "estimate" | "est" => Some(Fidelity::Estimate),
+            _ => None,
+        }
+    }
+}
 
 /// Who talks to whom: the declarative form of `xds_traffic::TrafficMatrix`
 /// (plus the rotating patterns the matrix-cycle machinery drives).
@@ -586,6 +630,11 @@ pub struct ScenarioSpec {
     /// stalls. `None` (the default) leaves every RNG stream and golden
     /// artifact byte-identical to a fault-free build.
     pub faults: Option<FaultPlan>,
+    /// Fidelity tier this point is evaluated at. `Exact` (the default)
+    /// is the event-driven simulator; `Estimate` solves the point with
+    /// the decomposed `xds-estimate` models instead — same seed
+    /// derivation, same report columns, a fraction of the cost.
+    pub fidelity: Fidelity,
 }
 
 impl ScenarioSpec {
@@ -616,6 +665,7 @@ impl ScenarioSpec {
             profile: InstrProfile::Full,
             trace: false,
             faults: None,
+            fidelity: Fidelity::Exact,
         }
     }
 
@@ -755,6 +805,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Sets the fidelity tier (see [`fidelity`](Self::fidelity)).
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
     /// Renames the point (grids use this to tag axis values).
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
@@ -849,9 +905,19 @@ impl ScenarioSpec {
         Ok((cfg, workload, scheduler, estimator))
     }
 
-    /// Runs the point to completion and returns its report, observed at
-    /// the spec's instrumentation [`profile`](Self::profile).
+    /// Runs the point to completion and returns its report: the exact
+    /// event-driven simulation, or — when
+    /// [`fidelity`](Self::fidelity) is [`Fidelity::Estimate`] — the
+    /// decomposed fast estimate, observed at the spec's instrumentation
+    /// [`profile`](Self::profile) either way.
     pub fn run(&self) -> Result<RunReport, String> {
+        match self.fidelity {
+            Fidelity::Exact => self.run_exact(),
+            Fidelity::Estimate => self.run_estimate(),
+        }
+    }
+
+    fn run_exact(&self) -> Result<RunReport, String> {
         let (cfg, workload, scheduler, estimator) = self.build()?;
         let sim = SimBuilder::new(cfg)
             .workload(workload)
@@ -864,6 +930,65 @@ impl ScenarioSpec {
             .build()
             .map_err(|e| format!("scenario {}: {e}", self.name))?;
         Ok(sim.run(SimTime::ZERO + self.duration))
+    }
+
+    /// Translates the spec for the estimate tier and solves it. The
+    /// prologue deliberately mirrors [`build`](Self::build) — same
+    /// validation, same root-RNG derivation order, same matrix draw and
+    /// load normalization — so both tiers describe the *same* point and
+    /// differ only in how they evaluate it.
+    fn run_estimate(&self) -> Result<RunReport, String> {
+        if self.n_ports < 2 {
+            return Err(format!("scenario {}: need at least 2 ports", self.name));
+        }
+        if self.load <= 0.0 || !self.load.is_finite() {
+            return Err(format!("scenario {}: load must be positive", self.name));
+        }
+        let mut root = SimRng::new(self.seed);
+        let cfg_seed = root.next_u64();
+        let mut matrix_rng = root.fork();
+        let _workload_rng = root.fork();
+
+        let cfg = self.node_config(cfg_seed);
+        cfg.validate()
+            .map_err(|e| format!("scenario {}: {e}", self.name))?;
+
+        let matrix = self.pattern.matrix(self.n_ports, &mut matrix_rng);
+        let eff_load = if self.normalize_load {
+            self.load / matrix.imbalance()
+        } else {
+            self.load
+        };
+        // Lean instrumentation means "don't observe": the estimate tier
+        // mirrors that by leaving observation-derived columns absent.
+        let measured = self.profile != InstrProfile::Lean;
+        let problem = EstimateProblem {
+            cycle: self.pattern.cycle(self.n_ports),
+            cfg,
+            matrix,
+            sizes: self.sizes.clone(),
+            load: eff_load,
+            bulk_threshold: self
+                .bulk_threshold
+                .unwrap_or(FlowGenerator::DEFAULT_BULK_THRESHOLD),
+            apps: self.apps.build(self.n_ports),
+            duration: self.duration,
+            seed: self.seed,
+            faults: self.faults.clone().filter(FaultPlan::is_active),
+            scheduler_name: self.scheduler.label().to_string(),
+            entries_per_epoch: match &self.scheduler {
+                SchedulerKind::EpsOnly => 0,
+                SchedulerKind::Bvn { perms } | SchedulerKind::Solstice { perms } => {
+                    (*perms).max(1) as u64
+                }
+                _ => 1,
+            },
+            eps_only: self.scheduler == SchedulerKind::EpsOnly,
+            oblivious: self.scheduler == SchedulerKind::Tdma,
+            measured_deliveries: measured,
+            measured_buffers: measured,
+        };
+        Ok(xds_estimate::estimate(&problem))
     }
 }
 

@@ -1,0 +1,123 @@
+//! Property tests of the fidelity axis: whatever the scenario shape,
+//! an estimate-tier row carries exactly the same column set, in the
+//! same order, as the exact-tier row of the same spec — JSON keys and
+//! CSV cells alike. Downstream tooling (plots, joins, the validation
+//! harness) depends on the two tiers being drop-in interchangeable at
+//! the row level.
+
+use proptest::prelude::*;
+use xds_scenario::{AppMix, Fidelity, ScenarioSpec, SchedulerKind, SweepExecutor, TrafficPattern};
+use xds_sim::SimDuration;
+use xds_traffic::FlowSizeDist;
+
+/// The object keys of one JSON row, in emission order.
+fn json_keys(row: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = row;
+    while let Some(start) = rest.find('"') {
+        let tail = &rest[start + 1..];
+        let Some(end) = tail.find('"') else { break };
+        let key = &tail[..end];
+        let after = &tail[end + 1..];
+        if after.starts_with(':') {
+            keys.push(key.to_string());
+        }
+        // Skip past the value up to the next field separator; good
+        // enough because generated values never embed `", "`.
+        match after.find(", \"") {
+            Some(next) => rest = &after[next + 2..],
+            None => break,
+        }
+    }
+    keys
+}
+
+fn pattern(idx: usize) -> TrafficPattern {
+    match idx % 5 {
+        0 => TrafficPattern::Uniform,
+        1 => TrafficPattern::Permutation { shift: 1 },
+        2 => TrafficPattern::Hotspot {
+            pairs: 2,
+            fraction: 0.7,
+            offset: 0,
+        },
+        3 => TrafficPattern::Incast {
+            senders: 3,
+            target: 0,
+        },
+        _ => TrafficPattern::ShuffleStages {
+            period: SimDuration::from_micros(200),
+        },
+    }
+}
+
+fn size_dist(idx: usize) -> FlowSizeDist {
+    match idx % 3 {
+        0 => FlowSizeDist::Fixed(150_000),
+        1 => FlowSizeDist::WebSearch,
+        _ => FlowSizeDist::DataMining,
+    }
+}
+
+fn scheduler(idx: usize) -> SchedulerKind {
+    match idx % 4 {
+        0 => SchedulerKind::EpsOnly,
+        1 => SchedulerKind::Tdma,
+        2 => SchedulerKind::Islip { iterations: 3 },
+        _ => SchedulerKind::Solstice { perms: 4 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Estimate-tier rows are column-for-column compatible with
+    /// exact-tier rows of the same spec.
+    #[test]
+    fn estimate_rows_mirror_exact_row_schema(
+        pattern_idx in 0usize..5,
+        sizes_idx in 0usize..3,
+        sched_idx in 0usize..4,
+        load_pct in 20u64..90,
+        seed in 1u64..500,
+        voip in any::<bool>(),
+    ) {
+        let base = ScenarioSpec::new("prop")
+            .with_ports(4)
+            .with_pattern(pattern(pattern_idx))
+            .with_sizes(size_dist(sizes_idx))
+            .with_scheduler(scheduler(sched_idx))
+            .with_load(load_pct as f64 / 100.0)
+            .with_seed(seed)
+            .with_apps(if voip {
+                AppMix::Voip { legs: 2, interval: SimDuration::from_micros(100) }
+            } else {
+                AppMix::None
+            })
+            .with_duration(SimDuration::from_micros(500));
+        let exact = SweepExecutor::with_threads(1)
+            .run(vec![base.clone().with_fidelity(Fidelity::Exact)]);
+        let est = SweepExecutor::with_threads(1)
+            .run(vec![base.with_fidelity(Fidelity::Estimate)]);
+        prop_assert!(exact.points[0].report.is_ok(), "exact tier must run");
+        prop_assert!(est.points[0].report.is_ok(), "estimate tier must run");
+
+        // JSON rows: identical key sequence, not just the same set.
+        let row = |json: &str| json.lines().nth(1).unwrap_or_default().to_string();
+        let ek = json_keys(&row(&exact.to_json()));
+        let sk = json_keys(&row(&est.to_json()));
+        prop_assert!(!ek.is_empty());
+        prop_assert_eq!(&ek, &sk, "JSON column order must match across tiers");
+        prop_assert!(ek.contains(&"fidelity".to_string()));
+
+        // CSV rows: same header, same (rectangular) cell count.
+        let ec = exact.to_csv();
+        let sc = est.to_csv();
+        let eh = ec.lines().next().unwrap_or_default();
+        prop_assert_eq!(eh, sc.lines().next().unwrap_or_default());
+        let width = eh.split(',').count();
+        for line in ec.lines().skip(1).chain(sc.lines().skip(1)) {
+            prop_assert_eq!(line.split(',').count(), width, "ragged row: {}", line);
+        }
+    }
+}

@@ -14,15 +14,28 @@
 //! * `incast` — many sources converge on one destination (the worst case
 //!   for any scheduler: the destination port is the bottleneck).
 
+use std::sync::OnceLock;
+
 use xds_sim::SimRng;
 
 /// An `n × n` matrix of load fractions summing to 1 with a zero diagonal.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct TrafficMatrix {
     n: usize,
     frac: Vec<f64>,
-    /// Cumulative distribution for pair sampling.
-    cdf: Vec<f64>,
+    /// Cumulative distribution for pair sampling, built lazily on first
+    /// use: it is an `n²` derivation of `frac` that only flow sampling
+    /// needs, and consumers that never sample (the estimate tier, matrix
+    /// analysis) would otherwise pay a full extra pass per matrix.
+    cdf: OnceLock<Vec<f64>>,
+}
+
+impl PartialEq for TrafficMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // The cdf is a pure derivation of `frac`; comparing it would only
+        // re-compare the same information.
+        self.n == other.n && self.frac == other.frac
+    }
 }
 
 impl TrafficMatrix {
@@ -56,13 +69,11 @@ impl TrafficMatrix {
         for w in &mut frac {
             *w /= total;
         }
-        let mut cdf = Vec::with_capacity(n * n);
-        let mut acc = 0.0;
-        for &w in &frac {
-            acc += w;
-            cdf.push(acc);
-        }
-        Ok(TrafficMatrix { n, frac, cdf })
+        Ok(TrafficMatrix {
+            n,
+            frac,
+            cdf: OnceLock::new(),
+        })
     }
 
     /// Uniform all-to-all.
@@ -172,31 +183,62 @@ impl TrafficMatrix {
         self.frac[s * self.n + d]
     }
 
+    /// Iterates the matrix row by row (source-major `n`-length slices).
+    /// Sequential consumers should prefer this over per-element
+    /// [`Self::fraction`] calls — one bounds check per row, hardware
+    /// prefetch across the whole walk.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.frac.chunks_exact(self.n)
+    }
+
     /// Samples a `(src, dst)` pair proportionally to the matrix.
     pub fn sample_pair(&self, rng: &mut SimRng) -> (usize, usize) {
+        let cdf = self.cdf.get_or_init(|| {
+            let mut acc = 0.0;
+            self.frac
+                .iter()
+                .map(|&w| {
+                    acc += w;
+                    acc
+                })
+                .collect()
+        });
         let u = rng.f64();
-        let idx = match self
-            .cdf
-            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
-        {
+        let idx = match cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
             Ok(i) => i,
-            Err(i) => i.min(self.cdf.len() - 1),
+            Err(i) => i.min(cdf.len() - 1),
         };
         (idx / self.n, idx % self.n)
     }
 
     /// Row sums (per-source offered fraction).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.n)
-            .map(|s| (0..self.n).map(|d| self.fraction(s, d)).sum())
-            .collect()
+        self.row_col_sums().0
     }
 
     /// Column sums (per-destination offered fraction).
     pub fn col_sums(&self) -> Vec<f64> {
-        (0..self.n)
-            .map(|d| (0..self.n).map(|s| self.fraction(s, d)).sum())
-            .collect()
+        self.row_col_sums().1
+    }
+
+    /// Row and column sums in one row-major pass. A column-major sweep
+    /// strides `8n` bytes per element — every access a cache miss at
+    /// kilofabric sizes — so both sums accumulate over the same
+    /// sequential walk. Per-destination addition order (ascending source)
+    /// is unchanged, so the sums are bit-identical to the naive loops.
+    pub fn row_col_sums(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.n;
+        let mut rows = vec![0.0; n];
+        let mut cols = vec![0.0; n];
+        for (row, row_sum) in self.frac.chunks_exact(n).zip(rows.iter_mut()) {
+            let mut sum = 0.0;
+            for (d, &f) in row.iter().enumerate() {
+                sum += f;
+                cols[d] += f;
+            }
+            *row_sum = sum;
+        }
+        (rows, cols)
     }
 
     /// The largest row or column sum, as a multiple of the uniform share
@@ -204,8 +246,9 @@ impl TrafficMatrix {
     /// the busiest port is `load × imbalance`. Experiments use this to keep
     /// swept loads admissible.
     pub fn imbalance(&self) -> f64 {
-        let max_row = self.row_sums().into_iter().fold(0.0, f64::max);
-        let max_col = self.col_sums().into_iter().fold(0.0, f64::max);
+        let (rows, cols) = self.row_col_sums();
+        let max_row = rows.into_iter().fold(0.0, f64::max);
+        let max_col = cols.into_iter().fold(0.0, f64::max);
         max_row.max(max_col) * self.n as f64
     }
 }
